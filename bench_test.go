@@ -1,0 +1,270 @@
+package xmlstore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+)
+
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// query benchmark appears as Hybrid and XORator sub-benchmarks so the
+// output exposes the ratio the figures plot. Full DSx1..DSx8 sweeps (the
+// figures' x-axis) are produced by cmd/repro; the benchmarks here run at
+// DSx1 paper scale.
+
+var benchState struct {
+	once              sync.Once
+	shakespeare       bench.Dataset
+	sigmod            bench.Dataset
+	shakeHybrid       *core.Store
+	shakeXorator      *core.Store
+	shakeHybridLoad   bench.LoadResult
+	shakeXoratorLoad  bench.LoadResult
+	sigmodHybrid      *core.Store
+	sigmodXorator     *core.Store
+	sigmodHybridLoad  bench.LoadResult
+	sigmodXoratorLoad bench.LoadResult
+	err               error
+}
+
+func setup(b *testing.B) {
+	benchState.once.Do(func() {
+		benchState.shakespeare = bench.ShakespeareDataset(0)
+		benchState.sigmod = bench.SigmodDataset(0)
+		set := func(st *core.Store, lr bench.LoadResult, err error, s **core.Store, l *bench.LoadResult) {
+			if err != nil && benchState.err == nil {
+				benchState.err = err
+				return
+			}
+			*s = st
+			*l = lr
+		}
+		st, lr, err := bench.BuildStore(benchState.shakespeare, core.Hybrid, 1)
+		set(st, lr, err, &benchState.shakeHybrid, &benchState.shakeHybridLoad)
+		st, lr, err = bench.BuildStore(benchState.shakespeare, core.XORator, 1)
+		set(st, lr, err, &benchState.shakeXorator, &benchState.shakeXoratorLoad)
+		st, lr, err = bench.BuildStore(benchState.sigmod, core.Hybrid, 1)
+		set(st, lr, err, &benchState.sigmodHybrid, &benchState.sigmodHybridLoad)
+		st, lr, err = bench.BuildStore(benchState.sigmod, core.XORator, 1)
+		set(st, lr, err, &benchState.sigmodXorator, &benchState.sigmodXoratorLoad)
+	})
+	if benchState.err != nil {
+		b.Fatal(benchState.err)
+	}
+}
+
+func runQuery(b *testing.B, st *core.Store, query string) {
+	b.Helper()
+	b.ReportAllocs()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		res, err := st.Query(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkTable1 reports the Shakespeare storage comparison (Table 1):
+// table counts, database and index sizes, via custom metrics.
+func BenchmarkTable1(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		_ = benchState.shakeHybrid.Stats()
+	}
+	h, x := benchState.shakeHybridLoad.Stats, benchState.shakeXoratorLoad.Stats
+	b.ReportMetric(float64(h.Tables), "hybrid-tables")
+	b.ReportMetric(float64(x.Tables), "xorator-tables")
+	b.ReportMetric(float64(h.DataBytes)/(1<<20), "hybrid-MB")
+	b.ReportMetric(float64(x.DataBytes)/(1<<20), "xorator-MB")
+	b.ReportMetric(float64(h.IndexBytes)/(1<<20), "hybrid-idx-MB")
+	b.ReportMetric(float64(x.IndexBytes)/(1<<20), "xorator-idx-MB")
+}
+
+// BenchmarkTable2 reports the SIGMOD storage comparison (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	setup(b)
+	for i := 0; i < b.N; i++ {
+		_ = benchState.sigmodHybrid.Stats()
+	}
+	h, x := benchState.sigmodHybridLoad.Stats, benchState.sigmodXoratorLoad.Stats
+	b.ReportMetric(float64(h.Tables), "hybrid-tables")
+	b.ReportMetric(float64(x.Tables), "xorator-tables")
+	b.ReportMetric(float64(h.DataBytes)/(1<<20), "hybrid-MB")
+	b.ReportMetric(float64(x.DataBytes)/(1<<20), "xorator-MB")
+	b.ReportMetric(float64(h.IndexBytes)/(1<<20), "hybrid-idx-MB")
+	b.ReportMetric(float64(x.IndexBytes)/(1<<20), "xorator-idx-MB")
+}
+
+// BenchmarkFig11 runs the QS workload of Figure 11 under both mappings.
+func BenchmarkFig11(b *testing.B) {
+	setup(b)
+	for _, q := range bench.ShakespeareQueries() {
+		b.Run(q.ID+"/Hybrid", func(b *testing.B) {
+			runQuery(b, benchState.shakeHybrid, q.Hybrid)
+		})
+		b.Run(q.ID+"/XORator", func(b *testing.B) {
+			runQuery(b, benchState.shakeXorator, q.XORator)
+		})
+	}
+}
+
+// BenchmarkFig11Loading measures the loading-time group of Figure 11.
+func BenchmarkFig11Loading(b *testing.B) {
+	setup(b)
+	for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.BuildStore(benchState.shakespeare, alg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13 runs the QG workload of Figure 13 under both mappings.
+func BenchmarkFig13(b *testing.B) {
+	setup(b)
+	for _, q := range bench.SigmodQueries() {
+		b.Run(q.ID+"/Hybrid", func(b *testing.B) {
+			runQuery(b, benchState.sigmodHybrid, q.Hybrid)
+		})
+		b.Run(q.ID+"/XORator", func(b *testing.B) {
+			runQuery(b, benchState.sigmodXorator, q.XORator)
+		})
+	}
+}
+
+// BenchmarkFig13Loading measures the loading-time group of Figure 13.
+func BenchmarkFig13Loading(b *testing.B) {
+	setup(b)
+	for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.BuildStore(benchState.sigmod, alg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14 measures the built-in vs UDF call overhead (Figure 14)
+// on the Hybrid speaker table.
+func BenchmarkFig14(b *testing.B) {
+	setup(b)
+	for _, q := range bench.UDFQueries() {
+		b.Run(q.ID+"/builtin", func(b *testing.B) {
+			runQuery(b, benchState.shakeHybrid, q.Builtin)
+		})
+		b.Run(q.ID+"/udf", func(b *testing.B) {
+			runQuery(b, benchState.shakeHybrid, q.UDF)
+		})
+	}
+}
+
+// BenchmarkJoinAlgorithms ablates the physical join choice on the QS4
+// Hybrid plan — the §4.4 cost argument (hash O(n), sort-merge O(n log n),
+// nested loops O(n²)).
+func BenchmarkJoinAlgorithms(b *testing.B) {
+	setup(b)
+	q := bench.ShakespeareQueries()[3].Hybrid
+	for _, alg := range []plan.JoinAlgorithm{plan.JoinHash, plan.JoinMerge, plan.JoinNested} {
+		b.Run(string(alg), func(b *testing.B) {
+			benchState.shakeHybrid.DB.SetPlannerOptions(plan.Options{Join: alg})
+			defer benchState.shakeHybrid.DB.SetPlannerOptions(plan.Options{})
+			runQuery(b, benchState.shakeHybrid, q)
+		})
+	}
+}
+
+// BenchmarkIndexJoin ablates the index-nested-loop access path on the
+// QS4 Hybrid plan: with a selective outer (one play), probing parentID
+// indexes avoids the full scans the hash join pays for.
+func BenchmarkIndexJoin(b *testing.B) {
+	setup(b)
+	q := bench.ShakespeareQueries()[3].Hybrid
+	b.Run("hash", func(b *testing.B) {
+		runQuery(b, benchState.shakeHybrid, q)
+	})
+	b.Run("index-nested-loop", func(b *testing.B) {
+		benchState.shakeHybrid.DB.SetPlannerOptions(plan.Options{IndexJoin: true})
+		defer benchState.shakeHybrid.DB.SetPlannerOptions(plan.Options{})
+		runQuery(b, benchState.shakeHybrid, q)
+	})
+}
+
+// BenchmarkFencedUDF ablates DB2's FENCED mode against the paper's NOT
+// FENCED configuration.
+func BenchmarkFencedUDF(b *testing.B) {
+	setup(b)
+	q := bench.UDFQueries()[0].UDF
+	b.Run("not-fenced", func(b *testing.B) {
+		runQuery(b, benchState.shakeHybrid, q)
+	})
+	b.Run("fenced", func(b *testing.B) {
+		benchState.shakeHybrid.DB.Registry.Fenced = true
+		defer func() { benchState.shakeHybrid.DB.Registry.Fenced = false }()
+		runQuery(b, benchState.shakeHybrid, q)
+	})
+}
+
+// BenchmarkXADTDirectory ablates the paper's future-work proposal: an
+// element directory stored with each XADT value. QS6 (order access, the
+// query XORator loses in Figure 11) is the workload the metadata was
+// proposed for.
+func BenchmarkXADTDirectory(b *testing.B) {
+	setup(b)
+	q := bench.ShakespeareQueries()[5].XORator // QS6
+	dir := Directory
+	dirStore, err := core.NewStore(ShakespeareDTD, core.Config{
+		Algorithm: core.XORator, ForceFormat: &dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dirStore.Load(benchState.shakespeare.Docs); err != nil {
+		b.Fatal(err)
+	}
+	if err := dirStore.RunStats(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("raw", func(b *testing.B) {
+		runQuery(b, benchState.shakeXorator, q)
+	})
+	b.Run("directory", func(b *testing.B) {
+		runQuery(b, dirStore, q)
+	})
+}
+
+// BenchmarkCompression measures the §4.1 storage-format trade-off: query
+// time over raw vs compressed XADT fragments on the SIGMOD store.
+func BenchmarkCompression(b *testing.B) {
+	setup(b)
+	q := bench.SigmodQueries()[0] // QG1
+	raw := Raw
+	rawStore, err := core.NewStore(SigmodDTD, core.Config{Algorithm: core.XORator, ForceFormat: &raw})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rawStore.Load(benchState.sigmod.Docs); err != nil {
+		b.Fatal(err)
+	}
+	if err := rawStore.RunStats(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compressed", func(b *testing.B) {
+		runQuery(b, benchState.sigmodXorator, q.XORator)
+	})
+	b.Run("raw", func(b *testing.B) {
+		runQuery(b, rawStore, q.XORator)
+	})
+	b.ReportMetric(float64(rawStore.Stats().DataBytes)/(1<<20), "raw-MB")
+	b.ReportMetric(float64(benchState.sigmodXorator.Stats().DataBytes)/(1<<20), "compressed-MB")
+}

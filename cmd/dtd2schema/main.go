@@ -1,0 +1,93 @@
+// Command dtd2schema maps a DTD to a storage schema and prints it in the
+// paper's notation (Figures 5 and 6).
+//
+// Usage:
+//
+//	dtd2schema -alg xorator -builtin plays
+//	dtd2schema -alg hybrid -dtd myschema.dtd
+//	dtd2schema -alg both -builtin shakespeare
+//	dtd2schema -alg monet -builtin shakespeare   # table-count estimate only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+	"repro/internal/mapping"
+)
+
+func main() {
+	var (
+		dtdFile = flag.String("dtd", "", "path to a DTD file")
+		builtin = flag.String("builtin", "", "built-in DTD: plays, shakespeare, sigmod")
+		alg     = flag.String("alg", "both", "mapping: hybrid, xorator, both, monet")
+	)
+	flag.Parse()
+
+	src, err := dtdSource(*dtdFile, *builtin)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dtd.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	simplified := dtd.Simplify(d)
+
+	switch *alg {
+	case "hybrid", "xorator", "both":
+		if *alg != "xorator" {
+			schema, err := mapping.Hybrid(simplified)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- Hybrid schema (%d tables)\n%s\n", len(schema.Relations), schema)
+		}
+		if *alg != "hybrid" {
+			schema, err := mapping.XORator(simplified)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- XORator schema (%d tables)\n%s\n", len(schema.Relations), schema)
+		}
+	case "monet":
+		n, err := mapping.MonetTableCount(simplified)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Monet path mapping: %d tables\n", n)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+}
+
+func dtdSource(file, builtin string) (string, error) {
+	switch {
+	case file != "" && builtin != "":
+		return "", fmt.Errorf("use -dtd or -builtin, not both")
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	case builtin == "plays":
+		return corpus.PlaysDTD, nil
+	case builtin == "shakespeare":
+		return corpus.ShakespeareDTD, nil
+	case builtin == "sigmod":
+		return corpus.SigmodDTD, nil
+	case builtin != "":
+		return "", fmt.Errorf("unknown built-in DTD %q (plays, shakespeare, sigmod)", builtin)
+	default:
+		return "", fmt.Errorf("one of -dtd or -builtin is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtd2schema:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,269 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	-exp table1    Table 1: Shakespeare storage comparison
+//	-exp table2    Table 2: SIGMOD storage comparison
+//	-exp fig11     Figure 11: QS1-QS6 + loading ratios over DSx1..DSx8
+//	-exp fig13     Figure 13: QG1-QG6 + loading ratios over DSx1..DSx8
+//	-exp fig14     Figure 14: built-in vs UDF overhead (QT1, QT2)
+//	-exp schemas   Figures 5 & 6: the mapped schemas of the Plays DTD
+//	-exp monet     §2: Monet table-count comparison
+//	-exp compress  §4.1: XADT storage-format decision per corpus
+//	-exp all       everything above
+//
+// Use -quick for a reduced-scale smoke run and -scales to override the
+// DSxN sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+	"repro/internal/mapping"
+	"repro/internal/xadt"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run")
+		quick    = flag.Bool("quick", false, "reduced data sizes for a fast smoke run")
+		scaleStr = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
+		repeats  = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
+	)
+	flag.Parse()
+
+	scales, err := parseScales(*scaleStr)
+	if err != nil {
+		fatal(err)
+	}
+	r := &runner{quick: *quick, scales: scales, repeats: *repeats}
+
+	experiments := map[string]func() error{
+		"schemas":  r.schemas,
+		"monet":    r.monet,
+		"table1":   r.table1,
+		"table2":   r.table2,
+		"fig11":    r.fig11,
+		"fig13":    r.fig13,
+		"fig14":    r.fig14,
+		"compress": r.compress,
+	}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := run(name, experiments[name]); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(*exp, fn); err != nil {
+		fatal(err)
+	}
+}
+
+func run(name string, fn func() error) error {
+	fmt.Printf("==== %s ====\n", name)
+	start := time.Now()
+	if err := fn(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+type runner struct {
+	quick   bool
+	scales  []int
+	repeats int
+
+	shakespeare *bench.Dataset
+	sigmod      *bench.Dataset
+}
+
+func (r *runner) shakespeareDS() bench.Dataset {
+	if r.shakespeare == nil {
+		n := 0
+		if r.quick {
+			n = 6
+		}
+		ds := bench.ShakespeareDataset(n)
+		r.shakespeare = &ds
+	}
+	return *r.shakespeare
+}
+
+func (r *runner) sigmodDS() bench.Dataset {
+	if r.sigmod == nil {
+		n := 0
+		if r.quick {
+			n = 150
+		}
+		ds := bench.SigmodDataset(n)
+		r.sigmod = &ds
+	}
+	return *r.sigmod
+}
+
+func (r *runner) schemas() error {
+	for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
+		d, err := dtd.Parse(corpus.PlaysDTD)
+		if err != nil {
+			return err
+		}
+		s := dtd.Simplify(d)
+		var schema *mapping.Schema
+		if alg == core.Hybrid {
+			schema, err = mapping.Hybrid(s)
+		} else {
+			schema, err = mapping.XORator(s)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s mapping of the Plays DTD (%d tables)\n%s\n",
+			alg, len(schema.Relations), schema)
+	}
+	return nil
+}
+
+func (r *runner) monet() error {
+	d, err := dtd.Parse(corpus.ShakespeareDTD)
+	if err != nil {
+		return err
+	}
+	s := dtd.Simplify(d)
+	monet, err := mapping.MonetTableCount(s)
+	if err != nil {
+		return err
+	}
+	x, err := mapping.XORator(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Shakespeare DTD table counts: Monet=%d XORator=%d (paper: 95 vs \"four\"; Table 1 says 7)\n",
+		monet, len(x.Relations))
+	return nil
+}
+
+func (r *runner) sizeTable(title string, ds bench.Dataset) error {
+	hybrid, hload, err := bench.BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		return err
+	}
+	_ = hybrid
+	xorator, xload, err := bench.BuildStore(ds, core.XORator, 1)
+	if err != nil {
+		return err
+	}
+	_ = xorator
+	fmt.Print(bench.SizeTable(title, hload, xload))
+	return nil
+}
+
+func (r *runner) table1() error {
+	return r.sizeTable("Table 1: Shakespeare data set", r.shakespeareDS())
+}
+
+func (r *runner) table2() error {
+	return r.sizeTable("Table 2: SIGMOD Proceedings data set", r.sigmodDS())
+}
+
+func (r *runner) figure(title string, ds bench.Dataset, queries []bench.Query) error {
+	points, err := bench.RunScaled(ds, queries, r.scales, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FigureTable(title, points))
+	fmt.Println()
+	for _, p := range points {
+		fmt.Print(bench.DetailTable(p))
+		fmt.Println()
+	}
+	return nil
+}
+
+func (r *runner) fig11() error {
+	return r.figure("Figure 11: Shakespeare workload", r.shakespeareDS(), bench.ShakespeareQueries())
+}
+
+func (r *runner) fig13() error {
+	return r.figure("Figure 13: SIGMOD workload", r.sigmodDS(), bench.SigmodQueries())
+}
+
+func (r *runner) fig14() error {
+	hybrid, _, err := bench.BuildStore(r.shakespeareDS(), core.Hybrid, 1)
+	if err != nil {
+		return err
+	}
+	ms, err := bench.RunUDFOverhead(hybrid, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.UDFTable(ms))
+	return nil
+}
+
+func (r *runner) compress() error {
+	for _, ds := range []bench.Dataset{r.shakespeareDS(), r.sigmodDS()} {
+		raw := corpusFormatSize(ds, false)
+		comp := corpusFormatSize(ds, true)
+		choice := "raw"
+		saving := 1 - float64(comp)/float64(raw)
+		if saving >= 0.20 {
+			choice = "compressed"
+		}
+		fmt.Printf("%-12s raw=%.1fMB compressed=%.1fMB saving=%.0f%% -> %s\n",
+			ds.Name, float64(raw)/(1<<20), float64(comp)/(1<<20), saving*100, choice)
+	}
+	return nil
+}
+
+// corpusFormatSize loads the corpus under XORator with a forced XADT
+// format and reports the database size.
+func corpusFormatSize(ds bench.Dataset, compressed bool) int64 {
+	format := core.Config{Algorithm: core.XORator}
+	f := xadt.Raw
+	if compressed {
+		f = xadt.Compressed
+	}
+	format.ForceFormat = &f
+	st, err := core.NewStore(ds.DTD, format)
+	if err != nil {
+		fatal(err)
+	}
+	if err := st.Load(ds.Docs); err != nil {
+		fatal(err)
+	}
+	return st.Stats().DataBytes
+}
+
+func parseScales(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad scale %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

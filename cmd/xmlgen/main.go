@@ -1,0 +1,81 @@
+// Command xmlgen emits the synthetic corpora of the evaluation — the
+// Shakespeare-like plays (§4.3) and the SIGMOD Proceedings documents
+// (§4.4) — as XML files, standing in for Bosak's corpus and IBM's XML
+// Generator.
+//
+// Usage:
+//
+//	xmlgen -dataset shakespeare -out plays/
+//	xmlgen -dataset sigmod -n 100 -out proceedings/
+//	xmlgen -dataset shakespeare -n 1            # one document to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "shakespeare", "corpus: shakespeare or sigmod")
+		n       = flag.Int("n", 0, "number of documents (0 = paper scale)")
+		seed    = flag.Int64("seed", 0, "generator seed (0 = paper default)")
+		out     = flag.String("out", "", "output directory (empty = stdout)")
+	)
+	flag.Parse()
+
+	var docs []*xmltree.Document
+	switch *dataset {
+	case "shakespeare":
+		cfg := datagen.DefaultPlayConfig()
+		if *n > 0 {
+			cfg.Plays = *n
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		docs = datagen.GeneratePlays(cfg)
+	case "sigmod":
+		cfg := datagen.DefaultSigmodConfig()
+		if *n > 0 {
+			cfg.Documents = *n
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		docs = datagen.GenerateSigmod(cfg)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+
+	if *out == "" {
+		for _, d := range docs {
+			fmt.Println(xmltree.Serialize(d.Root))
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	total := 0
+	for i, d := range docs {
+		text := xmltree.Serialize(d.Root)
+		name := filepath.Join(*out, fmt.Sprintf("%s_%04d.xml", *dataset, i))
+		if err := os.WriteFile(name, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		total += len(text)
+	}
+	fmt.Printf("wrote %d documents (%.1f MB) to %s\n",
+		len(docs), float64(total)/(1<<20), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command xorload loads XML documents into an embedded store under a
+// chosen mapping and reports storage statistics; it can then run ad-hoc
+// queries against the loaded database.
+//
+// Usage:
+//
+//	xorload -dtd my.dtd -alg xorator docs/*.xml
+//	xorload -builtin shakespeare -alg both              # generated corpus
+//	xorload -builtin sigmod -alg xorator -query "SELECT COUNT(*) FROM pp"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/types"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		dtdFile = flag.String("dtd", "", "path to the DTD the documents conform to")
+		builtin = flag.String("builtin", "", "built-in corpus: shakespeare or sigmod (generates data)")
+		alg     = flag.String("alg", "xorator", "mapping: hybrid, xorator, both")
+		query   = flag.String("query", "", "SQL query to run after loading")
+		indexes = flag.Bool("indexes", true, "build the default workload indexes")
+		docsN   = flag.Int("n", 0, "built-in corpus size (0 = paper scale)")
+		save    = flag.String("save", "", "write a store snapshot to this path after loading")
+		open    = flag.String("open", "", "restore a store snapshot instead of loading documents")
+	)
+	flag.Parse()
+
+	if *open != "" {
+		st, err := core.OpenSnapshotFile(*open, engine.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(st.Stats())
+		if *query != "" {
+			res, err := st.Query(*query)
+			if err != nil {
+				fatal(err)
+			}
+			printResult(res)
+		}
+		return
+	}
+
+	dtdSrc, docs, err := inputs(*dtdFile, *builtin, *docsN, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	algs := []core.Algorithm{core.Algorithm(*alg)}
+	if *alg == "both" {
+		algs = []core.Algorithm{core.Hybrid, core.XORator}
+	}
+	for _, a := range algs {
+		st, err := core.NewStore(dtdSrc, core.Config{Algorithm: a})
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := st.Load(docs); err != nil {
+			fatal(err)
+		}
+		loadTime := time.Since(start)
+		if *indexes {
+			if err := st.CreateDefaultIndexes(); err != nil {
+				fatal(err)
+			}
+		}
+		if err := st.RunStats(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s  loaded %d docs in %v\n", st.Stats(), len(docs), loadTime.Round(time.Millisecond))
+		if *save != "" {
+			path := *save
+			if len(algs) > 1 {
+				path = string(a) + "_" + path
+			}
+			if err := st.SaveFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Println("snapshot written to", path)
+		}
+		if *query != "" {
+			res, err := st.Query(*query)
+			if err != nil {
+				fatal(err)
+			}
+			printResult(res)
+		}
+	}
+}
+
+func inputs(dtdFile, builtin string, n int, files []string) (string, []*xmltree.Document, error) {
+	switch {
+	case builtin == "shakespeare":
+		ds := bench.ShakespeareDataset(n)
+		return ds.DTD, ds.Docs, nil
+	case builtin == "sigmod":
+		ds := bench.SigmodDataset(n)
+		return ds.DTD, ds.Docs, nil
+	case builtin != "":
+		return "", nil, fmt.Errorf("unknown built-in corpus %q", builtin)
+	case dtdFile == "":
+		return "", nil, fmt.Errorf("-dtd or -builtin is required")
+	}
+	b, err := os.ReadFile(dtdFile)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(files) == 0 {
+		return "", nil, fmt.Errorf("no document files given")
+	}
+	var docs []*xmltree.Document
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			return "", nil, err
+		}
+		doc, err := xmltree.Parse(string(text))
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", f, err)
+		}
+		docs = append(docs, doc)
+	}
+	return string(b), docs, nil
+}
+
+// printResult renders a query result, decoding XADT fragments to text.
+func printResult(res *engine.Result) {
+	fmt.Println(strings.Join(res.Cols, " | "))
+	const maxRows = 50
+	for i, row := range res.Rows {
+		if i == maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			return
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			if v.Kind() == types.KindXADT {
+				s, err := core.FragmentText(v)
+				if err != nil {
+					s = "<corrupt fragment>"
+				}
+				parts[j] = s
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("%d record(s) selected.\n", len(res.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xorload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Querytuning: the paper's performance-engineering observations as
+// runnable ablations — the UDF-vs-builtin call overhead of Figure 14, the
+// fenced-UDF penalty the paper avoided, the §4.1 compression trade-off,
+// and the §4.4 join-algorithm cost shapes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	xmlstore "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+)
+
+func main() {
+	ds := bench.ShakespeareDataset(16)
+	hybrid, _, err := bench.BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Figure 14: built-in vs UDF call overhead ==")
+	ms, err := bench.RunUDFOverhead(hybrid, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.UDFTable(ms))
+
+	fmt.Println("\n== FENCED vs NOT FENCED UDFs ==")
+	fmt.Println("(the paper runs NOT FENCED: 'the FENCED option causes a significant performance penalty')")
+	q := `SELECT udf_length(speaker_value) FROM speaker`
+	base := timeIt(hybrid, q)
+	hybrid.DB.Registry.Fenced = true
+	fenced := timeIt(hybrid, q)
+	hybrid.DB.Registry.Fenced = false
+	fmt.Printf("not fenced: %v   fenced: %v   penalty: %.1fx\n",
+		base.Round(time.Microsecond), fenced.Round(time.Microsecond),
+		float64(fenced)/float64(base))
+
+	fmt.Println("\n== §4.4 join algorithm ablation (QS4 Hybrid plan) ==")
+	qs4 := bench.ShakespeareQueries()[3].Hybrid
+	for _, alg := range []plan.JoinAlgorithm{plan.JoinHash, plan.JoinMerge, plan.JoinNested} {
+		hybrid.DB.SetPlannerOptions(plan.Options{Join: alg})
+		fmt.Printf("%-8s %v\n", alg, timeIt(hybrid, qs4).Round(time.Microsecond))
+	}
+	hybrid.DB.SetPlannerOptions(plan.Options{})
+
+	fmt.Println("\n== §4.1 XADT storage-format trade-off ==")
+	sig := bench.SigmodDataset(200)
+	for _, format := range []xmlstore.Format{xmlstore.Raw, xmlstore.Compressed} {
+		f := format
+		st, err := core.NewStore(sig.DTD, core.Config{Algorithm: core.XORator, ForceFormat: &f})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Load(sig.Docs); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.RunStats(); err != nil {
+			log.Fatal(err)
+		}
+		t := timeIt(st, `SELECT getElm(getElm(pp_slist, 'aTuple', 'title', 'Join'), 'author', '', '')
+FROM pp WHERE findKeyInElm(pp_slist, 'title', 'Join') = 1`)
+		fmt.Printf("%-11s database=%5.1fMB  QG1=%v\n",
+			format, float64(st.Stats().DataBytes)/(1<<20), t.Round(time.Microsecond))
+	}
+}
+
+func timeIt(st *core.Store, query string) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := st.Query(query); err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

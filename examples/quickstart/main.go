@@ -1,0 +1,93 @@
+// Quickstart: define a DTD, pick a mapping, load documents, and query —
+// the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	xmlstore "repro"
+)
+
+const libraryDTD = `
+<!ELEMENT library (book*)>
+<!ELEMENT book    (title, author+, excerpt?)>
+<!ELEMENT title   (#PCDATA)>
+<!ELEMENT author  (#PCDATA)>
+<!ELEMENT excerpt (para*)>
+<!ELEMENT para    (#PCDATA)>
+`
+
+const docs = `<library>
+  <book>
+    <title>A Night of Queries</title>
+    <author>A. Coder</author>
+    <author>B. Hacker</author>
+    <excerpt><para>It was a dark and stormy backup window.</para>
+             <para>The optimizer chose poorly.</para></excerpt>
+  </book>
+  <book>
+    <title>The Joins of Summer</title>
+    <author>C. Planner</author>
+  </book>
+</library>`
+
+func main() {
+	// Show what each mapping algorithm derives from the DTD. Hybrid
+	// shreds into one table per starred element; XORator folds the whole
+	// book subtree into a single XADT attribute of library.
+	for _, alg := range []xmlstore.Algorithm{xmlstore.Hybrid, xmlstore.XORator} {
+		schema, err := xmlstore.SchemaText(libraryDTD, alg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- %s schema --\n%s\n", alg, schema)
+	}
+
+	// Build an XORator store and load the documents.
+	st, err := xmlstore.NewStore(libraryDTD, xmlstore.Config{Algorithm: xmlstore.XORator})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.LoadXML([]string{docs}); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.CreateDefaultIndexes(); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.RunStats(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(st.Stats())
+
+	// Unnest the books (the Figure 9 pattern) and keep those whose
+	// excerpt mentions the optimizer; extract their titles with getElm.
+	res, err := st.Query(`
+SELECT getElm(b.out, 'title', '', '')
+FROM library, TABLE(unnest(library_book, 'book')) b
+WHERE findKeyInElm(b.out, 'para', 'optimizer') = 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbooks mentioning the optimizer:")
+	for _, row := range res.Rows {
+		title, err := xmlstore.FragmentText(row[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(" -", title)
+	}
+
+	// All authors, distinct and sorted.
+	res, err = st.Query(`
+SELECT DISTINCT xadtInnerText(a.out) AS author
+FROM library, TABLE(unnest(library_book, 'author')) a
+ORDER BY author`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall authors:")
+	for _, row := range res.Rows {
+		fmt.Println(" -", row[0])
+	}
+}

@@ -1,0 +1,103 @@
+// Shakespeare: the paper's §4.3 scenario — load the plays corpus under
+// both mappings, compare storage footprints (Table 1), and run the QE1 /
+// QE2 example queries of Figures 7 and 8 side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	xmlstore "repro"
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	plays := flag.Int("plays", 10, "number of plays to generate")
+	flag.Parse()
+
+	cfg := datagen.DefaultPlayConfig()
+	cfg.Plays = *plays
+	docs := datagen.GeneratePlays(cfg)
+	texts := make([]string, len(docs))
+	for i, d := range docs {
+		texts[i] = xmltree.Serialize(d.Root)
+	}
+	fmt.Printf("generated %d plays (%.1f MB)\n\n", len(docs),
+		float64(datagen.CorpusSize(docs))/(1<<20))
+
+	stores := map[xmlstore.Algorithm]*xmlstore.Store{}
+	for _, alg := range []xmlstore.Algorithm{xmlstore.Hybrid, xmlstore.XORator} {
+		st, err := xmlstore.NewStore(xmlstore.ShakespeareDTD, xmlstore.Config{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := st.LoadXML(texts); err != nil {
+			log.Fatal(err)
+		}
+		load := time.Since(start)
+		if err := st.CreateDefaultIndexes(); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.RunStats(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  (loaded in %v)\n", st.Stats(), load.Round(time.Millisecond))
+		stores[alg] = st
+	}
+
+	// QE1 (Figure 7): lines spoken in acts by HAMLET containing "friend".
+	fmt.Println("\nQE1: HAMLET's lines containing 'friend' (Figure 7)")
+	runBoth(stores,
+		`SELECT line_value
+FROM speech, act, speaker, line
+WHERE speech_parentID = actID
+AND speech_parentCODE = 'ACT'
+AND speaker_parentID = speechID
+AND speaker_value = 'HAMLET'
+AND line_parentID = speechID
+AND line_value LIKE '%friend%'`,
+		`SELECT getElm(speech_line, 'LINE', 'LINE', 'friend')
+FROM speech, act
+WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'HAMLET') = 1
+AND findKeyInElm(speech_line, 'LINE', 'friend') = 1
+AND speech_parentID = actID
+AND speech_parentCODE = 'ACT'`)
+
+	// QE2 (Figure 8): the second line in each speech.
+	fmt.Println("\nQE2: the second line in each speech (Figure 8)")
+	runBoth(stores,
+		`SELECT line_value FROM speech, line
+WHERE line_parentID = speechID AND line_childOrder = 2`,
+		`SELECT getElmIndex(speech_line, '', 'LINE', 2, 2) FROM speech`)
+}
+
+func runBoth(stores map[xmlstore.Algorithm]*xmlstore.Store, hybridSQL, xoratorSQL string) {
+	for _, entry := range []struct {
+		alg xmlstore.Algorithm
+		sql string
+	}{{xmlstore.Hybrid, hybridSQL}, {xmlstore.XORator, xoratorSQL}} {
+		st := stores[entry.alg]
+		joins, err := st.JoinCount(entry.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := st.Query(entry.sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		took := time.Since(start)
+		fmt.Printf("  %-8s %d joins, %d rows, %v\n", entry.alg, joins, len(res.Rows), took.Round(time.Microsecond))
+		if len(res.Rows) > 0 {
+			sample, err := xmlstore.FragmentText(res.Rows[0][0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("           first row: %.70s\n", sample)
+		}
+	}
+}

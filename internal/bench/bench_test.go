@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// smallShakespeare keeps test runtimes low while exercising every query.
+func smallShakespeare() Dataset { return ShakespeareDataset(4) }
+
+func smallSigmod() Dataset { return SigmodDataset(60) }
+
+func TestBuildStoreBothAlgorithms(t *testing.T) {
+	ds := smallShakespeare()
+	h, hload, err := BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, xload, err := BuildStore(ds, core.XORator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hload.Stats.Tables != 17 || xload.Stats.Tables != 7 {
+		t.Errorf("tables = %d/%d, want 17/7", hload.Stats.Tables, xload.Stats.Tables)
+	}
+	if hload.LoadTime <= 0 || xload.LoadTime <= 0 {
+		t.Error("zero load times")
+	}
+	// Table 1 shape: XORator database is smaller.
+	if xload.Stats.DataBytes >= hload.Stats.DataBytes {
+		t.Errorf("XORator data %d >= hybrid %d", xload.Stats.DataBytes, hload.Stats.DataBytes)
+	}
+	if xload.Stats.IndexBytes >= hload.Stats.IndexBytes {
+		t.Errorf("XORator index %d >= hybrid %d", xload.Stats.IndexBytes, hload.Stats.IndexBytes)
+	}
+	_ = h
+	_ = x
+}
+
+func TestShakespeareWorkloadRuns(t *testing.T) {
+	ds := smallShakespeare()
+	hybrid, _, err := BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xorator, _, err := BuildStore(ds, core.XORator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunQueries(hybrid, xorator, ShakespeareQueries(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.HybridTime <= 0 || m.XoratorTime <= 0 {
+			t.Errorf("%s has zero time", m.ID)
+		}
+		if m.Ratio <= 0 {
+			t.Errorf("%s ratio = %f", m.ID, m.Ratio)
+		}
+	}
+	// Selection queries must return rows (the keywords are planted).
+	byID := map[string]Measurement{}
+	for _, m := range ms {
+		byID[m.ID] = m
+	}
+	for _, id := range []string{"QS1", "QS2", "QS3", "QS4", "QS5", "QS6"} {
+		if byID[id].HybridRows == 0 {
+			t.Errorf("%s hybrid returned no rows", id)
+		}
+		if byID[id].XoratorRows == 0 {
+			t.Errorf("%s xorator returned no rows", id)
+		}
+	}
+	// QS4 answers the same question in both mappings: row counts match.
+	if byID["QS4"].HybridRows != byID["QS4"].XoratorRows {
+		t.Errorf("QS4 rows differ: %d vs %d", byID["QS4"].HybridRows, byID["QS4"].XoratorRows)
+	}
+}
+
+func TestSigmodWorkloadRuns(t *testing.T) {
+	ds := smallSigmod()
+	hybrid, _, err := BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xorator, xload, err := BuildStore(ds, core.XORator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xload.Stats.Tables != 1 {
+		t.Errorf("xorator sigmod tables = %d, want 1", xload.Stats.Tables)
+	}
+	ms, err := RunQueries(hybrid, xorator, SigmodQueries(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Measurement{}
+	for _, m := range ms {
+		byID[m.ID] = m
+	}
+	for _, id := range []string{"QG1", "QG2", "QG3", "QG4", "QG5", "QG6"} {
+		if byID[id].HybridRows == 0 || byID[id].XoratorRows == 0 {
+			t.Errorf("%s returned no rows (h=%d x=%d)", id, byID[id].HybridRows, byID[id].XoratorRows)
+		}
+	}
+	// QG4 groups per author: both mappings see the same author set.
+	if byID["QG4"].HybridRows != byID["QG4"].XoratorRows {
+		t.Errorf("QG4 groups differ: %d vs %d", byID["QG4"].HybridRows, byID["QG4"].XoratorRows)
+	}
+	// QG5 is a single-row aggregate in both.
+	if byID["QG5"].HybridRows != 1 || byID["QG5"].XoratorRows != 1 {
+		t.Errorf("QG5 rows = %d/%d, want 1/1", byID["QG5"].HybridRows, byID["QG5"].XoratorRows)
+	}
+}
+
+func TestQG5CountsAgree(t *testing.T) {
+	ds := smallSigmod()
+	hybrid, _, err := BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xorator, _, err := BuildStore(ds, core.XORator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := SigmodQueries()[4]
+	hres, err := hybrid.Query(q.Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xres, err := xorator.Query(q.XORator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Rows[0][0].Int() != xres.Rows[0][0].Int() {
+		t.Errorf("QG5 count: hybrid=%v xorator=%v", hres.Rows[0][0], xres.Rows[0][0])
+	}
+	if hres.Rows[0][0].Int() == 0 {
+		t.Error("QG5 count is zero; 'Bird' not planted?")
+	}
+}
+
+func TestRunScaledAndReports(t *testing.T) {
+	ds := smallShakespeare()
+	points, err := RunScaled(ds, ShakespeareQueries()[:2], []int{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[1].Scale != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	// DSx2 has roughly double the rows of DSx1.
+	r1 := points[0].HybridLoad.Stats.Rows
+	r2 := points[1].HybridLoad.Stats.Rows
+	if r2 != 2*r1 {
+		t.Errorf("rows: DSx1=%d DSx2=%d, want doubling", r1, r2)
+	}
+	fig := FigureTable("Figure 11", points)
+	for _, want := range []string{"QS1", "QS2", "loading", "DSx1", "DSx2"} {
+		if !strings.Contains(fig, want) {
+			t.Errorf("figure table missing %q:\n%s", want, fig)
+		}
+	}
+	detail := DetailTable(points[0])
+	if !strings.Contains(detail, "QS1") || !strings.Contains(detail, "h_rows") {
+		t.Errorf("detail table:\n%s", detail)
+	}
+	size := SizeTable("Table 1", points[0].HybridLoad, points[0].XoratorLoad)
+	for _, want := range []string{"Number of tables", "17", "7", "Database size"} {
+		if !strings.Contains(size, want) {
+			t.Errorf("size table missing %q:\n%s", want, size)
+		}
+	}
+}
+
+func TestUDFOverhead(t *testing.T) {
+	ds := smallShakespeare()
+	hybrid, _, err := BuildStore(ds, core.Hybrid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunUDFOverhead(hybrid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Rows == 0 {
+			t.Errorf("%s returned no rows", m.ID)
+		}
+		// The UDF path must cost more than the built-in path (Figure 14
+		// reports ~40%; the exact factor depends on the host).
+		if m.UDFTime <= m.BuiltinTime {
+			t.Logf("%s: UDF %v <= builtin %v (timing noise possible on tiny data)",
+				m.ID, m.UDFTime, m.BuiltinTime)
+		}
+	}
+	table := UDFTable(ms)
+	if !strings.Contains(table, "QT1") || !strings.Contains(table, "QT2") {
+		t.Errorf("UDF table:\n%s", table)
+	}
+}
+
+func TestTimeQueryTrimsOutliers(t *testing.T) {
+	ds := smallShakespeare()
+	st, _, err := BuildStore(ds, core.XORator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, rows, err := timeQuery(st, `SELECT playID FROM play`, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > time.Second || rows != 4 {
+		t.Errorf("timeQuery = %v, %d rows", d, rows)
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SizeTable renders the Table 1 / Table 2 comparison from the two load
+// results.
+func SizeTable(title string, hybrid, xorator LoadResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-24s %12s %12s\n", "", "Hybrid", "XORator")
+	fmt.Fprintf(&sb, "%-24s %12d %12d\n", "Number of tables",
+		hybrid.Stats.Tables, xorator.Stats.Tables)
+	fmt.Fprintf(&sb, "%-24s %12.1f %12.1f\n", "Database size (MB)",
+		mb(hybrid.Stats.DataBytes), mb(xorator.Stats.DataBytes))
+	fmt.Fprintf(&sb, "%-24s %12.1f %12.1f\n", "Index size (MB)",
+		mb(hybrid.Stats.IndexBytes), mb(xorator.Stats.IndexBytes))
+	fmt.Fprintf(&sb, "%-24s %12s %12s\n", "XADT storage format",
+		"-", xorator.Stats.Format.String())
+	fmt.Fprintf(&sb, "%-24s %12.2f %12.2f\n", "Loading time (s)",
+		hybrid.LoadTime.Seconds(), xorator.LoadTime.Seconds())
+	return sb.String()
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }
+
+// FigureTable renders a Figure 11 / Figure 13 ratio matrix: one row per
+// query plus the loading-time row, one column per scale point. Values are
+// Hybrid/XORator time ratios (log-scale in the paper; raw ratios here).
+func FigureTable(title string, points []ScalePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\nHybrid/XORator response-time ratios (>1 means XORator is faster)\n", title)
+	fmt.Fprintf(&sb, "%-10s", "query")
+	for _, p := range points {
+		fmt.Fprintf(&sb, " %9s", fmt.Sprintf("DSx%d", p.Scale))
+	}
+	sb.WriteByte('\n')
+	if len(points) == 0 {
+		return sb.String()
+	}
+	for qi := range points[0].Measurements {
+		fmt.Fprintf(&sb, "%-10s", points[0].Measurements[qi].ID)
+		for _, p := range points {
+			fmt.Fprintf(&sb, " %9.2f", p.Measurements[qi].Ratio)
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-10s", "loading")
+	for _, p := range points {
+		fmt.Fprintf(&sb, " %9.2f", p.LoadRatio())
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// DetailTable renders absolute times and row counts for one scale point,
+// for diagnosis beyond the paper's ratio plots.
+func DetailTable(p ScalePoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DSx%d absolute times\n", p.Scale)
+	fmt.Fprintf(&sb, "%-8s %12s %12s %8s %10s %10s\n",
+		"query", "hybrid", "xorator", "ratio", "h_rows", "x_rows")
+	for _, m := range p.Measurements {
+		fmt.Fprintf(&sb, "%-8s %12s %12s %8.2f %10d %10d\n",
+			m.ID, m.HybridTime.Round(10e3), m.XoratorTime.Round(10e3),
+			m.Ratio, m.HybridRows, m.XoratorRows)
+	}
+	fmt.Fprintf(&sb, "%-8s %12s %12s %8.2f\n", "loading",
+		p.HybridLoad.LoadTime.Round(10e6), p.XoratorLoad.LoadTime.Round(10e6),
+		p.LoadRatio())
+	return sb.String()
+}
+
+// UDFTable renders Figure 14: built-in vs UDF response times.
+func UDFTable(ms []UDFMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 14: overhead in invoking UDFs\n")
+	fmt.Fprintf(&sb, "%-6s %12s %12s %10s %10s\n", "query", "builtin", "UDF", "overhead", "rows")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-6s %12s %12s %9.0f%% %10d\n",
+			m.ID, m.BuiltinTime.Round(10e3), m.UDFTime.Round(10e3), m.Overhead*100, m.Rows)
+	}
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/datagen"
+	"repro/internal/mapping"
+	"repro/internal/xadt"
+	"repro/internal/xmltree"
+)
+
+// elementCounts tallies every element tag in a document set.
+func elementCounts(docs []*xmltree.Document) map[string]int {
+	counts := map[string]int{}
+	for _, d := range docs {
+		d.Root.Walk(func(n *xmltree.Node) bool {
+			if n.IsElement() {
+				counts[n.Name]++
+			}
+			return true
+		})
+	}
+	return counts
+}
+
+// storeElementCounts recovers per-tag element counts from a store: rows
+// of the element's relation, occurrences inside XADT fragments, and
+// non-NULL inlined values.
+func storeElementCounts(t *testing.T, st *Store) map[string]int {
+	t.Helper()
+	counts := map[string]int{}
+	for _, rel := range st.Schema.Relations {
+		tbl := st.Table(rel.Name)
+		if tbl == nil {
+			t.Fatalf("missing table %s", rel.Name)
+		}
+		counts[rel.Element] += tbl.Rows()
+		for ci, col := range rel.Columns {
+			switch col.Kind {
+			case mapping.KindXADT:
+				res, err := st.Query(fmt.Sprintf("SELECT %s FROM %s", col.Name, rel.Name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, row := range res.Rows {
+					v := row[0]
+					if v.IsNull() {
+						continue
+					}
+					nodes, err := xadt.FromBytes(v.XADT()).Nodes()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, n := range nodes {
+						n.Walk(func(d *xmltree.Node) bool {
+							if d.IsElement() {
+								counts[d.Name]++
+							}
+							return true
+						})
+					}
+				}
+			case mapping.KindInlined:
+				// A non-NULL inlined value column witnesses one element
+				// instance at the column's path tail.
+				res, err := st.Query(fmt.Sprintf("SELECT %s FROM %s", col.Name, rel.Name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tail := col.Path[len(col.Path)-1]
+				for _, row := range res.Rows {
+					if !row[0].IsNull() {
+						counts[tail]++
+					}
+				}
+			}
+			_ = ci
+		}
+	}
+	return counts
+}
+
+// TestElementConservation loads the same documents under both mappings
+// and checks that no element instance is lost or duplicated: for every
+// tag, original count == count recoverable from the store.
+//
+// Two classes of elements are excluded per mapping, by construction:
+//   - elements with no character data and no attributes that are inlined
+//     (their existence is only witnessed through their children, e.g. an
+//     empty optional Toindex);
+//   - under Hybrid, optional inlined elements that occur but hold empty
+//     text are indistinguishable from absent ones.
+//
+// The generated corpora avoid both cases for all tags checked here.
+func TestElementConservation(t *testing.T) {
+	cfg := datagen.DefaultPlayConfig()
+	cfg.Plays = 3
+	docs := datagen.GeneratePlays(cfg)
+	want := elementCounts(docs)
+
+	for _, alg := range []Algorithm{Hybrid, XORator} {
+		st, err := NewStore(corpus.ShakespeareDTD, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Load(docs); err != nil {
+			t.Fatal(err)
+		}
+		got := storeElementCounts(t, st)
+		for tag, n := range want {
+			if got[tag] != n {
+				t.Errorf("%s: element %s count = %d, want %d", alg, tag, got[tag], n)
+			}
+		}
+		for tag := range got {
+			if _, ok := want[tag]; !ok {
+				t.Errorf("%s: phantom element %s (%d instances)", alg, tag, got[tag])
+			}
+		}
+	}
+}
+
+// TestElementConservationSigmod repeats the check over the deep DTD,
+// where XORator folds nearly everything into one fragment. Elements that
+// can legitimately occur empty without attributes (Toindex, fullText when
+// their optional child is absent) are excluded for the Hybrid mapping,
+// where an empty inlined element leaves no witness.
+func TestElementConservationSigmod(t *testing.T) {
+	cfg := datagen.DefaultSigmodConfig()
+	cfg.Documents = 40
+	docs := datagen.GenerateSigmod(cfg)
+	want := elementCounts(docs)
+
+	unwitnessed := map[string]bool{"Toindex": true, "fullText": true}
+	for _, alg := range []Algorithm{Hybrid, XORator} {
+		st, err := NewStore(corpus.SigmodDTD, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Load(docs); err != nil {
+			t.Fatal(err)
+		}
+		got := storeElementCounts(t, st)
+		for tag, n := range want {
+			if alg == Hybrid && unwitnessed[tag] {
+				continue
+			}
+			if got[tag] != n {
+				t.Errorf("%s: element %s count = %d, want %d", alg, tag, got[tag], n)
+			}
+		}
+	}
+}
+
+// TestFragmentContentPreserved checks deep equality for a sample of XADT
+// fragments: reserializing what the store holds reproduces the exact
+// markup of the original subtrees.
+func TestFragmentContentPreserved(t *testing.T) {
+	cfg := datagen.DefaultPlayConfig()
+	cfg.Plays = 2
+	docs := datagen.GeneratePlays(cfg)
+
+	st, err := NewStore(corpus.ShakespeareDTD, Config{Algorithm: XORator})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Load(docs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect original speech speaker fragments in document order.
+	var want []string
+	for _, d := range docs {
+		for _, speech := range d.Root.Descendants("SPEECH") {
+			want = append(want, xmltree.SerializeAll(speech.ChildrenNamed("SPEAKER")))
+		}
+	}
+	res, err := st.Query(`SELECT speech_speaker FROM speech`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("speech rows = %d, want %d", len(res.Rows), len(want))
+	}
+	for i, row := range res.Rows {
+		var got string
+		if !row[0].IsNull() {
+			if got, err = FragmentText(row[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got != want[i] {
+			t.Errorf("speech %d speaker fragment = %q, want %q", i, got, want[i])
+		}
+	}
+}

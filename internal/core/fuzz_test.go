@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dtd"
+	"repro/internal/dtdgraph"
+	"repro/internal/mapping"
+	"repro/internal/xmltree"
+)
+
+// randomDTD builds a small random DTD: a tree of elements rooted at e0
+// with occasional shared subelements and PCDATA leaves.
+func randomDTD(rng *rand.Rand) string {
+	n := 4 + rng.Intn(6)
+	var sb strings.Builder
+	occurs := []string{"", "?", "*", "+"}
+	isLeaf := func(i int) bool { return i > n/2 }
+	for i := 0; i <= n; i++ {
+		name := fmt.Sprintf("e%d", i)
+		if isLeaf(i) {
+			fmt.Fprintf(&sb, "<!ELEMENT %s (#PCDATA)>\n", name)
+			continue
+		}
+		// Children come from strictly higher indices to keep the DTD
+		// acyclic; sharing arises when two parents pick the same child.
+		var items []string
+		nchildren := 1 + rng.Intn(3)
+		for c := 0; c < nchildren; c++ {
+			child := i + 1 + rng.Intn(n-i)
+			items = append(items, fmt.Sprintf("e%d%s", child, occurs[rng.Intn(len(occurs))]))
+		}
+		fmt.Fprintf(&sb, "<!ELEMENT %s (%s)>\n", name, strings.Join(items, ", "))
+	}
+	return sb.String()
+}
+
+// randomDoc emits a document whose element usage follows the simplified
+// DTD: required children once, optional children sometimes, starred
+// children up to three times.
+func randomDoc(rng *rand.Rand, s *dtd.SimplifiedDTD, root string) *xmltree.Document {
+	var build func(name string, depth int) *xmltree.Node
+	build = func(name string, depth int) *xmltree.Node {
+		n := xmltree.NewElement(name)
+		decl := s.Element(name)
+		if decl == nil {
+			return n
+		}
+		if decl.HasPCDATA {
+			n.AppendText(fmt.Sprintf("text %d", rng.Intn(1000)))
+		}
+		if depth > 6 {
+			return n
+		}
+		for _, it := range decl.Items {
+			count := 0
+			switch it.Occurs {
+			case dtd.One:
+				count = 1
+			case dtd.Opt:
+				count = rng.Intn(2)
+			default:
+				count = rng.Intn(4)
+			}
+			for i := 0; i < count; i++ {
+				n.Append(build(it.Name, depth+1))
+			}
+		}
+		return n
+	}
+	return &xmltree.Document{Root: build(root, 0)}
+}
+
+// witnessedElements computes which element tags a store can account for:
+// relation elements, elements covered by an XADT subtree, and inlined
+// elements that materialize a value or attribute column.
+func witnessedElements(st *Store) map[string]bool {
+	g := dtdgraph.Build(st.Simplified)
+	out := map[string]bool{}
+	for _, rel := range st.Schema.Relations {
+		out[rel.Element] = true
+		for _, col := range rel.Columns {
+			switch col.Kind {
+			case mapping.KindXADT:
+				root := col.Path[0]
+				out[root] = true
+				for d := range g.Subtree(root) {
+					out[d] = true
+				}
+			case mapping.KindInlined, mapping.KindInlinedAttr:
+				out[col.Path[len(col.Path)-1]] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestRandomDTDConservation runs the full pipeline — parse, simplify,
+// map with both algorithms, shred, recount — over randomized DTDs and
+// documents, checking that every element instance survives the mapping.
+func TestRandomDTDConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2002))
+	for trial := 0; trial < 25; trial++ {
+		src := randomDTD(rng)
+		d, err := dtd.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, src)
+		}
+		simplified := dtd.Simplify(d)
+		roots := simplified.Roots()
+		if len(roots) == 0 {
+			continue
+		}
+		var docs []*xmltree.Document
+		for i := 0; i < 3; i++ {
+			docs = append(docs, randomDoc(rng, simplified, roots[0]))
+		}
+		want := elementCounts(docs)
+
+		for _, alg := range []Algorithm{Hybrid, XORator} {
+			st, err := NewStore(src, Config{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("trial %d %s: NewStore: %v\n%s", trial, alg, err, src)
+			}
+			if err := st.Load(docs); err != nil {
+				t.Fatalf("trial %d %s: Load: %v\n%s", trial, alg, err, src)
+			}
+			got := storeElementCounts(t, st)
+			witnessed := witnessedElements(st)
+			for tag, n := range want {
+				if !witnessed[tag] {
+					// Inlined elements without character data or
+					// attributes leave no witness — the one lossy case
+					// of these mappings. They must carry no information
+					// beyond existence.
+					decl := st.Simplified.Element(tag)
+					if decl != nil && (decl.HasPCDATA || len(decl.Attrs) > 0) {
+						t.Errorf("trial %d %s: informative element %s unwitnessed\n%s",
+							trial, alg, tag, src)
+					}
+					continue
+				}
+				if got[tag] != n {
+					t.Errorf("trial %d %s: element %s = %d, want %d\nDTD:\n%s",
+						trial, alg, tag, got[tag], n, src)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomDTDSchemasAreSane checks structural invariants of both
+// mappings over random DTDs: XORator never creates a relation for a leaf,
+// both mappings create a relation for the root, and the XORator table set
+// is never larger than the Hybrid one.
+func TestRandomDTDSchemasAreSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		src := randomDTD(rng)
+		st, err := NewStore(src, Config{Algorithm: XORator})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		hy, err := NewStore(src, Config{Algorithm: Hybrid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := st.Simplified
+		for _, rel := range st.Schema.Relations {
+			decl := g.Element(rel.Element)
+			if decl != nil && len(decl.Items) == 0 {
+				t.Errorf("trial %d: XORator made leaf %s a relation\n%s", trial, rel.Element, src)
+			}
+		}
+		roots := g.Roots()
+		if len(roots) > 0 && st.Schema.RelationFor(roots[0]) == nil {
+			t.Errorf("trial %d: root %s has no XORator relation", trial, roots[0])
+		}
+		if len(st.Schema.Relations) > len(hy.Schema.Relations) {
+			t.Errorf("trial %d: XORator (%d tables) larger than Hybrid (%d)\n%s",
+				trial, len(st.Schema.Relations), len(hy.Schema.Relations), src)
+		}
+	}
+}

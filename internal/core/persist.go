@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/mapping"
+	"repro/internal/shred"
+	"repro/internal/xadt"
+)
+
+// storeHeader is the metadata a snapshot needs to rebuild a Store around
+// the restored tables.
+type storeHeader struct {
+	Version   int    `json:"version"`
+	Algorithm string `json:"algorithm"`
+	Format    byte   `json:"format"`
+	DTD       string `json:"dtd"`
+}
+
+// Save writes the store — its mapping metadata, DTD, and all table data —
+// to w. Restore with OpenSnapshot.
+func (st *Store) Save(w io.Writer) error {
+	hdr, err := json.Marshal(storeHeader{
+		Version:   1,
+		Algorithm: string(st.cfg.Algorithm),
+		Format:    byte(st.Format),
+		DTD:       st.DTD.String(),
+	})
+	if err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(hdr)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return st.DB.Save(w)
+}
+
+// SaveFile writes a snapshot to path.
+func (st *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := st.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// OpenSnapshot restores a store written by Save. Further Load calls
+// resume ID assignment where the snapshot left off.
+func OpenSnapshot(r io.Reader, engineCfg engine.Config) (*Store, error) {
+	br := bufio.NewReader(r)
+	hlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header length: %w", err)
+	}
+	if hlen > 1<<24 {
+		return nil, fmt.Errorf("core: implausible snapshot header size %d", hlen)
+	}
+	raw := make([]byte, hlen)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, err
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(raw, &hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", hdr.Version)
+	}
+
+	d, err := dtd.Parse(hdr.DTD)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot DTD: %w", err)
+	}
+	simplified := dtd.Simplify(d)
+	alg := Algorithm(hdr.Algorithm)
+	var schema *mapping.Schema
+	switch alg {
+	case Hybrid:
+		schema, err = mapping.Hybrid(simplified)
+	case XORator:
+		schema, err = mapping.XORator(simplified)
+	default:
+		return nil, fmt.Errorf("core: snapshot algorithm %q", hdr.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	db, err := engine.OpenSnapshot(br, engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	format := xadt.Format(hdr.Format)
+	loader, err := shred.ResumeLoader(db, schema, format)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		DB:         db,
+		DTD:        d,
+		Simplified: simplified,
+		Schema:     schema,
+		Format:     format,
+		cfg:        Config{Algorithm: alg, Engine: engineCfg},
+		loader:     loader,
+	}, nil
+}
+
+// OpenSnapshotFile restores a store from a file written by SaveFile.
+func OpenSnapshotFile(path string, engineCfg engine.Config) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenSnapshot(f, engineCfg)
+}

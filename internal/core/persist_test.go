@@ -1,0 +1,168 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	if err := st.CreateDefaultIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := st.Query(`SELECT speechID FROM speech WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenSnapshot(&buf, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Format != st.Format {
+		t.Errorf("format = %v, want %v", restored.Format, st.Format)
+	}
+	if len(restored.Schema.Relations) != len(st.Schema.Relations) {
+		t.Errorf("relations = %d, want %d", len(restored.Schema.Relations), len(st.Schema.Relations))
+	}
+	after, err := restored.Query(`SELECT speechID FROM speech WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) {
+		t.Fatalf("rows after restore = %d, want %d", len(after.Rows), len(before.Rows))
+	}
+	// Indexes were rebuilt: an indexed lookup works and stats are fresh.
+	if restored.Table("speech").IndexOn("speechID") == nil {
+		t.Error("index not rebuilt")
+	}
+	if !restored.Table("speech").Stats.Valid {
+		t.Error("stats not refreshed")
+	}
+}
+
+func TestSnapshotHybridAgrees(t *testing.T) {
+	st := newPlayStore(t, Hybrid)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenSnapshot(&buf, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT COUNT(*) FROM line`
+	a, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0][0].Int() != b.Rows[0][0].Int() {
+		t.Errorf("line counts differ: %v vs %v", a.Rows[0][0], b.Rows[0][0])
+	}
+}
+
+func TestSnapshotResumeLoading(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	beforeRows := st.Stats().Rows
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenSnapshot(&buf, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := datagen.DefaultPlayConfig()
+	cfg.Plays = 1
+	cfg.Seed = 99
+	if err := restored.Load(datagen.GeneratePlays(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Rows <= beforeRows {
+		t.Errorf("rows after resume load = %d, want > %d", restored.Stats().Rows, beforeRows)
+	}
+	// IDs stay unique after the resume.
+	res, err := restored.Query(`SELECT COUNT(DISTINCT speechID) FROM speech`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := restored.Query(`SELECT COUNT(*) FROM speech`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != count.Rows[0][0].Int() {
+		t.Errorf("duplicate speech IDs after resume: %v distinct of %v",
+			res.Rows[0][0], count.Rows[0][0])
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	path := filepath.Join(t.TempDir(), "store.xordb")
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenSnapshotFile(path, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Rows != st.Stats().Rows {
+		t.Errorf("rows = %d, want %d", restored.Stats().Rows, st.Stats().Rows)
+	}
+}
+
+func TestSnapshotCorrupt(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := [][]byte{
+		nil,
+		data[:10],
+		append([]byte{0xFF, 0xFF}, data...),
+	}
+	for i, b := range cases {
+		if _, err := OpenSnapshot(bytes.NewReader(b), engine.Config{}); err == nil {
+			t.Errorf("case %d: corrupt snapshot accepted", i)
+		}
+	}
+}
+
+func TestSnapshotPreservesXADTPayloads(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	q := `SELECT xadtText(speech_line) FROM speech WHERE speechID = 5`
+	a, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenSnapshot(&buf, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows[0][0].Str() != b.Rows[0][0].Str() {
+		t.Error("XADT payload changed across snapshot")
+	}
+}

@@ -1,0 +1,235 @@
+// Package core ties the reproduction together as a usable library: given
+// a DTD and a mapping algorithm it derives the relational or
+// object-relational schema, decides the XADT storage representation by
+// sampling (§4.1), shreds documents, builds the workload's indexes, and
+// answers SQL queries.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/types"
+	"repro/internal/mapping"
+	"repro/internal/shred"
+	"repro/internal/xadt"
+	"repro/internal/xmltree"
+)
+
+// Algorithm selects the storage mapping.
+type Algorithm string
+
+// The two mapping algorithms the paper compares.
+const (
+	// Hybrid is the relational baseline of Shanmugasundaram et al.
+	Hybrid Algorithm = "hybrid"
+	// XORator is the paper's object-relational mapping with XADT
+	// attributes.
+	XORator Algorithm = "xorator"
+)
+
+// Config tunes a Store.
+type Config struct {
+	// Algorithm picks the mapping; default XORator.
+	Algorithm Algorithm
+	// CompressionThreshold is the minimum fractional saving required to
+	// choose the compressed XADT representation; the paper uses 0.20.
+	CompressionThreshold float64
+	// SampleDocs bounds how many of the first batch's documents are
+	// sampled for the compression decision; default 5.
+	SampleDocs int
+	// ForceFormat, when non-nil, overrides the sampling decision.
+	ForceFormat *xadt.Format
+	// Engine configures the underlying database.
+	Engine engine.Config
+}
+
+// Store is a loaded XML store under one mapping.
+type Store struct {
+	// DB is the underlying database; queries run against it.
+	DB *engine.Database
+	// DTD is the parsed document type definition.
+	DTD *dtd.DTD
+	// Simplified is the simplification the mapping consumed.
+	Simplified *dtd.SimplifiedDTD
+	// Schema is the mapped relational schema.
+	Schema *mapping.Schema
+	// Format is the XADT storage representation in use.
+	Format xadt.Format
+
+	cfg    Config
+	loader *shred.Loader
+}
+
+// Stats summarizes a store's storage footprint.
+type Stats struct {
+	Algorithm  Algorithm
+	Tables     int
+	Rows       int64
+	DataBytes  int64
+	IndexBytes int64
+	Format     xadt.Format
+}
+
+// String renders the stats like the paper's Tables 1 and 2.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-8s tables=%d rows=%d database=%.1fMB indexes=%.1fMB format=%s",
+		s.Algorithm, s.Tables, s.Rows,
+		float64(s.DataBytes)/(1<<20), float64(s.IndexBytes)/(1<<20), s.Format)
+}
+
+// NewStore parses dtdSource, derives the schema for the configured
+// algorithm, and prepares an empty database. The XADT storage format is
+// decided when the first documents are loaded (or by ForceFormat).
+func NewStore(dtdSource string, cfg Config) (*Store, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = XORator
+	}
+	if cfg.CompressionThreshold == 0 {
+		cfg.CompressionThreshold = 0.20
+	}
+	if cfg.SampleDocs == 0 {
+		cfg.SampleDocs = 5
+	}
+	d, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return nil, err
+	}
+	s := dtd.Simplify(d)
+	var schema *mapping.Schema
+	switch cfg.Algorithm {
+	case Hybrid:
+		schema, err = mapping.Hybrid(s)
+	case XORator:
+		schema, err = mapping.XORator(s)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		DB:         engine.Open(cfg.Engine),
+		DTD:        d,
+		Simplified: s,
+		Schema:     schema,
+		cfg:        cfg,
+	}, nil
+}
+
+// Load shreds documents into the store. The first call fixes the XADT
+// storage representation by sampling the batch (the paper parses "a few
+// sample documents" and compresses only if it saves at least the
+// threshold).
+func (st *Store) Load(docs []*xmltree.Document) error {
+	if st.loader == nil {
+		format := xadt.Raw
+		if st.cfg.ForceFormat != nil {
+			format = *st.cfg.ForceFormat
+		} else if st.cfg.Algorithm == XORator {
+			n := st.cfg.SampleDocs
+			if n > len(docs) {
+				n = len(docs)
+			}
+			format = shred.ChooseFormat(st.Schema, docs[:n], st.cfg.CompressionThreshold)
+		}
+		loader, err := shred.NewLoader(st.DB, st.Schema, format)
+		if err != nil {
+			return err
+		}
+		st.loader = loader
+		st.Format = format
+	}
+	for _, doc := range docs {
+		if err := st.loader.LoadDocument(doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadXML parses and loads document texts.
+func (st *Store) LoadXML(texts []string) error {
+	docs := make([]*xmltree.Document, len(texts))
+	for i, text := range texts {
+		doc, err := xmltree.Parse(text)
+		if err != nil {
+			return err
+		}
+		docs[i] = doc
+	}
+	return st.Load(docs)
+}
+
+// CreateDefaultIndexes builds the indexes the workloads use — the
+// stand-in for running the DB2 Index Wizard: B+trees on every ID,
+// parentID, parentCODE and childOrder column, plus every string-valued
+// column (value, inlined and attribute columns), which the selection
+// queries filter on.
+func (st *Store) CreateDefaultIndexes() error {
+	for _, rel := range st.Schema.Relations {
+		for _, col := range rel.Columns {
+			switch col.Kind {
+			case mapping.KindXADT:
+				continue // no index structure over fragments
+			}
+			if err := st.DB.CreateIndex(rel.Name, col.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunStats refreshes optimizer statistics (the paper always runs
+// runstats before measuring).
+func (st *Store) RunStats() error { return st.DB.RunStats() }
+
+// Query runs a SQL query against the store.
+func (st *Store) Query(query string) (*engine.Result, error) {
+	return st.DB.Query(query)
+}
+
+// JoinCount reports how many joins a query plans to.
+func (st *Store) JoinCount(query string) (int, error) {
+	return st.DB.JoinCount(query)
+}
+
+// Stats reports the storage footprint.
+func (st *Store) Stats() Stats {
+	var rows int64
+	for _, name := range st.DB.Catalog.TableNames() {
+		rows += int64(st.DB.Catalog.Table(name).Rows())
+	}
+	return Stats{
+		Algorithm:  st.cfg.Algorithm,
+		Tables:     len(st.Schema.Relations),
+		Rows:       rows,
+		DataBytes:  st.DB.Catalog.TotalDataBytes(),
+		IndexBytes: st.DB.Catalog.TotalIndexBytes(),
+		Format:     st.Format,
+	}
+}
+
+// Table returns the named table for direct inspection, or nil.
+func (st *Store) Table(name string) *catalog.Table {
+	return st.DB.Catalog.Table(name)
+}
+
+// FragmentText renders a query result value as text, decoding XADT
+// fragments into their serialized form and formatting other values with
+// their natural rendering.
+func FragmentText(v types.Value) (string, error) {
+	switch v.Kind() {
+	case types.KindNull:
+		return "", nil
+	case types.KindString:
+		return v.Str(), nil
+	case types.KindXADT:
+		return xadt.FromBytes(v.XADT()).Text()
+	default:
+		return v.String(), nil
+	}
+}

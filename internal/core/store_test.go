@@ -1,0 +1,214 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/datagen"
+	"repro/internal/xadt"
+	"repro/internal/xmltree"
+)
+
+func smallPlays(t *testing.T, n int) []*xmltree.Document {
+	t.Helper()
+	cfg := datagen.DefaultPlayConfig()
+	cfg.Plays = n
+	return datagen.GeneratePlays(cfg)
+}
+
+func newPlayStore(t *testing.T, alg Algorithm) *Store {
+	t.Helper()
+	st, err := NewStore(corpus.ShakespeareDTD, Config{Algorithm: alg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Load(smallPlays(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunStats(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreEndToEndXorator(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	stats := st.Stats()
+	if stats.Tables != 7 {
+		t.Errorf("tables = %d, want 7", stats.Tables)
+	}
+	if stats.Rows == 0 || stats.DataBytes == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	res, err := st.Query(`SELECT play_title FROM play`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("plays = %v", res.Rows)
+	}
+}
+
+func TestStoreEndToEndHybrid(t *testing.T) {
+	st := newPlayStore(t, Hybrid)
+	if st.Stats().Tables != 17 {
+		t.Errorf("tables = %d, want 17", st.Stats().Tables)
+	}
+	res, err := st.Query(`
+SELECT speaker_value FROM speaker, speech
+WHERE speaker_parentID = speechID AND speaker_value = 'ROMEO'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no ROMEO speeches found")
+	}
+}
+
+func TestStoreSizeComparison(t *testing.T) {
+	h := newPlayStore(t, Hybrid)
+	x := newPlayStore(t, XORator)
+	if err := h.CreateDefaultIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.CreateDefaultIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	hs, xs := h.Stats(), x.Stats()
+	// Table 1 shape: the XORator database and indexes are smaller.
+	if xs.DataBytes >= hs.DataBytes {
+		t.Errorf("XORator data %d >= Hybrid data %d", xs.DataBytes, hs.DataBytes)
+	}
+	if xs.IndexBytes >= hs.IndexBytes {
+		t.Errorf("XORator index %d >= Hybrid index %d", xs.IndexBytes, hs.IndexBytes)
+	}
+	if !strings.Contains(hs.String(), "hybrid") {
+		t.Errorf("stats string = %q", hs.String())
+	}
+}
+
+func TestStoreJoinCountComparison(t *testing.T) {
+	h := newPlayStore(t, Hybrid)
+	x := newPlayStore(t, XORator)
+	// QS1-equivalent pair: XORator needs no join, Hybrid needs two.
+	hq := `SELECT speaker_value, line_value FROM speaker, line, speech
+WHERE speaker_parentID = speechID AND line_parentID = speechID`
+	xq := `SELECT speech_speaker, speech_line FROM speech`
+	hn, err := h.JoinCount(hq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xn, err := x.JoinCount(xq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hn != 2 || xn != 0 {
+		t.Errorf("join counts: hybrid=%d xorator=%d, want 2/0", hn, xn)
+	}
+}
+
+func TestStoreShakespeareChoosesRaw(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	if st.Format != xadt.Raw {
+		t.Errorf("Shakespeare format = %v, want raw (paper §4.3)", st.Format)
+	}
+}
+
+func TestStoreSigmodChoosesCompressed(t *testing.T) {
+	cfg := datagen.DefaultSigmodConfig()
+	cfg.Documents = 30
+	docs := datagen.GenerateSigmod(cfg)
+	st, err := NewStore(corpus.SigmodDTD, Config{Algorithm: XORator})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Load(docs); err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != xadt.Compressed {
+		t.Errorf("SIGMOD format = %v, want compressed (paper §4.4)", st.Format)
+	}
+	if st.Stats().Tables != 1 {
+		t.Errorf("tables = %d, want 1", st.Stats().Tables)
+	}
+}
+
+func TestStoreForceFormat(t *testing.T) {
+	f := xadt.Compressed
+	st, err := NewStore(corpus.ShakespeareDTD, Config{Algorithm: XORator, ForceFormat: &f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Load(smallPlays(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Format != xadt.Compressed {
+		t.Errorf("format = %v, want forced compressed", st.Format)
+	}
+	// Queries still work over compressed fragments.
+	res, err := st.Query(`
+SELECT xadtText(speech_speaker) FROM speech
+WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no rows over compressed store")
+	}
+}
+
+func TestStoreErrors(t *testing.T) {
+	if _, err := NewStore("not a dtd", Config{}); err == nil {
+		t.Error("bad DTD should fail")
+	}
+	if _, err := NewStore(corpus.PlaysDTD, Config{Algorithm: "bogus"}); err == nil {
+		t.Error("bad algorithm should fail")
+	}
+	st, _ := NewStore(corpus.PlaysDTD, Config{})
+	if err := st.LoadXML([]string{"<oops"}); err == nil {
+		t.Error("bad document should fail")
+	}
+}
+
+func TestFragmentText(t *testing.T) {
+	st := newPlayStore(t, XORator)
+	res, err := st.Query(`SELECT speech_speaker FROM speech WHERE speechID = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := FragmentText(res.Rows[0][0])
+	if err != nil || !strings.Contains(text, "<SPEAKER>") {
+		t.Errorf("fragment = %q, %v", text, err)
+	}
+}
+
+func TestQueryEquivalenceAcrossMappings(t *testing.T) {
+	h := newPlayStore(t, Hybrid)
+	x := newPlayStore(t, XORator)
+	// QS4 shape: speeches spoken by ROMEO in "Romeo and Juliet".
+	hres, err := h.Query(`
+SELECT speechID FROM play, act, scene, speech, speaker
+WHERE act_parentID = playID AND play_title = 'Romeo and Juliet'
+AND scene_parentID = actID AND scene_parentCODE = 'ACT'
+AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE'
+AND speaker_parentID = speechID AND speaker_value = 'ROMEO'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xres, err := x.Query(`
+SELECT speechID FROM play, act, scene, speech
+WHERE act_parentID = playID AND play_title = 'Romeo and Juliet'
+AND scene_parentID = actID AND scene_parentCODE = 'ACT'
+AND speech_parentID = sceneID AND speech_parentCODE = 'SCENE'
+AND findKeyInElm(speech_speaker, 'SPEAKER', 'ROMEO') = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hres.Rows) == 0 {
+		t.Fatal("hybrid QS4 returned nothing")
+	}
+	if len(hres.Rows) != len(xres.Rows) {
+		t.Errorf("row counts differ: hybrid=%d xorator=%d", len(hres.Rows), len(xres.Rows))
+	}
+}

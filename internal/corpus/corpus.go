@@ -1,0 +1,84 @@
+// Package corpus holds the document type definitions used throughout the
+// paper and this reproduction: the Plays DTD of Figure 1, the full
+// Shakespeare DTD of Figure 10, and the SIGMOD Proceedings DTD of
+// Figure 12.
+package corpus
+
+// PlaysDTD is the running-example DTD of Figure 1.
+const PlaysDTD = `
+<!ELEMENT PLAY      (INDUCT?, ACT+)>
+<!ELEMENT INDUCT    (TITLE, SUBTITLE*, SCENE+)>
+<!ELEMENT ACT       (SCENE+, TITLE, SUBTITLE*, SPEECH+, PROLOGUE?)>
+<!ELEMENT SCENE     (TITLE, SUBTITLE*, (SPEECH | SUBHEAD)+)>
+<!ELEMENT SPEECH    (SPEAKER, LINE)+>
+<!ELEMENT PROLOGUE  (#PCDATA)>
+<!ELEMENT TITLE     (#PCDATA)>
+<!ELEMENT SUBTITLE  (#PCDATA)>
+<!ELEMENT SUBHEAD   (#PCDATA)>
+<!ELEMENT SPEAKER   (#PCDATA)>
+<!ELEMENT LINE      (#PCDATA)>
+`
+
+// ShakespeareDTD is the DTD of the Shakespeare plays data set (Figure 10),
+// as published by Jon Bosak.
+const ShakespeareDTD = `
+<!ELEMENT PLAY      (TITLE, FM, PERSONAE, SCNDESCR, PLAYSUBT, INDUCT?,
+                     PROLOGUE?, ACT+, EPILOGUE?)>
+<!ELEMENT TITLE     (#PCDATA)>
+<!ELEMENT FM        (P+)>
+<!ELEMENT P         (#PCDATA)>
+<!ELEMENT PERSONAE  (TITLE, (PERSONA | PGROUP)+)>
+<!ELEMENT PGROUP    (PERSONA+, GRPDESCR)>
+<!ELEMENT PERSONA   (#PCDATA)>
+<!ELEMENT GRPDESCR  (#PCDATA)>
+<!ELEMENT SCNDESCR  (#PCDATA)>
+<!ELEMENT PLAYSUBT  (#PCDATA)>
+<!ELEMENT INDUCT    (TITLE, SUBTITLE*, (SCENE+ | (SPEECH | STAGEDIR | SUBHEAD)+))>
+<!ELEMENT ACT       (TITLE, SUBTITLE*, PROLOGUE?, SCENE+, EPILOGUE?)>
+<!ELEMENT SCENE     (TITLE, SUBTITLE*, (SPEECH | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT PROLOGUE  (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT EPILOGUE  (TITLE, SUBTITLE*, (STAGEDIR | SPEECH)+)>
+<!ELEMENT SPEECH    (SPEAKER+, (LINE | STAGEDIR | SUBHEAD)+)>
+<!ELEMENT SPEAKER   (#PCDATA)>
+<!ELEMENT SUBTITLE  (#PCDATA)>
+<!ELEMENT SUBHEAD   (#PCDATA)>
+<!ELEMENT LINE      (#PCDATA | STAGEDIR)*>
+<!ELEMENT STAGEDIR  (#PCDATA)>
+`
+
+// SigmodDTD is the SIGMOD Proceedings DTD (Figure 12): a deep DTD whose
+// frequently queried elements (author, title) sit at the bottom level. The
+// Xlink parameter entity is declared here; the paper's figure references it
+// without showing its declaration.
+const SigmodDTD = `
+<!ENTITY % Xlink "href CDATA #IMPLIED">
+<!ELEMENT PP          (volume, number, month, year, conference,
+                       date, confyear, location, sList)>
+<!ELEMENT volume      (#PCDATA)>
+<!ELEMENT number      (#PCDATA)>
+<!ELEMENT month       (#PCDATA)>
+<!ELEMENT year        (#PCDATA)>
+<!ELEMENT conference  (#PCDATA)>
+<!ELEMENT date        (#PCDATA)>
+<!ELEMENT confyear    (#PCDATA)>
+<!ELEMENT location    (#PCDATA)>
+<!ELEMENT sList       (sListTuple)*>
+<!ELEMENT sListTuple  (sectionName, articles)>
+<!ELEMENT sectionName (#PCDATA)>
+<!ATTLIST sectionName SectionPosition CDATA #IMPLIED>
+<!ELEMENT articles    (aTuple)*>
+<!ELEMENT aTuple      (title, authors, initPage, endPage, Toindex, fullText)>
+<!ELEMENT title       (#PCDATA)>
+<!ATTLIST title       articleCode CDATA #IMPLIED>
+<!ELEMENT authors     (author)*>
+<!ELEMENT author      (#PCDATA)>
+<!ATTLIST author      AuthorPosition CDATA #IMPLIED>
+<!ELEMENT initPage    (#PCDATA)>
+<!ELEMENT endPage     (#PCDATA)>
+<!ELEMENT Toindex     (index)?>
+<!ELEMENT index       (#PCDATA)>
+<!ATTLIST index       %Xlink;>
+<!ELEMENT fullText    (size)?>
+<!ELEMENT size        (#PCDATA)>
+<!ATTLIST size        %Xlink;>
+`

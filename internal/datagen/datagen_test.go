@@ -1,0 +1,206 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+	"repro/internal/xmltree"
+)
+
+// validate checks a document against the full DTD content models using
+// the dtd package's validator.
+func validate(t *testing.T, d *dtd.DTD, doc *xmltree.Document) {
+	t.Helper()
+	if err := d.Validate(doc); err != nil {
+		t.Fatalf("generated document is invalid: %v", err)
+	}
+}
+
+func smallPlayConfig() PlayConfig {
+	cfg := DefaultPlayConfig()
+	cfg.Plays = 5
+	return cfg
+}
+
+func TestPlaysConformToDTD(t *testing.T) {
+	d, err := dtd.Parse(corpus.ShakespeareDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range GeneratePlays(smallPlayConfig()) {
+		validate(t, d, doc)
+	}
+}
+
+func TestPlaysDeterministic(t *testing.T) {
+	a := GeneratePlays(smallPlayConfig())
+	b := GeneratePlays(smallPlayConfig())
+	for i := range a {
+		if xmltree.Serialize(a[i].Root) != xmltree.Serialize(b[i].Root) {
+			t.Fatalf("play %d differs between runs", i)
+		}
+	}
+}
+
+func TestPlaysPlantQueryTargets(t *testing.T) {
+	docs := GeneratePlays(smallPlayConfig())
+	var romeo *xmltree.Document
+	for _, d := range docs {
+		if d.Root.FirstChildNamed("TITLE").InnerText() == "Romeo and Juliet" {
+			romeo = d
+		}
+	}
+	if romeo == nil {
+		t.Fatal("no Romeo and Juliet play")
+	}
+	text := xmltree.Serialize(romeo.Root)
+	for _, want := range []string{"ROMEO", "love"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Romeo play missing %q", want)
+		}
+	}
+	all := ""
+	for _, d := range docs {
+		all += xmltree.Serialize(d.Root)
+	}
+	for _, want := range []string{"HAMLET", "friend", "Rising", "<PROLOGUE>", "<STAGEDIR>"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("corpus missing %q", want)
+		}
+	}
+}
+
+func TestPlaysMixedContentLines(t *testing.T) {
+	docs := GeneratePlays(smallPlayConfig())
+	found := false
+	for _, d := range docs {
+		d.Root.Walk(func(n *xmltree.Node) bool {
+			if n.Name == "LINE" && n.FirstChildNamed("STAGEDIR") != nil {
+				found = true
+			}
+			return !found
+		})
+	}
+	if !found {
+		t.Error("no LINE with embedded STAGEDIR generated")
+	}
+}
+
+func TestPlaysCorpusScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	docs := GeneratePlays(DefaultPlayConfig())
+	if len(docs) != 37 {
+		t.Fatalf("plays = %d", len(docs))
+	}
+	size := CorpusSize(docs)
+	// Target ~7.5 MB, accept a generous band.
+	if size < 5_000_000 || size > 11_000_000 {
+		t.Errorf("corpus size = %d bytes, want ~7.5MB", size)
+	}
+}
+
+func TestPlaysRoundTripParse(t *testing.T) {
+	docs := GeneratePlays(smallPlayConfig())
+	text := xmltree.Serialize(docs[0].Root)
+	doc, err := xmltree.Parse(text)
+	if err != nil {
+		t.Fatalf("generated play does not reparse: %v", err)
+	}
+	if xmltree.Serialize(doc.Root) != text {
+		t.Error("reparse not stable")
+	}
+}
+
+func smallSigmodConfig() SigmodConfig {
+	cfg := DefaultSigmodConfig()
+	cfg.Documents = 20
+	return cfg
+}
+
+func TestSigmodConformsToDTD(t *testing.T) {
+	d, err := dtd.Parse(corpus.SigmodDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range GenerateSigmod(smallSigmodConfig()) {
+		validate(t, d, doc)
+	}
+}
+
+func TestSigmodDeterministic(t *testing.T) {
+	a := GenerateSigmod(smallSigmodConfig())
+	b := GenerateSigmod(smallSigmodConfig())
+	for i := range a {
+		if xmltree.Serialize(a[i].Root) != xmltree.Serialize(b[i].Root) {
+			t.Fatalf("document %d differs between runs", i)
+		}
+	}
+}
+
+func TestSigmodPlantsQueryTargets(t *testing.T) {
+	docs := GenerateSigmod(smallSigmodConfig())
+	all := ""
+	for _, d := range docs {
+		all += xmltree.Serialize(d.Root)
+	}
+	for _, want := range []string{"Join", "Worthy", "Bird", "SectionPosition", "AuthorPosition", "href"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("corpus missing %q", want)
+		}
+	}
+}
+
+func TestSigmodCorpusScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	docs := GenerateSigmod(DefaultSigmodConfig())
+	if len(docs) != 3000 {
+		t.Fatalf("documents = %d", len(docs))
+	}
+	size := CorpusSize(docs)
+	// Target ~12 MB, accept a generous band.
+	if size < 8_000_000 || size > 18_000_000 {
+		t.Errorf("corpus size = %d bytes, want ~12MB", size)
+	}
+}
+
+func TestSigmodAttributesPresent(t *testing.T) {
+	docs := GenerateSigmod(smallSigmodConfig())
+	doc := docs[0]
+	titles := doc.Root.Descendants("title")
+	if len(titles) == 0 {
+		t.Fatal("no titles")
+	}
+	if _, ok := titles[0].Attr("articleCode"); !ok {
+		t.Error("title missing articleCode attribute")
+	}
+	authors := doc.Root.Descendants("author")
+	if len(authors) == 0 {
+		t.Fatal("no authors")
+	}
+	if v, ok := authors[0].Attr("AuthorPosition"); !ok || v != "1" {
+		t.Errorf("first author position = %q, %v", v, ok)
+	}
+}
+
+func TestSentenceKeywords(t *testing.T) {
+	docs := GeneratePlays(smallPlayConfig())
+	_ = docs
+	// sentence() appends keywords verbatim.
+	rng := newTestRand()
+	s := sentence(rng, 4, "friend")
+	if !strings.HasSuffix(s, " friend") {
+		t.Errorf("sentence = %q", s)
+	}
+	if len(strings.Fields(s)) != 5 {
+		t.Errorf("word count = %d", len(strings.Fields(s)))
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(7)) }

@@ -1,0 +1,265 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// PlayConfig sizes the Shakespeare-like generator. The defaults
+// approximate Bosak's corpus: 37 plays totalling ~7.5 MB.
+type PlayConfig struct {
+	// Plays is the number of documents.
+	Plays int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// ActsPerPlay, ScenesPerAct, SpeechesPerScene and LinesPerSpeech are
+	// [min, max] ranges.
+	ActsPerPlay      [2]int
+	ScenesPerAct     [2]int
+	SpeechesPerScene [2]int
+	LinesPerSpeech   [2]int
+}
+
+// DefaultPlayConfig returns the paper-scale configuration.
+func DefaultPlayConfig() PlayConfig {
+	return PlayConfig{
+		Plays:            37,
+		Seed:             42,
+		ActsPerPlay:      [2]int{4, 5},
+		ScenesPerAct:     [2]int{5, 7},
+		SpeechesPerScene: [2]int{24, 34},
+		LinesPerSpeech:   [2]int{3, 7},
+	}
+}
+
+// playTitles seeds the first documents with the titles the workload
+// selects on; remaining plays get generated titles.
+var playTitles = []string{
+	"Romeo and Juliet", "Hamlet", "Macbeth", "Othello", "King Lear",
+	"The Tempest", "Twelfth Night", "Julius Caesar", "As You Like It",
+	"A Midsummer Night Dream",
+}
+
+// GeneratePlays produces the corpus as parsed documents.
+func GeneratePlays(cfg PlayConfig) []*xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	docs := make([]*xmltree.Document, cfg.Plays)
+	for i := range docs {
+		docs[i] = &xmltree.Document{
+			DoctypeName: "PLAY",
+			Root:        generatePlay(rng, i),
+		}
+	}
+	return docs
+}
+
+func generatePlay(rng *rand.Rand, idx int) *xmltree.Node {
+	cfg := DefaultPlayConfig()
+	title := fmt.Sprintf("The Chronicle of %s", pick(rng, names))
+	if idx < len(playTitles) {
+		title = playTitles[idx]
+	}
+	// A per-play cast; the first few plays make sure the queried
+	// speakers appear in the right plays.
+	cast := castFor(rng, title)
+
+	play := xmltree.NewElement("PLAY")
+	appendTextElem(play, "TITLE", title)
+
+	fm := xmltree.NewElement("FM")
+	for i := 0; i < between(rng, 2, 4); i++ {
+		appendTextElem(fm, "P", sentence(rng, between(rng, 8, 16)))
+	}
+	play.Append(fm)
+
+	personae := xmltree.NewElement("PERSONAE")
+	appendTextElem(personae, "TITLE", "Dramatis Personae")
+	for _, name := range cast {
+		appendTextElem(personae, "PERSONA", name+", of the house")
+	}
+	group := xmltree.NewElement("PGROUP")
+	appendTextElem(group, "PERSONA", "First Citizen")
+	appendTextElem(group, "PERSONA", "Second Citizen")
+	appendTextElem(group, "GRPDESCR", "citizens of the town")
+	personae.Append(group)
+	play.Append(personae)
+
+	appendTextElem(play, "SCNDESCR", "SCENE "+sentence(rng, 6))
+	appendTextElem(play, "PLAYSUBT", title)
+
+	if rng.Intn(4) == 0 {
+		play.Append(generateInduct(rng, cast))
+	}
+	if rng.Intn(2) == 0 {
+		play.Append(generateProloguish(rng, cast, "PROLOGUE"))
+	}
+	for a := 0; a < between(rng, cfg.ActsPerPlay[0], cfg.ActsPerPlay[1]); a++ {
+		play.Append(generateAct(rng, cast, a+1, cfg))
+	}
+	if rng.Intn(3) == 0 {
+		play.Append(generateProloguish(rng, cast, "EPILOGUE"))
+	}
+	return play
+}
+
+// castFor picks the play's speakers, planting ROMEO/JULIET in "Romeo and
+// Juliet" and HAMLET in "Hamlet".
+func castFor(rng *rand.Rand, title string) []string {
+	cast := map[string]bool{}
+	switch title {
+	case "Romeo and Juliet":
+		cast["ROMEO"] = true
+		cast["JULIET"] = true
+	case "Hamlet":
+		cast["HAMLET"] = true
+		cast["HORATIO"] = true
+	}
+	for len(cast) < 12 {
+		cast[pick(rng, names)] = true
+	}
+	out := make([]string, 0, len(cast))
+	for name := range cast {
+		out = append(out, name)
+	}
+	// Deterministic order despite map iteration.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func generateInduct(rng *rand.Rand, cast []string) *xmltree.Node {
+	induct := xmltree.NewElement("INDUCT")
+	appendTextElem(induct, "TITLE", "Induction")
+	if rng.Intn(2) == 0 {
+		appendTextElem(induct, "SUBTITLE", sentence(rng, 4))
+	}
+	for i := 0; i < between(rng, 2, 4); i++ {
+		induct.Append(generateSpeech(rng, cast, false))
+	}
+	return induct
+}
+
+// generateProloguish builds a PROLOGUE or EPILOGUE: title, optional
+// subtitles, then stage directions and speeches. Prologue speeches always
+// have at least two lines so query QS6 ("the second line in all speeches
+// that are in prologues") selects rows.
+func generateProloguish(rng *rand.Rand, cast []string, tag string) *xmltree.Node {
+	n := xmltree.NewElement(tag)
+	appendTextElem(n, "TITLE", tag)
+	if rng.Intn(3) == 0 {
+		appendTextElem(n, "SUBTITLE", sentence(rng, 3))
+	}
+	appendTextElem(n, "STAGEDIR", "Enter Chorus")
+	for i := 0; i < between(rng, 1, 3); i++ {
+		n.Append(generateSpeech(rng, cast, true))
+	}
+	return n
+}
+
+func generateAct(rng *rand.Rand, cast []string, num int, cfg PlayConfig) *xmltree.Node {
+	act := xmltree.NewElement("ACT")
+	appendTextElem(act, "TITLE", fmt.Sprintf("ACT %d", num))
+	if rng.Intn(4) == 0 {
+		appendTextElem(act, "SUBTITLE", sentence(rng, 3))
+	}
+	if rng.Intn(5) == 0 {
+		act.Append(generateProloguish(rng, cast, "PROLOGUE"))
+	}
+	for s := 0; s < between(rng, cfg.ScenesPerAct[0], cfg.ScenesPerAct[1]); s++ {
+		act.Append(generateScene(rng, cast, num, s+1, cfg))
+	}
+	if rng.Intn(8) == 0 {
+		act.Append(generateProloguish(rng, cast, "EPILOGUE"))
+	}
+	return act
+}
+
+func generateScene(rng *rand.Rand, cast []string, act, num int, cfg PlayConfig) *xmltree.Node {
+	scene := xmltree.NewElement("SCENE")
+	appendTextElem(scene, "TITLE", fmt.Sprintf("SCENE %d.%d", act, num))
+	if rng.Intn(5) == 0 {
+		appendTextElem(scene, "SUBTITLE", sentence(rng, 3))
+	}
+	appendTextElem(scene, "STAGEDIR", "Enter "+pick(rng, cast))
+	for i := 0; i < between(rng, cfg.SpeechesPerScene[0], cfg.SpeechesPerScene[1]); i++ {
+		scene.Append(generateSpeech(rng, cast, true))
+		if rng.Intn(10) == 0 {
+			appendTextElem(scene, "STAGEDIR", stageDirection(rng))
+		}
+		if rng.Intn(25) == 0 {
+			appendTextElem(scene, "SUBHEAD", sentence(rng, 2))
+		}
+	}
+	return scene
+}
+
+// generateSpeech builds a SPEECH with 1-2 speakers and several lines.
+// Keywords are planted at fixed rates: "friend" in ~2% of lines, "love"
+// in ~20% of ROMEO's and JULIET's lines, embedded stage directions in ~4%
+// of lines, and "Rising" in ~15% of stage directions.
+func generateSpeech(rng *rand.Rand, cast []string, minTwoLines bool) *xmltree.Node {
+	speech := xmltree.NewElement("SPEECH")
+	speaker := pick(rng, cast)
+	appendTextElem(speech, "SPEAKER", speaker)
+	if rng.Intn(20) == 0 {
+		appendTextElem(speech, "SPEAKER", pick(rng, cast))
+	}
+	cfg := DefaultPlayConfig()
+	nlines := between(rng, cfg.LinesPerSpeech[0], cfg.LinesPerSpeech[1])
+	if minTwoLines && nlines < 2 {
+		nlines = 2
+	}
+	for i := 0; i < nlines; i++ {
+		line := xmltree.NewElement("LINE")
+		var keywords []string
+		if rng.Intn(50) == 0 {
+			keywords = append(keywords, "friend")
+		}
+		if (speaker == "ROMEO" || speaker == "JULIET") && rng.Intn(5) == 0 {
+			keywords = append(keywords, "love")
+		}
+		line.AppendText(sentence(rng, between(rng, 5, 9), keywords...))
+		if rng.Intn(25) == 0 {
+			// Mixed content: a stage direction embedded in the line.
+			sd := xmltree.NewElement("STAGEDIR")
+			sd.AppendText(stageDirection(rng))
+			line.Append(sd)
+			line.AppendText(" " + sentence(rng, 3))
+		}
+		speech.Append(line)
+	}
+	if rng.Intn(20) == 0 {
+		appendTextElem(speech, "STAGEDIR", stageDirection(rng))
+	}
+	if rng.Intn(60) == 0 {
+		appendTextElem(speech, "SUBHEAD", sentence(rng, 2))
+	}
+	return speech
+}
+
+func stageDirection(rng *rand.Rand) string {
+	dirs := []string{"Exit", "Exeunt", "Aside", "Dies", "Rising", "Kneels",
+		"Draws his sword", "Reads the letter", "Trumpets sound"}
+	return dirs[rng.Intn(len(dirs))]
+}
+
+func appendTextElem(parent *xmltree.Node, tag, text string) {
+	elem := xmltree.NewElement(tag)
+	elem.AppendText(text)
+	parent.Append(elem)
+}
+
+// CorpusSize returns the total serialized size in bytes of a document
+// set.
+func CorpusSize(docs []*xmltree.Document) int {
+	total := 0
+	for _, d := range docs {
+		total += xmltree.SerializedSize(d.Root)
+	}
+	return total
+}

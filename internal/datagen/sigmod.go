@@ -1,0 +1,150 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// SigmodConfig sizes the SIGMOD-Proceedings generator. The defaults
+// approximate the paper's synthetic data set: 3000 documents, ~12 MB.
+type SigmodConfig struct {
+	// Documents is the number of PP documents.
+	Documents int
+	// Seed drives the deterministic generator.
+	Seed int64
+	// SectionsPerDoc and ArticlesPerSection are [min, max] ranges.
+	SectionsPerDoc     [2]int
+	ArticlesPerSection [2]int
+	AuthorsPerArticle  [2]int
+}
+
+// DefaultSigmodConfig returns the paper-scale configuration.
+func DefaultSigmodConfig() SigmodConfig {
+	return SigmodConfig{
+		Documents:          3000,
+		Seed:               1999,
+		SectionsPerDoc:     [2]int{2, 4},
+		ArticlesPerSection: [2]int{2, 5},
+		AuthorsPerArticle:  [2]int{1, 4},
+	}
+}
+
+// conferences and locations flesh out the PP header elements.
+var conferences = []string{
+	"SIGMOD", "VLDB", "ICDE", "EDBT", "PODS", "CIKM",
+}
+
+var locations = []string{
+	"San Jose, California", "Edinburgh, Scotland", "Cairo, Egypt",
+	"Dallas, Texas", "Santa Barbara, California", "Rome, Italy",
+	"Madison, Wisconsin", "Seattle, Washington",
+}
+
+var sectionNames = []string{
+	"Query Processing", "Storage Systems", "Data Mining", "XML and Web Data",
+	"Transaction Management", "Indexing", "Distributed Systems",
+	"Benchmarking and Performance", "Semistructured Data", "Optimization",
+}
+
+// GenerateSigmod produces the proceedings corpus as parsed documents.
+func GenerateSigmod(cfg SigmodConfig) []*xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	docs := make([]*xmltree.Document, cfg.Documents)
+	for i := range docs {
+		docs[i] = &xmltree.Document{
+			DoctypeName: "PP",
+			Root:        generateProceedings(rng, cfg, i),
+		}
+	}
+	return docs
+}
+
+func generateProceedings(rng *rand.Rand, cfg SigmodConfig, idx int) *xmltree.Node {
+	pp := xmltree.NewElement("PP")
+	year := 1975 + idx%28
+	appendTextElem(pp, "volume", fmt.Sprintf("%d", 1+idx%30))
+	appendTextElem(pp, "number", fmt.Sprintf("%d", 1+idx%4))
+	appendTextElem(pp, "month", []string{"March", "June", "September", "December"}[idx%4])
+	appendTextElem(pp, "year", fmt.Sprintf("%d", year))
+	appendTextElem(pp, "conference", pick(rng, conferences))
+	appendTextElem(pp, "date", fmt.Sprintf("%d-%02d-01", year, 3*(idx%4)+1))
+	appendTextElem(pp, "confyear", fmt.Sprintf("%d", year))
+	appendTextElem(pp, "location", pick(rng, locations))
+
+	sList := xmltree.NewElement("sList")
+	nsec := between(rng, cfg.SectionsPerDoc[0], cfg.SectionsPerDoc[1])
+	page := 1
+	for s := 0; s < nsec; s++ {
+		tuple := xmltree.NewElement("sListTuple")
+		sn := xmltree.NewElement("sectionName")
+		sn.SetAttr("SectionPosition", fmt.Sprintf("%d", s+1))
+		sn.AppendText(pick(rng, sectionNames))
+		tuple.Append(sn)
+
+		articles := xmltree.NewElement("articles")
+		narts := between(rng, cfg.ArticlesPerSection[0], cfg.ArticlesPerSection[1])
+		for a := 0; a < narts; a++ {
+			articles.Append(generateArticle(rng, cfg, &page))
+		}
+		tuple.Append(articles)
+		sList.Append(tuple)
+	}
+	pp.Append(sList)
+	return pp
+}
+
+// generateArticle builds one aTuple. Titles include "Join" at roughly the
+// rate a proceedings would (one topic word in ~24 is "Join"); author
+// names draw from a surname pool that includes "Worthy" and "Bird".
+func generateArticle(rng *rand.Rand, cfg SigmodConfig, page *int) *xmltree.Node {
+	at := xmltree.NewElement("aTuple")
+
+	title := xmltree.NewElement("title")
+	title.SetAttr("articleCode", fmt.Sprintf("A%06d", rng.Intn(1000000)))
+	words := between(rng, 3, 6)
+	text := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			text += " "
+		}
+		text += pick(rng, topicWords)
+	}
+	title.AppendText(text)
+	at.Append(title)
+
+	authors := xmltree.NewElement("authors")
+	nauth := between(rng, cfg.AuthorsPerArticle[0], cfg.AuthorsPerArticle[1])
+	for i := 0; i < nauth; i++ {
+		author := xmltree.NewElement("author")
+		author.SetAttr("AuthorPosition", fmt.Sprintf("%d", i+1))
+		author.AppendText(pick(rng, firstNames) + " " + pick(rng, surnames))
+		authors.Append(author)
+	}
+	at.Append(authors)
+
+	length := between(rng, 8, 24)
+	appendTextElem(at, "initPage", fmt.Sprintf("%d", *page))
+	appendTextElem(at, "endPage", fmt.Sprintf("%d", *page+length))
+	*page += length + 1
+
+	toindex := xmltree.NewElement("Toindex")
+	if rng.Intn(3) > 0 {
+		index := xmltree.NewElement("index")
+		index.SetAttr("href", fmt.Sprintf("http://index.example.org/%d", rng.Intn(100000)))
+		index.AppendText(fmt.Sprintf("IX%05d", rng.Intn(100000)))
+		toindex.Append(index)
+	}
+	at.Append(toindex)
+
+	fullText := xmltree.NewElement("fullText")
+	if rng.Intn(3) > 0 {
+		size := xmltree.NewElement("size")
+		size.SetAttr("href", fmt.Sprintf("http://ft.example.org/%d.pdf", rng.Intn(100000)))
+		size.AppendText(fmt.Sprintf("%d", between(rng, 100, 4000)))
+		fullText.Append(size)
+	}
+	at.Append(fullText)
+	return at
+}

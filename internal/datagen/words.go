@@ -1,0 +1,84 @@
+// Package datagen produces the two synthetic corpora of the evaluation:
+// a 37-play Shakespeare-like data set conforming to the Figure 10 DTD
+// (standing in for Bosak's corpus) and a SIGMOD-Proceedings data set
+// conforming to the Figure 12 DTD (standing in for the IBM XML
+// Generator's output). Both generators are deterministic given a seed and
+// plant the entity names and keywords the paper's queries select on.
+package datagen
+
+import "math/rand"
+
+// vocabulary is a pool of period-flavored words used to build line and
+// title text.
+var vocabulary = []string{
+	"thou", "thee", "thy", "hath", "doth", "wherefore", "anon", "prithee",
+	"sweet", "noble", "gentle", "fair", "good", "brave", "valiant", "cruel",
+	"night", "day", "morrow", "sun", "moon", "star", "heaven", "earth",
+	"king", "queen", "lord", "lady", "prince", "duke", "knight", "crown",
+	"sword", "blood", "heart", "soul", "eye", "hand", "tongue", "ear",
+	"speak", "hear", "come", "go", "stay", "fly", "live", "die",
+	"honor", "grace", "virtue", "sorrow", "joy", "grief", "fear", "hope",
+	"ghost", "shadow", "dream", "sleep", "wake", "watch", "guard", "gate",
+	"castle", "tower", "field", "forest", "sea", "storm", "wind", "fire",
+	"letter", "message", "news", "word", "tale", "song", "play", "scene",
+}
+
+// names is the speaker-name pool; ROMEO, JULIET and HAMLET are planted so
+// the workload's selections are non-empty.
+var names = []string{
+	"ROMEO", "JULIET", "HAMLET", "HORATIO", "MERCUTIO", "TYBALT", "BENVOLIO",
+	"OPHELIA", "CLAUDIUS", "GERTRUDE", "POLONIUS", "LAERTES", "MACBETH",
+	"BANQUO", "DUNCAN", "MALCOLM", "OTHELLO", "IAGO", "CASSIO", "DESDEMONA",
+	"LEAR", "CORDELIA", "REGAN", "GONERIL", "EDMUND", "EDGAR", "KENT",
+	"PROSPERO", "ARIEL", "CALIBAN", "MIRANDA", "FERDINAND", "ANTONIO",
+	"SEBASTIAN", "VIOLA", "ORSINO", "OLIVIA", "MALVOLIO", "FESTE", "TOBY",
+}
+
+// surnames builds author names for the SIGMOD generator; "Worthy" and
+// "Bird" are planted for queries QG3 and QG5.
+var surnames = []string{
+	"Smith", "Jones", "Gray", "Codd", "Stone", "Rivers", "Brook", "Hill",
+	"Ward", "Knight", "Page", "Worthy", "Bird", "Lake", "Field", "Wood",
+	"March", "Frost", "Snow", "Rain", "Day", "Knightley", "Marsh", "Dale",
+}
+
+// firstNames pairs with surnames for author names.
+var firstNames = []string{
+	"Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry",
+	"Irene", "Jack", "Karen", "Liam", "Mona", "Nina", "Oscar", "Paula",
+}
+
+// topicWords builds paper titles; "Join" is planted for QG1 and QG6.
+var topicWords = []string{
+	"Query", "Optimization", "Index", "Storage", "Transaction", "Recovery",
+	"Join", "Aggregation", "Parallel", "Distributed", "Semistructured",
+	"XML", "Relational", "Object", "Cache", "Buffer", "Stream", "Mining",
+	"Warehouse", "Benchmark", "Cost", "Model", "Schema", "View",
+}
+
+// sentence builds a space-separated phrase of n vocabulary words,
+// appending each extra keyword.
+func sentence(rng *rand.Rand, n int, keywords ...string) string {
+	buf := make([]byte, 0, n*6+16)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, vocabulary[rng.Intn(len(vocabulary))]...)
+	}
+	for _, kw := range keywords {
+		buf = append(buf, ' ')
+		buf = append(buf, kw...)
+	}
+	return string(buf)
+}
+
+// pick returns a uniformly random element.
+func pick[T any](rng *rand.Rand, items []T) T {
+	return items[rng.Intn(len(items))]
+}
+
+// between returns a random int in [lo, hi].
+func between(rng *rand.Rand, lo, hi int) int {
+	return lo + rng.Intn(hi-lo+1)
+}

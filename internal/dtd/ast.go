@@ -1,0 +1,324 @@
+// Package dtd parses Document Type Definitions and implements the DTD
+// simplification rules of Shanmugasundaram et al. (VLDB 1999) that both the
+// Hybrid and XORator mapping algorithms rely on.
+//
+// The parser accepts the internal-subset syntax: <!ELEMENT>, <!ATTLIST>,
+// parameter entity declarations (<!ENTITY % name "text">) and references
+// (%name;), comments, and processing instructions. Conditional sections and
+// external entities are not supported; the corpora the paper evaluates do
+// not use them.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurs is an occurrence indicator on a content particle.
+type Occurs int
+
+// Occurrence indicators in increasing "generosity" order.
+const (
+	// One means exactly one occurrence (no indicator).
+	One Occurs = iota
+	// Opt means zero or one ("?").
+	Opt
+	// Plus means one or more ("+").
+	Plus
+	// Star means zero or more ("*").
+	Star
+)
+
+// String returns the DTD suffix for the indicator ("", "?", "+", "*").
+func (o Occurs) String() string {
+	switch o {
+	case Opt:
+		return "?"
+	case Plus:
+		return "+"
+	case Star:
+		return "*"
+	default:
+		return ""
+	}
+}
+
+// ParticleKind distinguishes the forms a content particle can take.
+type ParticleKind int
+
+const (
+	// PName is a reference to a child element by name.
+	PName ParticleKind = iota
+	// PSeq is a sequence group "(a, b, c)".
+	PSeq
+	// PChoice is a choice group "(a | b | c)".
+	PChoice
+	// PPCDATA is the #PCDATA token inside a mixed-content group.
+	PPCDATA
+)
+
+// Particle is a node in a content-model expression tree.
+type Particle struct {
+	Kind ParticleKind
+	// Name is the referenced element name for PName particles.
+	Name string
+	// Children are the group members for PSeq and PChoice particles.
+	Children []*Particle
+	// Occurs is the occurrence indicator attached to this particle.
+	Occurs Occurs
+}
+
+// String renders the particle in DTD syntax.
+func (p *Particle) String() string {
+	var body string
+	switch p.Kind {
+	case PName:
+		body = p.Name
+	case PPCDATA:
+		body = "#PCDATA"
+	case PSeq, PChoice:
+		sep := ","
+		if p.Kind == PChoice {
+			sep = "|"
+		}
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = c.String()
+		}
+		body = "(" + strings.Join(parts, sep) + ")"
+	}
+	return body + p.Occurs.String()
+}
+
+// ContentType classifies an element declaration's content specification.
+type ContentType int
+
+const (
+	// ContentChildren is element content: a group of child particles.
+	ContentChildren ContentType = iota
+	// ContentMixed is mixed content: (#PCDATA | a | b)*.
+	ContentMixed
+	// ContentPCDATA is text-only content: (#PCDATA).
+	ContentPCDATA
+	// ContentEmpty is EMPTY.
+	ContentEmpty
+	// ContentAny is ANY.
+	ContentAny
+)
+
+// String returns a keyword describing the content type.
+func (t ContentType) String() string {
+	switch t {
+	case ContentChildren:
+		return "children"
+	case ContentMixed:
+		return "mixed"
+	case ContentPCDATA:
+		return "#PCDATA"
+	case ContentEmpty:
+		return "EMPTY"
+	case ContentAny:
+		return "ANY"
+	default:
+		return fmt.Sprintf("ContentType(%d)", int(t))
+	}
+}
+
+// AttrType is the declared type of an attribute.
+type AttrType int
+
+const (
+	// AttrCDATA is a CDATA string attribute.
+	AttrCDATA AttrType = iota
+	// AttrID is an ID attribute.
+	AttrID
+	// AttrIDREF is an IDREF attribute.
+	AttrIDREF
+	// AttrIDREFS is an IDREFS attribute.
+	AttrIDREFS
+	// AttrNMTOKEN is an NMTOKEN attribute.
+	AttrNMTOKEN
+	// AttrNMTOKENS is an NMTOKENS attribute.
+	AttrNMTOKENS
+	// AttrEntity is an ENTITY attribute.
+	AttrEntity
+	// AttrEntities is an ENTITIES attribute.
+	AttrEntities
+	// AttrEnum is an enumerated attribute "(a|b|c)".
+	AttrEnum
+	// AttrNotation is a NOTATION attribute.
+	AttrNotation
+)
+
+// AttrDefault is the default-declaration kind of an attribute.
+type AttrDefault int
+
+const (
+	// DefaultImplied is #IMPLIED.
+	DefaultImplied AttrDefault = iota
+	// DefaultRequired is #REQUIRED.
+	DefaultRequired
+	// DefaultFixed is #FIXED "value".
+	DefaultFixed
+	// DefaultValue is a plain default "value".
+	DefaultValue
+)
+
+// Attribute is one attribute definition from an ATTLIST declaration.
+type Attribute struct {
+	Name    string
+	Type    AttrType
+	Enum    []string // enumeration values for AttrEnum / AttrNotation
+	Default AttrDefault
+	Value   string // default or fixed value
+}
+
+// Element is a parsed element type declaration together with any attributes
+// declared for it.
+type Element struct {
+	Name    string
+	Content ContentType
+	// Model is the content particle for ContentChildren; for ContentMixed
+	// it is the choice group of the non-PCDATA members.
+	Model *Particle
+	Attrs []Attribute
+}
+
+// DTD is a parsed document type definition.
+type DTD struct {
+	// Elements maps element names to their declarations.
+	Elements map[string]*Element
+	// Order lists element names in declaration order.
+	Order []string
+	// Entities maps parameter entity names to replacement text.
+	Entities map[string]string
+}
+
+// Element returns the declaration for name, or nil if undeclared.
+func (d *DTD) Element(name string) *Element {
+	return d.Elements[name]
+}
+
+// Names returns all declared element names in declaration order.
+func (d *DTD) Names() []string {
+	out := make([]string, len(d.Order))
+	copy(out, d.Order)
+	return out
+}
+
+// Roots returns the names of elements that are never referenced as a child
+// in any other element's content model, sorted for determinism. A typical
+// document DTD has exactly one root.
+func (d *DTD) Roots() []string {
+	referenced := map[string]bool{}
+	for _, e := range d.Elements {
+		if e.Model != nil {
+			collectNames(e.Model, referenced)
+		}
+	}
+	var roots []string
+	for _, name := range d.Order {
+		if !referenced[name] {
+			roots = append(roots, name)
+		}
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+func collectNames(p *Particle, into map[string]bool) {
+	if p.Kind == PName {
+		into[p.Name] = true
+	}
+	for _, c := range p.Children {
+		collectNames(c, into)
+	}
+}
+
+// String renders the whole DTD in declaration syntax, one declaration per
+// line, in declaration order.
+func (d *DTD) String() string {
+	var sb strings.Builder
+	for _, name := range d.Order {
+		e := d.Elements[name]
+		sb.WriteString("<!ELEMENT ")
+		sb.WriteString(e.Name)
+		sb.WriteByte(' ')
+		switch e.Content {
+		case ContentEmpty:
+			sb.WriteString("EMPTY")
+		case ContentAny:
+			sb.WriteString("ANY")
+		case ContentPCDATA:
+			sb.WriteString("(#PCDATA)")
+		case ContentMixed:
+			sb.WriteString("(#PCDATA")
+			if e.Model != nil {
+				for _, c := range e.Model.Children {
+					sb.WriteString("|")
+					sb.WriteString(c.String())
+				}
+			}
+			sb.WriteString(")*")
+		case ContentChildren:
+			// A bare name model must be parenthesized to be valid DTD
+			// syntax: "(P+)" rather than "P+".
+			if e.Model.Kind == PName {
+				sb.WriteString("(" + e.Model.String() + ")")
+			} else {
+				sb.WriteString(e.Model.String())
+			}
+		}
+		sb.WriteString(">\n")
+		for _, a := range e.Attrs {
+			sb.WriteString("<!ATTLIST ")
+			sb.WriteString(e.Name)
+			sb.WriteByte(' ')
+			sb.WriteString(a.Name)
+			sb.WriteByte(' ')
+			sb.WriteString(attrTypeString(a))
+			sb.WriteByte(' ')
+			switch a.Default {
+			case DefaultImplied:
+				sb.WriteString("#IMPLIED")
+			case DefaultRequired:
+				sb.WriteString("#REQUIRED")
+			case DefaultFixed:
+				sb.WriteString("#FIXED ")
+				fmt.Fprintf(&sb, "%q", a.Value)
+			case DefaultValue:
+				fmt.Fprintf(&sb, "%q", a.Value)
+			}
+			sb.WriteString(">\n")
+		}
+	}
+	return sb.String()
+}
+
+func attrTypeString(a Attribute) string {
+	switch a.Type {
+	case AttrCDATA:
+		return "CDATA"
+	case AttrID:
+		return "ID"
+	case AttrIDREF:
+		return "IDREF"
+	case AttrIDREFS:
+		return "IDREFS"
+	case AttrNMTOKEN:
+		return "NMTOKEN"
+	case AttrNMTOKENS:
+		return "NMTOKENS"
+	case AttrEntity:
+		return "ENTITY"
+	case AttrEntities:
+		return "ENTITIES"
+	case AttrNotation:
+		return "NOTATION (" + strings.Join(a.Enum, "|") + ")"
+	case AttrEnum:
+		return "(" + strings.Join(a.Enum, "|") + ")"
+	default:
+		return "CDATA"
+	}
+}

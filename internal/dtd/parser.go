@@ -1,0 +1,562 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError reports a DTD parse failure.
+type SyntaxError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("dtd: offset %d: %s", e.Offset, e.Msg)
+}
+
+// Parse parses DTD declaration text (the internal subset of a DOCTYPE, or
+// the contents of a standalone .dtd file).
+func Parse(src string) (*DTD, error) {
+	p := &dtdParser{
+		src:          src,
+		dtd:          &DTD{Elements: map[string]*Element{}, Entities: map[string]string{}},
+		placeholders: map[string]bool{},
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.dtd, nil
+}
+
+type dtdParser struct {
+	src string
+	pos int
+	dtd *DTD
+	// placeholders records elements created by an ATTLIST that precedes
+	// their ELEMENT declaration.
+	placeholders map[string]bool
+}
+
+func (p *dtdParser) errorf(format string, args ...any) error {
+	return &SyntaxError{Offset: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *dtdParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *dtdParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *dtdParser) skipSpace() {
+	for !p.eof() && isSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func (p *dtdParser) run() error {
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil
+		}
+		rest := p.src[p.pos:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest[4:], "-->")
+			if end < 0 {
+				return p.errorf("unterminated comment")
+			}
+			p.pos += 4 + end + 3
+		case strings.HasPrefix(rest, "<?"):
+			end := strings.Index(rest, "?>")
+			if end < 0 {
+				return p.errorf("unterminated processing instruction")
+			}
+			p.pos += end + 2
+		case strings.HasPrefix(rest, "<!ELEMENT"):
+			p.pos += len("<!ELEMENT")
+			if err := p.parseElementDecl(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(rest, "<!ATTLIST"):
+			p.pos += len("<!ATTLIST")
+			if err := p.parseAttlistDecl(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(rest, "<!ENTITY"):
+			p.pos += len("<!ENTITY")
+			if err := p.parseEntityDecl(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(rest, "<!NOTATION"):
+			end := strings.Index(rest, ">")
+			if end < 0 {
+				return p.errorf("unterminated NOTATION declaration")
+			}
+			p.pos += end + 1
+		case rest[0] == '%':
+			// Parameter entity reference at declaration level: splice in
+			// the replacement text.
+			if err := p.spliceEntity(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("unexpected content %q", truncate(rest, 20))
+		}
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}
+
+// spliceEntity expands a %name; reference occurring between declarations by
+// rewriting the unread input.
+func (p *dtdParser) spliceEntity() error {
+	start := p.pos
+	p.pos++ // '%'
+	name, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	if p.peek() != ';' {
+		return p.errorf("expected ';' after parameter entity %%%s", name)
+	}
+	p.pos++
+	text, ok := p.dtd.Entities[name]
+	if !ok {
+		return p.errorf("undefined parameter entity %%%s;", name)
+	}
+	p.src = p.src[:start] + text + p.src[p.pos:]
+	p.pos = start
+	return nil
+}
+
+func (p *dtdParser) parseName() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(p.src[p.pos]) {
+		return "", p.errorf("expected name")
+	}
+	p.pos++
+	for !p.eof() && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *dtdParser) expect(c byte) error {
+	if p.peek() != c {
+		return p.errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+// expandPEs replaces parameter entity references inside a declaration body.
+func (p *dtdParser) expandPEs(s string) (string, error) {
+	for strings.Contains(s, "%") {
+		i := strings.IndexByte(s, '%')
+		j := strings.IndexByte(s[i:], ';')
+		if j < 0 {
+			return "", p.errorf("unterminated parameter entity reference")
+		}
+		name := s[i+1 : i+j]
+		text, ok := p.dtd.Entities[name]
+		if !ok {
+			return "", p.errorf("undefined parameter entity %%%s;", name)
+		}
+		s = s[:i] + text + s[i+j+1:]
+	}
+	return s, nil
+}
+
+func (p *dtdParser) parseElementDecl() error {
+	p.skipSpace()
+	name, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	elem := &Element{Name: name}
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "EMPTY"):
+		elem.Content = ContentEmpty
+		p.pos += len("EMPTY")
+	case strings.HasPrefix(rest, "ANY"):
+		elem.Content = ContentAny
+		p.pos += len("ANY")
+	default:
+		particle, hasPCDATA, err := p.parseGroup()
+		if err != nil {
+			return err
+		}
+		switch {
+		case hasPCDATA && len(particle.Children) == 0:
+			elem.Content = ContentPCDATA
+		case hasPCDATA:
+			elem.Content = ContentMixed
+			particle.Kind = PChoice
+			particle.Occurs = Star
+			elem.Model = particle
+		default:
+			elem.Content = ContentChildren
+			elem.Model = particle
+		}
+	}
+	p.skipSpace()
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	if prev, dup := p.dtd.Elements[name]; dup {
+		if !p.placeholders[name] {
+			return p.errorf("duplicate declaration of element %s (previous content %v)", name, prev.Content)
+		}
+		// Fill in the placeholder an earlier ATTLIST created, keeping
+		// its attributes.
+		delete(p.placeholders, name)
+		prev.Content = elem.Content
+		prev.Model = elem.Model
+		return nil
+	}
+	p.dtd.Elements[name] = elem
+	p.dtd.Order = append(p.dtd.Order, name)
+	return nil
+}
+
+// parseGroup parses a parenthesized content group. It returns the group
+// particle (with #PCDATA members removed) and whether #PCDATA appeared.
+func (p *dtdParser) parseGroup() (*Particle, bool, error) {
+	if p.peek() == '%' {
+		if err := p.spliceEntity(); err != nil {
+			return nil, false, err
+		}
+		p.skipSpace()
+	}
+	if err := p.expect('('); err != nil {
+		return nil, false, err
+	}
+	group := &Particle{Kind: PSeq}
+	hasPCDATA := false
+	sep := byte(0) // ',' or '|' once determined
+	for {
+		p.skipSpace()
+		child, childPCDATA, err := p.parseCP()
+		if err != nil {
+			return nil, false, err
+		}
+		hasPCDATA = hasPCDATA || childPCDATA
+		if child != nil {
+			group.Children = append(group.Children, child)
+		}
+		p.skipSpace()
+		c := p.peek()
+		if c == ')' {
+			p.pos++
+			break
+		}
+		if c != ',' && c != '|' {
+			return nil, false, p.errorf("expected ',', '|' or ')' in content group")
+		}
+		if sep == 0 {
+			sep = c
+			if c == '|' {
+				group.Kind = PChoice
+			}
+		} else if c != sep {
+			return nil, false, p.errorf("mixed ',' and '|' in one group")
+		}
+		p.pos++
+	}
+	group.Occurs = p.parseOccurs()
+	if len(group.Children) == 1 && !hasPCDATA {
+		// Collapse single-member groups: "(a)" ≡ "a", composing indicators.
+		only := group.Children[0]
+		only.Occurs = composeOccurs(only.Occurs, group.Occurs)
+		return only, false, nil
+	}
+	return group, hasPCDATA, nil
+}
+
+// parseCP parses one content particle: a name, #PCDATA, or a nested group.
+// It returns nil for #PCDATA (the flag is reported separately).
+func (p *dtdParser) parseCP() (*Particle, bool, error) {
+	if p.peek() == '%' {
+		if err := p.spliceEntity(); err != nil {
+			return nil, false, err
+		}
+		p.skipSpace()
+	}
+	if strings.HasPrefix(p.src[p.pos:], "#PCDATA") {
+		p.pos += len("#PCDATA")
+		return nil, true, nil
+	}
+	if p.peek() == '(' {
+		g, pc, err := p.parseGroup()
+		if err != nil {
+			return nil, false, err
+		}
+		if pc {
+			return nil, false, p.errorf("#PCDATA only allowed in the outermost group")
+		}
+		return g, false, nil
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, false, err
+	}
+	cp := &Particle{Kind: PName, Name: name}
+	cp.Occurs = p.parseOccurs()
+	return cp, false, nil
+}
+
+func (p *dtdParser) parseOccurs() Occurs {
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return Opt
+	case '+':
+		p.pos++
+		return Plus
+	case '*':
+		p.pos++
+		return Star
+	default:
+		return One
+	}
+}
+
+func (p *dtdParser) parseAttlistDecl() error {
+	p.skipSpace()
+	elemName, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	// Read to the closing '>' then expand PEs in the body, since ATTLIST
+	// bodies (e.g. %Xlink;) commonly come from parameter entities.
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return p.errorf("unterminated ATTLIST for %s", elemName)
+	}
+	body := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	body, err = p.expandPEs(body)
+	if err != nil {
+		return err
+	}
+	attrs, err := p.parseAttrDefs(body)
+	if err != nil {
+		return err
+	}
+	elem := p.dtd.Elements[elemName]
+	if elem == nil {
+		// ATTLIST may precede the ELEMENT declaration; create a
+		// placeholder that the later declaration fills in.
+		elem = &Element{Name: elemName, Content: ContentAny}
+		p.dtd.Elements[elemName] = elem
+		p.dtd.Order = append(p.dtd.Order, elemName)
+		p.placeholders[elemName] = true
+	}
+	elem.Attrs = append(elem.Attrs, attrs...)
+	return nil
+}
+
+// parseAttrDefs parses the attribute definitions in an ATTLIST body.
+func (p *dtdParser) parseAttrDefs(body string) ([]Attribute, error) {
+	sp := &dtdParser{src: body, dtd: p.dtd}
+	var attrs []Attribute
+	for {
+		sp.skipSpace()
+		if sp.eof() {
+			return attrs, nil
+		}
+		name, err := sp.parseName()
+		if err != nil {
+			return nil, err
+		}
+		sp.skipSpace()
+		var attr Attribute
+		attr.Name = name
+		rest := sp.src[sp.pos:]
+		switch {
+		case strings.HasPrefix(rest, "CDATA"):
+			attr.Type = AttrCDATA
+			sp.pos += len("CDATA")
+		case strings.HasPrefix(rest, "IDREFS"):
+			attr.Type = AttrIDREFS
+			sp.pos += len("IDREFS")
+		case strings.HasPrefix(rest, "IDREF"):
+			attr.Type = AttrIDREF
+			sp.pos += len("IDREF")
+		case strings.HasPrefix(rest, "ID"):
+			attr.Type = AttrID
+			sp.pos += len("ID")
+		case strings.HasPrefix(rest, "NMTOKENS"):
+			attr.Type = AttrNMTOKENS
+			sp.pos += len("NMTOKENS")
+		case strings.HasPrefix(rest, "NMTOKEN"):
+			attr.Type = AttrNMTOKEN
+			sp.pos += len("NMTOKEN")
+		case strings.HasPrefix(rest, "ENTITIES"):
+			attr.Type = AttrEntities
+			sp.pos += len("ENTITIES")
+		case strings.HasPrefix(rest, "ENTITY"):
+			attr.Type = AttrEntity
+			sp.pos += len("ENTITY")
+		case strings.HasPrefix(rest, "NOTATION"):
+			attr.Type = AttrNotation
+			sp.pos += len("NOTATION")
+			sp.skipSpace()
+			vals, err := sp.parseEnum()
+			if err != nil {
+				return nil, err
+			}
+			attr.Enum = vals
+		case strings.HasPrefix(rest, "("):
+			attr.Type = AttrEnum
+			vals, err := sp.parseEnum()
+			if err != nil {
+				return nil, err
+			}
+			attr.Enum = vals
+		default:
+			return nil, sp.errorf("bad attribute type for %s", name)
+		}
+		sp.skipSpace()
+		rest = sp.src[sp.pos:]
+		switch {
+		case strings.HasPrefix(rest, "#REQUIRED"):
+			attr.Default = DefaultRequired
+			sp.pos += len("#REQUIRED")
+		case strings.HasPrefix(rest, "#IMPLIED"):
+			attr.Default = DefaultImplied
+			sp.pos += len("#IMPLIED")
+		case strings.HasPrefix(rest, "#FIXED"):
+			attr.Default = DefaultFixed
+			sp.pos += len("#FIXED")
+			sp.skipSpace()
+			v, err := sp.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			attr.Value = v
+		default:
+			attr.Default = DefaultValue
+			v, err := sp.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			attr.Value = v
+		}
+		attrs = append(attrs, attr)
+	}
+}
+
+func (p *dtdParser) parseEnum() ([]string, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var vals []string
+	for {
+		p.skipSpace()
+		start := p.pos
+		for !p.eof() && isNameChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, p.errorf("expected enumeration value")
+		}
+		vals = append(vals, p.src[start:p.pos])
+		p.skipSpace()
+		c := p.peek()
+		if c == ')' {
+			p.pos++
+			return vals, nil
+		}
+		if c != '|' {
+			return nil, p.errorf("expected '|' or ')' in enumeration")
+		}
+		p.pos++
+	}
+}
+
+func (p *dtdParser) parseQuoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", p.errorf("expected quoted value")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errorf("unterminated quoted value")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *dtdParser) parseEntityDecl() error {
+	p.skipSpace()
+	if p.peek() != '%' {
+		// General entity: skip (unused by the mapping algorithms).
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return p.errorf("unterminated ENTITY declaration")
+		}
+		p.pos += end + 1
+		return nil
+	}
+	p.pos++
+	p.skipSpace()
+	name, err := p.parseName()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	text, err := p.parseQuoted()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if err := p.expect('>'); err != nil {
+		return err
+	}
+	p.dtd.Entities[name] = text
+	return nil
+}
+
+// composeOccurs combines nested occurrence indicators, e.g. (a?)* has the
+// effective indicator Star.
+func composeOccurs(inner, outer Occurs) Occurs {
+	if outer == One {
+		return inner
+	}
+	if inner == One {
+		return outer
+	}
+	if inner == Opt && outer == Opt {
+		return Opt
+	}
+	// Any combination involving repetition admits zero or more.
+	return Star
+}

@@ -1,0 +1,234 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func mustParse(t *testing.T, src string) *DTD {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return d
+}
+
+func TestParsePlaysDTD(t *testing.T) {
+	d := mustParse(t, corpus.PlaysDTD)
+	if got := len(d.Elements); got != 11 {
+		t.Errorf("got %d elements, want 11", got)
+	}
+	play := d.Element("PLAY")
+	if play == nil {
+		t.Fatal("PLAY not declared")
+	}
+	if play.Content != ContentChildren {
+		t.Errorf("PLAY content = %v, want children", play.Content)
+	}
+	if got := play.Model.String(); got != "(INDUCT?,ACT+)" {
+		t.Errorf("PLAY model = %q", got)
+	}
+	line := d.Element("LINE")
+	if line.Content != ContentPCDATA {
+		t.Errorf("LINE content = %v, want #PCDATA", line.Content)
+	}
+	roots := d.Roots()
+	if len(roots) != 1 || roots[0] != "PLAY" {
+		t.Errorf("roots = %v, want [PLAY]", roots)
+	}
+}
+
+func TestParseShakespeareDTD(t *testing.T) {
+	d := mustParse(t, corpus.ShakespeareDTD)
+	if got := len(d.Elements); got != 21 {
+		t.Errorf("got %d elements, want 21", got)
+	}
+	line := d.Element("LINE")
+	if line.Content != ContentMixed {
+		t.Errorf("LINE content = %v, want mixed", line.Content)
+	}
+	if len(line.Model.Children) != 1 || line.Model.Children[0].Name != "STAGEDIR" {
+		t.Errorf("LINE mixed members = %v", line.Model)
+	}
+	speech := d.Element("SPEECH")
+	if got := speech.Model.String(); got != "(SPEAKER+,(LINE|STAGEDIR|SUBHEAD)+)" {
+		t.Errorf("SPEECH model = %q", got)
+	}
+	roots := d.Roots()
+	if len(roots) != 1 || roots[0] != "PLAY" {
+		t.Errorf("roots = %v, want [PLAY]", roots)
+	}
+}
+
+func TestParseSigmodDTD(t *testing.T) {
+	d := mustParse(t, corpus.SigmodDTD)
+	if got := len(d.Elements); got != 23 {
+		t.Errorf("got %d elements, want 23", got)
+	}
+	// Parameter entity expansion inside ATTLIST.
+	idx := d.Element("index")
+	if len(idx.Attrs) != 1 || idx.Attrs[0].Name != "href" {
+		t.Fatalf("index attrs = %+v, want href from %%Xlink;", idx.Attrs)
+	}
+	if idx.Attrs[0].Type != AttrCDATA || idx.Attrs[0].Default != DefaultImplied {
+		t.Errorf("href attr = %+v", idx.Attrs[0])
+	}
+	sn := d.Element("sectionName")
+	if len(sn.Attrs) != 1 || sn.Attrs[0].Name != "SectionPosition" {
+		t.Errorf("sectionName attrs = %+v", sn.Attrs)
+	}
+	roots := d.Roots()
+	if len(roots) != 1 || roots[0] != "PP" {
+		t.Errorf("roots = %v, want [PP]", roots)
+	}
+}
+
+func TestParseContentModels(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`<!ELEMENT a (b)>`, "b"},
+		{`<!ELEMENT a (b)?>`, "b?"},
+		{`<!ELEMENT a (b+)*>`, "b*"},
+		{`<!ELEMENT a (b, c?, d*)>`, "(b,c?,d*)"},
+		{`<!ELEMENT a (b | c | d)+>`, "(b|c|d)+"},
+		{`<!ELEMENT a ((b, c) | d)>`, "((b,c)|d)"},
+		{`<!ELEMENT a (b, (c | d)*, e)>`, "(b,(c|d)*,e)"},
+	}
+	for _, tc := range cases {
+		d := mustParse(t, tc.src)
+		if got := d.Element("a").Model.String(); got != tc.want {
+			t.Errorf("%s: model = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseEmptyAndAny(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a EMPTY><!ELEMENT b ANY>`)
+	if d.Element("a").Content != ContentEmpty {
+		t.Error("a should be EMPTY")
+	}
+	if d.Element("b").Content != ContentAny {
+		t.Error("b should be ANY")
+	}
+}
+
+func TestParseAttlistTypes(t *testing.T) {
+	d := mustParse(t, `
+<!ELEMENT e (#PCDATA)>
+<!ATTLIST e
+  a CDATA #REQUIRED
+  b ID #IMPLIED
+  c (x|y|z) "x"
+  d NMTOKEN #FIXED "v"
+  f IDREF #IMPLIED>
+`)
+	attrs := d.Element("e").Attrs
+	if len(attrs) != 5 {
+		t.Fatalf("got %d attrs, want 5", len(attrs))
+	}
+	if attrs[0].Type != AttrCDATA || attrs[0].Default != DefaultRequired {
+		t.Errorf("attr a = %+v", attrs[0])
+	}
+	if attrs[1].Type != AttrID {
+		t.Errorf("attr b = %+v", attrs[1])
+	}
+	if attrs[2].Type != AttrEnum || len(attrs[2].Enum) != 3 || attrs[2].Value != "x" {
+		t.Errorf("attr c = %+v", attrs[2])
+	}
+	if attrs[3].Type != AttrNMTOKEN || attrs[3].Default != DefaultFixed || attrs[3].Value != "v" {
+		t.Errorf("attr d = %+v", attrs[3])
+	}
+	if attrs[4].Type != AttrIDREF {
+		t.Errorf("attr f = %+v", attrs[4])
+	}
+}
+
+func TestAttlistBeforeElement(t *testing.T) {
+	d := mustParse(t, `<!ATTLIST e k CDATA #IMPLIED><!ELEMENT e (#PCDATA)>`)
+	e := d.Element("e")
+	if e.Content != ContentPCDATA {
+		t.Errorf("content = %v, want #PCDATA", e.Content)
+	}
+	if len(e.Attrs) != 1 || e.Attrs[0].Name != "k" {
+		t.Errorf("attrs = %+v", e.Attrs)
+	}
+	if len(d.Order) != 1 {
+		t.Errorf("order = %v, want one entry", d.Order)
+	}
+}
+
+func TestParameterEntityInContentModel(t *testing.T) {
+	d := mustParse(t, `
+<!ENTITY % inline "(b | i | em)">
+<!ELEMENT p %inline;>
+`)
+	if got := d.Element("p").Model.String(); got != "(b|i|em)" {
+		t.Errorf("model = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<!ELEMENT a (b,>`,                  // bad group
+		`<!ELEMENT a (b | c, d)>`,           // mixed separators
+		`<!ELEMENT a (b)> <!ELEMENT a (c)>`, // duplicate
+		`<!ELEMENT a (b, (#PCDATA | c))>`,   // nested PCDATA group
+		`<!ATTLIST e k BOGUS #IMPLIED>`,     // bad attr type
+		`<!ELEMENT a %undef;>`,              // undefined PE
+		`stray text`,                        // garbage
+		`<!ELEMENT a (b)`,                   // missing '>'
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCommentsAndPIsSkipped(t *testing.T) {
+	d := mustParse(t, `
+<!-- a comment -->
+<!ELEMENT a (#PCDATA)>
+<?keep out?>
+<!NOTATION gif SYSTEM "image/gif">
+<!ENTITY copy "&#169;">
+<!ELEMENT b (a)>
+`)
+	if len(d.Elements) != 2 {
+		t.Errorf("got %d elements, want 2", len(d.Elements))
+	}
+}
+
+func TestDTDStringRoundTrip(t *testing.T) {
+	d := mustParse(t, corpus.ShakespeareDTD)
+	d2 := mustParse(t, d.String())
+	if d.String() != d2.String() {
+		t.Error("String() not stable under reparse")
+	}
+	if len(d2.Elements) != len(d.Elements) {
+		t.Errorf("reparse lost elements: %d vs %d", len(d2.Elements), len(d.Elements))
+	}
+}
+
+func TestSingleMemberGroupCollapse(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT a ((b))*>`)
+	m := d.Element("a").Model
+	if m.Kind != PName || m.Name != "b" || m.Occurs != Star {
+		t.Errorf("model = %v (%q)", m.Kind, m.String())
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`<!ELEMENT a (b,>`)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "dtd:") {
+		t.Errorf("error %q missing dtd: prefix", err)
+	}
+}

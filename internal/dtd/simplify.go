@@ -1,0 +1,177 @@
+package dtd
+
+import "strings"
+
+// Item is one child-element slot in a simplified content model: an element
+// name with an occurrence indicator that, after simplification, is always
+// One, Opt, or Star.
+type Item struct {
+	Name   string
+	Occurs Occurs
+}
+
+// SimplifiedElement is the result of applying the simplification rules of
+// Shanmugasundaram et al. (VLDB 1999, §3.1 of the XORator paper) to one
+// element declaration: a flat, duplicate-free sequence of child items plus
+// a flag recording whether the element holds character data.
+type SimplifiedElement struct {
+	Name string
+	// HasPCDATA reports whether the element's content includes #PCDATA
+	// (PCDATA-only or mixed content).
+	HasPCDATA bool
+	// Items are the child element slots in order of first appearance.
+	Items []Item
+	// Attrs are the attributes declared for the element.
+	Attrs []Attribute
+}
+
+// Item returns the item for the named child and whether it exists.
+func (e *SimplifiedElement) Item(name string) (Item, bool) {
+	for _, it := range e.Items {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// String renders the simplified element as a DTD-style declaration.
+func (e *SimplifiedElement) String() string {
+	var parts []string
+	if e.HasPCDATA && len(e.Items) == 0 {
+		return "<!ELEMENT " + e.Name + " (#PCDATA)>"
+	}
+	for _, it := range e.Items {
+		parts = append(parts, it.Name+it.Occurs.String())
+	}
+	if e.HasPCDATA {
+		parts = append(parts, "#PCDATA")
+	}
+	return "<!ELEMENT " + e.Name + " (" + strings.Join(parts, ", ") + ")>"
+}
+
+// SimplifiedDTD is a DTD after simplification.
+type SimplifiedDTD struct {
+	// Elements maps element names to their simplified declarations.
+	Elements map[string]*SimplifiedElement
+	// Order preserves the source declaration order.
+	Order []string
+}
+
+// Element returns the simplified declaration for name, or nil.
+func (d *SimplifiedDTD) Element(name string) *SimplifiedElement {
+	return d.Elements[name]
+}
+
+// Roots returns element names never referenced as a child, in declaration
+// order.
+func (d *SimplifiedDTD) Roots() []string {
+	referenced := map[string]bool{}
+	for _, e := range d.Elements {
+		for _, it := range e.Items {
+			referenced[it.Name] = true
+		}
+	}
+	var roots []string
+	for _, name := range d.Order {
+		if !referenced[name] {
+			roots = append(roots, name)
+		}
+	}
+	return roots
+}
+
+// String renders all simplified declarations, one per line.
+func (d *SimplifiedDTD) String() string {
+	var sb strings.Builder
+	for _, name := range d.Order {
+		sb.WriteString(d.Elements[name].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Simplify applies the DTD simplification transformations:
+//
+//   - flattening:      (e1, e2)* → e1*, e2*
+//   - simplification:  e1** → e1*, and e+ → e*
+//   - choice removal:  (e1 | e2) → e1?, e2?
+//   - grouping:        ..., e1, ..., e1, ... → ..., e1*, ...
+//
+// The result for every element is a flat sequence of child items whose
+// indicators are One, Opt, or Star.
+func Simplify(d *DTD) *SimplifiedDTD {
+	out := &SimplifiedDTD{Elements: map[string]*SimplifiedElement{}}
+	for _, name := range d.Order {
+		e := d.Elements[name]
+		se := &SimplifiedElement{Name: name, Attrs: e.Attrs}
+		switch e.Content {
+		case ContentPCDATA:
+			se.HasPCDATA = true
+		case ContentMixed:
+			se.HasPCDATA = true
+			if e.Model != nil {
+				flatten(e.Model, Star, se)
+			}
+		case ContentChildren:
+			flatten(e.Model, One, se)
+		case ContentEmpty, ContentAny:
+			// No child structure to record.
+		}
+		group(se)
+		out.Elements[name] = se
+		out.Order = append(out.Order, name)
+	}
+	return out
+}
+
+// flatten walks a particle under the occurrence context ctx and appends the
+// resulting flat items to se.
+func flatten(p *Particle, ctx Occurs, se *SimplifiedElement) {
+	eff := composeOccurs(p.Occurs, ctx)
+	switch p.Kind {
+	case PName:
+		se.Items = append(se.Items, Item{Name: p.Name, Occurs: normalize(eff)})
+	case PPCDATA:
+		se.HasPCDATA = true
+	case PSeq:
+		for _, c := range p.Children {
+			flatten(c, eff, se)
+		}
+	case PChoice:
+		// (a | b) → a?, b?: each branch is individually optional.
+		for _, c := range p.Children {
+			flatten(c, composeOccurs(eff, Opt), se)
+		}
+	}
+}
+
+// normalize rewrites Plus to Star per the e+ → e* rule.
+func normalize(o Occurs) Occurs {
+	if o == Plus {
+		return Star
+	}
+	return o
+}
+
+// group merges repeated child names into a single Star item at the first
+// occurrence position.
+func group(se *SimplifiedElement) {
+	counts := map[string]int{}
+	for _, it := range se.Items {
+		counts[it.Name]++
+	}
+	var out []Item
+	seen := map[string]bool{}
+	for _, it := range se.Items {
+		if seen[it.Name] {
+			continue
+		}
+		seen[it.Name] = true
+		if counts[it.Name] > 1 {
+			it.Occurs = Star
+		}
+		out = append(out, it)
+	}
+	se.Items = out
+}

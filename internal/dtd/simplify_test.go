@@ -1,0 +1,161 @@
+package dtd
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestSimplifyPlaysDTD checks the paper's Figure 1 → Figure 2
+// transformation element by element.
+func TestSimplifyPlaysDTD(t *testing.T) {
+	d := mustParse(t, corpus.PlaysDTD)
+	s := Simplify(d)
+	want := map[string]string{
+		"PLAY":   "<!ELEMENT PLAY (INDUCT?, ACT*)>",
+		"INDUCT": "<!ELEMENT INDUCT (TITLE, SUBTITLE*, SCENE*)>",
+		"ACT":    "<!ELEMENT ACT (SCENE*, TITLE, SUBTITLE*, SPEECH*, PROLOGUE?)>",
+		"SCENE":  "<!ELEMENT SCENE (TITLE, SUBTITLE*, SPEECH*, SUBHEAD*)>",
+		"SPEECH": "<!ELEMENT SPEECH (SPEAKER*, LINE*)>",
+		"TITLE":  "<!ELEMENT TITLE (#PCDATA)>",
+	}
+	for name, wantDecl := range want {
+		if got := s.Element(name).String(); got != wantDecl {
+			t.Errorf("%s:\n got %s\nwant %s", name, got, wantDecl)
+		}
+	}
+}
+
+func TestSimplifyIndicatorsAreNeverPlus(t *testing.T) {
+	for _, src := range []string{corpus.PlaysDTD, corpus.ShakespeareDTD, corpus.SigmodDTD} {
+		s := Simplify(mustParse(t, src))
+		for name, e := range s.Elements {
+			for _, it := range e.Items {
+				if it.Occurs == Plus {
+					t.Errorf("%s/%s still has '+' after simplification", name, it.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyChoiceBecomesOptional(t *testing.T) {
+	s := Simplify(mustParse(t, `<!ELEMENT a (b | c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>`))
+	a := s.Element("a")
+	for _, name := range []string{"b", "c"} {
+		it, ok := a.Item(name)
+		if !ok || it.Occurs != Opt {
+			t.Errorf("item %s = %+v, want Opt", name, it)
+		}
+	}
+}
+
+func TestSimplifyChoiceUnderPlusBecomesStar(t *testing.T) {
+	// SCENE's (SPEECH | SUBHEAD)+ must become SPEECH*, SUBHEAD*.
+	s := Simplify(mustParse(t, `<!ELEMENT a (b | c)+> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>`))
+	a := s.Element("a")
+	for _, name := range []string{"b", "c"} {
+		it, _ := a.Item(name)
+		if it.Occurs != Star {
+			t.Errorf("item %s occurs = %v, want Star", name, it.Occurs)
+		}
+	}
+}
+
+func TestSimplifyGroupingMergesDuplicates(t *testing.T) {
+	s := Simplify(mustParse(t, `<!ELEMENT a (e0, e1, e1, e2)>
+<!ELEMENT e0 (#PCDATA)> <!ELEMENT e1 (#PCDATA)> <!ELEMENT e2 (#PCDATA)>`))
+	a := s.Element("a")
+	if len(a.Items) != 3 {
+		t.Fatalf("got %d items, want 3: %+v", len(a.Items), a.Items)
+	}
+	if a.Items[0].Name != "e0" || a.Items[1].Name != "e1" || a.Items[2].Name != "e2" {
+		t.Errorf("order = %+v", a.Items)
+	}
+	if a.Items[1].Occurs != Star {
+		t.Errorf("e1 occurs = %v, want Star", a.Items[1].Occurs)
+	}
+	if a.Items[0].Occurs != One || a.Items[2].Occurs != One {
+		t.Errorf("e0/e2 occurs changed: %+v", a.Items)
+	}
+}
+
+func TestSimplifySequenceUnderStarFlattens(t *testing.T) {
+	// (SPEAKER, LINE)+ → SPEAKER*, LINE*.
+	s := Simplify(mustParse(t, `<!ELEMENT speech (speaker, line)+>
+<!ELEMENT speaker (#PCDATA)> <!ELEMENT line (#PCDATA)>`))
+	sp := s.Element("speech")
+	for _, name := range []string{"speaker", "line"} {
+		it, _ := sp.Item(name)
+		if it.Occurs != Star {
+			t.Errorf("%s occurs = %v, want Star", name, it.Occurs)
+		}
+	}
+}
+
+func TestSimplifyNestedIndicators(t *testing.T) {
+	s := Simplify(mustParse(t, `<!ELEMENT a ((b?)*, (c*)?)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>`))
+	a := s.Element("a")
+	for _, name := range []string{"b", "c"} {
+		it, _ := a.Item(name)
+		if it.Occurs != Star {
+			t.Errorf("%s occurs = %v, want Star", name, it.Occurs)
+		}
+	}
+}
+
+func TestSimplifyMixedContent(t *testing.T) {
+	s := Simplify(mustParse(t, `<!ELEMENT line (#PCDATA | stagedir)*> <!ELEMENT stagedir (#PCDATA)>`))
+	line := s.Element("line")
+	if !line.HasPCDATA {
+		t.Error("line should have PCDATA")
+	}
+	it, ok := line.Item("stagedir")
+	if !ok || it.Occurs != Star {
+		t.Errorf("stagedir item = %+v, want Star", it)
+	}
+}
+
+func TestSimplifyShakespeareShapes(t *testing.T) {
+	s := Simplify(mustParse(t, corpus.ShakespeareDTD))
+	speech := s.Element("SPEECH")
+	for _, name := range []string{"SPEAKER", "LINE", "STAGEDIR", "SUBHEAD"} {
+		it, ok := speech.Item(name)
+		if !ok || it.Occurs != Star {
+			t.Errorf("SPEECH item %s = %+v, want Star", name, it)
+		}
+	}
+	act := s.Element("ACT")
+	if it, _ := act.Item("PROLOGUE"); it.Occurs != Opt {
+		t.Errorf("ACT/PROLOGUE = %v, want Opt", it.Occurs)
+	}
+	if it, _ := act.Item("SCENE"); it.Occurs != Star {
+		t.Errorf("ACT/SCENE = %v, want Star", it.Occurs)
+	}
+	if it, _ := act.Item("TITLE"); it.Occurs != One {
+		t.Errorf("ACT/TITLE = %v, want One", it.Occurs)
+	}
+	if roots := s.Roots(); len(roots) != 1 || roots[0] != "PLAY" {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestSimplifySigmodShapes(t *testing.T) {
+	s := Simplify(mustParse(t, corpus.SigmodDTD))
+	pp := s.Element("PP")
+	if it, _ := pp.Item("sList"); it.Occurs != One {
+		t.Errorf("PP/sList = %v, want One", it.Occurs)
+	}
+	sl := s.Element("sList")
+	if it, _ := sl.Item("sListTuple"); it.Occurs != Star {
+		t.Errorf("sList/sListTuple = %v, want Star", it.Occurs)
+	}
+	toindex := s.Element("Toindex")
+	if it, _ := toindex.Item("index"); it.Occurs != Opt {
+		t.Errorf("Toindex/index = %v, want Opt", it.Occurs)
+	}
+	authors := s.Element("authors")
+	if it, _ := authors.Item("author"); it.Occurs != Star {
+		t.Errorf("authors/author = %v, want Star", it.Occurs)
+	}
+}

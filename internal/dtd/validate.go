@@ -1,0 +1,274 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// ValidationError reports a document's violation of a DTD.
+type ValidationError struct {
+	// Element is the offending element's tag name.
+	Element string
+	// Path is the slash-joined path from the root.
+	Path string
+	// Msg describes the violation.
+	Msg string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("dtd: %s: %s", e.Path, e.Msg)
+}
+
+// Validate checks a document against the DTD: the root element must be
+// declared, every element's attributes must be declared (with required
+// attributes present and enumerations respected), and every element's
+// children must match its content model. Character data is permitted
+// only under mixed or PCDATA content.
+func (d *DTD) Validate(doc *xmltree.Document) error {
+	if doc.Root == nil {
+		return &ValidationError{Msg: "document has no root element"}
+	}
+	return d.validateElement(doc.Root, "/"+doc.Root.Name)
+}
+
+func (d *DTD) validateElement(n *xmltree.Node, path string) error {
+	decl := d.Elements[n.Name]
+	if decl == nil {
+		return &ValidationError{Element: n.Name, Path: path,
+			Msg: fmt.Sprintf("element <%s> is not declared", n.Name)}
+	}
+	if err := d.validateAttrs(n, decl, path); err != nil {
+		return err
+	}
+	if err := d.validateContent(n, decl, path); err != nil {
+		return err
+	}
+	for _, c := range n.ChildElements() {
+		if err := d.validateElement(c, path+"/"+c.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *DTD) validateAttrs(n *xmltree.Node, decl *Element, path string) error {
+	declared := map[string]*Attribute{}
+	for i := range decl.Attrs {
+		declared[decl.Attrs[i].Name] = &decl.Attrs[i]
+	}
+	for _, a := range n.Attrs {
+		spec, ok := declared[a.Name]
+		if !ok {
+			return &ValidationError{Element: n.Name, Path: path,
+				Msg: fmt.Sprintf("attribute %q is not declared", a.Name)}
+		}
+		if spec.Type == AttrEnum || spec.Type == AttrNotation {
+			found := false
+			for _, v := range spec.Enum {
+				if v == a.Value {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return &ValidationError{Element: n.Name, Path: path,
+					Msg: fmt.Sprintf("attribute %q value %q not in enumeration %v",
+						a.Name, a.Value, spec.Enum)}
+			}
+		}
+		if spec.Default == DefaultFixed && a.Value != spec.Value {
+			return &ValidationError{Element: n.Name, Path: path,
+				Msg: fmt.Sprintf("attribute %q must have fixed value %q", a.Name, spec.Value)}
+		}
+	}
+	for name, spec := range declared {
+		if spec.Default == DefaultRequired {
+			if _, ok := n.Attr(name); !ok {
+				return &ValidationError{Element: n.Name, Path: path,
+					Msg: fmt.Sprintf("required attribute %q is missing", name)}
+			}
+		}
+	}
+	return nil
+}
+
+func (d *DTD) validateContent(n *xmltree.Node, decl *Element, path string) error {
+	hasText := false
+	for _, c := range n.Children {
+		if c.IsText() && strings.TrimSpace(c.Text) != "" {
+			hasText = true
+		}
+	}
+	switch decl.Content {
+	case ContentAny:
+		return nil
+	case ContentEmpty:
+		if hasText || len(n.ChildElements()) > 0 {
+			return &ValidationError{Element: n.Name, Path: path,
+				Msg: "EMPTY element has content"}
+		}
+		return nil
+	case ContentPCDATA:
+		if len(n.ChildElements()) > 0 {
+			return &ValidationError{Element: n.Name, Path: path,
+				Msg: "PCDATA-only element has child elements"}
+		}
+		return nil
+	case ContentMixed:
+		allowed := map[string]bool{}
+		if decl.Model != nil {
+			for _, p := range decl.Model.Children {
+				allowed[p.Name] = true
+			}
+		}
+		for _, c := range n.ChildElements() {
+			if !allowed[c.Name] {
+				return &ValidationError{Element: n.Name, Path: path,
+					Msg: fmt.Sprintf("mixed content does not permit <%s>", c.Name)}
+			}
+		}
+		return nil
+	default: // ContentChildren
+		if hasText {
+			return &ValidationError{Element: n.Name, Path: path,
+				Msg: "element content does not permit character data"}
+		}
+		names := make([]string, 0, len(n.Children))
+		for _, c := range n.ChildElements() {
+			names = append(names, c.Name)
+		}
+		if !matchModel(decl.Model, names) {
+			return &ValidationError{Element: n.Name, Path: path,
+				Msg: fmt.Sprintf("children (%s) do not match content model %s",
+					strings.Join(names, ", "), decl.Model)}
+		}
+		return nil
+	}
+}
+
+// matchModel reports whether the child-name sequence matches the content
+// particle. Matching uses memoized recursive descent over (particle,
+// position) states, which is exponential only for pathological models; the
+// DTDs the paper works with are small.
+func matchModel(p *Particle, names []string) bool {
+	m := &matcher{names: names, memo: map[memoKey]map[int]bool{}}
+	for _, end := range m.match(p, 0) {
+		if end == len(names) {
+			return true
+		}
+	}
+	return false
+}
+
+type memoKey struct {
+	p   *Particle
+	pos int
+}
+
+type matcher struct {
+	names []string
+	memo  map[memoKey]map[int]bool
+}
+
+// match returns the set of positions reachable after matching particle p
+// starting at pos.
+func (m *matcher) match(p *Particle, pos int) []int {
+	key := memoKey{p: p, pos: pos}
+	if cached, ok := m.memo[key]; ok {
+		return keys(cached)
+	}
+	// Seed the memo to cut left-recursive cycles (not expressible in DTD
+	// content models, but cheap insurance).
+	m.memo[key] = map[int]bool{}
+	result := map[int]bool{}
+	ends := m.matchOnce(p, pos)
+	switch p.Occurs {
+	case One:
+		for _, e := range ends {
+			result[e] = true
+		}
+	case Opt:
+		result[pos] = true
+		for _, e := range ends {
+			result[e] = true
+		}
+	case Plus, Star:
+		if p.Occurs == Star {
+			result[pos] = true
+		}
+		frontier := ends
+		for _, e := range frontier {
+			result[e] = true
+		}
+		for len(frontier) > 0 {
+			var next []int
+			for _, e := range frontier {
+				for _, e2 := range m.matchOnce(p, e) {
+					if e2 > e && !result[e2] {
+						result[e2] = true
+						next = append(next, e2)
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	m.memo[key] = result
+	return keys(result)
+}
+
+// matchOnce matches a single occurrence of p's body (ignoring p.Occurs).
+func (m *matcher) matchOnce(p *Particle, pos int) []int {
+	switch p.Kind {
+	case PName:
+		if pos < len(m.names) && m.names[pos] == p.Name {
+			return []int{pos + 1}
+		}
+		return nil
+	case PPCDATA:
+		return []int{pos}
+	case PChoice:
+		var out []int
+		seen := map[int]bool{}
+		for _, c := range p.Children {
+			for _, e := range m.match(c, pos) {
+				if !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+		}
+		return out
+	case PSeq:
+		frontier := []int{pos}
+		for _, c := range p.Children {
+			var next []int
+			seen := map[int]bool{}
+			for _, f := range frontier {
+				for _, e := range m.match(c, f) {
+					if !seen[e] {
+						seen[e] = true
+						next = append(next, e)
+					}
+				}
+			}
+			frontier = next
+			if len(frontier) == 0 {
+				return nil
+			}
+		}
+		return frontier
+	default:
+		return nil
+	}
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

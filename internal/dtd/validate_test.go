@@ -1,0 +1,205 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/xmltree"
+)
+
+func parseDoc(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestValidateAcceptsConformingPlay(t *testing.T) {
+	d := mustParse(t, corpus.PlaysDTD)
+	doc := parseDoc(t, `<PLAY>
+<INDUCT><TITLE>t</TITLE><SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></SCENE></INDUCT>
+<ACT><SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></SCENE>
+<TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></ACT>
+</PLAY>`)
+	if err := d.Validate(doc); err != nil {
+		t.Errorf("conforming play rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadStructure(t *testing.T) {
+	d := mustParse(t, corpus.PlaysDTD)
+	cases := []struct {
+		name, doc, wantMsg string
+	}{
+		{"unexpected element", `<PLAY><BOGUS/></PLAY>`, "content model"},
+		{"missing required child", `<PLAY><ACT><SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></SCENE></ACT></PLAY>`, "content model"},
+		{"wrong order", `<PLAY><ACT><TITLE>t</TITLE><SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></SCENE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></ACT></PLAY>`, "content model"},
+		{"text in element content", `<PLAY>words<ACT><SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></ACT></PLAY>`, "character data"},
+		{"element in PCDATA", `<PLAY><ACT><SCENE><TITLE><SPEAKER>x</SPEAKER></TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></SCENE><TITLE>t</TITLE><SPEECH><SPEAKER>s</SPEAKER><LINE>l</LINE></SPEECH></ACT></PLAY>`, "PCDATA-only"},
+	}
+	for _, tc := range cases {
+		doc := parseDoc(t, tc.doc)
+		err := d.Validate(doc)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
+func TestValidateMixedContent(t *testing.T) {
+	d := mustParse(t, corpus.ShakespeareDTD)
+	// LINE is (#PCDATA | STAGEDIR)*.
+	line := parseDoc(t, `<LINE>before <STAGEDIR>Aside</STAGEDIR> after</LINE>`)
+	if err := d.validateElement(line.Root, "/LINE"); err != nil {
+		t.Errorf("mixed LINE rejected: %v", err)
+	}
+	bad := parseDoc(t, `<LINE>before <SPEAKER>x</SPEAKER></LINE>`)
+	if err := d.validateElement(bad.Root, "/LINE"); err == nil {
+		t.Error("LINE with SPEAKER accepted")
+	}
+}
+
+func TestValidateChoiceAndRepetition(t *testing.T) {
+	d := mustParse(t, `
+<!ELEMENT a ((b | c)+, d?)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+`)
+	accept := []string{
+		`<a><b>x</b></a>`,
+		`<a><c>x</c><b>y</b><c>z</c></a>`,
+		`<a><b>x</b><d>w</d></a>`,
+	}
+	reject := []string{
+		`<a></a>`,                         // (b|c)+ needs one
+		`<a><d>w</d></a>`,                 // d alone
+		`<a><b>x</b><d>w</d><b>y</b></a>`, // b after d
+	}
+	for _, src := range accept {
+		if err := d.Validate(parseDoc(t, src)); err != nil {
+			t.Errorf("rejected %s: %v", src, err)
+		}
+	}
+	for _, src := range reject {
+		if err := d.Validate(parseDoc(t, src)); err == nil {
+			t.Errorf("accepted %s", src)
+		}
+	}
+}
+
+func TestValidateAmbiguousModelBacktracks(t *testing.T) {
+	// (a, b) | (a, c): requires trying both branches.
+	d := mustParse(t, `
+<!ELEMENT r ((a, b) | (a, c))>
+<!ELEMENT a (#PCDATA)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>
+`)
+	if err := d.Validate(parseDoc(t, `<r><a>1</a><c>2</c></r>`)); err != nil {
+		t.Errorf("backtracking failed: %v", err)
+	}
+	if err := d.Validate(parseDoc(t, `<r><a>1</a><a>2</a></r>`)); err == nil {
+		t.Error("accepted invalid sequence")
+	}
+}
+
+func TestValidateStarGreedBacktracks(t *testing.T) {
+	// b* followed by b: the star must not consume everything.
+	d := mustParse(t, `<!ELEMENT r (b*, b)> <!ELEMENT b (#PCDATA)>`)
+	for _, src := range []string{`<r><b>1</b></r>`, `<r><b>1</b><b>2</b><b>3</b></r>`} {
+		if err := d.Validate(parseDoc(t, src)); err != nil {
+			t.Errorf("rejected %s: %v", src, err)
+		}
+	}
+	if err := d.Validate(parseDoc(t, `<r></r>`)); err == nil {
+		t.Error("accepted empty content for (b*, b)")
+	}
+}
+
+func TestValidateAttributes(t *testing.T) {
+	d := mustParse(t, `
+<!ELEMENT e (#PCDATA)>
+<!ATTLIST e
+  req CDATA #REQUIRED
+  opt CDATA #IMPLIED
+  kind (x|y) "x"
+  fix CDATA #FIXED "F">
+`)
+	accept := []string{
+		`<e req="1">t</e>`,
+		`<e req="1" opt="2" kind="y" fix="F">t</e>`,
+	}
+	reject := []struct{ src, msg string }{
+		{`<e>t</e>`, "required"},
+		{`<e req="1" undeclared="z">t</e>`, "not declared"},
+		{`<e req="1" kind="z">t</e>`, "enumeration"},
+		{`<e req="1" fix="G">t</e>`, "fixed"},
+	}
+	for _, src := range accept {
+		if err := d.Validate(parseDoc(t, src)); err != nil {
+			t.Errorf("rejected %s: %v", src, err)
+		}
+	}
+	for _, tc := range reject {
+		err := d.Validate(parseDoc(t, tc.src))
+		if err == nil {
+			t.Errorf("accepted %s", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.msg) {
+			t.Errorf("%s: error %q missing %q", tc.src, err, tc.msg)
+		}
+	}
+}
+
+func TestValidateEmptyAndAnyContent(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT v EMPTY> <!ELEMENT w ANY> <!ELEMENT z (#PCDATA)>`)
+	if err := d.Validate(parseDoc(t, `<v></v>`)); err != nil {
+		t.Errorf("empty rejected: %v", err)
+	}
+	if err := d.Validate(parseDoc(t, `<v>text</v>`)); err == nil {
+		t.Error("EMPTY with text accepted")
+	}
+	if err := d.Validate(parseDoc(t, `<w><z>anything</z>goes</w>`)); err != nil {
+		t.Errorf("ANY rejected: %v", err)
+	}
+}
+
+func TestValidateWhitespaceInElementContent(t *testing.T) {
+	// Whitespace-only text between children of element content is
+	// permitted (it is not character data in the DTD sense).
+	d := mustParse(t, `<!ELEMENT r (b) > <!ELEMENT b (#PCDATA)>`)
+	if err := d.Validate(parseDoc(t, "<r>\n  <b>x</b>\n</r>")); err != nil {
+		t.Errorf("whitespace rejected: %v", err)
+	}
+}
+
+func TestValidateUndeclaredUnderAny(t *testing.T) {
+	d := mustParse(t, `<!ELEMENT w ANY>`)
+	err := d.Validate(parseDoc(t, `<w><ghost/></w>`))
+	if err == nil || !strings.Contains(err.Error(), "not declared") {
+		t.Errorf("err = %v, want undeclared element", err)
+	}
+}
+
+func TestValidationErrorRendering(t *testing.T) {
+	d := mustParse(t, corpus.PlaysDTD)
+	err := d.Validate(parseDoc(t, `<PLAY><ACT><BOGUS/></ACT></PLAY>`))
+	verr, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	// The content-model violation surfaces at the parent element.
+	if verr.Path != "/PLAY/ACT" {
+		t.Errorf("path = %q", verr.Path)
+	}
+	if !strings.Contains(verr.Error(), "/PLAY/ACT") {
+		t.Errorf("Error() = %q", verr.Error())
+	}
+}

@@ -1,0 +1,220 @@
+package dtdgraph
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+)
+
+func buildGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("dtd.Parse: %v", err)
+	}
+	g := Build(dtd.Simplify(d))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestPlaysGraphInDegrees(t *testing.T) {
+	g := buildGraph(t, corpus.PlaysDTD)
+	cases := map[string]int{
+		"PLAY": 0, "INDUCT": 1, "ACT": 1, "SCENE": 2,
+		"SPEECH": 2, "TITLE": 3, "SUBTITLE": 3,
+		"PROLOGUE": 1, "SUBHEAD": 1, "SPEAKER": 1, "LINE": 1,
+	}
+	for name, want := range cases {
+		if got := g.InDegree(name); got != want {
+			t.Errorf("InDegree(%s) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestPlaysGraphBelowStar(t *testing.T) {
+	g := buildGraph(t, corpus.PlaysDTD)
+	below := []string{"ACT", "SCENE", "SUBTITLE", "SPEECH", "SUBHEAD", "SPEAKER", "LINE"}
+	notBelow := []string{"PLAY", "INDUCT", "TITLE", "PROLOGUE"}
+	for _, name := range below {
+		if !g.BelowStar(name) {
+			t.Errorf("BelowStar(%s) = false, want true", name)
+		}
+	}
+	for _, name := range notBelow {
+		if g.BelowStar(name) {
+			t.Errorf("BelowStar(%s) = true, want false", name)
+		}
+	}
+}
+
+func TestLeafClassification(t *testing.T) {
+	g := buildGraph(t, corpus.ShakespeareDTD)
+	if !g.IsPCDATALeaf("SPEAKER") {
+		t.Error("SPEAKER should be a PCDATA leaf")
+	}
+	if g.IsLeaf("LINE") {
+		t.Error("LINE has a STAGEDIR child; not a leaf")
+	}
+	if g.IsLeaf("SPEECH") {
+		t.Error("SPEECH is not a leaf")
+	}
+	if !g.IsPCDATALeaf("STAGEDIR") {
+		t.Error("STAGEDIR should be a PCDATA leaf")
+	}
+}
+
+func TestRoots(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want string
+	}{
+		{corpus.PlaysDTD, "PLAY"},
+		{corpus.ShakespeareDTD, "PLAY"},
+		{corpus.SigmodDTD, "PP"},
+	} {
+		g := buildGraph(t, tc.src)
+		roots := g.Roots()
+		if len(roots) != 1 || roots[0] != tc.want {
+			t.Errorf("Roots = %v, want [%s]", roots, tc.want)
+		}
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	g := buildGraph(t, corpus.SigmodDTD)
+	sub := g.Subtree("sList")
+	for _, name := range []string{"sListTuple", "sectionName", "articles", "aTuple",
+		"title", "authors", "author", "initPage", "endPage", "Toindex", "index",
+		"fullText", "size"} {
+		if !sub[name] {
+			t.Errorf("Subtree(sList) missing %s", name)
+		}
+	}
+	if sub["PP"] || sub["volume"] {
+		t.Error("Subtree(sList) contains non-descendants")
+	}
+}
+
+func TestExternalLinksShakespeare(t *testing.T) {
+	g := buildGraph(t, corpus.ShakespeareDTD)
+	// FM and PERSONAE hang off PLAY with PCDATA-leaf-only sharing: the
+	// revised graph duplicates those leaves, so no external links.
+	for _, name := range []string{"FM", "PERSONAE", "LINE"} {
+		if g.HasExternalLinks(name) {
+			t.Errorf("HasExternalLinks(%s) = true, want false", name)
+		}
+	}
+	// INDUCT's subtree contains SCENE and SPEECH, which ACT and others
+	// also reference.
+	for _, name := range []string{"INDUCT", "ACT", "PROLOGUE", "EPILOGUE"} {
+		if !g.HasExternalLinks(name) {
+			t.Errorf("HasExternalLinks(%s) = false, want true", name)
+		}
+	}
+}
+
+func TestExternalLinksSigmod(t *testing.T) {
+	g := buildGraph(t, corpus.SigmodDTD)
+	if g.HasExternalLinks("sList") {
+		t.Error("sList subtree should have no external links")
+	}
+}
+
+func TestRecursiveSimpleCycle(t *testing.T) {
+	g := buildGraph(t, `
+<!ELEMENT a (b*)>
+<!ELEMENT b (c?)>
+<!ELEMENT c (b*, d)>
+<!ELEMENT d (#PCDATA)>
+`)
+	rec := g.Recursive()
+	if !rec["b"] || !rec["c"] {
+		t.Errorf("recursive = %v, want b and c", rec)
+	}
+	if rec["a"] || rec["d"] {
+		t.Errorf("a/d should not be recursive: %v", rec)
+	}
+}
+
+func TestRecursiveSelfLoop(t *testing.T) {
+	g := buildGraph(t, `<!ELEMENT part (part*, name)> <!ELEMENT name (#PCDATA)>`)
+	rec := g.Recursive()
+	if !rec["part"] {
+		t.Error("part should be self-recursive")
+	}
+	if rec["name"] {
+		t.Error("name should not be recursive")
+	}
+}
+
+func TestNoRecursionInPaperDTDs(t *testing.T) {
+	for _, src := range []string{corpus.PlaysDTD, corpus.ShakespeareDTD, corpus.SigmodDTD} {
+		g := buildGraph(t, src)
+		if rec := g.Recursive(); len(rec) != 0 {
+			t.Errorf("unexpected recursion: %v", rec)
+		}
+	}
+}
+
+func TestSCCsReverseTopological(t *testing.T) {
+	g := buildGraph(t, `
+<!ELEMENT a (b)>
+<!ELEMENT b (c)>
+<!ELEMENT c (#PCDATA)>
+`)
+	sccs := g.SCCs()
+	if len(sccs) != 3 {
+		t.Fatalf("got %d SCCs, want 3", len(sccs))
+	}
+	// Reverse topological: c before b before a.
+	order := map[string]int{}
+	for i, scc := range sccs {
+		for _, n := range scc {
+			order[n] = i
+		}
+	}
+	if !(order["c"] < order["b"] && order["b"] < order["a"]) {
+		t.Errorf("SCC order not reverse topological: %v", sccs)
+	}
+}
+
+func TestValidateUndeclaredReference(t *testing.T) {
+	d, err := dtd.Parse(`<!ELEMENT a (ghost)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(dtd.Simplify(d))
+	if err := g.Validate(); err == nil {
+		t.Error("Validate should reject undeclared child reference")
+	}
+}
+
+func TestParentNames(t *testing.T) {
+	g := buildGraph(t, corpus.PlaysDTD)
+	got := g.ParentNames("SPEECH")
+	if len(got) != 2 || got[0] != "ACT" || got[1] != "SCENE" {
+		t.Errorf("ParentNames(SPEECH) = %v, want [ACT SCENE]", got)
+	}
+}
+
+func TestPathCountMonotonic(t *testing.T) {
+	g := buildGraph(t, corpus.PlaysDTD)
+	n := g.PathCount("PLAY", false)
+	withCData := g.PathCount("PLAY", true)
+	if n <= 0 || withCData <= n {
+		t.Errorf("PathCount = %d / %d, want positive and increasing with cdata", n, withCData)
+	}
+}
+
+func TestPathCountCutsCycles(t *testing.T) {
+	g := buildGraph(t, `<!ELEMENT part (part?, name)> <!ELEMENT name (#PCDATA)>`)
+	n := g.PathCount("part", false)
+	// part, part/part, part/name: descent stops at a repeated element, so
+	// the path part/part/name is not enumerated.
+	if n != 3 {
+		t.Errorf("PathCount = %d, want 3", n)
+	}
+}

@@ -1,0 +1,264 @@
+// Package catalog manages the engine's tables: schemas, heap files,
+// secondary indexes, and optimizer statistics (the engine's equivalent of
+// DB2's runstats, which the paper runs before every measurement).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine/index"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// Column is one column of a table schema.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Table   string
+	Columns []Column
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index is a secondary B+tree index over one column.
+type Index struct {
+	Name   string
+	Column string
+	ColIdx int
+	Tree   *index.BTree
+}
+
+// Stats are per-table optimizer statistics computed by RunStats.
+type Stats struct {
+	// Rows is the table cardinality at the last RunStats.
+	Rows int
+	// Distinct maps column names to their number of distinct values.
+	Distinct map[string]int
+	// Valid reports whether RunStats has run since the last load.
+	Valid bool
+}
+
+// DistinctOr returns the distinct count for a column, or def when stats
+// are missing.
+func (s *Stats) DistinctOr(col string, def int) int {
+	if s == nil || !s.Valid {
+		return def
+	}
+	if d, ok := s.Distinct[col]; ok {
+		return d
+	}
+	return def
+}
+
+// Table is a stored table: schema, heap file, indexes, statistics.
+type Table struct {
+	Schema  *Schema
+	Heap    *storage.HeapFile
+	Indexes []*Index
+	Stats   Stats
+}
+
+// Insert validates and stores a row, maintaining all indexes.
+func (t *Table) Insert(row []types.Value) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("catalog: table %s expects %d columns, got %d",
+			t.Schema.Table, len(t.Schema.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != t.Schema.Columns[i].Type {
+			return fmt.Errorf("catalog: table %s column %s expects %v, got %v",
+				t.Schema.Table, t.Schema.Columns[i].Name, t.Schema.Columns[i].Type, v.Kind())
+		}
+	}
+	rid := t.Heap.Insert(row)
+	for _, idx := range t.Indexes {
+		idx.Tree.Insert(row[idx.ColIdx], rid)
+	}
+	t.Stats.Valid = false
+	return nil
+}
+
+// IndexOn returns the index over the named column, or nil.
+func (t *Table) IndexOn(column string) *Index {
+	for _, idx := range t.Indexes {
+		if idx.Column == column {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Rows returns the current cardinality.
+func (t *Table) Rows() int { return t.Heap.Rows() }
+
+// DataBytes returns the heap footprint in bytes.
+func (t *Table) DataBytes() int64 { return t.Heap.DataBytes() }
+
+// IndexBytes returns the total footprint of the table's indexes.
+func (t *Table) IndexBytes() int64 {
+	var n int64
+	for _, idx := range t.Indexes {
+		n += idx.Tree.SizeBytes()
+	}
+	return n
+}
+
+// Catalog is the set of tables in a database.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+	pool   *storage.BufferPool
+}
+
+// New returns an empty catalog. The buffer pool may be nil.
+func New(pool *storage.BufferPool) *Catalog {
+	return &Catalog{tables: map[string]*Table{}, pool: pool}
+}
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("catalog: table %s already exists", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if seen[col.Name] {
+			return nil, fmt.Errorf("catalog: table %s has duplicate column %s", name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	t := &Table{
+		Schema: &Schema{Table: name, Columns: append([]Column(nil), cols...)},
+		Heap:   storage.NewHeapFile(c.pool),
+	}
+	c.tables[name] = t
+	c.order = append(c.order, name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// TableNames returns table names in creation order.
+func (c *Catalog) TableNames() []string {
+	return append([]string(nil), c.order...)
+}
+
+// CreateIndex builds a B+tree index over one column of a table,
+// backfilling existing rows.
+func (c *Catalog) CreateIndex(table, column string) (*Index, error) {
+	t := c.tables[table]
+	if t == nil {
+		return nil, fmt.Errorf("catalog: no table %s", table)
+	}
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("catalog: table %s has no column %s", table, column)
+	}
+	if t.IndexOn(column) != nil {
+		return nil, fmt.Errorf("catalog: index on %s.%s already exists", table, column)
+	}
+	idx := &Index{
+		Name:   fmt.Sprintf("idx_%s_%s", table, column),
+		Column: column,
+		ColIdx: ci,
+		Tree:   index.New(),
+	}
+	err := t.Heap.Scan(func(rid storage.RID, row []types.Value) error {
+		idx.Tree.Insert(row[ci], rid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Indexes = append(t.Indexes, idx)
+	return idx, nil
+}
+
+// RunStats recomputes optimizer statistics for one table — the analogue
+// of DB2's runstats command.
+func (c *Catalog) RunStats(table string) error {
+	t := c.tables[table]
+	if t == nil {
+		return fmt.Errorf("catalog: no table %s", table)
+	}
+	distinct := make([]map[uint64]struct{}, len(t.Schema.Columns))
+	for i := range distinct {
+		distinct[i] = map[uint64]struct{}{}
+	}
+	rows := 0
+	err := t.Heap.Scan(func(_ storage.RID, row []types.Value) error {
+		rows++
+		for i, v := range row {
+			distinct[i][types.Hash(v)] = struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t.Stats = Stats{Rows: rows, Distinct: map[string]int{}, Valid: true}
+	for i, col := range t.Schema.Columns {
+		t.Stats.Distinct[col.Name] = len(distinct[i])
+	}
+	return nil
+}
+
+// RunStatsAll runs statistics over every table.
+func (c *Catalog) RunStatsAll() error {
+	for _, name := range c.order {
+		if err := c.RunStats(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalDataBytes sums table heap footprints.
+func (c *Catalog) TotalDataBytes() int64 {
+	var n int64
+	for _, t := range c.tables {
+		n += t.DataBytes()
+	}
+	return n
+}
+
+// TotalIndexBytes sums index footprints.
+func (c *Catalog) TotalIndexBytes() int64 {
+	var n int64
+	for _, t := range c.tables {
+		n += t.IndexBytes()
+	}
+	return n
+}
+
+// Describe renders the catalog for diagnostics: tables, columns, indexes,
+// row counts, sorted by table name.
+func (c *Catalog) Describe() string {
+	names := append([]string(nil), c.order...)
+	sort.Strings(names)
+	out := ""
+	for _, name := range names {
+		t := c.tables[name]
+		out += fmt.Sprintf("%s: %d rows, %d cols, %d indexes, %d data bytes\n",
+			name, t.Rows(), len(t.Schema.Columns), len(t.Indexes), t.DataBytes())
+	}
+	return out
+}

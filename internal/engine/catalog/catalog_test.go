@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/types"
+)
+
+func newTestTable(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := New(nil)
+	tbl, err := c.CreateTable("speech", []Column{
+		{Name: "speechID", Type: types.KindInt},
+		{Name: "speaker", Type: types.KindString},
+		{Name: "line", Type: types.KindXADT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func TestCreateTableAndInsert(t *testing.T) {
+	_, tbl := newTestTable(t)
+	err := tbl.Insert([]types.Value{
+		types.NewInt(1), types.NewString("HAMLET"), types.NewXADT([]byte("<LINE>hi</LINE>")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 1 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	_, tbl := newTestTable(t)
+	if err := tbl.Insert([]types.Value{types.NewInt(1)}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := tbl.Insert([]types.Value{
+		types.NewString("x"), types.NewString("y"), types.Null,
+	}); err == nil {
+		t.Error("wrong type should fail")
+	}
+	// NULLs are allowed in any column.
+	if err := tbl.Insert([]types.Value{types.NewInt(1), types.Null, types.Null}); err != nil {
+		t.Errorf("nulls rejected: %v", err)
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c, _ := newTestTable(t)
+	if _, err := c.CreateTable("speech", nil); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if _, err := c.CreateTable("bad", []Column{
+		{Name: "x", Type: types.KindInt}, {Name: "x", Type: types.KindInt},
+	}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	c, tbl := newTestTable(t)
+	// Backfill path: rows exist before the index.
+	for i := 0; i < 100; i++ {
+		tbl.Insert([]types.Value{
+			types.NewInt(int64(i)), types.NewString(fmt.Sprintf("S%d", i%10)), types.Null,
+		})
+	}
+	idx, err := c.CreateIndex("speech", "speaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(idx.Tree.Lookup(types.NewString("S3"))); got != 10 {
+		t.Errorf("backfilled lookup = %d, want 10", got)
+	}
+	// Forward maintenance: inserts after the index.
+	tbl.Insert([]types.Value{types.NewInt(100), types.NewString("S3"), types.Null})
+	if got := len(idx.Tree.Lookup(types.NewString("S3"))); got != 11 {
+		t.Errorf("maintained lookup = %d, want 11", got)
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	c, _ := newTestTable(t)
+	if _, err := c.CreateIndex("ghost", "x"); err == nil {
+		t.Error("missing table should fail")
+	}
+	if _, err := c.CreateIndex("speech", "ghost"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := c.CreateIndex("speech", "speaker"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("speech", "speaker"); err == nil {
+		t.Error("duplicate index should fail")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	c, tbl := newTestTable(t)
+	for i := 0; i < 50; i++ {
+		tbl.Insert([]types.Value{
+			types.NewInt(int64(i)), types.NewString(fmt.Sprintf("S%d", i%5)), types.Null,
+		})
+	}
+	if tbl.Stats.Valid {
+		t.Error("stats should be invalid before RunStats")
+	}
+	if err := c.RunStats("speech"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Stats.Valid || tbl.Stats.Rows != 50 {
+		t.Errorf("stats = %+v", tbl.Stats)
+	}
+	if got := tbl.Stats.Distinct["speaker"]; got != 5 {
+		t.Errorf("distinct speakers = %d, want 5", got)
+	}
+	if got := tbl.Stats.Distinct["speechID"]; got != 50 {
+		t.Errorf("distinct ids = %d, want 50", got)
+	}
+	// Inserting invalidates.
+	tbl.Insert([]types.Value{types.NewInt(51), types.Null, types.Null})
+	if tbl.Stats.Valid {
+		t.Error("insert should invalidate stats")
+	}
+	if got := tbl.Stats.DistinctOr("speaker", 7); got != 7 {
+		t.Errorf("DistinctOr on invalid stats = %d, want default", got)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	c, tbl := newTestTable(t)
+	for i := 0; i < 2000; i++ {
+		tbl.Insert([]types.Value{
+			types.NewInt(int64(i)), types.NewString(strings.Repeat("a", 100)), types.Null,
+		})
+	}
+	c.CreateIndex("speech", "speechID")
+	if tbl.DataBytes() <= 0 || tbl.IndexBytes() <= 0 {
+		t.Errorf("sizes: data=%d index=%d", tbl.DataBytes(), tbl.IndexBytes())
+	}
+	if c.TotalDataBytes() != tbl.DataBytes() || c.TotalIndexBytes() != tbl.IndexBytes() {
+		t.Error("catalog totals disagree with table")
+	}
+}
+
+func TestDescribeAndNames(t *testing.T) {
+	c, _ := newTestTable(t)
+	c.CreateTable("act", []Column{{Name: "actID", Type: types.KindInt}})
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "speech" || names[1] != "act" {
+		t.Errorf("TableNames = %v", names)
+	}
+	d := c.Describe()
+	if !strings.Contains(d, "speech") || !strings.Contains(d, "act") {
+		t.Errorf("Describe = %q", d)
+	}
+}
+
+func TestRunStatsAll(t *testing.T) {
+	c, tbl := newTestTable(t)
+	tbl.Insert([]types.Value{types.NewInt(1), types.Null, types.Null})
+	if err := c.RunStatsAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Stats.Valid {
+		t.Error("RunStatsAll did not refresh")
+	}
+	if err := c.RunStats("ghost"); err == nil {
+		t.Error("missing table should fail")
+	}
+}

@@ -1,0 +1,158 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// snapshotMagic identifies a catalog snapshot stream.
+const snapshotMagic = "XORCAT01"
+
+// Save writes the catalog — schemas, heap data, and index definitions —
+// to w. Index trees are not serialized; Load rebuilds them, which is
+// cheaper than writing them out and keeps the format simple.
+func (c *Catalog) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(len(c.order))); err != nil {
+		return err
+	}
+	for _, name := range c.order {
+		t := c.tables[name]
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, uint64(len(t.Schema.Columns))); err != nil {
+			return err
+		}
+		for _, col := range t.Schema.Columns {
+			if err := writeString(bw, col.Name); err != nil {
+				return err
+			}
+			if err := writeUvarint(bw, uint64(col.Type)); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(bw, uint64(len(t.Indexes))); err != nil {
+			return err
+		}
+		for _, idx := range t.Indexes {
+			if err := writeString(bw, idx.Column); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := t.Heap.Serialize(w); err != nil {
+			return err
+		}
+		bw.Reset(w)
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save into a fresh catalog, rebuilding
+// indexes and statistics.
+func Load(r io.Reader, pool *storage.BufferPool) (*Catalog, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("catalog: reading magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("catalog: bad snapshot magic %q", magic)
+	}
+	c := New(pool)
+	ntables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ntables; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		ncols, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]Column, ncols)
+		for j := range cols {
+			cname, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			kind, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			cols[j] = Column{Name: cname, Type: types.Kind(kind)}
+		}
+		nidx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		idxCols := make([]string, nidx)
+		for j := range idxCols {
+			if idxCols[j], err = readString(br); err != nil {
+				return nil, err
+			}
+		}
+		tbl, err := c.CreateTable(name, cols)
+		if err != nil {
+			return nil, err
+		}
+		heap, err := storage.DeserializeHeapFile(br, pool)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: table %s heap: %w", name, err)
+		}
+		tbl.Heap = heap
+		for _, col := range idxCols {
+			if _, err := c.CreateIndex(name, col); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.RunStats(name); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("catalog: implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

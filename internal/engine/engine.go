@@ -1,0 +1,409 @@
+// Package engine is the database facade of the reproduction: an embedded
+// relational engine with table storage, B+tree indexes, a SQL-subset
+// planner/executor, and the XADT methods of the paper registered as UDFs
+// (getElm, findKeyInElm, getElmIndex, and the unnest table function),
+// alongside built-in and UDF variants of string functions for the
+// Figure 14 overhead experiment.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/sql"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+	"repro/internal/xadt"
+)
+
+// Config tunes a database instance.
+type Config struct {
+	// BufferPoolPages bounds the tracked page residency; 0 disables
+	// buffer accounting.
+	BufferPoolPages int
+	// Planner options (join algorithm, pushdown, index usage).
+	Planner plan.Options
+	// FencedUDFs runs UDFs in a separate goroutine (DB2's FENCED mode).
+	// The paper measures NOT FENCED.
+	FencedUDFs bool
+}
+
+// Database is an embedded database instance.
+type Database struct {
+	Catalog  *catalog.Catalog
+	Registry *expr.Registry
+	Pool     *storage.BufferPool
+	planner  *plan.Planner
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols []string
+	Rows [][]types.Value
+}
+
+// Open creates an empty database with the standard function library
+// registered.
+func Open(cfg Config) *Database {
+	pool := storage.NewBufferPool(cfg.BufferPoolPages)
+	cat := catalog.New(pool)
+	reg := expr.NewRegistry()
+	reg.Fenced = cfg.FencedUDFs
+	db := &Database{
+		Catalog:  cat,
+		Registry: reg,
+		Pool:     pool,
+		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: cfg.Planner},
+	}
+	registerStandardFunctions(reg)
+	return db
+}
+
+// SetPlannerOptions replaces the optimizer options (used by ablation
+// benchmarks to switch join algorithms).
+func (db *Database) SetPlannerOptions(opts plan.Options) {
+	db.planner.Opts = opts
+}
+
+// CreateTable registers a table.
+func (db *Database) CreateTable(name string, cols []catalog.Column) (*catalog.Table, error) {
+	return db.Catalog.CreateTable(name, cols)
+}
+
+// CreateIndex builds an index over table.column.
+func (db *Database) CreateIndex(table, column string) error {
+	_, err := db.Catalog.CreateIndex(table, column)
+	return err
+}
+
+// RunStats refreshes optimizer statistics on every table.
+func (db *Database) RunStats() error { return db.Catalog.RunStatsAll() }
+
+// Plan compiles a query without executing it.
+func (db *Database) Plan(query string) (exec.Operator, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.planner.Plan(stmt)
+}
+
+// Query compiles and runs a query, materializing the result.
+func (db *Database) Query(query string) (*Result, error) {
+	op, err := db.Plan(query)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return nil, fmt.Errorf("engine: executing %q: %w", query, err)
+	}
+	return &Result{Cols: op.Schema().Names(), Rows: rows}, nil
+}
+
+// Explain returns the physical plan of a query as text.
+func (db *Database) Explain(query string) (string, error) {
+	op, err := db.Plan(query)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(op), nil
+}
+
+// JoinCount returns the number of join operators a query plans to — the
+// paper's central cost driver.
+func (db *Database) JoinCount(query string) (int, error) {
+	op, err := db.Plan(query)
+	if err != nil {
+		return 0, err
+	}
+	return plan.CountJoins(op), nil
+}
+
+// Save writes a snapshot of the database's tables, data, and index
+// definitions to w.
+func (db *Database) Save(w io.Writer) error {
+	return db.Catalog.Save(w)
+}
+
+// OpenSnapshot reconstructs a database from a snapshot written by Save,
+// rebuilding indexes and statistics. The function registry is the
+// standard library plus whatever the caller registers afterwards.
+func OpenSnapshot(r io.Reader, cfg Config) (*Database, error) {
+	pool := storage.NewBufferPool(cfg.BufferPoolPages)
+	cat, err := catalog.Load(r, pool)
+	if err != nil {
+		return nil, err
+	}
+	reg := expr.NewRegistry()
+	reg.Fenced = cfg.FencedUDFs
+	db := &Database{
+		Catalog:  cat,
+		Registry: reg,
+		Pool:     pool,
+		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: cfg.Planner},
+	}
+	registerStandardFunctions(reg)
+	return db, nil
+}
+
+// registerStandardFunctions installs the XADT methods (§3.4.2), the
+// unnest table function (§3.5), and the built-in/UDF string function
+// pairs of the Figure 14 experiment.
+func registerStandardFunctions(reg *expr.Registry) {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// getElm(inXML, rootElm, searchElm, searchKey [, level]) → XADT
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "getElm", MinArgs: 4, MaxArgs: 5,
+		Fn: func(args []types.Value) (types.Value, error) {
+			if args[0].IsNull() {
+				return types.Null, nil
+			}
+			in, err := xadtArg(args[0])
+			if err != nil {
+				return types.Null, err
+			}
+			rootElm, searchElm, searchKey, err := stringArgs(args[1:4])
+			if err != nil {
+				return types.Null, err
+			}
+			level := 0
+			if len(args) == 5 && !args[4].IsNull() {
+				level = int(args[4].Int())
+			}
+			out, err := xadt.GetElm(in, rootElm, searchElm, searchKey, level)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewXADT(out.Bytes()), nil
+		},
+	}))
+
+	// findKeyInElm(inXML, searchElm, searchKey) → INTEGER 0/1
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "findKeyInElm", MinArgs: 3, MaxArgs: 3,
+		Fn: func(args []types.Value) (types.Value, error) {
+			if args[0].IsNull() {
+				return types.NewInt(0), nil
+			}
+			in, err := xadtArg(args[0])
+			if err != nil {
+				return types.Null, err
+			}
+			searchElm, searchKey, _, err := stringArgs([]types.Value{args[1], args[2], types.NewString("")})
+			if err != nil {
+				return types.Null, err
+			}
+			found, err := xadt.FindKeyInElm(in, searchElm, searchKey)
+			if err != nil {
+				return types.Null, err
+			}
+			if found {
+				return types.NewInt(1), nil
+			}
+			return types.NewInt(0), nil
+		},
+	}))
+
+	// getElmIndex(inXML, parentElm, childElm, startPos, endPos) → XADT
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "getElmIndex", MinArgs: 5, MaxArgs: 5,
+		Fn: func(args []types.Value) (types.Value, error) {
+			if args[0].IsNull() {
+				return types.Null, nil
+			}
+			in, err := xadtArg(args[0])
+			if err != nil {
+				return types.Null, err
+			}
+			parentElm, childElm, _, err := stringArgs([]types.Value{args[1], args[2], types.NewString("")})
+			if err != nil {
+				return types.Null, err
+			}
+			if args[3].IsNull() || args[4].IsNull() {
+				return types.Null, nil
+			}
+			out, err := xadt.GetElmIndex(in, parentElm, childElm, int(args[3].Int()), int(args[4].Int()))
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewXADT(out.Bytes()), nil
+		},
+	}))
+
+	// xadtText(inXML) → VARCHAR: serialized fragment text, used to
+	// render query answers and compare results across mappings.
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "xadtText", MinArgs: 1, MaxArgs: 1,
+		Fn: func(args []types.Value) (types.Value, error) {
+			if args[0].IsNull() {
+				return types.Null, nil
+			}
+			in, err := xadtArg(args[0])
+			if err != nil {
+				return types.Null, err
+			}
+			s, err := in.Text()
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewString(s), nil
+		},
+	}))
+
+	// xadtInnerText(inXML) → VARCHAR: concatenated character data of the
+	// fragment, without tags or attributes. Grouping queries use it to
+	// compare fragment contents across mappings (QG4/QG5).
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "xadtInnerText", MinArgs: 1, MaxArgs: 1,
+		Fn: func(args []types.Value) (types.Value, error) {
+			if args[0].IsNull() {
+				return types.Null, nil
+			}
+			in, err := xadtArg(args[0])
+			if err != nil {
+				return types.Null, err
+			}
+			nodes, err := in.Nodes()
+			if err != nil {
+				return types.Null, err
+			}
+			var sb strings.Builder
+			for _, n := range nodes {
+				sb.WriteString(n.InnerText())
+			}
+			return types.NewString(sb.String()), nil
+		},
+	}))
+
+	// unnest(inXML, tag) table function → rows of single XADT column
+	// "out" (Figure 9).
+	must(reg.RegisterTable(&expr.TableFunc{
+		Name: "unnest", Cols: []string{"out"}, Types: []types.Kind{types.KindXADT},
+		MinArgs: 2, MaxArgs: 2,
+		Fn: func(args []types.Value) ([][]types.Value, error) {
+			if args[0].IsNull() {
+				return nil, nil
+			}
+			in, err := xadtArg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if args[1].IsNull() || args[1].Kind() != types.KindString {
+				return nil, fmt.Errorf("engine: unnest tag must be a string")
+			}
+			vals, err := xadt.Unnest(in, args[1].Str())
+			if err != nil {
+				return nil, err
+			}
+			out := make([][]types.Value, len(vals))
+			for i, v := range vals {
+				out[i] = []types.Value{types.NewXADT(v.Bytes())}
+			}
+			return out, nil
+		},
+	}))
+
+	// Figure 14 pairs: built-in length/substr vs equivalent UDFs.
+	lengthImpl := func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		if args[0].Kind() != types.KindString {
+			return types.Null, fmt.Errorf("engine: length expects a string")
+		}
+		return types.NewInt(int64(len(args[0].Str()))), nil
+	}
+	substrImpl := func(args []types.Value) (types.Value, error) {
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		if args[0].Kind() != types.KindString {
+			return types.Null, fmt.Errorf("engine: substr expects a string")
+		}
+		s := args[0].Str()
+		start := int(args[1].Int()) // 1-based
+		if start < 1 {
+			start = 1
+		}
+		if start > len(s) {
+			return types.NewString(""), nil
+		}
+		out := s[start-1:]
+		if len(args) == 3 && !args[2].IsNull() {
+			n := int(args[2].Int())
+			if n < 0 {
+				n = 0
+			}
+			if n < len(out) {
+				out = out[:n]
+			}
+		}
+		return types.NewString(out), nil
+	}
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "length", Builtin: true, MinArgs: 1, MaxArgs: 1, Fn: lengthImpl,
+	}))
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "udf_length", MinArgs: 1, MaxArgs: 1, Fn: lengthImpl,
+	}))
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "substr", Builtin: true, MinArgs: 2, MaxArgs: 3, Fn: substrImpl,
+	}))
+	must(reg.RegisterScalar(&expr.ScalarFunc{
+		Name: "udf_substr", MinArgs: 2, MaxArgs: 3, Fn: substrImpl,
+	}))
+}
+
+// xadtArg converts an argument to an XADT value; VARCHAR arguments are
+// treated as raw fragments, mirroring the paper's implementation of the
+// XADT on top of VARCHAR.
+func xadtArg(v types.Value) (xadt.Value, error) {
+	switch v.Kind() {
+	case types.KindXADT:
+		return xadt.FromBytes(v.XADT()), nil
+	case types.KindString:
+		return xadt.Parse(v.Str(), xadt.Raw)
+	default:
+		return xadt.Value{}, fmt.Errorf("engine: expected XADT argument, got %v", v.Kind())
+	}
+}
+
+// stringArgs extracts up to three string arguments, treating NULL as "".
+func stringArgs(args []types.Value) (a, b, c string, err error) {
+	get := func(v types.Value) (string, error) {
+		if v.IsNull() {
+			return "", nil
+		}
+		if v.Kind() != types.KindString {
+			return "", fmt.Errorf("engine: expected string argument, got %v", v.Kind())
+		}
+		return v.Str(), nil
+	}
+	if len(args) > 0 {
+		if a, err = get(args[0]); err != nil {
+			return
+		}
+	}
+	if len(args) > 1 {
+		if b, err = get(args[1]); err != nil {
+			return
+		}
+	}
+	if len(args) > 2 {
+		if c, err = get(args[2]); err != nil {
+			return
+		}
+	}
+	return
+}

@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// AggKind enumerates the aggregate functions of the executor.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// AggSpec describes one aggregate output of a HashAggregate.
+type AggSpec struct {
+	Kind AggKind
+	// Arg is the aggregated expression; nil means COUNT(*).
+	Arg expr.Expr
+	// Distinct restricts the aggregate to distinct argument values.
+	Distinct bool
+	// Name is the output column name.
+	Name string
+}
+
+// HashAggregate groups its input by the group expressions and computes
+// the aggregate specs per group. Its output schema is the group columns
+// followed by the aggregate columns. With no group expressions it
+// produces exactly one row (the implicit single group), even on empty
+// input.
+type HashAggregate struct {
+	Child      Operator
+	GroupBy    []expr.Expr
+	GroupNames []string
+	Aggs       []AggSpec
+	schema     *expr.RowSchema
+
+	out [][]types.Value
+	pos int
+}
+
+type aggState struct {
+	groupKey []types.Value
+	count    int64
+	sum      int64
+	min, max types.Value
+	seen     map[uint64][]types.Value // distinct tracking
+	present  bool                     // any input row reached this state
+}
+
+// NewHashAggregate builds an aggregation operator.
+func NewHashAggregate(child Operator, groupBy []expr.Expr, groupNames []string, aggs []AggSpec) *HashAggregate {
+	cols := make([]expr.ColInfo, 0, len(groupBy)+len(aggs))
+	for _, n := range groupNames {
+		cols = append(cols, expr.ColInfo{Name: n})
+	}
+	for _, a := range aggs {
+		cols = append(cols, expr.ColInfo{Name: a.Name})
+	}
+	return &HashAggregate{
+		Child: child, GroupBy: groupBy, GroupNames: groupNames, Aggs: aggs,
+		schema: expr.NewRowSchema(cols...),
+	}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *expr.RowSchema { return h.schema }
+
+// Open consumes the input and materializes the aggregated groups.
+func (h *HashAggregate) Open() error {
+	if err := h.Child.Open(); err != nil {
+		return err
+	}
+	defer h.Child.Close()
+
+	groups := map[uint64][]*groupAgg{}
+	var order []*groupAgg
+	for {
+		row, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key := make([]types.Value, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		hk := hashRow(key)
+		var ga *groupAgg
+		for _, cand := range groups[hk] {
+			if rowsEqual(cand.key, key) {
+				ga = cand
+				break
+			}
+		}
+		if ga == nil {
+			ga = newGroupAgg(key, len(h.Aggs))
+			groups[hk] = append(groups[hk], ga)
+			order = append(order, ga)
+		}
+		if err := ga.update(h.Aggs, row); err != nil {
+			return err
+		}
+	}
+	if len(h.GroupBy) == 0 && len(order) == 0 {
+		// Implicit single group over empty input.
+		order = append(order, newGroupAgg(nil, len(h.Aggs)))
+	}
+	h.out = make([][]types.Value, 0, len(order))
+	for _, ga := range order {
+		h.out = append(h.out, ga.result(h.Aggs))
+	}
+	h.pos = 0
+	return nil
+}
+
+type groupAgg struct {
+	key    []types.Value
+	states []aggState
+}
+
+func newGroupAgg(key []types.Value, naggs int) *groupAgg {
+	ga := &groupAgg{key: key, states: make([]aggState, naggs)}
+	for i := range ga.states {
+		ga.states[i].min = types.Null
+		ga.states[i].max = types.Null
+	}
+	return ga
+}
+
+func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) error {
+	for i, spec := range aggs {
+		st := &ga.states[i]
+		var v types.Value
+		if spec.Arg != nil {
+			var err error
+			v, err = spec.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue // aggregates skip NULLs
+			}
+		}
+		if spec.Distinct {
+			if st.seen == nil {
+				st.seen = map[uint64][]types.Value{}
+			}
+			hv := types.Hash(v)
+			dup := false
+			for _, prev := range st.seen[hv] {
+				if types.Equal(prev, v) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			st.seen[hv] = append(st.seen[hv], v)
+		}
+		st.present = true
+		switch spec.Kind {
+		case AggCount:
+			st.count++
+		case AggSum:
+			if v.Kind() != types.KindInt {
+				return fmt.Errorf("exec: SUM over non-integer %v", v.Kind())
+			}
+			st.sum += v.Int()
+		case AggMin:
+			if st.min.IsNull() || types.Compare(v, st.min) < 0 {
+				st.min = v
+			}
+		case AggMax:
+			if st.max.IsNull() || types.Compare(v, st.max) > 0 {
+				st.max = v
+			}
+		}
+	}
+	return nil
+}
+
+func (ga *groupAgg) result(aggs []AggSpec) []types.Value {
+	out := make([]types.Value, 0, len(ga.key)+len(aggs))
+	out = append(out, ga.key...)
+	for i, spec := range aggs {
+		st := &ga.states[i]
+		switch spec.Kind {
+		case AggCount:
+			out = append(out, types.NewInt(st.count))
+		case AggSum:
+			if !st.present {
+				out = append(out, types.Null)
+			} else {
+				out = append(out, types.NewInt(st.sum))
+			}
+		case AggMin:
+			out = append(out, st.min)
+		case AggMax:
+			out = append(out, st.max)
+		}
+	}
+	return out
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() ([]types.Value, error) {
+	if h.pos >= len(h.out) {
+		return nil, nil
+	}
+	row := h.out[h.pos]
+	h.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.out = nil
+	return nil
+}

@@ -1,0 +1,278 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// Filter passes through rows for which the predicate is true.
+type Filter struct {
+	Child Operator
+	Pred  expr.Expr
+}
+
+// NewFilter wraps child with a predicate.
+func NewFilter(child Operator, pred expr.Expr) *Filter {
+	return &Filter{Child: child, Pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *expr.RowSchema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() ([]types.Value, error) {
+	for {
+		row, err := f.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.Pred.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			return row, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project evaluates output expressions over each input row.
+type Project struct {
+	Child  Operator
+	Exprs  []expr.Expr
+	schema *expr.RowSchema
+}
+
+// NewProject wraps child, producing one output column per expression,
+// named by names.
+func NewProject(child Operator, exprs []expr.Expr, names []string) *Project {
+	cols := make([]expr.ColInfo, len(exprs))
+	for i := range exprs {
+		cols[i] = expr.ColInfo{Name: names[i]}
+	}
+	return &Project{Child: child, Exprs: exprs, schema: expr.NewRowSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *expr.RowSchema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() ([]types.Value, error) {
+	row, err := p.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]types.Value, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Sort materializes its input and emits it ordered by the key
+// expressions.
+type Sort struct {
+	Child Operator
+	Keys  []expr.Expr
+	Desc  []bool
+	rows  [][]types.Value
+	pos   int
+}
+
+// NewSort wraps child with an order-by. desc is parallel to keys.
+func NewSort(child Operator, keys []expr.Expr, desc []bool) *Sort {
+	return &Sort{Child: child, Keys: keys, Desc: desc}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *expr.RowSchema { return s.Child.Schema() }
+
+// Open materializes and sorts the input.
+func (s *Sort) Open() error {
+	rows, err := Drain(s.Child)
+	if err != nil {
+		return err
+	}
+	keys := make([][]types.Value, len(rows))
+	var evalErr error
+	for i, row := range rows {
+		ks := make([]types.Value, len(s.Keys))
+		for j, k := range s.Keys {
+			v, err := k.Eval(row)
+			if err != nil {
+				evalErr = err
+				break
+			}
+			ks[j] = v
+		}
+		keys[i] = ks
+	}
+	if evalErr != nil {
+		return evalErr
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j := range s.Keys {
+			c := types.Compare(ka[j], kb[j])
+			if c == 0 {
+				continue
+			}
+			if s.Desc[j] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([][]types.Value, len(rows))
+	for i, j := range idx {
+		s.rows[i] = rows[j]
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() ([]types.Value, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Child Operator
+	N     int64
+	seen  int64
+}
+
+// NewLimit wraps child with a row bound.
+func NewLimit(child Operator, n int64) *Limit {
+	return &Limit{Child: child, N: n}
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *expr.RowSchema { return l.Child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.Child.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() ([]types.Value, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	row, err := l.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.seen++
+	return row, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Distinct drops duplicate rows (hash-based).
+type Distinct struct {
+	Child Operator
+	seen  map[uint64][][]types.Value
+}
+
+// NewDistinct wraps child with duplicate elimination.
+func NewDistinct(child Operator) *Distinct {
+	return &Distinct{Child: child}
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *expr.RowSchema { return d.Child.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open() error {
+	d.seen = map[uint64][][]types.Value{}
+	return d.Child.Open()
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() ([]types.Value, error) {
+	for {
+		row, err := d.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		h := hashRow(row)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if rowsEqual(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Child.Close()
+}
+
+func hashRow(row []types.Value) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range row {
+		h ^= types.Hash(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func rowsEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !types.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// IndexLoopJoin joins by probing a B+tree index on the inner table with a
+// key computed from each outer row — the index-nested-loop access path a
+// selective outer side makes profitable.
+type IndexLoopJoin struct {
+	Left Operator
+	// Right is the inner table, probed through Index.
+	Right *catalog.Table
+	// Alias binds the inner table's columns in the output schema.
+	Alias string
+	// Index is the inner index; its column is the join key's inner side.
+	Index *catalog.Index
+	// LeftKey computes the probe key; it is resolved against the left
+	// schema (equivalently, the joined schema: left columns keep their
+	// positions).
+	LeftKey expr.Expr
+
+	schema  *expr.RowSchema
+	leftRow []types.Value
+	rids    []storage.RID
+	pos     int
+}
+
+// NewIndexLoopJoin builds the operator.
+func NewIndexLoopJoin(left Operator, right *catalog.Table, alias string, idx *catalog.Index, leftKey expr.Expr) *IndexLoopJoin {
+	return &IndexLoopJoin{
+		Left: left, Right: right, Alias: alias, Index: idx, LeftKey: leftKey,
+		schema: expr.Concat(left.Schema(), tableSchema(right, alias)),
+	}
+}
+
+// Schema implements Operator.
+func (j *IndexLoopJoin) Schema() *expr.RowSchema { return j.schema }
+
+// Open implements Operator.
+func (j *IndexLoopJoin) Open() error {
+	j.leftRow = nil
+	j.rids = nil
+	j.pos = 0
+	return j.Left.Open()
+}
+
+// Next implements Operator.
+func (j *IndexLoopJoin) Next() ([]types.Value, error) {
+	for {
+		for j.pos < len(j.rids) {
+			inner, err := j.Right.Heap.Get(j.rids[j.pos])
+			if err != nil {
+				return nil, err
+			}
+			j.pos++
+			return concatRows(j.leftRow, inner), nil
+		}
+		row, err := j.Left.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		key, err := j.LeftKey.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		j.leftRow = row
+		if key.IsNull() {
+			j.rids = nil
+		} else {
+			j.rids = j.Index.Tree.Lookup(key)
+		}
+		j.pos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *IndexLoopJoin) Close() error {
+	j.rids = nil
+	return j.Left.Close()
+}
+
+// String describes the join for plan explanations.
+func (j *IndexLoopJoin) String() string {
+	return fmt.Sprintf("IndexLoopJoin(%s probes %s.%s)", j.LeftKey, j.Alias, j.Index.Column)
+}

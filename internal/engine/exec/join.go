@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// NestedLoopJoin joins by evaluating a predicate over every pair. The
+// right input is materialized once. A nil predicate yields the cross
+// product — which the lateral table-function apply and disconnected FROM
+// lists need.
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        expr.Expr // may be nil (cross product)
+	schema      *expr.RowSchema
+	rightRows   [][]types.Value
+	leftRow     []types.Value
+	rpos        int
+}
+
+// NewNestedLoopJoin joins left and right on pred.
+func NewNestedLoopJoin(left, right Operator, pred expr.Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{
+		Left: left, Right: right, Pred: pred,
+		schema: expr.Concat(left.Schema(), right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *expr.RowSchema { return j.schema }
+
+// Open materializes the right side.
+func (j *NestedLoopJoin) Open() error {
+	rows, err := Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.leftRow = nil
+	j.rpos = 0
+	return j.Left.Open()
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() ([]types.Value, error) {
+	for {
+		if j.leftRow == nil {
+			row, err := j.Left.Next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.leftRow = row
+			j.rpos = 0
+		}
+		for j.rpos < len(j.rightRows) {
+			right := j.rightRows[j.rpos]
+			j.rpos++
+			out := concatRows(j.leftRow, right)
+			if j.Pred == nil {
+				return out, nil
+			}
+			v, err := j.Pred.Eval(out)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				return out, nil
+			}
+		}
+		j.leftRow = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.rightRows = nil
+	return j.Left.Close()
+}
+
+// HashJoin is an equi-join: it builds a hash table on the left input's
+// key and probes with the right input.
+//
+// Both key expressions must be resolved against the concatenated
+// (left ++ right) schema; a left key therefore has column indices within
+// the left width and can be evaluated on a bare left row.
+type HashJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey expr.Expr
+	schema            *expr.RowSchema
+	table             map[uint64][][]types.Value
+	probeRow          []types.Value
+	matches           [][]types.Value
+	mpos              int
+}
+
+// NewHashJoin joins left and right where leftKey = rightKey.
+func NewHashJoin(left, right Operator, leftKey, rightKey expr.Expr) *HashJoin {
+	return &HashJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey,
+		schema: expr.Concat(left.Schema(), right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *expr.RowSchema { return j.schema }
+
+// Open builds the hash table from the left input.
+func (j *HashJoin) Open() error {
+	rows, err := Drain(j.Left)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[uint64][][]types.Value, len(rows))
+	for _, row := range rows {
+		k, err := j.LeftKey.Eval(row)
+		if err != nil {
+			return err
+		}
+		if k.IsNull() {
+			continue // NULL keys never join
+		}
+		h := types.Hash(k)
+		j.table[h] = append(j.table[h], row)
+	}
+	j.probeRow = nil
+	j.matches = nil
+	j.mpos = 0
+	return j.Right.Open()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() ([]types.Value, error) {
+	for {
+		for j.mpos < len(j.matches) {
+			left := j.matches[j.mpos]
+			j.mpos++
+			out := concatRows(left, j.probeRow)
+			// Re-check key equality to guard against hash collisions.
+			lk, err := j.LeftKey.Eval(out)
+			if err != nil {
+				return nil, err
+			}
+			rk, err := j.RightKey.Eval(out)
+			if err != nil {
+				return nil, err
+			}
+			if types.Equal(lk, rk) {
+				return out, nil
+			}
+		}
+		row, err := j.Right.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		j.probeRow = row
+		// The right key is resolved against the joined schema; build a
+		// padded row for evaluation.
+		padded := concatRows(make([]types.Value, leftWidth(j)), row)
+		k, err := j.RightKey.Eval(padded)
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			j.matches = nil
+			j.mpos = 0
+			continue
+		}
+		j.matches = j.table[types.Hash(k)]
+		j.mpos = 0
+	}
+}
+
+func leftWidth(j *HashJoin) int { return len(j.Left.Schema().Cols) }
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.Right.Close()
+}
+
+// MergeJoin is an equi-join that sorts both inputs on their keys and
+// merges matching groups — the O(n log n) alternative the paper contrasts
+// with nested loops. Key expressions follow the HashJoin convention: both
+// are resolved against the concatenated schema.
+type MergeJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey expr.Expr
+	schema            *expr.RowSchema
+	out               [][]types.Value
+	pos               int
+}
+
+// NewMergeJoin joins left and right where leftKey = rightKey.
+func NewMergeJoin(left, right Operator, leftKey, rightKey expr.Expr) *MergeJoin {
+	return &MergeJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey,
+		schema: expr.Concat(left.Schema(), right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() *expr.RowSchema { return j.schema }
+
+// keyedRows evaluates a key over rows and returns them sorted by key,
+// NULL keys removed.
+func keyedRows(rows [][]types.Value, key func([]types.Value) (types.Value, error)) ([][]types.Value, []types.Value, error) {
+	type pair struct {
+		row []types.Value
+		key types.Value
+	}
+	pairs := make([]pair, 0, len(rows))
+	for _, row := range rows {
+		k, err := key(row)
+		if err != nil {
+			return nil, nil, err
+		}
+		if k.IsNull() {
+			continue
+		}
+		pairs = append(pairs, pair{row: row, key: k})
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		return types.Compare(pairs[a].key, pairs[b].key) < 0
+	})
+	outRows := make([][]types.Value, len(pairs))
+	outKeys := make([]types.Value, len(pairs))
+	for i, p := range pairs {
+		outRows[i] = p.row
+		outKeys[i] = p.key
+	}
+	return outRows, outKeys, nil
+}
+
+// Open materializes, sorts, and merges both inputs.
+func (j *MergeJoin) Open() error {
+	leftRows, err := Drain(j.Left)
+	if err != nil {
+		return err
+	}
+	rightRows, err := Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	lw := len(j.Left.Schema().Cols)
+	ls, lk, err := keyedRows(leftRows, func(r []types.Value) (types.Value, error) {
+		return j.LeftKey.Eval(r)
+	})
+	if err != nil {
+		return err
+	}
+	rs, rk, err := keyedRows(rightRows, func(r []types.Value) (types.Value, error) {
+		return j.RightKey.Eval(concatRows(make([]types.Value, lw), r))
+	})
+	if err != nil {
+		return err
+	}
+	j.out = nil
+	li, ri := 0, 0
+	for li < len(ls) && ri < len(rs) {
+		c := types.Compare(lk[li], rk[ri])
+		switch {
+		case c < 0:
+			li++
+		case c > 0:
+			ri++
+		default:
+			// Emit the full group cross product.
+			lEnd := li
+			for lEnd < len(ls) && types.Equal(lk[lEnd], lk[li]) {
+				lEnd++
+			}
+			rEnd := ri
+			for rEnd < len(rs) && types.Equal(rk[rEnd], rk[ri]) {
+				rEnd++
+			}
+			for a := li; a < lEnd; a++ {
+				for b := ri; b < rEnd; b++ {
+					j.out = append(j.out, concatRows(ls[a], rs[b]))
+				}
+			}
+			li, ri = lEnd, rEnd
+		}
+	}
+	j.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next() ([]types.Value, error) {
+	if j.pos >= len(j.out) {
+		return nil, nil
+	}
+	row := j.out[j.pos]
+	j.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close() error {
+	j.out = nil
+	return nil
+}

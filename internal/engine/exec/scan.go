@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// tableSchema builds the row schema of a table bound under an alias.
+func tableSchema(t *catalog.Table, alias string) *expr.RowSchema {
+	cols := make([]expr.ColInfo, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		cols[i] = expr.ColInfo{Qualifier: alias, Name: c.Name, Type: c.Type}
+	}
+	return expr.NewRowSchema(cols...)
+}
+
+// SeqScan reads a table front to back.
+type SeqScan struct {
+	Table  *catalog.Table
+	Alias  string
+	schema *expr.RowSchema
+	cursor *storage.Cursor
+}
+
+// NewSeqScan returns a sequential scan of the table under the alias.
+func NewSeqScan(t *catalog.Table, alias string) *SeqScan {
+	return &SeqScan{Table: t, Alias: alias, schema: tableSchema(t, alias)}
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() *expr.RowSchema { return s.schema }
+
+// Open implements Operator.
+func (s *SeqScan) Open() error {
+	s.cursor = s.Table.Heap.NewCursor()
+	return nil
+}
+
+// Next implements Operator.
+func (s *SeqScan) Next() ([]types.Value, error) {
+	_, row, ok, err := s.cursor.Next()
+	if err != nil || !ok {
+		return nil, err
+	}
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error {
+	s.cursor = nil
+	return nil
+}
+
+// String describes the scan for plan explanations.
+func (s *SeqScan) String() string {
+	return fmt.Sprintf("SeqScan(%s as %s)", s.Table.Schema.Table, s.Alias)
+}
+
+// IndexScan fetches the rows whose indexed column equals a key.
+type IndexScan struct {
+	Table  *catalog.Table
+	Alias  string
+	Index  *catalog.Index
+	Key    types.Value
+	schema *expr.RowSchema
+	rids   []storage.RID
+	pos    int
+}
+
+// NewIndexScan returns an equality index scan.
+func NewIndexScan(t *catalog.Table, alias string, idx *catalog.Index, key types.Value) *IndexScan {
+	return &IndexScan{Table: t, Alias: alias, Index: idx, Key: key, schema: tableSchema(t, alias)}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *expr.RowSchema { return s.schema }
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	s.rids = s.Index.Tree.Lookup(s.Key)
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() ([]types.Value, error) {
+	if s.pos >= len(s.rids) {
+		return nil, nil
+	}
+	row, err := s.Table.Heap.Get(s.rids[s.pos])
+	if err != nil {
+		return nil, err
+	}
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error {
+	s.rids = nil
+	return nil
+}
+
+// String describes the scan.
+func (s *IndexScan) String() string {
+	return fmt.Sprintf("IndexScan(%s as %s on %s = %s)",
+		s.Table.Schema.Table, s.Alias, s.Index.Column, s.Key)
+}
+
+// ValuesScan produces a fixed in-memory row set; the planner uses it for
+// materialized inputs and tests use it as a stub source.
+type ValuesScan struct {
+	Rows   [][]types.Value
+	schema *expr.RowSchema
+	pos    int
+}
+
+// NewValuesScan wraps rows under the given schema.
+func NewValuesScan(schema *expr.RowSchema, rows [][]types.Value) *ValuesScan {
+	return &ValuesScan{Rows: rows, schema: schema}
+}
+
+// Schema implements Operator.
+func (s *ValuesScan) Schema() *expr.RowSchema { return s.schema }
+
+// Open implements Operator.
+func (s *ValuesScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *ValuesScan) Next() ([]types.Value, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, nil
+	}
+	row := s.Rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *ValuesScan) Close() error { return nil }

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// TableFuncApply is the lateral apply that implements TABLE(f(args))
+// items in FROM: for every input row it evaluates the argument
+// expressions (which may reference the input's columns — the correlation
+// the paper's unnest query relies on), invokes the table function, and
+// emits the input row concatenated with each output row.
+type TableFuncApply struct {
+	Child  Operator
+	Func   *expr.TableFunc
+	Args   []expr.Expr // resolved against the child's schema
+	Alias  string
+	schema *expr.RowSchema
+
+	childRow []types.Value
+	outRows  [][]types.Value
+	pos      int
+}
+
+// NewTableFuncApply wraps child with a lateral table-function invocation
+// bound under alias.
+func NewTableFuncApply(child Operator, fn *expr.TableFunc, args []expr.Expr, alias string) *TableFuncApply {
+	cols := make([]expr.ColInfo, len(fn.Cols))
+	for i, name := range fn.Cols {
+		cols[i] = expr.ColInfo{Qualifier: alias, Name: name, Type: fn.Types[i]}
+	}
+	return &TableFuncApply{
+		Child: child, Func: fn, Args: args, Alias: alias,
+		schema: expr.Concat(child.Schema(), expr.NewRowSchema(cols...)),
+	}
+}
+
+// Schema implements Operator.
+func (t *TableFuncApply) Schema() *expr.RowSchema { return t.schema }
+
+// Open implements Operator.
+func (t *TableFuncApply) Open() error {
+	t.childRow = nil
+	t.outRows = nil
+	t.pos = 0
+	return t.Child.Open()
+}
+
+// Next implements Operator.
+func (t *TableFuncApply) Next() ([]types.Value, error) {
+	for {
+		if t.pos < len(t.outRows) {
+			out := concatRows(t.childRow, t.outRows[t.pos])
+			t.pos++
+			return out, nil
+		}
+		row, err := t.Child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		args := make([]types.Value, len(t.Args))
+		for i, a := range t.Args {
+			v, err := a.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		outs, err := t.Func.Fn(args)
+		if err != nil {
+			return nil, err
+		}
+		t.childRow = row
+		t.outRows = outs
+		t.pos = 0
+	}
+}
+
+// Close implements Operator.
+func (t *TableFuncApply) Close() error {
+	t.outRows = nil
+	return t.Child.Close()
+}

@@ -1,0 +1,269 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine/types"
+)
+
+// Expr is a bound scalar expression, evaluated against a row.
+type Expr interface {
+	Eval(row []types.Value) (types.Value, error)
+	String() string
+}
+
+// Const is a literal value.
+type Const struct {
+	Val types.Value
+}
+
+// Eval returns the literal.
+func (c *Const) Eval([]types.Value) (types.Value, error) { return c.Val, nil }
+
+// String renders the literal.
+func (c *Const) String() string {
+	if c.Val.Kind() == types.KindString {
+		return "'" + c.Val.Str() + "'"
+	}
+	return c.Val.String()
+}
+
+// Col is a resolved column reference.
+type Col struct {
+	Idx  int
+	Name string
+}
+
+// Eval returns the row value at the resolved position.
+func (c *Col) Eval(row []types.Value) (types.Value, error) {
+	if c.Idx >= len(row) {
+		return types.Null, fmt.Errorf("expr: column %s index %d out of row of %d", c.Name, c.Idx, len(row))
+	}
+	return row[c.Idx], nil
+}
+
+// String renders the column name.
+func (c *Col) String() string { return c.Name }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator in SQL syntax.
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp is a binary comparison. Comparisons involving NULL are false,
+// approximating three-valued logic for the WHERE clauses the workloads
+// use.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval evaluates both sides and compares.
+func (c *Cmp) Eval(row []types.Value) (types.Value, error) {
+	l, err := c.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := c.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.NewBool(false), nil
+	}
+	n := types.Compare(l, r)
+	var ok bool
+	switch c.Op {
+	case EQ:
+		ok = n == 0
+	case NE:
+		ok = n != 0
+	case LT:
+		ok = n < 0
+	case LE:
+		ok = n <= 0
+	case GT:
+		ok = n > 0
+	case GE:
+		ok = n >= 0
+	}
+	return types.NewBool(ok), nil
+}
+
+// String renders the comparison.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is a conjunction with short-circuit evaluation.
+type And struct {
+	L, R Expr
+}
+
+// Eval short-circuits on a false left side.
+func (a *And) Eval(row []types.Value) (types.Value, error) {
+	l, err := a.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if !l.Truthy() {
+		return types.NewBool(false), nil
+	}
+	r, err := a.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool(r.Truthy()), nil
+}
+
+// String renders the conjunction.
+func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is a disjunction with short-circuit evaluation.
+type Or struct {
+	L, R Expr
+}
+
+// Eval short-circuits on a true left side.
+func (o *Or) Eval(row []types.Value) (types.Value, error) {
+	l, err := o.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if l.Truthy() {
+		return types.NewBool(true), nil
+	}
+	r, err := o.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool(r.Truthy()), nil
+}
+
+// String renders the disjunction.
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not negates its operand.
+type Not struct {
+	E Expr
+}
+
+// Eval negates the operand's truthiness.
+func (n *Not) Eval(row []types.Value) (types.Value, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool(!v.Truthy()), nil
+}
+
+// String renders the negation.
+func (n *Not) String() string { return fmt.Sprintf("NOT %s", n.E) }
+
+// Like is a SQL LIKE predicate with % and _ wildcards. The pattern is
+// compiled once at construction.
+type Like struct {
+	E       Expr
+	Pattern string
+	matcher likeMatcher
+}
+
+// NewLike compiles pattern and returns the predicate.
+func NewLike(e Expr, pattern string) *Like {
+	return &Like{E: e, Pattern: pattern, matcher: compileLike(pattern)}
+}
+
+// Eval matches the operand's string value against the pattern; non-string
+// operands and NULLs yield false.
+func (l *Like) Eval(row []types.Value) (types.Value, error) {
+	v, err := l.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if v.Kind() != types.KindString {
+		return types.NewBool(false), nil
+	}
+	return types.NewBool(l.matcher(v.Str())), nil
+}
+
+// String renders the predicate.
+func (l *Like) String() string { return fmt.Sprintf("%s LIKE '%s'", l.E, l.Pattern) }
+
+// likeMatcher matches a string against a compiled LIKE pattern.
+type likeMatcher func(s string) bool
+
+// compileLike builds a matcher. The common '%key%' shape compiles to a
+// substring search; general patterns fall back to greedy segment
+// matching.
+func compileLike(pattern string) likeMatcher {
+	if !strings.Contains(pattern, "_") {
+		trimmed := strings.Trim(pattern, "%")
+		if !strings.Contains(trimmed, "%") {
+			switch {
+			case strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") && len(pattern) >= 2:
+				return func(s string) bool { return strings.Contains(s, trimmed) }
+			case strings.HasPrefix(pattern, "%"):
+				return func(s string) bool { return strings.HasSuffix(s, trimmed) }
+			case strings.HasSuffix(pattern, "%"):
+				return func(s string) bool { return strings.HasPrefix(s, trimmed) }
+			default:
+				return func(s string) bool { return s == trimmed }
+			}
+		}
+	}
+	return func(s string) bool { return likeMatch(pattern, s) }
+}
+
+// likeMatch is a backtracking matcher for general LIKE patterns.
+func likeMatch(pattern, s string) bool {
+	pi, si := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP = pi
+			starS = si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

@@ -1,0 +1,76 @@
+// Package expr defines row schemas, scalar expressions, and the function
+// registry of the engine. The registry distinguishes built-in functions
+// (evaluated inline) from user-defined functions (invoked through the UDF
+// call convention, optionally "fenced" in a separate goroutine), which is
+// the mechanism behind the paper's Figure 14 overhead measurement.
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/engine/types"
+)
+
+// ColInfo describes one column of an intermediate row: an optional
+// qualifier (table name or alias) and the column name.
+type ColInfo struct {
+	Qualifier string
+	Name      string
+	Type      types.Kind
+}
+
+// RowSchema is the schema of rows flowing between operators.
+type RowSchema struct {
+	Cols []ColInfo
+}
+
+// NewRowSchema builds a schema from column infos.
+func NewRowSchema(cols ...ColInfo) *RowSchema {
+	return &RowSchema{Cols: cols}
+}
+
+// Concat returns a schema with the columns of a followed by those of b.
+func Concat(a, b *RowSchema) *RowSchema {
+	cols := make([]ColInfo, 0, len(a.Cols)+len(b.Cols))
+	cols = append(cols, a.Cols...)
+	cols = append(cols, b.Cols...)
+	return &RowSchema{Cols: cols}
+}
+
+// Resolve finds the index of a column reference. An empty qualifier
+// matches any; ambiguous or missing references are errors.
+func (s *RowSchema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if c.Name != name {
+			continue
+		}
+		if qualifier != "" && c.Qualifier != qualifier {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("expr: ambiguous column reference %s", refString(qualifier, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("expr: unknown column %s", refString(qualifier, name))
+	}
+	return found, nil
+}
+
+func refString(q, n string) string {
+	if q == "" {
+		return n
+	}
+	return q + "." + n
+}
+
+// Names returns the bare column names in order.
+func (s *RowSchema) Names() []string {
+	out := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = c.Name
+	}
+	return out
+}

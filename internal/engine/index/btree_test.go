@@ -1,0 +1,202 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+func rid(n int) storage.RID { return storage.RID{Page: int32(n / 100), Slot: int32(n % 100)} }
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10; i++ {
+		tr.Insert(types.NewInt(int64(i)), rid(i))
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		rids := tr.Lookup(types.NewInt(int64(i)))
+		if len(rids) != 1 || rids[0] != rid(i) {
+			t.Errorf("Lookup(%d) = %v", i, rids)
+		}
+	}
+	if got := tr.Lookup(types.NewInt(99)); len(got) != 0 {
+		t.Errorf("Lookup(99) = %v", got)
+	}
+}
+
+func TestInsertManyRandomOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Insert(types.NewInt(int64(i)), rid(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("Height = %d, want a real tree", tr.Height())
+	}
+	// Full scan is sorted and complete.
+	var prev types.Value = types.Null
+	count := 0
+	tr.Ascend(func(k types.Value, _ storage.RID) bool {
+		if !prev.IsNull() && types.Compare(prev, k) > 0 {
+			t.Fatalf("out of order: %v after %v", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+	// Point lookups.
+	for i := 0; i < 500; i++ {
+		k := rng.Intn(n)
+		rids := tr.Lookup(types.NewInt(int64(k)))
+		if len(rids) != 1 || rids[0] != rid(k) {
+			t.Fatalf("Lookup(%d) = %v", k, rids)
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	const dups = 500
+	for i := 0; i < dups; i++ {
+		tr.Insert(types.NewInt(42), rid(i))
+	}
+	for i := 0; i < 200; i++ {
+		tr.Insert(types.NewInt(int64(i*1000)), rid(10000+i))
+	}
+	got := tr.Lookup(types.NewInt(42))
+	if len(got) != dups+1 { // +1 for 42*0? no: i*1000 == 0,1000,...; 42 not among them
+		// 42 is not a multiple of 1000, so exactly dups matches.
+		if len(got) != dups {
+			t.Fatalf("Lookup(42) returned %d rids, want %d", len(got), dups)
+		}
+	}
+	seen := map[storage.RID]bool{}
+	for _, r := range got {
+		seen[r] = true
+	}
+	if len(seen) != dups {
+		t.Errorf("duplicate rids collapsed: %d distinct", len(seen))
+	}
+}
+
+func TestDuplicatesSpanningSplits(t *testing.T) {
+	tr := New()
+	// Long runs of equal string keys force duplicate runs across leaf
+	// splits.
+	keys := []string{"alpha", "beta", "gamma"}
+	const run = 300
+	n := 0
+	for _, k := range keys {
+		for i := 0; i < run; i++ {
+			tr.Insert(types.NewString(k), rid(n))
+			n++
+		}
+	}
+	for _, k := range keys {
+		if got := len(tr.Lookup(types.NewString(k))); got != run {
+			t.Errorf("Lookup(%s) = %d rids, want %d", k, got, run)
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(types.NewInt(int64(i)), rid(i))
+	}
+	var got []int64
+	tr.AscendRange(types.NewInt(100), types.NewInt(110), func(k types.Value, _ storage.RID) bool {
+		got = append(got, k.Int())
+		return true
+	})
+	if len(got) != 11 || got[0] != 100 || got[10] != 110 {
+		t.Errorf("range [100,110] = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(types.Null, types.Null, func(types.Value, storage.RID) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+	// Open-ended ranges.
+	count = 0
+	tr.AscendRange(types.NewInt(990), types.Null, func(types.Value, storage.RID) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Errorf("open upper range visited %d, want 10", count)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"speaker", "line", "act", "scene", "play", "title"}
+	for i, w := range words {
+		tr.Insert(types.NewString(w), rid(i))
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	var got []string
+	tr.Ascend(func(k types.Value, _ storage.RID) bool {
+		got = append(got, k.Str())
+		return true
+	})
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("order = %v, want %v", got, sorted)
+		}
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	tr := New()
+	if tr.NodeCount() != 1 || tr.SizeBytes() != storage.PageSize {
+		t.Errorf("empty tree: nodes=%d size=%d", tr.NodeCount(), tr.SizeBytes())
+	}
+	for i := 0; i < 50000; i++ {
+		tr.Insert(types.NewInt(int64(i)), rid(i))
+	}
+	if tr.NodeCount() < 50000/order {
+		t.Errorf("NodeCount = %d, implausibly small", tr.NodeCount())
+	}
+	if tr.SizeBytes() != int64(tr.NodeCount())*storage.PageSize {
+		t.Error("SizeBytes disagrees with NodeCount")
+	}
+}
+
+func TestLookupMatchesLinearScanProperty(t *testing.T) {
+	f := func(keys []int16, probe int16) bool {
+		tr := New()
+		want := 0
+		for i, k := range keys {
+			tr.Insert(types.NewInt(int64(k)), rid(i))
+			if k == probe {
+				want++
+			}
+		}
+		return len(tr.Lookup(types.NewInt(int64(probe)))) == want
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,719 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sql"
+)
+
+// JoinAlgorithm selects the physical equi-join operator.
+type JoinAlgorithm string
+
+// Join algorithms. The paper's DB2 setup had hash joins enabled; merge
+// and nested-loop exist for the §4.4 cost-shape ablation.
+const (
+	JoinHash   JoinAlgorithm = "hash"
+	JoinMerge  JoinAlgorithm = "merge"
+	JoinNested JoinAlgorithm = "nested"
+)
+
+// Options tune the optimizer.
+type Options struct {
+	// Join picks the equi-join algorithm; empty means hash.
+	Join JoinAlgorithm
+	// DisableIndexScan forces sequential scans.
+	DisableIndexScan bool
+	// DisablePushdown keeps all predicates above the joins.
+	DisablePushdown bool
+	// IndexJoin enables index-nested-loop joins when the inner table has
+	// an index on the join column.
+	IndexJoin bool
+}
+
+// Planner compiles SELECT statements against a catalog and function
+// registry.
+type Planner struct {
+	Cat  *catalog.Catalog
+	Reg  *expr.Registry
+	Opts Options
+}
+
+// New returns a planner with default options.
+func New(cat *catalog.Catalog, reg *expr.Registry) *Planner {
+	return &Planner{Cat: cat, Reg: reg}
+}
+
+// baseItem is one base-table FROM entry.
+type baseItem struct {
+	alias  string
+	table  *catalog.Table
+	schema *expr.RowSchema
+	push   []sql.Expr // single-alias conjuncts pushed to this table
+	est    float64    // estimated output cardinality after pushdown
+}
+
+// funcItem is one TABLE(f(...)) FROM entry.
+type funcItem struct {
+	alias  string
+	fn     *expr.TableFunc
+	call   *sql.TableFuncCall
+	schema *expr.RowSchema
+}
+
+// Plan compiles a statement into an executable operator tree.
+func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: FROM list is empty")
+	}
+	bases, funcs, schemas, err := p.analyzeFrom(stmt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify WHERE conjuncts.
+	var joinPreds []joinPred // two-alias equi predicates between base tables
+	var residual []sql.Expr  // everything else evaluated above the joins
+	if stmt.Where != nil {
+		for _, conj := range splitConjuncts(stmt.Where) {
+			aliases, err := refAliases(conj, schemas)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case len(aliases) == 1 && !p.Opts.DisablePushdown && isBaseAlias(bases, aliases):
+				alias := firstKey(aliases)
+				b := findBase(bases, alias)
+				b.push = append(b.push, conj)
+			case len(aliases) == 2 && isBaseAlias(bases, aliases) && isEquiJoin(conj):
+				l, r, _ := equiJoinSides(conj)
+				la, err := resolveOwner(l, schemas)
+				if err != nil {
+					return nil, err
+				}
+				ra, err := resolveOwner(r, schemas)
+				if err != nil {
+					return nil, err
+				}
+				joinPreds = append(joinPreds, joinPred{l: l, r: r, la: la, ra: ra})
+			default:
+				residual = append(residual, conj)
+			}
+		}
+	}
+	p.estimate(bases)
+
+	root, err := p.buildJoinTree(bases, joinPreds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lateral table functions, in declaration order.
+	for _, f := range funcs {
+		args := make([]expr.Expr, len(f.call.Args))
+		for i, a := range f.call.Args {
+			bound, err := p.bind(a, root.Schema())
+			if err != nil {
+				return nil, err
+			}
+			args[i] = bound
+		}
+		root = exec.NewTableFuncApply(root, f.fn, args, f.alias)
+	}
+
+	// Residual predicates.
+	if len(residual) > 0 {
+		pred, err := p.bindConjuncts(residual, root.Schema())
+		if err != nil {
+			return nil, err
+		}
+		root = exec.NewFilter(root, pred)
+	}
+
+	// Aggregation and projection.
+	root, err = p.buildOutput(stmt, root)
+	if err != nil {
+		return nil, err
+	}
+
+	// HAVING filters the projected (post-aggregate) rows, so aliases and
+	// grouped expressions resolve by output column name.
+	if stmt.Having != nil {
+		if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
+			return nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+		}
+		pred, err := p.bind(stmt.Having, root.Schema())
+		if err != nil {
+			return nil, err
+		}
+		root = exec.NewFilter(root, pred)
+	}
+
+	if stmt.Distinct {
+		root = exec.NewDistinct(root)
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]expr.Expr, len(stmt.OrderBy))
+		desc := make([]bool, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			bound, err := p.bind(o.Expr, root.Schema())
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = bound
+			desc[i] = o.Desc
+		}
+		root = exec.NewSort(root, keys, desc)
+	}
+	if stmt.Limit >= 0 {
+		root = exec.NewLimit(root, stmt.Limit)
+	}
+	return root, nil
+}
+
+// analyzeFrom resolves FROM items against the catalog and registry.
+func (p *Planner) analyzeFrom(stmt *sql.SelectStmt) ([]*baseItem, []*funcItem, map[string]*expr.RowSchema, error) {
+	var bases []*baseItem
+	var funcs []*funcItem
+	schemas := map[string]*expr.RowSchema{}
+	for _, f := range stmt.From {
+		if _, dup := schemas[f.Alias]; dup {
+			return nil, nil, nil, fmt.Errorf("plan: duplicate alias %q in FROM", f.Alias)
+		}
+		if f.Func != nil {
+			fn := p.Reg.Table(f.Func.Name)
+			if fn == nil {
+				return nil, nil, nil, fmt.Errorf("plan: unknown table function %s", f.Func.Name)
+			}
+			if len(f.Func.Args) < fn.MinArgs || len(f.Func.Args) > fn.MaxArgs {
+				return nil, nil, nil, fmt.Errorf("plan: %s expects %d..%d arguments, got %d",
+					fn.Name, fn.MinArgs, fn.MaxArgs, len(f.Func.Args))
+			}
+			cols := make([]expr.ColInfo, len(fn.Cols))
+			for i, name := range fn.Cols {
+				cols[i] = expr.ColInfo{Qualifier: f.Alias, Name: name, Type: fn.Types[i]}
+			}
+			funcs = append(funcs, &funcItem{
+				alias: f.Alias, fn: fn, call: f.Func,
+				schema: expr.NewRowSchema(cols...),
+			})
+			schemas[f.Alias] = funcs[len(funcs)-1].schema
+			continue
+		}
+		tbl := p.Cat.Table(f.Table)
+		if tbl == nil {
+			return nil, nil, nil, fmt.Errorf("plan: unknown table %s", f.Table)
+		}
+		cols := make([]expr.ColInfo, len(tbl.Schema.Columns))
+		for i, c := range tbl.Schema.Columns {
+			cols[i] = expr.ColInfo{Qualifier: f.Alias, Name: c.Name, Type: c.Type}
+		}
+		bases = append(bases, &baseItem{
+			alias: f.Alias, table: tbl,
+			schema: expr.NewRowSchema(cols...),
+		})
+		schemas[f.Alias] = bases[len(bases)-1].schema
+	}
+	if len(bases) == 0 {
+		return nil, nil, nil, fmt.Errorf("plan: FROM needs at least one base table")
+	}
+	return bases, funcs, schemas, nil
+}
+
+// estimate fills per-table cardinality estimates using catalog statistics
+// and simple selectivity rules (1/distinct for indexed equality, 10% for
+// other predicates).
+func (p *Planner) estimate(bases []*baseItem) {
+	for _, b := range bases {
+		rows := float64(b.table.Rows())
+		if b.table.Stats.Valid {
+			rows = float64(b.table.Stats.Rows)
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		for _, conj := range b.push {
+			if ref, _, ok := constEquality(conj); ok {
+				d := b.table.Stats.DistinctOr(ref.Name, 10)
+				if d < 1 {
+					d = 1
+				}
+				rows /= float64(d)
+			} else {
+				rows *= 0.1
+			}
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		b.est = rows
+	}
+}
+
+// access builds the access path for one base table: an index scan when an
+// indexed equality predicate exists, a sequential scan otherwise, with
+// remaining pushed predicates applied as a filter.
+func (p *Planner) access(b *baseItem) (exec.Operator, error) {
+	var op exec.Operator
+	remaining := b.push
+	if !p.Opts.DisableIndexScan {
+		for i, conj := range b.push {
+			ref, val, ok := constEquality(conj)
+			if !ok {
+				continue
+			}
+			idx := b.table.IndexOn(ref.Name)
+			if idx == nil {
+				continue
+			}
+			op = exec.NewIndexScan(b.table, b.alias, idx, val)
+			remaining = append(append([]sql.Expr(nil), b.push[:i]...), b.push[i+1:]...)
+			break
+		}
+	}
+	if op == nil {
+		op = exec.NewSeqScan(b.table, b.alias)
+	}
+	if len(remaining) > 0 {
+		pred, err := p.bindConjuncts(remaining, op.Schema())
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewFilter(op, pred)
+	}
+	return op, nil
+}
+
+// joinPred is a classified two-alias equi-join conjunct with its sides'
+// owning aliases resolved.
+type joinPred struct {
+	l, r   *sql.ColRef
+	la, ra string
+}
+
+func (jp joinPred) expr() sql.Expr {
+	return &sql.BinOp{Op: "=", L: jp.l, R: jp.r}
+}
+
+// buildJoinTree greedily assembles a left-deep join tree: smallest
+// estimated table first, then repeatedly the smallest table connected to
+// the current set by an equi-join predicate (falling back to a cross
+// product only when the FROM list is genuinely disconnected).
+func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred) (exec.Operator, error) {
+	remaining := append([]*baseItem(nil), bases...)
+	used := make([]bool, len(joinPreds))
+	joined := map[string]bool{}
+
+	// Start with the smallest table.
+	start := smallest(remaining, func(*baseItem) bool { return true })
+	cur, err := p.access(remaining[start])
+	if err != nil {
+		return nil, err
+	}
+	joined[remaining[start].alias] = true
+	remaining = append(remaining[:start], remaining[start+1:]...)
+
+	for len(remaining) > 0 {
+		// Prefer tables connected to the joined set.
+		next := smallest(remaining, func(b *baseItem) bool {
+			return connected(b.alias, joined, joinPreds, used)
+		})
+		if next < 0 {
+			next = smallest(remaining, func(*baseItem) bool { return true })
+		}
+		b := remaining[next]
+		remaining = append(remaining[:next], remaining[next+1:]...)
+
+		// Collect the applicable predicates: one side owned by b, the
+		// other already joined.
+		combined := expr.Concat(cur.Schema(), b.schema)
+		var keyL, keyR expr.Expr
+		var innerCol string // b-side column of the first key
+		var extra []expr.Expr
+		for i, jp := range joinPreds {
+			if used[i] {
+				continue
+			}
+			var oldRef, newRef *sql.ColRef
+			switch {
+			case joined[jp.la] && jp.ra == b.alias:
+				oldRef, newRef = jp.l, jp.r
+			case jp.la == b.alias && joined[jp.ra]:
+				oldRef, newRef = jp.r, jp.l
+			default:
+				continue
+			}
+			used[i] = true
+			boundOld, err := p.bind(oldRef, combined)
+			if err != nil {
+				return nil, err
+			}
+			boundNew, err := p.bind(newRef, combined)
+			if err != nil {
+				return nil, err
+			}
+			if keyL == nil {
+				keyL, keyR = boundOld, boundNew
+				innerCol = newRef.Name
+			} else {
+				extra = append(extra, &expr.Cmp{Op: expr.EQ, L: boundOld, R: boundNew})
+			}
+		}
+
+		// Index nested loops: profitable when enabled, the inner table
+		// has an index on the join column, and no pushed predicate wants
+		// its own access path.
+		if keyL != nil && p.Opts.IndexJoin && len(b.push) == 0 {
+			if idx := b.table.IndexOn(innerCol); idx != nil {
+				cur = exec.NewIndexLoopJoin(cur, b.table, b.alias, idx, keyL)
+				for _, e := range extra {
+					cur = exec.NewFilter(cur, e)
+				}
+				joined[b.alias] = true
+				continue
+			}
+		}
+
+		right, err := p.access(b)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case keyL == nil:
+			cur = exec.NewNestedLoopJoin(cur, right, nil)
+		case p.Opts.Join == JoinMerge:
+			cur = exec.NewMergeJoin(cur, right, keyL, keyR)
+		case p.Opts.Join == JoinNested:
+			cur = exec.NewNestedLoopJoin(cur, right, &expr.Cmp{Op: expr.EQ, L: keyL, R: keyR})
+		default:
+			cur = exec.NewHashJoin(cur, right, keyL, keyR)
+		}
+		for _, e := range extra {
+			cur = exec.NewFilter(cur, e)
+		}
+		joined[b.alias] = true
+	}
+
+	// Any join predicates never consumed (e.g. self predicates within one
+	// alias when pushdown is disabled) become filters.
+	for i, jp := range joinPreds {
+		if used[i] {
+			continue
+		}
+		bound, err := p.bind(jp.expr(), cur.Schema())
+		if err != nil {
+			return nil, err
+		}
+		cur = exec.NewFilter(cur, bound)
+	}
+	return cur, nil
+}
+
+// buildOutput adds aggregation and projection.
+func (p *Planner) buildOutput(stmt *sql.SelectStmt, input exec.Operator) (exec.Operator, error) {
+	if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
+		exprs := make([]expr.Expr, len(stmt.Items))
+		names := make([]string, len(stmt.Items))
+		for i, item := range stmt.Items {
+			bound, err := p.bind(item.Expr, input.Schema())
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = bound
+			names[i] = outputName(item, i)
+		}
+		return exec.NewProject(input, exprs, names), nil
+	}
+
+	// Aggregation: group expressions first.
+	groupExprs := make([]expr.Expr, len(stmt.GroupBy))
+	groupNames := make([]string, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		bound, err := p.bind(g, input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = bound
+		if ref, ok := g.(*sql.ColRef); ok {
+			groupNames[i] = ref.Name
+		} else {
+			groupNames[i] = g.String()
+		}
+	}
+	var aggs []exec.AggSpec
+	aggPos := map[int]int{} // select item index → agg index
+	for i, item := range stmt.Items {
+		if item.Agg == sql.AggNone {
+			continue
+		}
+		spec := exec.AggSpec{Distinct: item.AggDistinct, Name: outputName(item, i)}
+		switch item.Agg {
+		case sql.AggCount:
+			spec.Kind = exec.AggCount
+		case sql.AggSum:
+			spec.Kind = exec.AggSum
+		case sql.AggMin:
+			spec.Kind = exec.AggMin
+		case sql.AggMax:
+			spec.Kind = exec.AggMax
+		}
+		if !item.Star {
+			bound, err := p.bind(item.Expr, input.Schema())
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = bound
+		}
+		aggPos[i] = len(aggs)
+		aggs = append(aggs, spec)
+	}
+	agg := exec.NewHashAggregate(input, groupExprs, groupNames, aggs)
+
+	// Map select items onto the aggregate's output columns.
+	exprs := make([]expr.Expr, len(stmt.Items))
+	names := make([]string, len(stmt.Items))
+	for i, item := range stmt.Items {
+		names[i] = outputName(item, i)
+		if ai, ok := aggPos[i]; ok {
+			exprs[i] = &expr.Col{Idx: len(groupExprs) + ai, Name: names[i]}
+			continue
+		}
+		// A non-aggregate select item must match a GROUP BY expression:
+		// syntactically, or by column name for references.
+		gi := -1
+		for j, g := range stmt.GroupBy {
+			if g.String() == item.Expr.String() {
+				gi = j
+				break
+			}
+			ref, rok := item.Expr.(*sql.ColRef)
+			gref, gok := g.(*sql.ColRef)
+			if rok && gok && gref.Name == ref.Name &&
+				(ref.Qualifier == "" || gref.Qualifier == "" || ref.Qualifier == gref.Qualifier) {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
+			return nil, fmt.Errorf("plan: select item %q is not in GROUP BY", item.Expr)
+		}
+		exprs[i] = &expr.Col{Idx: gi, Name: names[i]}
+	}
+	return exec.NewProject(agg, exprs, names), nil
+}
+
+// bindConjuncts binds a conjunct list and ANDs it together.
+func (p *Planner) bindConjuncts(conjs []sql.Expr, schema *expr.RowSchema) (expr.Expr, error) {
+	var out expr.Expr
+	for _, c := range conjs {
+		bound, err := p.bind(c, schema)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = bound
+		} else {
+			out = &expr.And{L: out, R: bound}
+		}
+	}
+	return out, nil
+}
+
+// outputName derives the output column name of a select item.
+func outputName(item sql.SelectItem, pos int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if item.Agg != sql.AggNone {
+		name := strings.ToLower(item.Agg.String())
+		if item.Star {
+			return name
+		}
+		if ref, ok := item.Expr.(*sql.ColRef); ok {
+			return name + "_" + ref.Name
+		}
+		return fmt.Sprintf("%s_%d", name, pos+1)
+	}
+	if ref, ok := item.Expr.(*sql.ColRef); ok {
+		return ref.Name
+	}
+	return fmt.Sprintf("col_%d", pos+1)
+}
+
+// resolveOwner resolves which FROM alias a column reference belongs to.
+func resolveOwner(ref *sql.ColRef, schemas map[string]*expr.RowSchema) (string, error) {
+	if ref.Qualifier != "" {
+		if _, ok := schemas[ref.Qualifier]; !ok {
+			return "", fmt.Errorf("plan: unknown table alias %q", ref.Qualifier)
+		}
+		return ref.Qualifier, nil
+	}
+	owner := ""
+	for alias, s := range schemas {
+		if _, err := s.Resolve(alias, ref.Name); err == nil {
+			if owner != "" {
+				return "", fmt.Errorf("plan: ambiguous column %q", ref.Name)
+			}
+			owner = alias
+		}
+	}
+	if owner == "" {
+		return "", fmt.Errorf("plan: unknown column %q", ref.Name)
+	}
+	return owner, nil
+}
+
+func isEquiJoin(e sql.Expr) bool {
+	_, _, ok := equiJoinSides(e)
+	return ok
+}
+
+func isBaseAlias(bases []*baseItem, aliases map[string]bool) bool {
+	for a := range aliases {
+		if findBase(bases, a) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func findBase(bases []*baseItem, alias string) *baseItem {
+	for _, b := range bases {
+		if b.alias == alias {
+			return b
+		}
+	}
+	return nil
+}
+
+func firstKey(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// smallest returns the index of the eligible base item with the lowest
+// estimate, or -1.
+func smallest(items []*baseItem, eligible func(*baseItem) bool) int {
+	best := -1
+	for i, b := range items {
+		if !eligible(b) {
+			continue
+		}
+		if best < 0 || b.est < items[best].est {
+			best = i
+		}
+	}
+	return best
+}
+
+// connected reports whether alias has an unused equi edge into the joined
+// set.
+func connected(alias string, joined map[string]bool, preds []joinPred, used []bool) bool {
+	for i, jp := range preds {
+		if used[i] {
+			continue
+		}
+		if (jp.la == alias && joined[jp.ra]) || (jp.ra == alias && joined[jp.la]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Explain renders a physical plan tree for diagnostics and tests.
+func Explain(op exec.Operator) string {
+	var sb strings.Builder
+	explain(&sb, op, 0)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, op exec.Operator, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n := op.(type) {
+	case *exec.SeqScan:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+	case *exec.IndexScan:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+	case *exec.ValuesScan:
+		fmt.Fprintf(sb, "%sValuesScan(%d rows)\n", indent, len(n.Rows))
+	case *exec.Filter:
+		fmt.Fprintf(sb, "%sFilter(%s)\n", indent, n.Pred)
+		explain(sb, n.Child, depth+1)
+	case *exec.Project:
+		fmt.Fprintf(sb, "%sProject(%s)\n", indent, strings.Join(n.Schema().Names(), ", "))
+		explain(sb, n.Child, depth+1)
+	case *exec.HashJoin:
+		fmt.Fprintf(sb, "%sHashJoin(%s = %s)\n", indent, n.LeftKey, n.RightKey)
+		explain(sb, n.Left, depth+1)
+		explain(sb, n.Right, depth+1)
+	case *exec.MergeJoin:
+		fmt.Fprintf(sb, "%sMergeJoin(%s = %s)\n", indent, n.LeftKey, n.RightKey)
+		explain(sb, n.Left, depth+1)
+		explain(sb, n.Right, depth+1)
+	case *exec.NestedLoopJoin:
+		if n.Pred == nil {
+			fmt.Fprintf(sb, "%sCrossProduct\n", indent)
+		} else {
+			fmt.Fprintf(sb, "%sNestedLoopJoin(%s)\n", indent, n.Pred)
+		}
+		explain(sb, n.Left, depth+1)
+		explain(sb, n.Right, depth+1)
+	case *exec.IndexLoopJoin:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		explain(sb, n.Left, depth+1)
+	case *exec.TableFuncApply:
+		fmt.Fprintf(sb, "%sTableFuncApply(%s as %s)\n", indent, n.Func.Name, n.Alias)
+		explain(sb, n.Child, depth+1)
+	case *exec.HashAggregate:
+		fmt.Fprintf(sb, "%sHashAggregate(%d groups keys, %d aggs)\n", indent, len(n.GroupBy), len(n.Aggs))
+		explain(sb, n.Child, depth+1)
+	case *exec.Sort:
+		fmt.Fprintf(sb, "%sSort\n", indent)
+		explain(sb, n.Child, depth+1)
+	case *exec.Distinct:
+		fmt.Fprintf(sb, "%sDistinct\n", indent)
+		explain(sb, n.Child, depth+1)
+	case *exec.Limit:
+		fmt.Fprintf(sb, "%sLimit(%d)\n", indent, n.N)
+		explain(sb, n.Child, depth+1)
+	default:
+		fmt.Fprintf(sb, "%s%T\n", indent, op)
+	}
+}
+
+// CountJoins returns the number of join operators in a plan — the metric
+// the paper's analysis centers on ("queries usually have fewer joins").
+func CountJoins(op exec.Operator) int {
+	switch n := op.(type) {
+	case *exec.Filter:
+		return CountJoins(n.Child)
+	case *exec.Project:
+		return CountJoins(n.Child)
+	case *exec.HashJoin:
+		return 1 + CountJoins(n.Left) + CountJoins(n.Right)
+	case *exec.MergeJoin:
+		return 1 + CountJoins(n.Left) + CountJoins(n.Right)
+	case *exec.NestedLoopJoin:
+		return 1 + CountJoins(n.Left) + CountJoins(n.Right)
+	case *exec.IndexLoopJoin:
+		return 1 + CountJoins(n.Left)
+	case *exec.TableFuncApply:
+		return CountJoins(n.Child)
+	case *exec.HashAggregate:
+		return CountJoins(n.Child)
+	case *exec.Sort:
+		return CountJoins(n.Child)
+	case *exec.Distinct:
+		return CountJoins(n.Child)
+	case *exec.Limit:
+		return CountJoins(n.Child)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,184 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an unbound expression node; the planner binds column references
+// against the FROM schemas.
+type Expr interface {
+	String() string
+}
+
+// ColRef references a column, optionally qualified by a table alias.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+// String renders the reference.
+func (c *ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+}
+
+// String renders the literal.
+func (i *IntLit) String() string { return fmt.Sprintf("%d", i.Val) }
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+}
+
+// String renders the literal in SQL quoting.
+func (s *StrLit) String() string {
+	return "'" + strings.ReplaceAll(s.Val, "'", "''") + "'"
+}
+
+// BinOp is a binary operator: comparisons, AND, OR.
+type BinOp struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+}
+
+// String renders the operation.
+func (b *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// NotExpr negates an expression.
+type NotExpr struct {
+	E Expr
+}
+
+// String renders the negation.
+func (n *NotExpr) String() string { return "NOT " + n.E.String() }
+
+// LikeExpr is a LIKE predicate.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Negated bool
+}
+
+// String renders the predicate.
+func (l *LikeExpr) String() string {
+	op := "LIKE"
+	if l.Negated {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s '%s'", l.E, op, l.Pattern)
+}
+
+// FuncExpr is a scalar function invocation.
+type FuncExpr struct {
+	Name string
+	Args []Expr
+}
+
+// String renders the call.
+func (f *FuncExpr) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregates supported in select lists.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return ""
+	}
+}
+
+// SelectItem is one output expression of a SELECT.
+type SelectItem struct {
+	// Expr is the value expression; nil for COUNT(*).
+	Expr Expr
+	// Alias is the output name from AS, or "".
+	Alias string
+	// Agg is the aggregate applied, AggNone for plain expressions.
+	Agg AggKind
+	// AggDistinct marks COUNT(DISTINCT expr).
+	AggDistinct bool
+	// Star marks COUNT(*).
+	Star bool
+}
+
+// FromItem is one entry of the FROM list: a base table or a table
+// function.
+type FromItem struct {
+	// Table is the base-table name; empty for table functions.
+	Table string
+	// Alias is the binding name (defaults to the table name).
+	Alias string
+	// Func is set for TABLE(f(args)) items.
+	Func *TableFuncCall
+}
+
+// TableFuncCall is a table-function invocation in FROM.
+type TableFuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr
+	GroupBy  []Expr
+	// Having filters groups; references output columns of the aggregate
+	// (aliases or grouped expressions).
+	Having  Expr
+	OrderBy []OrderItem
+	// Limit bounds the result set; negative means no limit.
+	Limit int64
+}
+
+// HasAggregates reports whether any select item applies an aggregate.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}

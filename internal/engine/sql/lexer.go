@@ -1,0 +1,159 @@
+// Package sql parses the SQL subset the paper's workloads use: SELECT
+// with DISTINCT, scalar and aggregate expressions, multi-table FROM lists
+// with TABLE(f(...)) table-function items, WHERE with comparisons, LIKE,
+// AND/OR/NOT, GROUP BY, and ORDER BY.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * = <> < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// Error reports a parse failure with position context.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: at %d: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9':
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case strings.ContainsRune("(),.*=", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		case c == '<':
+			l.pos++
+			text := "<"
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				text += string(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: text, pos: start})
+		case c == '>':
+			l.pos++
+			text := ">"
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				text += "="
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: text, pos: start})
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokSymbol, text: "<>", pos: start})
+			} else {
+				return nil, &Error{Pos: start, Msg: "unexpected '!'"}
+			}
+		case c == '-':
+			// Negative integer literal.
+			l.pos++
+			if l.pos >= len(l.src) || l.src[l.pos] < '0' || l.src[l.pos] > '9' {
+				return nil, &Error{Pos: start, Msg: "unexpected '-'"}
+			}
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		default:
+			return nil, &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// lexString parses a single-quoted literal with ” as the escape for a
+// quote.
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", &Error{Pos: start, Msg: "unterminated string literal"}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,456 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("") && p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// atKeyword reports whether the current token is the given keyword
+// (case-insensitive). An empty keyword never matches.
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return kw != "" && t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) atSymbol(s string) bool {
+	t := p.cur()
+	return t.kind == tokSymbol && t.text == s
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.atSymbol(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %q", t.text)
+	}
+	if isReserved(t.text) {
+		return "", p.errorf("reserved word %q used as identifier", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+var reserved = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"and": true, "or": true, "not": true, "like": true, "group": true,
+	"by": true, "order": true, "as": true, "table": true, "asc": true,
+	"desc": true, "having": true, "limit": true,
+}
+
+func isReserved(word string) bool { return reserved[strings.ToLower(word)] }
+
+var aggKinds = map[string]AggKind{
+	"count": AggCount, "sum": AggSum, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return nil, p.errorf("LIMIT requires an integer")
+		}
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	// Aggregate?
+	if t := p.cur(); t.kind == tokIdent {
+		if agg, ok := aggKinds[strings.ToLower(t.text)]; ok && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.advance()
+			p.advance() // '('
+			item.Agg = agg
+			if agg == AggCount && p.atSymbol("*") {
+				p.advance()
+				item.Star = true
+			} else {
+				item.AggDistinct = p.acceptKeyword("DISTINCT")
+				e, err := p.parseExpr()
+				if err != nil {
+					return item, err
+				}
+				item.Expr = e
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return item, err
+			}
+			return p.parseItemAlias(item)
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return item, err
+	}
+	item.Expr = e
+	return p.parseItemAlias(item)
+}
+
+func (p *parser) parseItemAlias(item SelectItem) (SelectItem, error) {
+	if p.acceptKeyword("AS") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = name
+	}
+	return item, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	var item FromItem
+	if p.acceptKeyword("TABLE") {
+		if err := p.expectSymbol("("); err != nil {
+			return item, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return item, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return item, err
+		}
+		call := &TableFuncCall{Name: name}
+		if !p.atSymbol(")") {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return item, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return item, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return item, err
+		}
+		alias, err := p.expectIdent()
+		if err != nil {
+			return item, fmt.Errorf("%w (table functions need an alias)", err)
+		}
+		item.Func = call
+		item.Alias = alias
+		return item, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return item, err
+	}
+	item.Table = name
+	item.Alias = name
+	// Optional alias (possibly with AS).
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	} else if t := p.cur(); t.kind == tokIdent && !isReserved(t.text) {
+		item.Alias = t.text
+		p.advance()
+	}
+	return item, nil
+}
+
+// Expression grammar: or := and (OR and)*; and := unary (AND unary)*;
+// unary := NOT unary | cmp; cmp := primary ((=|<>|<|<=|>|>=) primary |
+// [NOT] LIKE 'pattern')?; primary := literal | func(args) | colref |
+// (or).
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	negated := false
+	if p.atKeyword("NOT") && p.pos+1 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokIdent && strings.EqualFold(p.toks[p.pos+1].text, "LIKE") {
+		p.advance()
+		negated = true
+	}
+	if p.acceptKeyword("LIKE") {
+		t := p.cur()
+		if t.kind != tokString {
+			return nil, p.errorf("LIKE requires a string pattern")
+		}
+		p.advance()
+		return &LikeExpr{E: l, Pattern: t.text, Negated: negated}, nil
+	}
+	if negated {
+		return nil, p.errorf("expected LIKE after NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return &IntLit{Val: n}, nil
+	case tokString:
+		p.advance()
+		return &StrLit{Val: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		if isReserved(t.text) {
+			return nil, p.errorf("unexpected keyword %q", t.text)
+		}
+		// Function call?
+		if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.advance()
+			p.advance()
+			call := &FuncExpr{Name: t.text}
+			if !p.atSymbol(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return p.parseColRefFrom(t)
+	}
+	return nil, p.errorf("unexpected %q in expression", t.text)
+}
+
+// parseColRefFrom consumes an identifier (already peeked as t) and an
+// optional .name suffix.
+func (p *parser) parseColRefFrom(t token) (Expr, error) {
+	p.advance()
+	if p.acceptSymbol(".") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{Qualifier: t.text, Name: name}, nil
+	}
+	return &ColRef{Name: t.text}, nil
+}

@@ -1,0 +1,290 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, `SELECT speaker_value FROM speaker`)
+	if len(stmt.Items) != 1 || len(stmt.From) != 1 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	ref, ok := stmt.Items[0].Expr.(*ColRef)
+	if !ok || ref.Name != "speaker_value" {
+		t.Errorf("item = %v", stmt.Items[0].Expr)
+	}
+	if stmt.From[0].Table != "speaker" || stmt.From[0].Alias != "speaker" {
+		t.Errorf("from = %+v", stmt.From[0])
+	}
+}
+
+// TestParsePaperQE1 parses the paper's Figure 7(a) query verbatim.
+func TestParsePaperQE1(t *testing.T) {
+	src := `
+SELECT getElm(speech_line, 'LINE', 'LINE', 'friend')
+FROM speech, act
+WHERE findKeyInElm(speech_speaker, 'SPEAKER', 'HAMLET') = 1
+AND findKeyInElm(speech_line, 'LINE', 'friend') = 1
+AND speech_parentID = actID
+AND speech_parentCODE = 'ACT'`
+	stmt := mustParse(t, src)
+	call, ok := stmt.Items[0].Expr.(*FuncExpr)
+	if !ok || call.Name != "getElm" || len(call.Args) != 4 {
+		t.Fatalf("select item = %v", stmt.Items[0].Expr)
+	}
+	if len(stmt.From) != 2 {
+		t.Errorf("from = %v", stmt.From)
+	}
+	if stmt.Where == nil {
+		t.Fatal("no where")
+	}
+	// The where clause is a left-deep AND tree with 4 conjuncts.
+	conj := 1
+	var count func(Expr)
+	count = func(e Expr) {
+		if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+			conj++
+			count(b.L)
+			count(b.R)
+		}
+	}
+	count(stmt.Where)
+	if conj != 4 {
+		t.Errorf("conjuncts = %d, want 4", conj)
+	}
+}
+
+// TestParsePaperQE1Hybrid parses Figure 7(b).
+func TestParsePaperQE1Hybrid(t *testing.T) {
+	src := `
+SELECT line_value
+FROM speech, act, speaker, line
+WHERE speech_parentID = actID
+AND speech_parentCODE = 'ACT'
+AND speaker_parentID = speechID
+AND speaker_value = 'HAMLET'
+AND line_parentID = speechID
+AND line_value LIKE '%friend%'`
+	stmt := mustParse(t, src)
+	if len(stmt.From) != 4 {
+		t.Errorf("from = %v", stmt.From)
+	}
+	var foundLike bool
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *BinOp:
+			walk(n.L)
+			walk(n.R)
+		case *LikeExpr:
+			foundLike = true
+			if n.Pattern != "%friend%" {
+				t.Errorf("pattern = %q", n.Pattern)
+			}
+		}
+	}
+	walk(stmt.Where)
+	if !foundLike {
+		t.Error("LIKE predicate not parsed")
+	}
+}
+
+// TestParseUnnestQuery parses the Figure 9 unnest query.
+func TestParseUnnestQuery(t *testing.T) {
+	src := `SELECT DISTINCT unnestedS.out AS SPEAKER
+FROM speakers, TABLE(unnest(speaker, 'speaker')) unnestedS`
+	stmt := mustParse(t, src)
+	if !stmt.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	if stmt.Items[0].Alias != "SPEAKER" {
+		t.Errorf("alias = %q", stmt.Items[0].Alias)
+	}
+	ref := stmt.Items[0].Expr.(*ColRef)
+	if ref.Qualifier != "unnestedS" || ref.Name != "out" {
+		t.Errorf("ref = %+v", ref)
+	}
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	tf := stmt.From[1]
+	if tf.Func == nil || tf.Func.Name != "unnest" || tf.Alias != "unnestedS" {
+		t.Errorf("table func = %+v", tf)
+	}
+	if len(tf.Func.Args) != 2 {
+		t.Errorf("args = %v", tf.Func.Args)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t, `SELECT author_value, COUNT(DISTINCT section) AS n
+FROM authors GROUP BY author_value ORDER BY n DESC`)
+	if stmt.Items[1].Agg != AggCount || !stmt.Items[1].AggDistinct {
+		t.Errorf("agg item = %+v", stmt.Items[1])
+	}
+	if len(stmt.GroupBy) != 1 {
+		t.Fatalf("group by = %+v", stmt.GroupBy)
+	}
+	if ref, ok := stmt.GroupBy[0].(*ColRef); !ok || ref.Name != "author_value" {
+		t.Errorf("group by = %+v", stmt.GroupBy[0])
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", stmt.OrderBy)
+	}
+	if !stmt.HasAggregates() {
+		t.Error("HasAggregates = false")
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*) FROM speech WHERE speechID > 100`)
+	if stmt.Items[0].Agg != AggCount || !stmt.Items[0].Star {
+		t.Errorf("item = %+v", stmt.Items[0])
+	}
+	b := stmt.Where.(*BinOp)
+	if b.Op != ">" {
+		t.Errorf("where = %v", stmt.Where)
+	}
+}
+
+func TestParseOtherAggregates(t *testing.T) {
+	stmt := mustParse(t, `SELECT SUM(n), MIN(n), MAX(n) FROM t`)
+	if stmt.Items[0].Agg != AggSum || stmt.Items[1].Agg != AggMin || stmt.Items[2].Agg != AggMax {
+		t.Errorf("items = %+v", stmt.Items)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3`)
+	or := stmt.Where.(*BinOp)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s, want OR", or.Op)
+	}
+	and := or.R.(*BinOp)
+	if and.Op != "AND" {
+		t.Errorf("right op = %s, want AND", and.Op)
+	}
+	// Parentheses override.
+	stmt = mustParse(t, `SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3`)
+	top := stmt.Where.(*BinOp)
+	if top.Op != "AND" {
+		t.Errorf("parenthesized top op = %s, want AND", top.Op)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE NOT x = 1 AND y NOT LIKE '%z%'`)
+	and := stmt.Where.(*BinOp)
+	if _, ok := and.L.(*NotExpr); !ok {
+		t.Errorf("left = %T", and.L)
+	}
+	like := and.R.(*LikeExpr)
+	if !like.Negated {
+		t.Error("NOT LIKE not negated")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE s = 'O''Brien'`)
+	b := stmt.Where.(*BinOp)
+	if lit := b.R.(*StrLit); lit.Val != "O'Brien" {
+		t.Errorf("literal = %q", lit.Val)
+	}
+}
+
+func TestParseNegativeNumbersAndComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t -- trailing comment\nWHERE n = -5")
+	b := stmt.Where.(*BinOp)
+	if lit := b.R.(*IntLit); lit.Val != -5 {
+		t.Errorf("literal = %d", lit.Val)
+	}
+}
+
+func TestParseTableAliases(t *testing.T) {
+	stmt := mustParse(t, `SELECT s.speechID FROM speech s, speech AS s2 WHERE s.speechID = s2.speechID`)
+	if stmt.From[0].Alias != "s" || stmt.From[1].Alias != "s2" {
+		t.Errorf("aliases = %+v", stmt.From)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`SELECT`,
+		`SELECT a`,
+		`SELECT a FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t WHERE x LIKE 5`,
+		`SELECT a FROM t GROUP`,
+		`SELECT a FROM t extra garbage ,`,
+		`SELECT a FROM TABLE(f(1))`,        // missing alias
+		`SELECT COUNT( FROM t`,             // bad aggregate
+		`SELECT a FROM t WHERE x = 'open`,  // unterminated string
+		`SELECT a FROM t WHERE x ! 1`,      // bad operator
+		`SELECT a FROM t WHERE select = 1`, // keyword as identifier
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	stmt := mustParse(t, `select distinct a from t where b like '%x%' group by a order by a asc`)
+	if !stmt.Distinct || stmt.Where == nil || len(stmt.GroupBy) != 1 || len(stmt.OrderBy) != 1 {
+		t.Errorf("stmt = %+v", stmt)
+	}
+}
+
+func TestExprStringsRoundTrip(t *testing.T) {
+	src := `SELECT a FROM t WHERE f(x, 'v') = 1 AND NOT b LIKE '%p%' OR c.d <> 2`
+	stmt := mustParse(t, src)
+	s := stmt.Where.String()
+	for _, want := range []string{"f(x, 'v')", "NOT", "LIKE '%p%'", "c.d <> 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseHavingAndLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT grp, COUNT(*) AS n FROM t GROUP BY grp HAVING n > 2 ORDER BY n DESC LIMIT 5`)
+	if stmt.Having == nil {
+		t.Fatal("HAVING not parsed")
+	}
+	b, ok := stmt.Having.(*BinOp)
+	if !ok || b.Op != ">" {
+		t.Errorf("having = %v", stmt.Having)
+	}
+	if stmt.Limit != 5 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+	// No LIMIT means -1.
+	stmt = mustParse(t, `SELECT a FROM t`)
+	if stmt.Limit != -1 {
+		t.Errorf("default limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseLimitErrors(t *testing.T) {
+	for _, q := range []string{
+		`SELECT a FROM t LIMIT`,
+		`SELECT a FROM t LIMIT x`,
+		`SELECT a FROM t LIMIT -3`,
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded", q)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PageID identifies a page across heap files for buffer accounting.
+type PageID struct {
+	File *HeapFile
+	Page int
+}
+
+// BufferPool is an LRU accountant over page accesses. All pages live in
+// memory; the pool exists to report the hit ratio a given memory budget
+// would achieve, which the experiment harness surfaces alongside timings.
+// It is safe for concurrent use: read-only queries may run in parallel.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List
+	index    map[PageID]*list.Element
+	hits     int64
+	misses   int64
+}
+
+// NewBufferPool returns a pool that tracks up to capacity resident pages.
+// Capacity zero disables tracking (every access is a miss).
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    map[PageID]*list.Element{},
+	}
+}
+
+// Touch records an access to the page, updating hit/miss counters and
+// recency.
+func (b *BufferPool) Touch(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.capacity <= 0 {
+		b.misses++
+		return
+	}
+	if el, ok := b.index[id]; ok {
+		b.hits++
+		b.lru.MoveToFront(el)
+		return
+	}
+	b.misses++
+	el := b.lru.PushFront(id)
+	b.index[id] = el
+	if b.lru.Len() > b.capacity {
+		oldest := b.lru.Back()
+		b.lru.Remove(oldest)
+		delete(b.index, oldest.Value.(PageID))
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (b *BufferPool) Stats() (hits, misses int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses
+}
+
+// Reset clears counters and residency.
+func (b *BufferPool) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hits, b.misses = 0, 0
+	b.lru.Init()
+	b.index = map[PageID]*list.Element{}
+}

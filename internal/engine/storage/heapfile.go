@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/engine/types"
+)
+
+// RID identifies a record by page number and slot within the page.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// HeapFile is an append-only heap of records in slotted pages. Records
+// larger than a page spill into dedicated overflow storage, referenced by
+// an in-page stub so scan order is preserved. The workload of the paper is
+// load-then-query, so deletion and in-place update are intentionally not
+// provided.
+type HeapFile struct {
+	pages    []*page
+	overflow [][]byte
+	rows     int
+	pool     *BufferPool
+}
+
+// NewHeapFile returns an empty heap file. The buffer pool is optional; if
+// present, page reads are accounted against it.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool}
+}
+
+// Insert appends a row and returns its RID.
+func (h *HeapFile) Insert(row []types.Value) RID {
+	rec := EncodeRecord(row)
+	if len(rec) > maxInlineRecord {
+		idx := len(h.overflow)
+		h.overflow = append(h.overflow, rec)
+		stub := make([]byte, 1, 1+binary.MaxVarintLen64)
+		stub[0] = tagOverflow
+		stub = binary.AppendUvarint(stub, uint64(idx))
+		rec = stub
+	}
+	if len(h.pages) == 0 || !h.fitsLast(rec) {
+		h.pages = append(h.pages, newPage())
+	}
+	pageNo := len(h.pages) - 1
+	slot, ok := h.pages[pageNo].insert(rec)
+	if !ok {
+		// A fresh page always fits a stub or inline record by
+		// construction.
+		panic("storage: record insert failed on fresh page")
+	}
+	h.rows++
+	return RID{Page: int32(pageNo), Slot: int32(slot)}
+}
+
+func (h *HeapFile) fitsLast(rec []byte) bool {
+	return len(rec) <= h.pages[len(h.pages)-1].freeSpace()
+}
+
+// Get fetches the row at rid.
+func (h *HeapFile) Get(rid RID) ([]types.Value, error) {
+	if int(rid.Page) >= len(h.pages) {
+		return nil, errors.New("storage: page out of range")
+	}
+	if h.pool != nil {
+		h.pool.Touch(PageID{File: h, Page: int(rid.Page)})
+	}
+	rec, err := h.pages[rid.Page].read(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	return h.decode(rec)
+}
+
+func (h *HeapFile) decode(rec []byte) ([]types.Value, error) {
+	if len(rec) > 0 && rec[0] == tagOverflow {
+		idx, n := binary.Uvarint(rec[1:])
+		if n <= 0 || idx >= uint64(len(h.overflow)) {
+			return nil, errors.New("storage: corrupt overflow stub")
+		}
+		if h.pool != nil {
+			// Overflow records occupy their own page run; count one
+			// logical access per overflow page.
+			for i := 0; i < pagesFor(len(h.overflow[idx])); i++ {
+				h.pool.Touch(PageID{File: h, Page: -1 - int(idx)*1024 - i})
+			}
+		}
+		rec = h.overflow[idx]
+	}
+	return DecodeRecord(rec)
+}
+
+// Scan visits every row in insertion order. The callback's row slice is
+// freshly decoded and owned by the callee. Returning an error stops the
+// scan and propagates the error.
+func (h *HeapFile) Scan(fn func(RID, []types.Value) error) error {
+	for pi, p := range h.pages {
+		if h.pool != nil {
+			h.pool.Touch(PageID{File: h, Page: pi})
+		}
+		for si := 0; si < p.nslots(); si++ {
+			rec, err := p.read(si)
+			if err != nil {
+				return err
+			}
+			row, err := h.decode(rec)
+			if err != nil {
+				return err
+			}
+			if err := fn(RID{Page: int32(pi), Slot: int32(si)}, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Rows returns the number of stored rows.
+func (h *HeapFile) Rows() int { return h.rows }
+
+// Cursor iterates the heap file in insertion order, pull-style, for the
+// executor's iterator model.
+type Cursor struct {
+	h    *HeapFile
+	page int
+	slot int
+}
+
+// NewCursor returns a cursor positioned before the first row.
+func (h *HeapFile) NewCursor() *Cursor {
+	return &Cursor{h: h}
+}
+
+// Next returns the next row and its RID, or ok=false at the end.
+func (c *Cursor) Next() (RID, []types.Value, bool, error) {
+	for c.page < len(c.h.pages) {
+		p := c.h.pages[c.page]
+		if c.slot >= p.nslots() {
+			c.page++
+			c.slot = 0
+			continue
+		}
+		if c.slot == 0 && c.h.pool != nil {
+			c.h.pool.Touch(PageID{File: c.h, Page: c.page})
+		}
+		rec, err := p.read(c.slot)
+		if err != nil {
+			return RID{}, nil, false, err
+		}
+		row, err := c.h.decode(rec)
+		if err != nil {
+			return RID{}, nil, false, err
+		}
+		rid := RID{Page: int32(c.page), Slot: int32(c.slot)}
+		c.slot++
+		return rid, row, true, nil
+	}
+	return RID{}, nil, false, nil
+}
+
+// PageCount returns the number of pages the file occupies, counting
+// overflow storage in page units.
+func (h *HeapFile) PageCount() int {
+	n := len(h.pages)
+	for _, o := range h.overflow {
+		n += pagesFor(len(o))
+	}
+	return n
+}
+
+// DataBytes returns the storage footprint in bytes (page-granular).
+func (h *HeapFile) DataBytes() int64 { return int64(h.PageCount()) * PageSize }
+
+func pagesFor(n int) int { return (n + PageSize - 1) / PageSize }

@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// PageSize is the fixed page size; the paper's DB2 configuration used 8 KiB
+// pages.
+const PageSize = 8192
+
+const (
+	pageHeaderSize = 4 // nslots u16 | freeStart u16
+	slotSize       = 4 // offset u16 | length u16
+)
+
+// page is a slotted heap page. Records grow from the header forward; the
+// slot directory grows from the end backward.
+type page struct {
+	data [PageSize]byte
+}
+
+func newPage() *page {
+	p := &page{}
+	p.setFreeStart(pageHeaderSize)
+	return p
+}
+
+func (p *page) nslots() int     { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
+func (p *page) setNSlots(n int) { binary.LittleEndian.PutUint16(p.data[0:2], uint16(n)) }
+func (p *page) freeStart() int  { return int(binary.LittleEndian.Uint16(p.data[2:4])) }
+func (p *page) setFreeStart(n int) {
+	binary.LittleEndian.PutUint16(p.data[2:4], uint16(n))
+}
+
+func (p *page) slotPos(i int) int { return PageSize - (i+1)*slotSize }
+
+func (p *page) slot(i int) (off, ln int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p.data[pos : pos+2])),
+		int(binary.LittleEndian.Uint16(p.data[pos+2 : pos+4]))
+}
+
+func (p *page) setSlot(i, off, ln int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p.data[pos:pos+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[pos+2:pos+4], uint16(ln))
+}
+
+// freeSpace returns the bytes available for one more record plus its slot.
+func (p *page) freeSpace() int {
+	return PageSize - p.freeStart() - (p.nslots()+1)*slotSize
+}
+
+// insert stores a record and returns its slot number, or false if the page
+// lacks room.
+func (p *page) insert(rec []byte) (int, bool) {
+	if len(rec) > p.freeSpace() {
+		return 0, false
+	}
+	off := p.freeStart()
+	copy(p.data[off:], rec)
+	slot := p.nslots()
+	p.setSlot(slot, off, len(rec))
+	p.setNSlots(slot + 1)
+	p.setFreeStart(off + len(rec))
+	return slot, true
+}
+
+// read returns the record bytes in the given slot.
+func (p *page) read(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.nslots() {
+		return nil, errors.New("storage: slot out of range")
+	}
+	off, ln := p.slot(slot)
+	return p.data[off : off+ln], nil
+}
+
+// maxInlineRecord is the largest record that fits in a fresh page.
+const maxInlineRecord = PageSize - pageHeaderSize - slotSize

@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Serialize writes the heap file's pages and overflow blobs to w in a
+// stable binary format readable by DeserializeHeapFile.
+func (h *HeapFile) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeUvarint(bw, uint64(len(h.pages))); err != nil {
+		return err
+	}
+	for _, p := range h.pages {
+		if _, err := bw.Write(p.data[:]); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(h.overflow))); err != nil {
+		return err
+	}
+	for _, blob := range h.overflow {
+		if err := writeUvarint(bw, uint64(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DeserializeHeapFile reads a heap file written by Serialize. Row counts
+// are recomputed from the page slot directories.
+func DeserializeHeapFile(r io.Reader, pool *BufferPool) (*HeapFile, error) {
+	br := asByteReader(r)
+	npages, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading page count: %w", err)
+	}
+	h := NewHeapFile(pool)
+	for i := uint64(0); i < npages; i++ {
+		p := newPage()
+		if _, err := io.ReadFull(br, p.data[:]); err != nil {
+			return nil, fmt.Errorf("storage: reading page %d: %w", i, err)
+		}
+		h.pages = append(h.pages, p)
+		h.rows += p.nslots()
+	}
+	nover, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading overflow count: %w", err)
+	}
+	for i := uint64(0); i < nover; i++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<31 {
+			return nil, errors.New("storage: implausible overflow blob size")
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, err
+		}
+		h.overflow = append(h.overflow, blob)
+	}
+	return h, nil
+}
+
+func writeUvarint(w io.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// asByteReader adapts r for binary.ReadUvarint without double-buffering
+// bufio readers.
+func asByteReader(r io.Reader) interface {
+	io.Reader
+	io.ByteReader
+} {
+	if br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	}); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}

@@ -1,0 +1,272 @@
+// Package types defines the value system of the engine: the three SQL
+// types the mapped schemas use (INTEGER, VARCHAR, and the XADT fragment
+// type), NULL handling, comparison, and hashing.
+package types
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// Kind enumerates the runtime types of a Value.
+type Kind int
+
+const (
+	// KindNull is the SQL NULL of any type.
+	KindNull Kind = iota
+	// KindInt is a 64-bit integer.
+	KindInt
+	// KindString is a variable-length string.
+	KindString
+	// KindXADT is an XML fragment in its stored encoding.
+	KindXADT
+	// KindBool is a boolean, produced only by predicate evaluation.
+	KindBool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "integer"
+	case KindString:
+		return "string"
+	case KindXADT:
+		return "XADT"
+	case KindBool:
+		return "boolean"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+	x    []byte
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewXADT returns an XADT value holding the stored fragment encoding.
+func NewXADT(b []byte) Value { return Value{kind: KindXADT, x: b} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind returns the runtime type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload; it panics on other kinds.
+func (v Value) Int() int64 {
+	if v.kind != KindInt {
+		panic("types: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Str returns the string payload; it panics on other kinds.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic("types: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// XADT returns the fragment encoding; it panics on other kinds.
+func (v Value) XADT() []byte {
+	if v.kind != KindXADT {
+		panic("types: XADT() on " + v.kind.String())
+	}
+	return v.x
+}
+
+// Bool returns the boolean payload; it panics on other kinds.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic("types: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Truthy reports whether the value acts as true in a WHERE clause: a true
+// boolean or a nonzero integer. NULL and everything else are false.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.i != 0
+	default:
+		return false
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.s
+	case KindXADT:
+		return fmt.Sprintf("XADT(%d bytes)", len(v.x))
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values: NULL sorts first; integers and booleans
+// compare numerically; strings lexicographically; XADT values by their
+// encodings. Comparing values of different non-null kinds orders by kind,
+// which gives sorting a total order without implicit casts.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	ka, kb := comparisonClass(a.kind), comparisonClass(b.kind)
+	if ka != kb {
+		if ka < kb {
+			return -1
+		}
+		return 1
+	}
+	switch ka {
+	case classNumeric:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	case classString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	default: // classBytes
+		return compareBytes(a.x, b.x)
+	}
+}
+
+const (
+	classNumeric = iota
+	classString
+	classBytes
+)
+
+func comparisonClass(k Kind) int {
+	switch k {
+	case KindInt, KindBool:
+		return classNumeric
+	case KindString:
+		return classString
+	default:
+		return classBytes
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a hash of the value, consistent with Equal.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	switch v.kind {
+	case KindNull:
+		h.Write([]byte{0})
+	case KindInt, KindBool:
+		var buf [9]byte
+		buf[0] = 1
+		for i := 0; i < 8; i++ {
+			buf[i+1] = byte(v.i >> (8 * i))
+		}
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte{2})
+		h.Write([]byte(v.s))
+	case KindXADT:
+		h.Write([]byte{3})
+		h.Write(v.x)
+	}
+	return h.Sum64()
+}
+
+// Size returns the approximate in-record size of the value in bytes,
+// matching the storage codec of package storage.
+func (v Value) Size() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindInt, KindBool:
+		return 9
+	case KindString:
+		return 5 + len(v.s)
+	case KindXADT:
+		return 5 + len(v.x)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,174 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Error("zero value should be NULL")
+	}
+	if NewInt(42).Int() != 42 {
+		t.Error("Int round-trip")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str round-trip")
+	}
+	if string(NewXADT([]byte("f")).XADT()) != "f" {
+		t.Error("XADT round-trip")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool round-trip")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Null.Int() },
+		func() { NewInt(1).Str() },
+		func() { NewString("s").XADT() },
+		func() { NewInt(1).Bool() },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{NewBool(true), true},
+		{NewBool(false), false},
+		{NewInt(1), true},
+		{NewInt(0), false},
+		{Null, false},
+		{NewString("true"), false},
+	}
+	for _, tc := range cases {
+		if got := tc.v.Truthy(); got != tc.want {
+			t.Errorf("Truthy(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewXADT([]byte{1}), NewXADT([]byte{1, 2}), -1},
+		{NewXADT([]byte{2}), NewXADT([]byte{1, 2}), 1},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewInt(1), 0}, // booleans compare numerically
+	}
+	for _, tc := range cases {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareCrossKindTotalOrder(t *testing.T) {
+	// Different kinds order deterministically and antisymmetrically.
+	vals := []Value{Null, NewInt(5), NewString("5"), NewXADT([]byte("5"))}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Compare(a, b) != -Compare(b, a) {
+				t.Errorf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewInt(7)},
+		{NewString("abc"), NewString("abc")},
+		{NewXADT([]byte("x")), NewXADT([]byte("x"))},
+		{Null, Null},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Errorf("Equal(%v,%v) = false", p[0], p[1])
+		}
+		if Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("Hash mismatch for equal values %v", p[0])
+		}
+	}
+	if Hash(NewInt(1)) == Hash(NewString("1")) {
+		t.Error("int 1 and string \"1\" should hash differently")
+	}
+}
+
+func TestCompareIntProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := Compare(NewInt(a), NewInt(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashStringProperty(t *testing.T) {
+	f := func(s string) bool {
+		return Hash(NewString(s)) == Hash(NewString(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	if NewInt(1).Size() != 9 {
+		t.Errorf("int size = %d", NewInt(1).Size())
+	}
+	if NewString("abcd").Size() != 9 {
+		t.Errorf("string size = %d", NewString("abcd").Size())
+	}
+	if Null.Size() != 1 {
+		t.Errorf("null size = %d", Null.Size())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-3), "-3"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String(%#v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

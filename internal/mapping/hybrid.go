@@ -1,0 +1,91 @@
+package mapping
+
+import (
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/dtdgraph"
+)
+
+// Hybrid maps a simplified DTD to a relational schema using the Hybrid
+// inlining algorithm of Shanmugasundaram et al., as summarized in §3.3 of
+// the paper. A relation is created for every element that
+//
+//  1. has in-degree zero (a document root),
+//  2. sits directly below a "*" operator,
+//  3. is recursive, or
+//  4. is an ancestor of an element that gets a relation (the closure rule:
+//     a tuple must exist for child relations to reference).
+//
+// Every remaining element is inlined as columns of its closest relation
+// ancestor, with path-composed column names (act_title, aTuple_Toindex_index).
+func Hybrid(s *dtd.SimplifiedDTD) (*Schema, error) {
+	g := dtdgraph.Build(s)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	elements := reachable(g)
+
+	isRelation := map[string]bool{}
+	recursive := g.Recursive()
+	for _, name := range elements {
+		switch {
+		case g.InDegree(name) == 0:
+			isRelation[name] = true
+		case g.BelowStar(name):
+			isRelation[name] = true
+		case recursive[name]:
+			// Rules 3 and 4: recursive elements get relations. Creating
+			// one per recursive element is the conservative reading of
+			// "one node among mutually recursive nodes with in-degree
+			// one" that also covers in-degree > 1.
+			isRelation[name] = true
+		}
+	}
+	relationClosure(g, isRelation)
+
+	schema := &Schema{
+		Algorithm: "hybrid",
+		byElement: map[string]*Relation{},
+		byName:    map[string]*Relation{},
+	}
+	for _, name := range elements {
+		if !isRelation[name] {
+			continue
+		}
+		r := buildCommon(g, name, isRelation)
+		e := s.Element(name)
+		prefix := colPrefix(name)
+		attrColumns(r, prefix, e.Attrs, nil)
+		if e.HasPCDATA {
+			r.Columns = append(r.Columns, Column{Name: prefix + "_value", Type: String, Kind: KindValue})
+		}
+		inlineInto(r, g, s, isRelation, name, prefix, nil)
+		schema.add(r)
+	}
+	return schema, nil
+}
+
+// inlineInto recursively inlines the non-relation children of element into
+// relation r, extending the column-name prefix and element path at each
+// level.
+func inlineInto(r *Relation, g *dtdgraph.Graph, s *dtd.SimplifiedDTD, isRelation map[string]bool, element, prefix string, path []string) {
+	for _, it := range s.Element(element).Items {
+		if isRelation[it.Name] {
+			continue
+		}
+		childPath := append(append([]string(nil), path...), it.Name)
+		childPrefix := prefix + "_" + strings.ToLower(it.Name)
+		ce := s.Element(it.Name)
+		if ce.HasPCDATA {
+			r.Columns = append(r.Columns, Column{
+				Name: childPrefix,
+				Type: String,
+				Kind: KindInlined,
+				Path: childPath,
+			})
+		}
+		attrColumns(r, childPrefix, ce.Attrs, childPath)
+		inlineInto(r, g, s, isRelation, it.Name, childPrefix, childPath)
+	}
+}

@@ -1,0 +1,333 @@
+package mapping
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+)
+
+func simplify(t *testing.T, src string) *dtd.SimplifiedDTD {
+	t.Helper()
+	d, err := dtd.Parse(src)
+	if err != nil {
+		t.Fatalf("dtd.Parse: %v", err)
+	}
+	return dtd.Simplify(d)
+}
+
+func hybridSchema(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := Hybrid(simplify(t, src))
+	if err != nil {
+		t.Fatalf("Hybrid: %v", err)
+	}
+	return s
+}
+
+func xoratorSchema(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := XORator(simplify(t, src))
+	if err != nil {
+		t.Fatalf("XORator: %v", err)
+	}
+	return s
+}
+
+func sortedNames(s *Schema) []string {
+	names := s.TableNames()
+	sort.Strings(names)
+	return names
+}
+
+// TestPlaysHybridTables checks the Figure 5 table set for the running
+// example. (The paper's figure omits scene_parentCODE even though SCENE
+// has two parent relations; we include it for consistency.)
+func TestPlaysHybridTables(t *testing.T) {
+	s := hybridSchema(t, corpus.PlaysDTD)
+	want := []string{"act", "induct", "line", "play", "scene", "speaker", "speech", "subhead", "subtitle"}
+	got := sortedNames(s)
+	if len(got) != len(want) {
+		t.Fatalf("tables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tables = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlaysHybridActColumns(t *testing.T) {
+	s := hybridSchema(t, corpus.PlaysDTD)
+	act := s.Relation("act")
+	if act == nil {
+		t.Fatal("no act relation")
+	}
+	wantCols := []string{"actID", "act_parentID", "act_childOrder", "act_title", "act_prologue"}
+	if len(act.Columns) != len(wantCols) {
+		t.Fatalf("act = %s, want columns %v", act, wantCols)
+	}
+	for i, w := range wantCols {
+		if act.Columns[i].Name != w {
+			t.Errorf("act column %d = %s, want %s", i, act.Columns[i].Name, w)
+		}
+	}
+	if c, _ := act.Column("act_title"); c.Type != String || c.Kind != KindInlined {
+		t.Errorf("act_title = %+v", c)
+	}
+}
+
+func TestPlaysHybridParentCodes(t *testing.T) {
+	s := hybridSchema(t, corpus.PlaysDTD)
+	// speech and subtitle have multiple parent relations (paper Fig 5);
+	// scene does too (INDUCT and ACT), which the figure omits.
+	for _, tc := range []struct {
+		table string
+		want  bool
+	}{
+		{"speech", true}, {"subtitle", true}, {"scene", true},
+		{"subhead", false}, {"speaker", false}, {"line", false}, {"induct", false},
+	} {
+		r := s.Relation(tc.table)
+		got := r.HasColumn(tc.table + "_parentCODE")
+		if got != tc.want {
+			t.Errorf("%s parentCODE present = %v, want %v", tc.table, got, tc.want)
+		}
+	}
+}
+
+func TestPlaysHybridValueColumns(t *testing.T) {
+	s := hybridSchema(t, corpus.PlaysDTD)
+	for _, table := range []string{"subtitle", "subhead", "speaker", "line"} {
+		r := s.Relation(table)
+		c, ok := r.Column(table + "_value")
+		if !ok || c.Type != String || c.Kind != KindValue {
+			t.Errorf("%s value column = %+v, %v", table, c, ok)
+		}
+	}
+	if s.Relation("play").HasColumn("play_value") {
+		t.Error("play should not have a value column")
+	}
+}
+
+// TestPlaysXoratorTables checks the Figure 6 table set.
+func TestPlaysXoratorTables(t *testing.T) {
+	s := xoratorSchema(t, corpus.PlaysDTD)
+	want := []string{"act", "induct", "play", "scene", "speech"}
+	got := sortedNames(s)
+	if len(got) != len(want) {
+		t.Fatalf("tables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tables = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlaysXoratorColumns(t *testing.T) {
+	s := xoratorSchema(t, corpus.PlaysDTD)
+	act := s.Relation("act")
+	wantCols := []struct {
+		name string
+		typ  ColType
+	}{
+		{"actID", Int},
+		{"act_parentID", Int},
+		{"act_childOrder", Int},
+		{"act_title", String},
+		{"act_subtitle", XADT},
+		{"act_prologue", String},
+	}
+	if len(act.Columns) != len(wantCols) {
+		t.Fatalf("act = %s", act)
+	}
+	for i, w := range wantCols {
+		if act.Columns[i].Name != w.name || act.Columns[i].Type != w.typ {
+			t.Errorf("act column %d = %s:%v, want %s:%v",
+				i, act.Columns[i].Name, act.Columns[i].Type, w.name, w.typ)
+		}
+	}
+
+	speech := s.Relation("speech")
+	for _, col := range []string{"speech_speaker", "speech_line"} {
+		c, ok := speech.Column(col)
+		if !ok || c.Type != XADT || c.Kind != KindXADT {
+			t.Errorf("%s = %+v, %v; want XADT", col, c, ok)
+		}
+	}
+	if !speech.HasColumn("speech_parentCODE") {
+		t.Error("speech should have parentCODE (ACT and SCENE parents)")
+	}
+
+	scene := s.Relation("scene")
+	for _, col := range []string{"scene_subtitle", "scene_subhead"} {
+		if c, ok := scene.Column(col); !ok || c.Type != XADT {
+			t.Errorf("%s = %+v, %v; want XADT", col, c, ok)
+		}
+	}
+	if c, ok := scene.Column("scene_title"); !ok || c.Type != String {
+		t.Errorf("scene_title = %+v, %v", c, ok)
+	}
+}
+
+// TestShakespeareTableCounts checks Table 1: 17 tables under Hybrid and 7
+// under XORator.
+func TestShakespeareTableCounts(t *testing.T) {
+	h := hybridSchema(t, corpus.ShakespeareDTD)
+	if got := len(h.Relations); got != 17 {
+		t.Errorf("Hybrid Shakespeare tables = %d, want 17\n%v", got, h.TableNames())
+	}
+	x := xoratorSchema(t, corpus.ShakespeareDTD)
+	if got := len(x.Relations); got != 7 {
+		t.Errorf("XORator Shakespeare tables = %d, want 7\n%v", got, x.TableNames())
+	}
+	want := map[string]bool{"play": true, "induct": true, "act": true, "scene": true,
+		"prologue": true, "epilogue": true, "speech": true}
+	for _, name := range x.TableNames() {
+		if !want[name] {
+			t.Errorf("unexpected XORator table %s", name)
+		}
+	}
+}
+
+func TestShakespeareXoratorAbsorbs(t *testing.T) {
+	x := xoratorSchema(t, corpus.ShakespeareDTD)
+	play := x.Relation("play")
+	// FM and PERSONAE subtrees are absorbed into XADT attributes.
+	for _, col := range []string{"play_fm", "play_personae"} {
+		c, ok := play.Column(col)
+		if !ok || c.Type != XADT {
+			t.Errorf("%s = %+v, %v; want XADT", col, c, ok)
+		}
+	}
+	// Mixed-content LINE (with STAGEDIR children) is absorbed into speech.
+	speech := x.Relation("speech")
+	if c, ok := speech.Column("speech_line"); !ok || c.Type != XADT {
+		t.Errorf("speech_line = %+v, %v; want XADT", c, ok)
+	}
+	if x.RelationFor("LINE") != nil {
+		t.Error("LINE should not have its own relation under XORator")
+	}
+}
+
+// TestSigmodTableCounts checks Table 2: 7 tables under Hybrid and a single
+// table under XORator.
+func TestSigmodTableCounts(t *testing.T) {
+	h := hybridSchema(t, corpus.SigmodDTD)
+	if got := len(h.Relations); got != 7 {
+		t.Errorf("Hybrid SIGMOD tables = %d, want 7\n%v", got, h.TableNames())
+	}
+	x := xoratorSchema(t, corpus.SigmodDTD)
+	if got := len(x.Relations); got != 1 {
+		t.Errorf("XORator SIGMOD tables = %d, want 1\n%v", got, x.TableNames())
+	}
+	pp := x.Relation("pp")
+	if c, ok := pp.Column("pp_slist"); !ok || c.Type != XADT {
+		t.Errorf("pp_slist = %+v, %v; want XADT", c, ok)
+	}
+	if c, ok := pp.Column("pp_volume"); !ok || c.Type != String {
+		t.Errorf("pp_volume = %+v, %v; want string", c, ok)
+	}
+}
+
+func TestSigmodHybridDeepInlining(t *testing.T) {
+	h := hybridSchema(t, corpus.SigmodDTD)
+	atuple := h.Relation("atuple")
+	if atuple == nil {
+		t.Fatalf("no atuple relation; tables = %v", h.TableNames())
+	}
+	// Toindex/index and fullText/size inline two levels deep, attributes
+	// included.
+	for _, col := range []string{
+		"atuple_title", "atuple_title_articleCode",
+		"atuple_initpage", "atuple_endpage",
+		"atuple_toindex_index", "atuple_toindex_index_href",
+		"atuple_fulltext_size", "atuple_fulltext_size_href",
+	} {
+		if !atuple.HasColumn(col) {
+			t.Errorf("atuple missing column %s\n%s", col, atuple)
+		}
+	}
+	author := h.Relation("author")
+	if !author.HasColumn("author_AuthorPosition") || !author.HasColumn("author_value") {
+		t.Errorf("author = %s", author)
+	}
+}
+
+// TestMonetBlowUp checks the §2 claim that the Monet mapping produces an
+// order-of-magnitude more tables (around ninety-five for Shakespeare)
+// than XORator's seven.
+func TestMonetBlowUp(t *testing.T) {
+	s := simplify(t, corpus.ShakespeareDTD)
+	n, err := MonetTableCount(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 60 || n > 130 {
+		t.Errorf("Monet Shakespeare tables = %d, want order of 95", n)
+	}
+	x, _ := XORator(s)
+	if len(x.Relations)*10 > n {
+		t.Errorf("Monet (%d) should dwarf XORator (%d)", n, len(x.Relations))
+	}
+}
+
+func TestRecursiveDTDGetsRelations(t *testing.T) {
+	src := `
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+`
+	h := hybridSchema(t, src)
+	if h.RelationFor("part") == nil {
+		t.Error("recursive part needs a relation under Hybrid")
+	}
+	x := xoratorSchema(t, src)
+	r := x.RelationFor("part")
+	if r == nil {
+		t.Fatal("recursive part needs a relation under XORator")
+	}
+	if !r.HasColumn("part_parentID") {
+		t.Error("self-recursive relation needs parentID")
+	}
+}
+
+func TestSchemaLookupHelpers(t *testing.T) {
+	s := xoratorSchema(t, corpus.PlaysDTD)
+	if s.Relation("nope") != nil {
+		t.Error("unknown table should be nil")
+	}
+	if s.RelationFor("SUBTITLE") != nil {
+		t.Error("absorbed element should have no relation")
+	}
+	r := s.RelationFor("SPEECH")
+	if r == nil || r.Name != "speech" {
+		t.Errorf("RelationFor(SPEECH) = %v", r)
+	}
+	if r.IDColumn() != "speechID" {
+		t.Errorf("IDColumn = %s", r.IDColumn())
+	}
+	if len(r.ParentElements) != 2 {
+		t.Errorf("speech parents = %v", r.ParentElements)
+	}
+}
+
+func TestSchemaStringFormat(t *testing.T) {
+	s := xoratorSchema(t, corpus.PlaysDTD)
+	out := s.String()
+	if !contains(out, "speech_speaker:XADT") || !contains(out, "playID:integer") {
+		t.Errorf("schema rendering:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

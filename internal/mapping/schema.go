@@ -1,0 +1,303 @@
+// Package mapping implements the XML-to-relational storage mappings the
+// paper studies: the Hybrid inlining algorithm of Shanmugasundaram et al.
+// (VLDB 1999) targeting a plain relational schema, and the XORator
+// algorithm (§3.3) targeting an object-relational schema with XADT
+// attributes. A Monet-style path counter is included for the related-work
+// table-count comparison (§2).
+//
+// Both algorithms consume a simplified DTD (see package dtd) and produce a
+// Schema: a set of Relations whose Columns carry enough provenance
+// (ColKind + Path) for package shred to populate them from documents
+// mechanically.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/dtdgraph"
+)
+
+// ColType is the SQL type of a column.
+type ColType int
+
+const (
+	// Int is an INTEGER column.
+	Int ColType = iota
+	// String is a VARCHAR column.
+	String
+	// XADT is the XML abstract data type column of the XORator mapping.
+	XADT
+)
+
+// String returns the SQL spelling of the type.
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "integer"
+	case String:
+		return "string"
+	case XADT:
+		return "XADT"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// ColKind records what a column stores, so the shredder can fill it.
+type ColKind int
+
+const (
+	// KindID is the tuple's synthetic primary key.
+	KindID ColKind = iota
+	// KindParentID is the foreign key to the parent tuple.
+	KindParentID
+	// KindParentCode identifies the parent's element name when a relation
+	// has multiple possible parent relations.
+	KindParentCode
+	// KindChildOrder is the 1-based position of the element among
+	// same-named siblings.
+	KindChildOrder
+	// KindValue is the element's own character data.
+	KindValue
+	// KindAttr is an XML attribute on the relation's element.
+	KindAttr
+	// KindInlined is the character data of a descendant reached by Path.
+	KindInlined
+	// KindInlinedAttr is an XML attribute of a descendant reached by Path.
+	KindInlinedAttr
+	// KindXADT is an XML fragment: the serialized occurrences of the
+	// child element named by Path.
+	KindXADT
+)
+
+// String names the kind for debugging output.
+func (k ColKind) String() string {
+	switch k {
+	case KindID:
+		return "id"
+	case KindParentID:
+		return "parentID"
+	case KindParentCode:
+		return "parentCODE"
+	case KindChildOrder:
+		return "childOrder"
+	case KindValue:
+		return "value"
+	case KindAttr:
+		return "attr"
+	case KindInlined:
+		return "inlined"
+	case KindInlinedAttr:
+		return "inlinedAttr"
+	case KindXADT:
+		return "xadt"
+	default:
+		return fmt.Sprintf("ColKind(%d)", int(k))
+	}
+}
+
+// Column describes one column of a mapped relation.
+type Column struct {
+	// Name is the SQL column name.
+	Name string
+	// Type is the SQL type.
+	Type ColType
+	// Kind records the column's provenance.
+	Kind ColKind
+	// Path is the element path, relative to the relation's element, that
+	// KindInlined, KindInlinedAttr and KindXADT columns read from.
+	Path []string
+	// Attr is the XML attribute name for KindAttr and KindInlinedAttr.
+	Attr string
+}
+
+// Relation is one mapped table.
+type Relation struct {
+	// Name is the table name (the element name, lowercased).
+	Name string
+	// Element is the DTD element this relation stores.
+	Element string
+	// Columns in declaration order; the first is always the ID column.
+	Columns []Column
+	// ParentElements are the distinct elements whose relations can be
+	// this relation's parent, sorted. Empty for root relations.
+	ParentElements []string
+}
+
+// Column returns the named column and whether it exists.
+func (r *Relation) Column(name string) (Column, bool) {
+	for _, c := range r.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// HasColumn reports whether the relation has the named column.
+func (r *Relation) HasColumn(name string) bool {
+	_, ok := r.Column(name)
+	return ok
+}
+
+// IDColumn returns the primary-key column name.
+func (r *Relation) IDColumn() string { return r.Columns[0].Name }
+
+// String renders the relation in the paper's schema notation, e.g.
+//
+//	speech(speechID:integer, speech_parentID:integer, ...)
+func (r *Relation) String() string {
+	parts := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		parts[i] = c.Name + ":" + c.Type.String()
+	}
+	return r.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Schema is the result of a mapping algorithm.
+type Schema struct {
+	// Algorithm is "hybrid" or "xorator".
+	Algorithm string
+	// Relations in a stable order (root first, then declaration order).
+	Relations []*Relation
+	byElement map[string]*Relation
+	byName    map[string]*Relation
+}
+
+// RelationFor returns the relation storing the given element, or nil if
+// the element is inlined or absorbed.
+func (s *Schema) RelationFor(element string) *Relation {
+	return s.byElement[element]
+}
+
+// Relation returns the relation with the given table name, or nil.
+func (s *Schema) Relation(name string) *Relation {
+	return s.byName[name]
+}
+
+// TableNames returns all table names in schema order.
+func (s *Schema) TableNames() []string {
+	out := make([]string, len(s.Relations))
+	for i, r := range s.Relations {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// String renders every relation, one per line.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	for _, r := range s.Relations {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (s *Schema) add(r *Relation) {
+	s.Relations = append(s.Relations, r)
+	s.byElement[r.Element] = r
+	s.byName[r.Name] = r
+}
+
+// tableName derives a table name from an element name.
+func tableName(element string) string { return strings.ToLower(element) }
+
+// colPrefix derives the column prefix from an element name.
+func colPrefix(element string) string { return strings.ToLower(element) }
+
+// reachable returns the set of elements reachable from the DTD roots,
+// including the roots themselves, in declaration order.
+func reachable(g *dtdgraph.Graph) []string {
+	seen := map[string]bool{}
+	var visit func(string)
+	visit = func(n string) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, it := range g.Items(n) {
+			visit(it.Name)
+		}
+	}
+	for _, r := range g.Roots() {
+		visit(r)
+	}
+	// A fully cyclic DTD has no zero-in-degree root; sweep remaining
+	// declarations in order so every declared element is mapped.
+	for _, name := range g.Order {
+		visit(name)
+	}
+	var out []string
+	for _, name := range g.Order {
+		if seen[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// relationClosure extends the seed relation set so that every parent of a
+// relation element is itself a relation ("the ancestors of these nodes
+// must also be assigned as relations", §3.3 rule 2).
+func relationClosure(g *dtdgraph.Graph, seed map[string]bool) map[string]bool {
+	for changed := true; changed; {
+		changed = false
+		for name := range seed {
+			for _, p := range g.ParentNames(name) {
+				if !seed[p] {
+					seed[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return seed
+}
+
+// buildCommon assembles the bookkeeping columns every mapped relation
+// shares: ID, parentID, parentCODE (when several parent relations exist),
+// and childOrder.
+func buildCommon(g *dtdgraph.Graph, element string, isRelation map[string]bool) *Relation {
+	name := tableName(element)
+	prefix := colPrefix(element)
+	r := &Relation{Name: name, Element: element}
+	r.Columns = append(r.Columns, Column{Name: prefix + "ID", Type: Int, Kind: KindID})
+	parents := g.ParentNames(element)
+	var parentRels []string
+	for _, p := range parents {
+		if isRelation[p] {
+			parentRels = append(parentRels, p)
+		}
+	}
+	sort.Strings(parentRels)
+	r.ParentElements = parentRels
+	if len(parentRels) > 0 {
+		r.Columns = append(r.Columns, Column{Name: prefix + "_parentID", Type: Int, Kind: KindParentID})
+		if len(parentRels) > 1 {
+			r.Columns = append(r.Columns, Column{Name: prefix + "_parentCODE", Type: String, Kind: KindParentCode})
+		}
+		r.Columns = append(r.Columns, Column{Name: prefix + "_childOrder", Type: Int, Kind: KindChildOrder})
+	}
+	return r
+}
+
+// attrColumns appends columns for the element's own XML attributes.
+func attrColumns(r *Relation, prefix string, attrs []dtd.Attribute, path []string) {
+	for _, a := range attrs {
+		kind := KindAttr
+		if len(path) > 0 {
+			kind = KindInlinedAttr
+		}
+		r.Columns = append(r.Columns, Column{
+			Name: prefix + "_" + a.Name,
+			Type: String,
+			Kind: kind,
+			Path: append([]string(nil), path...),
+			Attr: a.Name,
+		})
+	}
+}

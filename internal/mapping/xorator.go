@@ -1,0 +1,100 @@
+package mapping
+
+import (
+	"strings"
+
+	"repro/internal/dtd"
+	"repro/internal/dtdgraph"
+)
+
+// XORator maps a simplified DTD to an object-relational schema using the
+// XORator algorithm (§3.3). Working on the revised DTD graph — where
+// PCDATA leaves are duplicated per parent (§3.2) — it applies:
+//
+//  1. A non-leaf node accessed by only one node, whose subtree has no
+//     externally incident links, is assigned to an XADT attribute of its
+//     parent's relation (the whole subtree is absorbed into the fragment).
+//  2. A non-leaf node below a "*" that is accessed by multiple nodes is
+//     assigned to a relation; ancestors of relation nodes are relations.
+//  3. A leaf node below a "*" becomes an XADT attribute; any other leaf
+//     becomes a string attribute.
+//
+// Document roots always get relations, and recursion forces a relation as
+// a special case of the external-link test.
+func XORator(s *dtd.SimplifiedDTD) (*Schema, error) {
+	g := dtdgraph.Build(s)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	elements := reachable(g)
+
+	isRelation := map[string]bool{}
+	for _, name := range elements {
+		if g.IsLeaf(name) {
+			continue // rule 3: leaves are never relations under XORator
+		}
+		switch {
+		case g.InDegree(name) == 0:
+			isRelation[name] = true
+		case g.InDegree(name) >= 2:
+			// Rule 1 requires a single accessor; shared non-leaf nodes
+			// (rule 2 when below a *) become relations.
+			isRelation[name] = true
+		case g.HasExternalLinks(name):
+			// The subtree cannot be cut out as a fragment: some
+			// descendant is referenced from outside (or the node is
+			// recursive).
+			isRelation[name] = true
+		}
+	}
+	relationClosure(g, isRelation)
+
+	schema := &Schema{
+		Algorithm: "xorator",
+		byElement: map[string]*Relation{},
+		byName:    map[string]*Relation{},
+	}
+	for _, name := range elements {
+		if !isRelation[name] {
+			continue
+		}
+		r := buildCommon(g, name, isRelation)
+		e := s.Element(name)
+		prefix := colPrefix(name)
+		attrColumns(r, prefix, e.Attrs, nil)
+		if e.HasPCDATA {
+			r.Columns = append(r.Columns, Column{Name: prefix + "_value", Type: String, Kind: KindValue})
+		}
+		for _, it := range e.Items {
+			if isRelation[it.Name] {
+				continue
+			}
+			childPrefix := prefix + "_" + strings.ToLower(it.Name)
+			ce := s.Element(it.Name)
+			switch {
+			case g.IsLeaf(it.Name) && it.Occurs != dtd.Star:
+				// Rule 3, second half: single-occurrence leaf → string.
+				if ce.HasPCDATA {
+					r.Columns = append(r.Columns, Column{
+						Name: childPrefix,
+						Type: String,
+						Kind: KindInlined,
+						Path: []string{it.Name},
+					})
+				}
+				attrColumns(r, childPrefix, ce.Attrs, []string{it.Name})
+			default:
+				// Rule 3 first half (leaf below *) and rule 1 (absorbed
+				// subtree): the fragment lives in an XADT attribute.
+				r.Columns = append(r.Columns, Column{
+					Name: childPrefix,
+					Type: XADT,
+					Kind: KindXADT,
+					Path: []string{it.Name},
+				})
+			}
+		}
+		schema.add(r)
+	}
+	return schema, nil
+}

@@ -1,0 +1,178 @@
+package xadt
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/xmltree"
+)
+
+// The Directory format implements the paper's future-work proposal
+// (§4.4/§5): "storing of metadata with the XADT attribute to improve the
+// performance of the methods on the XADT" — here, a directory of the
+// fragment's top-level elements (tag name, byte range) in front of the
+// raw text, so order-access methods like getElmIndex and the unnest table
+// function can slice elements out without parsing.
+//
+// Layout:
+//
+//	[format=2]
+//	[uvarint nentries] ([len-prefixed name][uvarint start][uvarint end])*
+//	raw fragment text
+//
+// start/end are byte offsets into the text part.
+
+// dirEntry is one top-level element in a Directory value.
+type dirEntry struct {
+	name       string
+	start, end int
+}
+
+func encodeDirectory(nodes []*xmltree.Node) Value {
+	var text []byte
+	var entries []dirEntry
+	for _, n := range nodes {
+		start := len(text)
+		text = append(text, xmltree.Serialize(n)...)
+		if n.IsElement() {
+			entries = append(entries, dirEntry{name: n.Name, start: start, end: len(text)})
+		}
+	}
+	data := []byte{byte(Directory)}
+	data = binary.AppendUvarint(data, uint64(len(entries)))
+	for _, e := range entries {
+		data = appendString(data, e.name)
+		data = binary.AppendUvarint(data, uint64(e.start))
+		data = binary.AppendUvarint(data, uint64(e.end))
+	}
+	data = append(data, text...)
+	return Value{data: data}
+}
+
+// directoryParts splits a Directory value into its entries and text.
+func directoryParts(data []byte) ([]dirEntry, string, error) {
+	r := &byteReader{b: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, "", err
+	}
+	if n > uint64(len(data)) {
+		return nil, "", errors.New("xadt: corrupt directory size")
+	}
+	entries := make([]dirEntry, n)
+	for i := range entries {
+		name, err := r.str()
+		if err != nil {
+			return nil, "", err
+		}
+		start, err := r.uvarint()
+		if err != nil {
+			return nil, "", err
+		}
+		end, err := r.uvarint()
+		if err != nil {
+			return nil, "", err
+		}
+		entries[i] = dirEntry{name: name, start: int(start), end: int(end)}
+	}
+	text := string(data[r.pos:])
+	for _, e := range entries {
+		if e.start > e.end || e.end > len(text) {
+			return nil, "", errors.New("xadt: directory entry out of range")
+		}
+	}
+	return entries, text, nil
+}
+
+// sliceIndexed implements getElmIndex over the directory when parentElm
+// is empty: the childElm occurrences are picked by position and sliced
+// out of the text without parsing.
+func sliceIndexed(data []byte, childElm string, startPos, endPos int) (Value, bool, error) {
+	entries, text, err := directoryParts(data)
+	if err != nil {
+		return Value{}, false, err
+	}
+	var out []byte
+	pos := 0
+	for _, e := range entries {
+		if e.name != childElm {
+			continue
+		}
+		pos++
+		if pos >= startPos && pos <= endPos {
+			out = append(out, text[e.start:e.end]...)
+		}
+	}
+	result := make([]byte, 0, len(out)+1)
+	result = append(result, byte(Raw))
+	result = append(result, out...)
+	return Value{data: result}, true, nil
+}
+
+// sliceUnnest implements unnest over the directory: top-level elements
+// with the tag are sliced out of the text directly. An entry is parsed
+// only when the string scanner detects a nested same-tag occurrence
+// inside it, keeping semantics identical to the tree-based path.
+func sliceUnnest(data []byte, tag string) ([]Value, error) {
+	entries, text, err := directoryParts(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Value
+	appendRaw := func(s string) {
+		b := make([]byte, 0, len(s)+1)
+		b = append(b, byte(Raw))
+		b = append(b, s...)
+		out = append(out, Value{data: b})
+	}
+	for _, e := range entries {
+		region := text[e.start:e.end]
+		inner := innerOf(region)
+		if indexOpenTag(inner, "<"+tag) < 0 {
+			// Fast path: no nested occurrence; the top-level slice is
+			// the only candidate.
+			if e.name == tag {
+				appendRaw(region)
+			}
+			continue
+		}
+		// Rare path: nested same-tag elements; parse this entry only and
+		// emit every match in document order.
+		nodes, err := xmltree.ParseFragment(region)
+		if err != nil {
+			return nil, err
+		}
+		forEachElement(nodes, func(n *xmltree.Node) {
+			if n.Name == tag {
+				appendRaw(xmltree.Serialize(n))
+			}
+		})
+	}
+	return out, nil
+}
+
+// innerOf strips the outermost start and end tag from an element's
+// serialized text.
+func innerOf(region string) string {
+	gt := -1
+	for i := 0; i < len(region); i++ {
+		if region[i] == '>' {
+			gt = i
+			break
+		}
+	}
+	if gt < 0 {
+		return ""
+	}
+	lt := -1
+	for i := len(region) - 1; i >= 0; i-- {
+		if region[i] == '<' {
+			lt = i
+			break
+		}
+	}
+	if lt <= gt {
+		return ""
+	}
+	return region[gt+1 : lt]
+}

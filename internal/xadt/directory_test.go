@@ -1,0 +1,164 @@
+package xadt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func dirValue(t *testing.T, src string) Value {
+	t.Helper()
+	nodes, err := xmltree.ParseFragment(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Encode(nodes, Directory)
+}
+
+func TestDirectoryRoundTrip(t *testing.T) {
+	src := `<LINE attr="v">first &amp; second</LINE><STAGEDIR>Exit</STAGEDIR><LINE>third</LINE>`
+	v := dirValue(t, src)
+	if v.Format() != Directory {
+		t.Fatalf("format = %v", v.Format())
+	}
+	text, err := v.Text()
+	if err != nil || text != src {
+		t.Errorf("Text = %q, %v", text, err)
+	}
+	nodes, err := v.Nodes()
+	if err != nil || xmltree.SerializeAll(nodes) != src {
+		t.Errorf("Nodes round-trip failed: %v", err)
+	}
+}
+
+func TestDirectoryGetElmIndex(t *testing.T) {
+	v := dirValue(t, `<LINE>one</LINE><NOTE>n</NOTE><LINE>two</LINE><LINE>three</LINE>`)
+	out, err := GetElmIndex(v, "", "LINE", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text, _ := out.Text(); text != `<LINE>two</LINE>` {
+		t.Errorf("LINE[2] = %q", text)
+	}
+	out, err = GetElmIndex(v, "", "LINE", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text, _ := out.Text(); !strings.Contains(text, "one") || !strings.Contains(text, "three") {
+		t.Errorf("range = %q", text)
+	}
+}
+
+// TestDirectoryMatchesTreePaths checks every XADT method agrees across
+// the three storage formats.
+func TestDirectoryMatchesTreePaths(t *testing.T) {
+	src := `<SPEECH><SPEAKER>HAMLET</SPEAKER><LINE>a friend</LINE><LINE>two</LINE></SPEECH>` +
+		`<SPEECH><SPEAKER>GHOST</SPEAKER><LINE>swear</LINE></SPEECH>`
+	nodes, err := xmltree.ParseFragment(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[Format]Value{
+		Raw:        Encode(nodes, Raw),
+		Compressed: Encode(nodes, Compressed),
+		Directory:  Encode(nodes, Directory),
+	}
+	type result struct {
+		get, idx string
+		found    bool
+		unnested int
+	}
+	results := map[Format]result{}
+	for f, v := range vals {
+		g, err := GetElm(v, "SPEECH", "SPEAKER", "GHOST", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, _ := g.Text()
+		i, err := GetElmIndex(v, "", "SPEECH", 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, _ := i.Text()
+		found, err := FindKeyInElm(v, "LINE", "friend")
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := Unnest(v, "LINE")
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[f] = result{get: gt, idx: it, found: found, unnested: len(u)}
+	}
+	base := results[Raw]
+	for f, r := range results {
+		if r != base {
+			t.Errorf("%v disagrees with raw: %+v vs %+v", f, r, base)
+		}
+	}
+	if base.unnested != 3 || !base.found {
+		t.Errorf("base results wrong: %+v", base)
+	}
+	if !strings.Contains(base.get, "GHOST") || !strings.Contains(base.idx, "GHOST") {
+		t.Errorf("unexpected contents: %+v", base)
+	}
+}
+
+func TestDirectoryUnnestNestedSameTag(t *testing.T) {
+	// d elements nested inside d elements: the fallback parse path must
+	// report all occurrences, like the tree path does.
+	src := `<d>outer<d>inner</d></d><x>no</x>`
+	for _, f := range []Format{Raw, Directory} {
+		nodes, _ := xmltree.ParseFragment(src)
+		v := Encode(nodes, f)
+		out, err := Unnest(v, "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Errorf("%v: unnested %d, want 2", f, len(out))
+		}
+	}
+}
+
+func TestDirectoryEmpty(t *testing.T) {
+	v := Encode(nil, Directory)
+	if !v.IsEmpty() && v.Len() > 2 {
+		t.Errorf("empty directory value = %d bytes", v.Len())
+	}
+	out, err := Unnest(v, "x")
+	if err != nil || len(out) != 0 {
+		t.Errorf("unnest empty = %v, %v", out, err)
+	}
+}
+
+func TestDirectoryFindKeyUsesScanner(t *testing.T) {
+	v := dirValue(t, `<LINE>some friend here</LINE>`)
+	found, err := FindKeyInElm(v, "LINE", "friend")
+	if err != nil || !found {
+		t.Errorf("found = %v, %v", found, err)
+	}
+}
+
+func TestDirectoryCorrupt(t *testing.T) {
+	good := dirValue(t, `<a>x</a>`)
+	b := append([]byte(nil), good.Bytes()...)
+	v := FromBytes(b[:3])
+	if _, err := v.Nodes(); err == nil {
+		t.Error("truncated directory should fail")
+	}
+}
+
+func TestDirectoryTextSizeComparable(t *testing.T) {
+	// The directory adds a small header proportional to the number of
+	// top-level elements.
+	src := strings.Repeat(`<LINE>some text content goes here</LINE>`, 50)
+	nodes, _ := xmltree.ParseFragment(src)
+	raw := Encode(nodes, Raw)
+	dir := Encode(nodes, Directory)
+	overhead := dir.Len() - raw.Len()
+	if overhead <= 0 || overhead > 50*16 {
+		t.Errorf("directory overhead = %d bytes", overhead)
+	}
+}

@@ -1,0 +1,192 @@
+package xadt
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// GetElm implements the getElm method of §3.4.2: it returns all rootElm
+// elements in the fragment that contain a searchElm descendant — within
+// depth level of the rootElm when level > 0 — whose content contains
+// searchKey.
+//
+// Degenerate arguments follow the paper:
+//   - searchKey == "": any searchElm subelement qualifies.
+//   - searchElm == "": every rootElm element qualifies.
+//   - both empty: all rootElm elements are returned.
+//
+// The result is a new Value in the same storage format as the input, so
+// calls compose: the output of one GetElm can be the input of the next.
+func GetElm(in Value, rootElm, searchElm, searchKey string, level int) (Value, error) {
+	nodes, err := in.Nodes()
+	if err != nil {
+		return Value{}, err
+	}
+	var out []*xmltree.Node
+	forEachElement(nodes, func(n *xmltree.Node) {
+		if n.Name != rootElm {
+			return
+		}
+		if matchesElm(n, searchElm, searchKey, level) {
+			out = append(out, n)
+		}
+	})
+	return Encode(out, in.Format()), nil
+}
+
+// matchesElm reports whether root has a searchElm descendant within the
+// given depth whose content contains searchKey.
+func matchesElm(root *xmltree.Node, searchElm, searchKey string, level int) bool {
+	if searchElm == "" {
+		if searchKey == "" {
+			return true
+		}
+		return strings.Contains(root.InnerText(), searchKey)
+	}
+	found := false
+	var visit func(n *xmltree.Node, depth int)
+	visit = func(n *xmltree.Node, depth int) {
+		if found {
+			return
+		}
+		if n.Name == searchElm && (searchKey == "" || strings.Contains(n.InnerText(), searchKey)) {
+			found = true
+			return
+		}
+		if level > 0 && depth >= level {
+			return
+		}
+		for _, c := range n.Children {
+			if c.IsElement() {
+				visit(c, depth+1)
+			}
+		}
+	}
+	// The root participates at depth 0, so getElm(x, 'LINE', 'LINE', key)
+	// filters LINE elements by their own content, as query QE1 uses it.
+	visit(root, 0)
+	return found
+}
+
+// FindKeyInElm implements the findKeyInElm method of §3.4.2: it reports
+// whether any searchElm element in the fragment has content containing
+// searchKey. With an empty searchKey it tests for the existence of
+// searchElm; with an empty searchElm it tests whether any element content
+// contains searchKey. Both arguments empty is an error, as the paper
+// specifies.
+func FindKeyInElm(in Value, searchElm, searchKey string) (bool, error) {
+	if searchElm == "" && searchKey == "" {
+		return false, errors.New("xadt: findKeyInElm requires searchElm or searchKey")
+	}
+	if searchElm != "" {
+		// The paper implements this method "using the C string compare
+		// and copy functions on the VARCHAR": scan the raw fragment text
+		// directly instead of materializing a tree. Raw values are
+		// always produced by the package serializer, so tags are never
+		// self-closing and markup characters in content are escaped.
+		if text, ok := in.textPart(); ok {
+			return findKeyRaw(text, searchElm, searchKey), nil
+		}
+	}
+	nodes, err := in.Nodes()
+	if err != nil {
+		return false, err
+	}
+	found := false
+	forEachElement(nodes, func(n *xmltree.Node) {
+		if found {
+			return
+		}
+		if searchElm != "" && n.Name != searchElm {
+			return
+		}
+		if searchKey == "" || strings.Contains(n.InnerText(), searchKey) {
+			found = true
+		}
+	})
+	return found, nil
+}
+
+// GetElmIndex implements the getElmIndex method of §3.4.2: it returns the
+// childElm children of each parentElm element whose 1-based order among
+// same-named siblings falls in [startPos, endPos]. With an empty parentElm
+// the childElm elements at the top level of the fragment are indexed.
+// childElm must not be empty.
+func GetElmIndex(in Value, parentElm, childElm string, startPos, endPos int) (Value, error) {
+	if childElm == "" {
+		return Value{}, errors.New("xadt: getElmIndex requires a childElm")
+	}
+	if parentElm == "" && in.Format() == Directory {
+		// The element directory resolves top-level positions without
+		// parsing — the metadata speed-up the paper proposes.
+		out, ok, err := sliceIndexed(in.data[1:], childElm, startPos, endPos)
+		if err == nil && ok {
+			return out, nil
+		}
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	nodes, err := in.Nodes()
+	if err != nil {
+		return Value{}, err
+	}
+	var out []*xmltree.Node
+	pick := func(children []*xmltree.Node) {
+		pos := 0
+		for _, c := range children {
+			if c.Name != childElm {
+				continue
+			}
+			pos++
+			if pos >= startPos && pos <= endPos {
+				out = append(out, c)
+			}
+		}
+	}
+	if parentElm == "" {
+		pick(nodes)
+	} else {
+		forEachElement(nodes, func(n *xmltree.Node) {
+			if n.Name == parentElm {
+				pick(n.Children)
+			}
+		})
+	}
+	return Encode(out, in.Format()), nil
+}
+
+// Unnest implements the unnest table function of §3.5: it splits the
+// fragment into one Value per element with the given tag name, in document
+// order. Each returned Value keeps the input's storage format.
+func Unnest(in Value, tag string) ([]Value, error) {
+	if in.Format() == Directory {
+		return sliceUnnest(in.data[1:], tag)
+	}
+	nodes, err := in.Nodes()
+	if err != nil {
+		return nil, err
+	}
+	var out []Value
+	forEachElement(nodes, func(n *xmltree.Node) {
+		if n.Name == tag {
+			out = append(out, Encode([]*xmltree.Node{n}, in.Format()))
+		}
+	})
+	return out, nil
+}
+
+// forEachElement visits every element in the fragment in document order,
+// including nested ones.
+func forEachElement(nodes []*xmltree.Node, fn func(*xmltree.Node)) {
+	for _, n := range nodes {
+		n.Walk(func(d *xmltree.Node) bool {
+			if d.IsElement() {
+				fn(d)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package xadt
+
+import "strings"
+
+// This file implements string-scanning fast paths over the Raw storage
+// format, mirroring the paper's XADT implementation on top of VARCHAR
+// (§4.1: "our implementation of the methods on the XADT use string
+// compare and copy functions on the VARCHAR"). The scanners rely on the
+// invariant that Raw values are produced by the package serializer:
+// explicit end tags, and '<', '>', '&' escaped inside content and
+// attribute values.
+
+// findKeyRaw reports whether the fragment text contains a searchElm
+// element (searchElm must be non-empty) whose text content contains
+// searchKey, without building a node tree. An empty searchKey tests for
+// the element's existence.
+func findKeyRaw(text, searchElm, searchKey string) bool {
+	found := false
+	forEachRegion(text, searchElm, func(inner string) bool {
+		if searchKey == "" || textContentContains(inner, searchKey) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// forEachRegion locates each searchElm element in the fragment text and
+// passes the markup between its start and end tags to fn. fn returns
+// false to stop early. Nested same-named elements are contained in their
+// outer region and also visited on their own.
+func forEachRegion(text, name string, fn func(inner string) bool) {
+	open := "<" + name
+	pos := 0
+	for {
+		i := strings.Index(text[pos:], open)
+		if i < 0 {
+			return
+		}
+		start := pos + i
+		afterName := start + len(open)
+		if afterName >= len(text) || !isTagBoundary(text[afterName]) {
+			// A longer tag name sharing the prefix (LINE vs LINEUP).
+			pos = start + 1
+			continue
+		}
+		// Skip the start tag; '>' inside attribute values is escaped, so
+		// the next '>' ends the tag.
+		gt := strings.IndexByte(text[afterName:], '>')
+		if gt < 0 {
+			return
+		}
+		contentStart := afterName + gt + 1
+		end := findEndTag(text, contentStart, name)
+		if end < 0 {
+			return
+		}
+		if !fn(text[contentStart:end]) {
+			return
+		}
+		pos = contentStart
+	}
+}
+
+func isTagBoundary(c byte) bool { return c == '>' || c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// findEndTag returns the offset of the matching "</name>" for an element
+// whose content starts at from, accounting for nested same-named
+// elements.
+func findEndTag(text string, from int, name string) int {
+	open := "<" + name
+	close := "</" + name + ">"
+	depth := 1
+	pos := from
+	for {
+		nextClose := strings.Index(text[pos:], close)
+		if nextClose < 0 {
+			return -1
+		}
+		nextOpen := indexOpenTag(text[pos:pos+nextClose], open)
+		if nextOpen < 0 {
+			depth--
+			if depth == 0 {
+				return pos + nextClose
+			}
+			pos += nextClose + len(close)
+			continue
+		}
+		depth++
+		pos += nextOpen + len(open)
+	}
+}
+
+// indexOpenTag finds an occurrence of open ("<name") followed by a tag
+// boundary within s, or -1.
+func indexOpenTag(s, open string) int {
+	pos := 0
+	for {
+		i := strings.Index(s[pos:], open)
+		if i < 0 {
+			return -1
+		}
+		at := pos + i
+		after := at + len(open)
+		if after < len(s) && isTagBoundary(s[after]) {
+			return at
+		}
+		if after == len(s) {
+			// The boundary character lies beyond this window; treat the
+			// truncated occurrence as a match so depth tracking stays
+			// conservative.
+			return at
+		}
+		pos = at + 1
+	}
+}
+
+// textContentContains reports whether the markup's text content (tags
+// stripped, entities decoded) contains key. An empty key always matches.
+func textContentContains(markup, key string) bool {
+	if key == "" {
+		return true
+	}
+	// Fast reject: the key's first byte must occur somewhere.
+	var buf []byte
+	i := 0
+	for i < len(markup) {
+		switch markup[i] {
+		case '<':
+			gt := strings.IndexByte(markup[i:], '>')
+			if gt < 0 {
+				i = len(markup)
+				continue
+			}
+			i += gt + 1
+		case '&':
+			semi := strings.IndexByte(markup[i:], ';')
+			if semi < 0 || semi > 12 {
+				buf = append(buf, markup[i])
+				i++
+				continue
+			}
+			if s, err := decodeEntityRef(markup[i+1 : i+semi]); err == nil {
+				buf = append(buf, s...)
+				i += semi + 1
+			} else {
+				buf = append(buf, markup[i])
+				i++
+			}
+		default:
+			buf = append(buf, markup[i])
+			i++
+		}
+	}
+	return strings.Contains(string(buf), key)
+}
+
+// decodeEntityRef decodes the predefined and numeric character
+// references the serializer emits.
+func decodeEntityRef(ref string) (string, error) {
+	switch ref {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "quot":
+		return `"`, nil
+	case "apos":
+		return "'", nil
+	}
+	return "", errUnknownEntity
+}
+
+var errUnknownEntity = errStr("xadt: unknown entity")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }

@@ -1,0 +1,143 @@
+package xadt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestFindKeyRawBasics(t *testing.T) {
+	frag := `<LINE>my dear friend</LINE><LINE>good &amp; night</LINE>` +
+		`<LINE>nested <STAGEDIR>Rising</STAGEDIR> text</LINE>`
+	cases := []struct {
+		elm, key string
+		want     bool
+	}{
+		{"LINE", "friend", true},
+		{"LINE", "ghost", false},
+		{"LINE", "", true},
+		{"STAGEDIR", "Rising", true},
+		{"STAGEDIR", "Falling", false},
+		{"GHOST", "", false},
+		{"LINE", "good & night", true},  // entity decoding
+		{"LINE", "nested  text", false}, // tags are boundaries, not spaces
+		{"LINE", "Rising", true},        // nested element text is content
+		{"LIN", "", false},              // prefix of a longer tag name
+	}
+	for _, tc := range cases {
+		if got := findKeyRaw(frag, tc.elm, tc.key); got != tc.want {
+			t.Errorf("findKeyRaw(%q, %q) = %v, want %v", tc.elm, tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestFindKeyRawNestedSameName(t *testing.T) {
+	frag := `<d>outer <d>inner key</d> tail</d>`
+	if !findKeyRaw(frag, "d", "inner key") {
+		t.Error("nested same-name content not found")
+	}
+	if !findKeyRaw(frag, "d", "tail") {
+		t.Error("outer content after nested close not found")
+	}
+	if findKeyRaw(frag, "d", "missing") {
+		t.Error("false positive")
+	}
+}
+
+func TestFindKeyRawAttributesIgnored(t *testing.T) {
+	frag := `<author AuthorPosition="7">Ann</author>`
+	if findKeyRaw(frag, "author", "7") {
+		t.Error("attribute values are not element content")
+	}
+	if !findKeyRaw(frag, "author", "Ann") {
+		t.Error("content not found")
+	}
+}
+
+// TestFindKeyRawMatchesTreePath checks the fast path against the
+// tree-based implementation on randomized fragments.
+func TestFindKeyRawMatchesTreePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tags := []string{"a", "b", "ab", "LINE"}
+	words := []string{"friend", "love", "night", "x & y", "<k>"}
+	for trial := 0; trial < 300; trial++ {
+		// Build a random fragment tree.
+		var build func(depth int) *xmltree.Node
+		build = func(depth int) *xmltree.Node {
+			n := xmltree.NewElement(tags[rng.Intn(len(tags))])
+			kids := rng.Intn(3)
+			for i := 0; i < kids; i++ {
+				if depth < 3 && rng.Intn(2) == 0 {
+					n.Append(build(depth + 1))
+				} else {
+					n.AppendText(words[rng.Intn(len(words))])
+				}
+			}
+			return n
+		}
+		nodes := []*xmltree.Node{build(0), build(0)}
+		raw := Encode(nodes, Raw)
+		comp := Encode(nodes, Compressed)
+		elm := tags[rng.Intn(len(tags))]
+		key := words[rng.Intn(len(words))]
+		got, err := FindKeyInElm(raw, elm, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The compressed value always takes the tree path.
+		want, err := FindKeyInElm(comp, elm, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: raw scan %v != tree %v for elm=%q key=%q fragment=%q",
+				trial, got, want, elm, key, xmltree.SerializeAll(nodes))
+		}
+	}
+}
+
+func TestTextContentContains(t *testing.T) {
+	cases := []struct {
+		markup, key string
+		want        bool
+	}{
+		{"plain text", "text", true},
+		{"<a>inside</a>", "inside", true},
+		{"<a>in</a>side", "inside", false}, // tag boundary splits words? no: "in" + "side" = "inside" actually!
+	}
+	_ = cases
+	// Note: stripping tags concatenates adjacent text runs, matching
+	// InnerText semantics.
+	if !textContentContains("<a>in</a>side", "inside") {
+		t.Error("InnerText concatenation semantics violated")
+	}
+	if !textContentContains("a &lt; b", "a < b") {
+		t.Error("entity decoding")
+	}
+	if textContentContains("<tag attr=\"key\">x</tag>", "key") {
+		t.Error("attribute content leaked into text")
+	}
+	if !textContentContains("anything", "") {
+		t.Error("empty key matches")
+	}
+}
+
+func TestRawScanPerformanceSanity(t *testing.T) {
+	// The fast path must not allocate trees: spot-check it handles a
+	// large fragment quickly (smoke test, no timing assertion).
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("<LINE>some ordinary text here</LINE>")
+	}
+	sb.WriteString("<LINE>the friend appears</LINE>")
+	v, err := Parse(sb.String(), Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := FindKeyInElm(v, "LINE", "friend")
+	if err != nil || !found {
+		t.Errorf("found = %v, %v", found, err)
+	}
+}

@@ -1,0 +1,391 @@
+package xadt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func fragment(t *testing.T, s string) []*xmltree.Node {
+	t.Helper()
+	nodes, err := xmltree.ParseFragment(s)
+	if err != nil {
+		t.Fatalf("ParseFragment(%q): %v", s, err)
+	}
+	return nodes
+}
+
+func mustText(t *testing.T, v Value) string {
+	t.Helper()
+	s, err := v.Text()
+	if err != nil {
+		t.Fatalf("Text: %v", err)
+	}
+	return s
+}
+
+const speechFrag = `<SPEECH><SPEAKER>HAMLET</SPEAKER>` +
+	`<LINE>my friend</LINE><LINE>good night</LINE><LINE>sweet prince</LINE></SPEECH>`
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, f := range []Format{Raw, Compressed} {
+		nodes := fragment(t, speechFrag)
+		v := Encode(nodes, f)
+		if v.Format() != f {
+			t.Errorf("format = %v, want %v", v.Format(), f)
+		}
+		if got := mustText(t, v); got != speechFrag {
+			t.Errorf("%v text = %q, want %q", f, got, speechFrag)
+		}
+		decoded, err := v.Nodes()
+		if err != nil {
+			t.Fatalf("%v Nodes: %v", f, err)
+		}
+		if xmltree.SerializeAll(decoded) != speechFrag {
+			t.Errorf("%v nodes do not round-trip", f)
+		}
+	}
+}
+
+func TestEncodeAttributes(t *testing.T) {
+	src := `<author AuthorPosition="1">Gray</author><author AuthorPosition="2">Codd</author>`
+	for _, f := range []Format{Raw, Compressed} {
+		v := Encode(fragment(t, src), f)
+		if got := mustText(t, v); got != src {
+			t.Errorf("%v text = %q", f, got)
+		}
+	}
+}
+
+func TestCompressionShrinksRepetitiveFragments(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString("<LINE>a</LINE>")
+	}
+	nodes := fragment(t, sb.String())
+	raw := Encode(nodes, Raw)
+	comp := Encode(nodes, Compressed)
+	if comp.Len() >= raw.Len() {
+		t.Errorf("compressed %d >= raw %d for repetitive tags", comp.Len(), raw.Len())
+	}
+}
+
+func TestCompressionCanLose(t *testing.T) {
+	// A single long-tagged element: the dictionary overhead dominates.
+	nodes := fragment(t, `<x>abc</x>`)
+	raw := Encode(nodes, Raw)
+	comp := Encode(nodes, Compressed)
+	if comp.Len() < raw.Len() {
+		t.Skipf("compression won unexpectedly (%d < %d)", comp.Len(), raw.Len())
+	}
+}
+
+func TestChooseFormat(t *testing.T) {
+	var repetitive strings.Builder
+	for i := 0; i < 100; i++ {
+		repetitive.WriteString("<SPEAKER>x</SPEAKER>")
+	}
+	rep := [][]*xmltree.Node{fragment(t, repetitive.String())}
+	if got := ChooseFormat(rep, 0.20); got != Compressed {
+		t.Errorf("ChooseFormat(repetitive) = %v, want Compressed", got)
+	}
+	small := [][]*xmltree.Node{fragment(t, `<a>this is a long chunk of text with one tag only</a>`)}
+	if got := ChooseFormat(small, 0.20); got != Raw {
+		t.Errorf("ChooseFormat(small) = %v, want Raw", got)
+	}
+	if got := ChooseFormat(nil, 0.20); got != Raw {
+		t.Errorf("ChooseFormat(nil) = %v, want Raw", got)
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	var v Value
+	if !v.IsEmpty() {
+		t.Error("zero Value should be empty")
+	}
+	nodes, err := v.Nodes()
+	if err != nil || nodes != nil {
+		t.Errorf("Nodes = %v, %v", nodes, err)
+	}
+	if s := mustText(t, v); s != "" {
+		t.Errorf("Text = %q", s)
+	}
+	out, err := GetElm(v, "a", "", "", 0)
+	if err != nil || !out.IsEmpty() {
+		t.Errorf("GetElm on empty = %v, %v", out, err)
+	}
+}
+
+func TestGetElmBasic(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	out, err := GetElm(v, "LINE", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); got != `<LINE>my friend</LINE><LINE>good night</LINE><LINE>sweet prince</LINE>` {
+		t.Errorf("all LINEs = %q", got)
+	}
+}
+
+func TestGetElmWithKey(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	out, err := GetElm(v, "LINE", "LINE", "friend", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); got != `<LINE>my friend</LINE>` {
+		t.Errorf("LINE[friend] = %q", got)
+	}
+}
+
+func TestGetElmNestedSearch(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	// SPEECH elements containing a SPEAKER with keyword HAMLET.
+	out, err := GetElm(v, "SPEECH", "SPEAKER", "HAMLET", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); got != speechFrag {
+		t.Errorf("SPEECH[SPEAKER=HAMLET] = %q", got)
+	}
+	out, err = GetElm(v, "SPEECH", "SPEAKER", "ROMEO", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsEmpty() {
+		t.Errorf("SPEECH[SPEAKER=ROMEO] = %q", mustText(t, out))
+	}
+}
+
+func TestGetElmLevelLimit(t *testing.T) {
+	src := `<a><deep><b>key</b></deep></a>`
+	v := Encode(fragment(t, src), Raw)
+	// b is at depth 2 from a; level 1 must not find it.
+	out, err := GetElm(v, "a", "b", "key", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsEmpty() {
+		t.Error("level 1 should not reach depth-2 element")
+	}
+	out, err = GetElm(v, "a", "b", "key", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IsEmpty() {
+		t.Error("level 2 should reach depth-2 element")
+	}
+}
+
+func TestGetElmComposes(t *testing.T) {
+	src := `<act><speech><speaker>ROMEO</speaker><line>love</line></speech>` +
+		`<speech><speaker>JULIET</speaker><line>night</line></speech></act>`
+	v := Encode(fragment(t, src), Compressed)
+	speeches, err := GetElm(v, "speech", "speaker", "ROMEO", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speeches.Format() != Compressed {
+		t.Error("format not preserved through GetElm")
+	}
+	lines, err := GetElm(speeches, "line", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, lines); got != `<line>love</line>` {
+		t.Errorf("composed result = %q", got)
+	}
+}
+
+func TestFindKeyInElm(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	cases := []struct {
+		elm, key string
+		want     bool
+	}{
+		{"SPEAKER", "HAMLET", true},
+		{"SPEAKER", "ROMEO", false},
+		{"LINE", "friend", true},
+		{"LINE", "", true},           // existence
+		{"GHOST", "", false},         // absent element
+		{"", "prince", true},         // key anywhere
+		{"", "banquo", false},        // key nowhere
+		{"SPEAKER", "friend", false}, // key in wrong element
+	}
+	for _, tc := range cases {
+		got, err := FindKeyInElm(v, tc.elm, tc.key)
+		if err != nil {
+			t.Fatalf("FindKeyInElm(%q,%q): %v", tc.elm, tc.key, err)
+		}
+		if got != tc.want {
+			t.Errorf("FindKeyInElm(%q,%q) = %v, want %v", tc.elm, tc.key, got, tc.want)
+		}
+	}
+}
+
+func TestFindKeyInElmBothEmpty(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	if _, err := FindKeyInElm(v, "", ""); err == nil {
+		t.Error("both-empty arguments must error")
+	}
+}
+
+func TestGetElmIndex(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	out, err := GetElmIndex(v, "SPEECH", "LINE", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); got != `<LINE>good night</LINE>` {
+		t.Errorf("second LINE = %q", got)
+	}
+	out, err = GetElmIndex(v, "SPEECH", "LINE", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); !strings.Contains(got, "friend") || !strings.Contains(got, "prince") {
+		t.Errorf("range 1..3 = %q", got)
+	}
+}
+
+func TestGetElmIndexCountsSameNameSiblingsOnly(t *testing.T) {
+	// SPEAKER precedes the LINEs; the second LINE is still position 2.
+	src := `<S><SPEAKER>x</SPEAKER><LINE>one</LINE><NOTE>n</NOTE><LINE>two</LINE></S>`
+	v := Encode(fragment(t, src), Raw)
+	out, err := GetElmIndex(v, "S", "LINE", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); got != `<LINE>two</LINE>` {
+		t.Errorf("LINE[2] = %q", got)
+	}
+}
+
+func TestGetElmIndexTopLevel(t *testing.T) {
+	src := `<s>a</s><s>b</s><s>c</s>`
+	v := Encode(fragment(t, src), Raw)
+	out, err := GetElmIndex(v, "", "s", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustText(t, out); got != `<s>b</s><s>c</s>` {
+		t.Errorf("top-level s[2..3] = %q", got)
+	}
+}
+
+func TestGetElmIndexRequiresChild(t *testing.T) {
+	v := Encode(fragment(t, speechFrag), Raw)
+	if _, err := GetElmIndex(v, "SPEECH", "", 1, 1); err == nil {
+		t.Error("empty childElm must error")
+	}
+}
+
+// TestUnnestPaperExample reproduces Figure 9: unnesting a speaker
+// attribute that stores two speakers in one fragment and one in another.
+func TestUnnestPaperExample(t *testing.T) {
+	v1 := Encode(fragment(t, `<speaker>s1</speaker><speaker>s2</speaker>`), Raw)
+	v2 := Encode(fragment(t, `<speaker>s1</speaker>`), Raw)
+	out1, err := Unnest(v1, "speaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := Unnest(v2, "speaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, v := range append(out1, out2...) {
+		all = append(all, mustText(t, v))
+	}
+	want := []string{`<speaker>s1</speaker>`, `<speaker>s2</speaker>`, `<speaker>s1</speaker>`}
+	if len(all) != len(want) {
+		t.Fatalf("unnested = %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("unnested[%d] = %q, want %q", i, all[i], want[i])
+		}
+	}
+	// DISTINCT over the unnested values yields s1, s2 as in Figure 9(b).
+	distinct := map[string]bool{}
+	for _, s := range all {
+		distinct[s] = true
+	}
+	if len(distinct) != 2 {
+		t.Errorf("distinct speakers = %d, want 2", len(distinct))
+	}
+}
+
+func TestUnnestEmptyAndMissing(t *testing.T) {
+	var v Value
+	out, err := Unnest(v, "x")
+	if err != nil || len(out) != 0 {
+		t.Errorf("Unnest(empty) = %v, %v", out, err)
+	}
+	v = Encode(fragment(t, `<a>b</a>`), Raw)
+	out, err = Unnest(v, "zzz")
+	if err != nil || len(out) != 0 {
+		t.Errorf("Unnest(missing tag) = %v, %v", out, err)
+	}
+}
+
+func TestCorruptCompressedData(t *testing.T) {
+	good := Encode(fragment(t, speechFrag), Compressed)
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)/2] },          // truncation
+		func(b []byte) []byte { b[len(b)-1] = 0xFF; return b }, // bad trailing op
+	} {
+		b := append([]byte(nil), good.Bytes()...)
+		v := FromBytes(mutate(b))
+		if _, err := v.Nodes(); err == nil {
+			t.Error("corrupt data should fail to decode")
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Fragments built from arbitrary small structures round-trip through
+	// both formats.
+	f := func(texts []string, tags []uint8) bool {
+		root := xmltree.NewElement("r")
+		cur := root
+		for i, tag := range tags {
+			elem := xmltree.NewElement(string(rune('a' + tag%26)))
+			cur.Append(elem)
+			if i%2 == 0 {
+				cur = elem
+			}
+		}
+		for i, s := range texts {
+			clean := strings.Map(func(r rune) rune {
+				if r < 0x20 || r == 0xFFFD {
+					return -1
+				}
+				return r
+			}, s)
+			if clean == "" {
+				continue
+			}
+			target := root
+			if i%2 == 0 && len(root.Children) > 0 {
+				target = root.Children[0]
+			}
+			target.AppendText(clean)
+		}
+		nodes := []*xmltree.Node{root}
+		want := xmltree.SerializeAll(nodes)
+		for _, f := range []Format{Raw, Compressed} {
+			v := Encode(nodes, f)
+			got, err := v.Text()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package xmltree
+
+import "strings"
+
+// Serialize renders the subtree rooted at n as an XML string. Element
+// attributes and children appear in document order; character data is
+// escaped. Empty elements are rendered with an explicit end tag so that
+// round-tripping is byte-stable regardless of how the source was written.
+func Serialize(n *Node) string {
+	var sb strings.Builder
+	writeNode(&sb, n)
+	return sb.String()
+}
+
+// SerializeAll renders a sequence of sibling nodes (an XML fragment).
+func SerializeAll(nodes []*Node) string {
+	var sb strings.Builder
+	for _, n := range nodes {
+		writeNode(&sb, n)
+	}
+	return sb.String()
+}
+
+func writeNode(sb *strings.Builder, n *Node) {
+	if n.IsText() {
+		sb.WriteString(EscapeText(n.Text))
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeAttr(a.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('>')
+	for _, c := range n.Children {
+		writeNode(sb, c)
+	}
+	sb.WriteString("</")
+	sb.WriteString(n.Name)
+	sb.WriteByte('>')
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<>&"`) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// SerializedSize returns the length in bytes of the serialized form of n
+// without materializing the string.
+func SerializedSize(n *Node) int {
+	if n.IsText() {
+		return len(EscapeText(n.Text))
+	}
+	// "<" + name + ">" ... "</" + name + ">"
+	size := 2*len(n.Name) + 5
+	for _, a := range n.Attrs {
+		size += len(a.Name) + len(EscapeAttr(a.Value)) + 4
+	}
+	for _, c := range n.Children {
+		size += SerializedSize(c)
+	}
+	return size
+}

@@ -1,0 +1,126 @@
+// Package xmlstore stores and queries XML documents in an embedded
+// object-relational engine, reproducing "Storing and Querying XML Data in
+// Object-Relational DBMSs" (Runapongsa & Patel, EDBT 2002).
+//
+// Given a DTD, the package derives a storage schema with one of two
+// mapping algorithms — the Hybrid inlining baseline of Shanmugasundaram
+// et al. (pure relational) or the paper's XORator algorithm, which maps
+// entire subtrees of the DTD graph to attributes of an XML abstract data
+// type (XADT) — shreds documents into tables, and answers SQL queries
+// that may invoke the XADT methods getElm, findKeyInElm, getElmIndex and
+// the unnest table function.
+//
+// Typical use:
+//
+//	st, err := xmlstore.NewStore(myDTD, xmlstore.Config{Algorithm: xmlstore.XORator})
+//	...
+//	err = st.LoadXML([]string{doc1, doc2})
+//	err = st.CreateDefaultIndexes()
+//	err = st.RunStats()
+//	res, err := st.Query(`SELECT getElm(speech_line, 'LINE', 'LINE', 'friend') FROM speech`)
+package xmlstore
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/mapping"
+	"repro/internal/xadt"
+)
+
+// Algorithm selects the storage mapping.
+type Algorithm = core.Algorithm
+
+// The two mapping algorithms the paper compares.
+const (
+	// Hybrid is the relational inlining baseline.
+	Hybrid = core.Hybrid
+	// XORator is the paper's object-relational mapping.
+	XORator = core.XORator
+)
+
+// Config tunes a Store; see core.Config for field semantics.
+type Config = core.Config
+
+// Store is a loaded XML store under one mapping.
+type Store = core.Store
+
+// Stats summarizes a store's storage footprint.
+type Stats = core.Stats
+
+// Format identifies an XADT storage representation.
+type Format = xadt.Format
+
+// XADT storage representations.
+const (
+	// Raw stores fragments as tagged text.
+	Raw = xadt.Raw
+	// Compressed stores fragments with dictionary-coded tag names.
+	Compressed = xadt.Compressed
+	// Directory stores raw text with a top-level element offset
+	// directory — the paper's future-work metadata extension, which
+	// speeds up order access (getElmIndex) and unnest.
+	Directory = xadt.Directory
+)
+
+// NewStore parses a DTD and prepares an empty store.
+func NewStore(dtdSource string, cfg Config) (*Store, error) {
+	return core.NewStore(dtdSource, cfg)
+}
+
+// FragmentText renders an XADT query-result value as fragment text.
+var FragmentText = core.FragmentText
+
+// OpenSnapshotFile restores a store saved with Store.SaveFile, with
+// default engine configuration.
+func OpenSnapshotFile(path string) (*Store, error) {
+	return core.OpenSnapshotFile(path, engine.Config{})
+}
+
+// Built-in DTDs from the paper, usable as NewStore inputs and with the
+// bundled data generators.
+const (
+	// PlaysDTD is the running example of Figure 1.
+	PlaysDTD = corpus.PlaysDTD
+	// ShakespeareDTD is the full Shakespeare DTD of Figure 10.
+	ShakespeareDTD = corpus.ShakespeareDTD
+	// SigmodDTD is the SIGMOD Proceedings DTD of Figure 12.
+	SigmodDTD = corpus.SigmodDTD
+)
+
+// SchemaText maps a DTD with the chosen algorithm and renders the
+// resulting relational schema in the paper's notation (Figures 5 and 6).
+func SchemaText(dtdSource string, alg Algorithm) (string, error) {
+	d, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return "", err
+	}
+	s := dtd.Simplify(d)
+	var schema *mapping.Schema
+	switch alg {
+	case Hybrid:
+		schema, err = mapping.Hybrid(s)
+	case XORator, "":
+		schema, err = mapping.XORator(s)
+	default:
+		return "", fmt.Errorf("xmlstore: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return "", err
+	}
+	return schema.String(), nil
+}
+
+// MonetTableCount estimates the table count of the Monet path mapping for
+// a DTD — the §2 comparison point (95-ish tables for Shakespeare against
+// XORator's 7).
+func MonetTableCount(dtdSource string) (int, error) {
+	d, err := dtd.Parse(dtdSource)
+	if err != nil {
+		return 0, err
+	}
+	return mapping.MonetTableCount(dtd.Simplify(d))
+}

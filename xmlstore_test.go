@@ -1,0 +1,102 @@
+package xmlstore
+
+import (
+	"strings"
+	"testing"
+)
+
+const tinyDoc = `<PLAY><ACT>
+<SCENE><TITLE>One</TITLE>
+<SPEECH><SPEAKER>A</SPEAKER><LINE>hello friend</LINE><LINE>goodbye</LINE></SPEECH>
+</SCENE>
+<TITLE>Act</TITLE>
+<SPEECH><SPEAKER>B</SPEAKER><LINE>again</LINE></SPEECH>
+</ACT></PLAY>`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	st, err := NewStore(PlaysDTD, Config{Algorithm: XORator})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]string{tinyDoc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateDefaultIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RunStats(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(`SELECT getElm(speech_line, 'LINE', 'LINE', 'friend') FROM speech
+WHERE findKeyInElm(speech_line, 'LINE', 'friend') = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	text, err := FragmentText(res.Rows[0][0])
+	if err != nil || !strings.Contains(text, "hello friend") {
+		t.Errorf("fragment = %q, %v", text, err)
+	}
+}
+
+func TestSchemaText(t *testing.T) {
+	x, err := SchemaText(PlaysDTD, XORator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(x, "speech_speaker:XADT") {
+		t.Errorf("xorator schema:\n%s", x)
+	}
+	h, err := SchemaText(PlaysDTD, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(h, "speaker_value:string") {
+		t.Errorf("hybrid schema:\n%s", h)
+	}
+}
+
+func TestMonetTableCount(t *testing.T) {
+	n, err := MonetTableCount(ShakespeareDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 60 {
+		t.Errorf("Monet count = %d, want the §2 blow-up", n)
+	}
+}
+
+func TestSchemaTextUnknownAlgorithm(t *testing.T) {
+	if _, err := SchemaText(PlaysDTD, "bogus"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	// Empty algorithm defaults to XORator.
+	s, err := SchemaText(PlaysDTD, "")
+	if err != nil || !strings.Contains(s, "XADT") {
+		t.Errorf("default schema = %q, %v", s, err)
+	}
+}
+
+func TestSnapshotThroughPublicAPI(t *testing.T) {
+	st, err := NewStore(PlaysDTD, Config{Algorithm: XORator})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]string{tinyDoc}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/snap.xordb"
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := restored.Query(`SELECT COUNT(*) FROM speech`)
+	if err != nil || res.Rows[0][0].Int() != 2 {
+		t.Errorf("restored speech count = %v, %v", res, err)
+	}
+}
