@@ -1,0 +1,36 @@
+# Development workflow for the reproduction. `make ci` is the gate the
+# repo is expected to keep green.
+
+GO ?= go
+
+.PHONY: ci vet build test race benchsmoke bench repro clean
+
+ci: vet build test race benchsmoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration benchmark pass: proves the benchmarks still compile and
+# run without paying for stable measurements.
+benchsmoke:
+	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x ./internal/engine/
+
+bench:
+	$(GO) test -run=NONE -bench=. ./...
+
+# Reduced-scale pass over every experiment, including the parallel
+# speedup table (writes BENCH_parallel.json).
+repro:
+	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
+
+clean:
+	rm -f BENCH_parallel.json

@@ -9,16 +9,19 @@
 //	-exp schemas   Figures 5 & 6: the mapped schemas of the Plays DTD
 //	-exp monet     §2: Monet table-count comparison
 //	-exp compress  §4.1: XADT storage-format decision per corpus
+//	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
 //	-exp all       everything above
 //
-// Use -quick for a reduced-scale smoke run and -scales to override the
-// DSxN sweep.
+// Use -quick for a reduced-scale smoke run, -scales to override the
+// DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
+// The parallel experiment also writes BENCH_parallel.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +40,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced data sizes for a fast smoke run")
 		scaleStr = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
 		repeats  = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
+		dop      = flag.Int("dop", runtime.GOMAXPROCS(0), "degree of parallelism for -exp parallel")
 	)
 	flag.Parse()
 
@@ -44,7 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	r := &runner{quick: *quick, scales: scales, repeats: *repeats}
+	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop}
 
 	experiments := map[string]func() error{
 		"schemas":  r.schemas,
@@ -55,8 +59,9 @@ func main() {
 		"fig13":    r.fig13,
 		"fig14":    r.fig14,
 		"compress": r.compress,
+		"parallel": r.parallel,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -89,6 +94,7 @@ type runner struct {
 	quick   bool
 	scales  []int
 	repeats int
+	dop     int
 
 	shakespeare *bench.Dataset
 	sigmod      *bench.Dataset
@@ -214,6 +220,42 @@ func (r *runner) fig14() error {
 		return err
 	}
 	fmt.Print(bench.UDFTable(ms))
+	return nil
+}
+
+// parallel measures every workload query at DOP 1 and DOP N on both
+// mappings, prints the parallel_speedup table, and writes
+// BENCH_parallel.json.
+func (r *runner) parallel() error {
+	var all []bench.ParallelMeasurement
+	for _, w := range []struct {
+		ds      bench.Dataset
+		queries []bench.Query
+	}{
+		{r.shakespeareDS(), bench.ShakespeareQueries()},
+		{r.sigmodDS(), bench.SigmodQueries()},
+	} {
+		for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
+			st, _, err := bench.BuildStore(w.ds, alg, 1)
+			if err != nil {
+				return err
+			}
+			mapName := "hybrid"
+			if alg == core.XORator {
+				mapName = "xorator"
+			}
+			ms, err := bench.RunParallel(st, w.queries, mapName, r.dop, r.repeats)
+			if err != nil {
+				return err
+			}
+			all = append(all, ms...)
+		}
+	}
+	fmt.Print(bench.ParallelTable(all))
+	if err := bench.WriteParallelJSON("BENCH_parallel.json", all); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_parallel.json")
 	return nil
 }
 

@@ -1,0 +1,105 @@
+// Parallel-execution benchmark: every workload query timed at DOP 1 and
+// DOP N against the same store, verifying identical results and
+// reporting the wall-clock speedup. Emitted both as a report table and
+// as machine-readable BENCH_parallel.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+)
+
+// ParallelMeasurement is one query timed serially and in parallel.
+type ParallelMeasurement struct {
+	Query     string  `json:"query"`
+	Mapping   string  `json:"mapping"` // "hybrid" or "xorator"
+	DOP       int     `json:"dop"`
+	Dop1Ms    float64 `json:"dop1_ms"`
+	DopNMs    float64 `json:"dopn_ms"`
+	Speedup   float64 `json:"speedup"`
+	Rows      int     `json:"rows"`
+	Identical bool    `json:"identical"`
+}
+
+// RunParallel times every query at DOP 1 and DOP dop against the store,
+// checking that both runs return identical rows (order included — the
+// exchange is order-preserving). mapping selects which SQL text of each
+// Query runs; it must match the store's mapping.
+func RunParallel(st *core.Store, queries []Query, mapping string, dop, repeats int) ([]ParallelMeasurement, error) {
+	if dop < 2 {
+		dop = 2
+	}
+	serialOpts := plan.Options{DOP: 1}
+	parOpts := plan.Options{DOP: dop}
+	var out []ParallelMeasurement
+	for _, q := range queries {
+		text := q.Hybrid
+		if mapping == "xorator" {
+			text = q.XORator
+		}
+		st.DB.SetPlannerOptions(serialOpts)
+		want, err := st.Query(text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s serial: %w", q.ID, err)
+		}
+		t1, _, err := timeQuery(st, text, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s dop=1: %w", q.ID, err)
+		}
+		st.DB.SetPlannerOptions(parOpts)
+		got, err := st.Query(text)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s dop=%d: %w", q.ID, dop, err)
+		}
+		tn, _, err := timeQuery(st, text, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s dop=%d: %w", q.ID, dop, err)
+		}
+		speedup := 0.0
+		if tn > 0 {
+			speedup = float64(t1) / float64(tn)
+		}
+		out = append(out, ParallelMeasurement{
+			Query:     q.ID,
+			Mapping:   mapping,
+			DOP:       dop,
+			Dop1Ms:    float64(t1.Microseconds()) / 1e3,
+			DopNMs:    float64(tn.Microseconds()) / 1e3,
+			Speedup:   speedup,
+			Rows:      len(got.Rows),
+			Identical: reflect.DeepEqual(got.Rows, want.Rows),
+		})
+	}
+	st.DB.SetPlannerOptions(serialOpts)
+	return out, nil
+}
+
+// ParallelTable renders the measurements with the parallel_speedup
+// column the repro CLI prints.
+func ParallelTable(ms []ParallelMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Parallel execution: DOP 1 vs DOP N response times\n")
+	fmt.Fprintf(&sb, "%-8s %-8s %4s %10s %10s %16s %8s %10s\n",
+		"query", "mapping", "dop", "dop1_ms", "dopn_ms", "parallel_speedup", "rows", "identical")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-8s %-8s %4d %10.2f %10.2f %16.2f %8d %10t\n",
+			m.Query, m.Mapping, m.DOP, m.Dop1Ms, m.DopNMs, m.Speedup, m.Rows, m.Identical)
+	}
+	return sb.String()
+}
+
+// WriteParallelJSON writes the measurements as a JSON array to path
+// (conventionally BENCH_parallel.json).
+func WriteParallelJSON(path string, ms []ParallelMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+)
+
+// TestParallelDeterminism runs every workload query of both corpora,
+// under both mappings, at DOP 1 and DOP 4, and requires identical rows
+// in identical order — the end-to-end guarantee behind the
+// order-preserving exchange.
+func TestParallelDeterminism(t *testing.T) {
+	workloads := []struct {
+		name    string
+		ds      Dataset
+		queries []Query
+	}{
+		{"shakespeare", ShakespeareDataset(3), ShakespeareQueries()},
+		{"sigmod", SigmodDataset(60), SigmodQueries()},
+	}
+	for _, w := range workloads {
+		for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
+			st, _, err := BuildStore(w.ds, alg, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.name, alg, err)
+			}
+			for _, q := range w.queries {
+				text := q.Hybrid
+				if alg == core.XORator {
+					text = q.XORator
+				}
+				st.DB.SetPlannerOptions(plan.Options{DOP: 1})
+				want, err := st.Query(text)
+				if err != nil {
+					t.Fatalf("%s/%s/%s serial: %v", w.name, alg, q.ID, err)
+				}
+				st.DB.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1})
+				got, err := st.Query(text)
+				if err != nil {
+					t.Fatalf("%s/%s/%s dop=4: %v", w.name, alg, q.ID, err)
+				}
+				if !reflect.DeepEqual(got.Rows, want.Rows) {
+					t.Errorf("%s/%s/%s: dop=4 rows (%d) differ from serial (%d)",
+						w.name, alg, q.ID, len(got.Rows), len(want.Rows))
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelReportsSpeedupAndJSON(t *testing.T) {
+	st, _, err := BuildStore(ShakespeareDataset(3), core.XORator, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := RunParallel(st, ShakespeareQueries(), "xorator", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ShakespeareQueries()) {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Identical {
+			t.Errorf("%s: parallel result differed from serial", m.Query)
+		}
+		if m.Dop1Ms <= 0 || m.DopNMs <= 0 {
+			t.Errorf("%s: non-positive timings %v/%v", m.Query, m.Dop1Ms, m.DopNMs)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	if err := WriteParallelJSON(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ParallelMeasurement
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if !reflect.DeepEqual(back, ms) {
+		t.Error("JSON round-trip altered measurements")
+	}
+	table := ParallelTable(ms)
+	if !strings.Contains(table, "parallel_speedup") {
+		t.Errorf("table missing parallel_speedup column:\n%s", table)
+	}
+}

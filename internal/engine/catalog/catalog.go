@@ -6,6 +6,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/engine/index"
 	"repro/internal/engine/storage"
@@ -65,11 +66,16 @@ func (s *Stats) DistinctOr(col string, def int) int {
 }
 
 // Table is a stored table: schema, heap file, indexes, statistics.
+// The mutex guards Indexes and Stats against concurrent readers (parallel
+// query workers consult both); direct field access remains safe for
+// single-threaded code such as loaders and tests.
 type Table struct {
 	Schema  *Schema
 	Heap    *storage.HeapFile
 	Indexes []*Index
 	Stats   Stats
+
+	mu sync.RWMutex
 }
 
 // Insert validates and stores a row, maintaining all indexes.
@@ -87,6 +93,8 @@ func (t *Table) Insert(row []types.Value) error {
 				t.Schema.Table, t.Schema.Columns[i].Name, t.Schema.Columns[i].Type, v.Kind())
 		}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rid := t.Heap.Insert(row)
 	for _, idx := range t.Indexes {
 		idx.Tree.Insert(row[idx.ColIdx], rid)
@@ -97,12 +105,24 @@ func (t *Table) Insert(row []types.Value) error {
 
 // IndexOn returns the index over the named column, or nil.
 func (t *Table) IndexOn(column string) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, idx := range t.Indexes {
 		if idx.Column == column {
 			return idx
 		}
 	}
 	return nil
+}
+
+// StatsSnapshot returns a copy of the table's optimizer statistics that
+// is safe to read while other goroutines insert rows or run RunStats.
+// The Distinct map is shared with the live Stats but both treat it as
+// immutable once published (RunStats installs a fresh map).
+func (t *Table) StatsSnapshot() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Stats
 }
 
 // Rows returns the current cardinality.
@@ -113,6 +133,8 @@ func (t *Table) DataBytes() int64 { return t.Heap.DataBytes() }
 
 // IndexBytes returns the total footprint of the table's indexes.
 func (t *Table) IndexBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var n int64
 	for _, idx := range t.Indexes {
 		n += idx.Tree.SizeBytes()
@@ -120,8 +142,11 @@ func (t *Table) IndexBytes() int64 {
 	return n
 }
 
-// Catalog is the set of tables in a database.
+// Catalog is the set of tables in a database. The mutex guards the
+// table registry so concurrent queries can resolve tables while DDL
+// (CreateTable/CreateIndex) proceeds on another goroutine.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string
 	pool   *storage.BufferPool
@@ -134,6 +159,8 @@ func New(pool *storage.BufferPool) *Catalog {
 
 // CreateTable registers a new table.
 func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.tables[name]; exists {
 		return nil, fmt.Errorf("catalog: table %s already exists", name)
 	}
@@ -154,17 +181,23 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 }
 
 // Table returns the named table, or nil.
-func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
 
 // TableNames returns table names in creation order.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return append([]string(nil), c.order...)
 }
 
 // CreateIndex builds a B+tree index over one column of a table,
 // backfilling existing rows.
 func (c *Catalog) CreateIndex(table, column string) (*Index, error) {
-	t := c.tables[table]
+	t := c.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("catalog: no table %s", table)
 	}
@@ -188,14 +221,16 @@ func (c *Catalog) CreateIndex(table, column string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.mu.Lock()
 	t.Indexes = append(t.Indexes, idx)
+	t.mu.Unlock()
 	return idx, nil
 }
 
 // RunStats recomputes optimizer statistics for one table — the analogue
 // of DB2's runstats command.
 func (c *Catalog) RunStats(table string) error {
-	t := c.tables[table]
+	t := c.Table(table)
 	if t == nil {
 		return fmt.Errorf("catalog: no table %s", table)
 	}
@@ -214,16 +249,19 @@ func (c *Catalog) RunStats(table string) error {
 	if err != nil {
 		return err
 	}
-	t.Stats = Stats{Rows: rows, Distinct: map[string]int{}, Valid: true}
+	stats := Stats{Rows: rows, Distinct: map[string]int{}, Valid: true}
 	for i, col := range t.Schema.Columns {
-		t.Stats.Distinct[col.Name] = len(distinct[i])
+		stats.Distinct[col.Name] = len(distinct[i])
 	}
+	t.mu.Lock()
+	t.Stats = stats
+	t.mu.Unlock()
 	return nil
 }
 
 // RunStatsAll runs statistics over every table.
 func (c *Catalog) RunStatsAll() error {
-	for _, name := range c.order {
+	for _, name := range c.TableNames() {
 		if err := c.RunStats(name); err != nil {
 			return err
 		}
@@ -233,6 +271,8 @@ func (c *Catalog) RunStatsAll() error {
 
 // TotalDataBytes sums table heap footprints.
 func (c *Catalog) TotalDataBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var n int64
 	for _, t := range c.tables {
 		n += t.DataBytes()
@@ -242,6 +282,8 @@ func (c *Catalog) TotalDataBytes() int64 {
 
 // TotalIndexBytes sums index footprints.
 func (c *Catalog) TotalIndexBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var n int64
 	for _, t := range c.tables {
 		n += t.IndexBytes()
@@ -252,11 +294,11 @@ func (c *Catalog) TotalIndexBytes() int64 {
 // Describe renders the catalog for diagnostics: tables, columns, indexes,
 // row counts, sorted by table name.
 func (c *Catalog) Describe() string {
-	names := append([]string(nil), c.order...)
+	names := c.TableNames()
 	sort.Strings(names)
 	out := ""
 	for _, name := range names {
-		t := c.tables[name]
+		t := c.Table(name)
 		out += fmt.Sprintf("%s: %d rows, %d cols, %d indexes, %d data bytes\n",
 			name, t.Rows(), len(t.Schema.Columns), len(t.Indexes), t.DataBytes())
 	}

@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"repro/internal/engine/catalog"
@@ -31,6 +32,10 @@ type Config struct {
 	// FencedUDFs runs UDFs in a separate goroutine (DB2's FENCED mode).
 	// The paper measures NOT FENCED.
 	FencedUDFs bool
+	// DOP is the degree of intra-query parallelism. 0 defaults to
+	// runtime.GOMAXPROCS(0); 1 forces serial execution. A non-zero
+	// Planner.DOP takes precedence.
+	DOP int
 }
 
 // Database is an embedded database instance.
@@ -58,10 +63,25 @@ func Open(cfg Config) *Database {
 		Catalog:  cat,
 		Registry: reg,
 		Pool:     pool,
-		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: cfg.Planner},
+		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveDOP(cfg)},
 	}
 	registerStandardFunctions(reg)
 	return db
+}
+
+// resolveDOP folds Config.DOP into the planner options: an explicit
+// Planner.DOP wins, then Config.DOP, then the machine's GOMAXPROCS.
+// A bare plan.Planner constructed without engine.Open keeps DOP 0 and
+// plans serially.
+func resolveDOP(cfg Config) plan.Options {
+	opts := cfg.Planner
+	if opts.DOP == 0 {
+		opts.DOP = cfg.DOP
+	}
+	if opts.DOP == 0 {
+		opts.DOP = runtime.GOMAXPROCS(0)
+	}
+	return opts
 }
 
 // SetPlannerOptions replaces the optimizer options (used by ablation
@@ -146,7 +166,7 @@ func OpenSnapshot(r io.Reader, cfg Config) (*Database, error) {
 		Catalog:  cat,
 		Registry: reg,
 		Pool:     pool,
-		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: cfg.Planner},
+		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveDOP(cfg)},
 	}
 	registerStandardFunctions(reg)
 	return db, nil

@@ -1,0 +1,470 @@
+// Parallel (intra-query) execution: a morsel-driven scan, the
+// Gather exchange operator that fans a pipeline out across workers, and
+// a shared hash-join build.
+//
+// Design: the planner clones a scan-rooted pipeline once per worker
+// (expressions are cloned with expr.Clone so per-instance state is never
+// shared) and roots every clone at a MorselScan. At runtime the Gather's
+// workers pull page-range morsels from one atomic MorselSource, run
+// their pipeline over each morsel, and post the resulting row batch
+// tagged with the morsel's sequence number. Gather reassembles batches
+// in sequence order, so a parallel plan emits rows in exactly the order
+// the serial plan would — parallelism is observable only as speed.
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// MorselScan reads one page range of a table at a time. It is the leaf
+// of a parallel pipeline: the owning Gather re-targets it with SetRange
+// for every morsel its worker claims.
+type MorselScan struct {
+	Table  *catalog.Table
+	Alias  string
+	schema *expr.RowSchema
+	lo, hi int
+	cursor *storage.Cursor
+}
+
+// NewMorselScan returns a morsel-ranged scan of the table under the
+// alias. The range is empty until SetRange.
+func NewMorselScan(t *catalog.Table, alias string) *MorselScan {
+	return &MorselScan{Table: t, Alias: alias, schema: tableSchema(t, alias)}
+}
+
+// SetRange targets the scan at pages [lo, hi) for the next Open.
+func (s *MorselScan) SetRange(lo, hi int) { s.lo, s.hi = lo, hi }
+
+// Schema implements Operator.
+func (s *MorselScan) Schema() *expr.RowSchema { return s.schema }
+
+// Open implements Operator.
+func (s *MorselScan) Open() error {
+	s.cursor = s.Table.Heap.NewRangeCursor(s.lo, s.hi)
+	return nil
+}
+
+// Next implements Operator.
+func (s *MorselScan) Next() ([]types.Value, error) {
+	_, row, ok, err := s.cursor.Next()
+	if err != nil || !ok {
+		return nil, err
+	}
+	return row, nil
+}
+
+// Close implements Operator.
+func (s *MorselScan) Close() error {
+	s.cursor = nil
+	return nil
+}
+
+// String describes the scan for plan explanations.
+func (s *MorselScan) String() string {
+	return fmt.Sprintf("MorselScan(%s as %s)", s.Table.Schema.Table, s.Alias)
+}
+
+// Pipeline is one worker's copy of a parallelized plan fragment: the
+// cloned operator chain and the MorselScan at its leaf.
+type Pipeline struct {
+	Root Operator
+	Leaf *MorselScan
+}
+
+// Resettable is per-execution shared state (e.g. a shared hash-join
+// build) that a Gather resets when it is re-opened.
+type Resettable interface{ Reset() }
+
+// morselBatch is the fully evaluated output of one morsel.
+type morselBatch struct {
+	seq  int
+	rows [][]types.Value
+	err  error
+}
+
+// Gather is the exchange operator: it runs N worker pipelines over a
+// shared MorselSource and merges their output back into one pull-based
+// stream, preserving Operator semantics so operators above it compose
+// unchanged. Output order is the serial scan order (batches are
+// reassembled by morsel sequence), so plans behave identically at every
+// degree of parallelism.
+type Gather struct {
+	Pipes []Pipeline
+	// MorselPages overrides the pages-per-morsel unit; 0 uses
+	// storage.DefaultMorselPages.
+	MorselPages int
+	// Shared is per-execution state reused by all workers (hash builds,
+	// materialized join inners); it is reset on every Open.
+	Shared []Resettable
+
+	schema *expr.RowSchema
+
+	src     *storage.MorselSource
+	ch      chan morselBatch
+	cancel  chan struct{}
+	pending map[int]morselBatch
+	nextSeq int
+	cur     [][]types.Value
+	pos     int
+	err     error
+	drained bool
+}
+
+// NewGather builds the exchange over worker pipelines. All pipelines
+// must be clones of the same fragment (identical schemas, same scanned
+// table).
+func NewGather(pipes []Pipeline, morselPages int, shared []Resettable) *Gather {
+	if len(pipes) == 0 {
+		panic("exec: Gather needs at least one pipeline")
+	}
+	return &Gather{
+		Pipes:       pipes,
+		MorselPages: morselPages,
+		Shared:      shared,
+		schema:      pipes[0].Root.Schema(),
+	}
+}
+
+// DOP returns the gather's degree of parallelism.
+func (g *Gather) DOP() int { return len(g.Pipes) }
+
+// Schema implements Operator.
+func (g *Gather) Schema() *expr.RowSchema { return g.schema }
+
+// Open starts the worker pool.
+func (g *Gather) Open() error {
+	for _, s := range g.Shared {
+		s.Reset()
+	}
+	heap := g.Pipes[0].Leaf.Table.Heap
+	g.src = storage.NewMorselSource(heap.DataPages(), g.MorselPages)
+	g.ch = make(chan morselBatch, 2*len(g.Pipes))
+	g.cancel = make(chan struct{})
+	g.pending = make(map[int]morselBatch)
+	g.nextSeq, g.cur, g.pos = 0, nil, 0
+	g.err = nil
+	g.drained = false
+
+	var wg sync.WaitGroup
+	for _, p := range g.Pipes {
+		wg.Add(1)
+		go g.worker(p, &wg)
+	}
+	ch := g.ch
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return nil
+}
+
+// worker claims morsels until the source runs dry, running the pipeline
+// over each and posting the batch.
+func (g *Gather) worker(p Pipeline, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		m, ok := g.src.Next()
+		if !ok {
+			return
+		}
+		p.Leaf.SetRange(m.Lo, m.Hi)
+		rows, err := Drain(p.Root)
+		if err != nil {
+			// Stop handing out work; in-flight morsels on other workers
+			// finish so every claimed sequence number gets a batch.
+			g.src.Abort()
+		}
+		select {
+		case g.ch <- morselBatch{seq: m.Seq, rows: rows, err: err}:
+		case <-g.cancel:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Next implements Operator: it serves rows from the current batch and
+// otherwise advances to the next batch in morsel order.
+func (g *Gather) Next() ([]types.Value, error) {
+	for {
+		if g.err != nil {
+			return nil, g.err
+		}
+		if g.pos < len(g.cur) {
+			row := g.cur[g.pos]
+			g.pos++
+			return row, nil
+		}
+		if b, ok := g.pending[g.nextSeq]; ok {
+			delete(g.pending, g.nextSeq)
+			if b.err != nil {
+				g.err = b.err
+				return nil, g.err
+			}
+			g.cur, g.pos = b.rows, 0
+			g.nextSeq++
+			continue
+		}
+		if g.drained {
+			// Channel closed and the next sequence never arrived: either
+			// the scan is complete, or a worker failed on an earlier
+			// morsel (its error batch was consumed above), or it exited
+			// on cancel. Surface any straggler error; otherwise EOF.
+			for _, b := range g.pending {
+				if b.err != nil {
+					g.err = b.err
+					return nil, g.err
+				}
+			}
+			return nil, nil
+		}
+		b, ok := <-g.ch
+		if !ok {
+			g.drained = true
+			continue
+		}
+		g.pending[b.seq] = b
+	}
+}
+
+// Close stops the workers and releases batches. Workers finish their
+// in-flight morsel; subsequent sends land in the closed-over channel
+// drain below, and no new morsels are claimed.
+func (g *Gather) Close() error {
+	if g.cancel != nil {
+		g.src.Abort()
+		close(g.cancel)
+		for range g.ch { // unblock senders until the closer closes ch
+		}
+		g.cancel = nil
+	}
+	g.pending = nil
+	g.cur = nil
+	return nil
+}
+
+// String describes the exchange for plan explanations.
+func (g *Gather) String() string {
+	return fmt.Sprintf("Gather(dop=%d)", len(g.Pipes))
+}
+
+// HashBuild is the once-per-execution build side of a parallelized hash
+// join, shared by every worker's HashProbe. The first Table() call
+// drains the build input and assembles the hash table — hashing the
+// build keys across BuildDOP goroutines — and later calls return the
+// same table, so N probe workers pay for one build.
+type HashBuild struct {
+	// Input produces the build rows; it may itself contain a Gather.
+	Input Operator
+	// Key computes the join key over a build row.
+	Key expr.Expr
+	// BuildDOP bounds the key-hashing workers (1 = serial build).
+	BuildDOP int
+
+	mu    sync.Mutex
+	built bool
+	table map[uint64][][]types.Value
+	err   error
+}
+
+// Reset discards the built table so the next Table() call rebuilds —
+// called by the owning Gather when the plan is re-opened.
+func (b *HashBuild) Reset() {
+	b.mu.Lock()
+	b.built = false
+	b.table = nil
+	b.err = nil
+	b.mu.Unlock()
+}
+
+// Table returns the hash table, building it on first call. Safe for
+// concurrent use; losers of the race block until the build completes.
+func (b *HashBuild) Table() (map[uint64][][]types.Value, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.built {
+		b.table, b.err = b.build()
+		b.built = true
+	}
+	return b.table, b.err
+}
+
+// parallelBuildThreshold is the minimum build cardinality for which
+// fanning the key hashing out is worth the goroutine handoff.
+const parallelBuildThreshold = 1024
+
+// build drains the input and hashes the keys, in parallel when the
+// build side is large enough. Insertion order into the table matches the
+// serial HashJoin build exactly, so probe match order is identical.
+func (b *HashBuild) build() (map[uint64][][]types.Value, error) {
+	rows, err := Drain(b.Input)
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]uint64, len(rows))
+	keep := make([]bool, len(rows))
+	dop := b.BuildDOP
+	if dop > len(rows)/parallelBuildThreshold {
+		dop = len(rows) / parallelBuildThreshold
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	if dop == 1 {
+		if err := hashKeys(b.Key, rows, hashes, keep); err != nil {
+			return nil, err
+		}
+	} else {
+		errs := make([]error, dop)
+		var wg sync.WaitGroup
+		chunk := (len(rows) + dop - 1) / dop
+		for w := 0; w < dop; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				errs[w] = hashKeys(expr.Clone(b.Key), rows[lo:hi], hashes[lo:hi], keep[lo:hi])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+	}
+	table := make(map[uint64][][]types.Value, len(rows))
+	for i, row := range rows {
+		if keep[i] {
+			table[hashes[i]] = append(table[hashes[i]], row)
+		}
+	}
+	return table, nil
+}
+
+// hashKeys evaluates key over each row, recording the hash and whether
+// the row participates (NULL keys never join).
+func hashKeys(key expr.Expr, rows [][]types.Value, hashes []uint64, keep []bool) error {
+	for i, row := range rows {
+		k, err := key.Eval(row)
+		if err != nil {
+			return err
+		}
+		if k.IsNull() {
+			continue
+		}
+		hashes[i] = types.Hash(k)
+		keep[i] = true
+	}
+	return nil
+}
+
+// HashProbe is the per-worker probe side of a parallelized hash join:
+// it streams its (cloned) probe input against the shared HashBuild. Its
+// semantics mirror HashJoin exactly — including the collision re-check
+// of the key equality on the joined row.
+type HashProbe struct {
+	Build             *HashBuild
+	Right             Operator
+	LeftKey, RightKey expr.Expr
+	// LeftWidth is the column count of the build schema; probe keys are
+	// resolved against the concatenated (build ++ probe) schema.
+	LeftWidth int
+
+	schema   *expr.RowSchema
+	table    map[uint64][][]types.Value
+	probeRow []types.Value
+	matches  [][]types.Value
+	mpos     int
+}
+
+// NewHashProbe builds the probe operator over a shared build.
+func NewHashProbe(build *HashBuild, right Operator, leftKey, rightKey expr.Expr) *HashProbe {
+	return &HashProbe{
+		Build: build, Right: right, LeftKey: leftKey, RightKey: rightKey,
+		LeftWidth: len(build.Input.Schema().Cols),
+		schema:    expr.Concat(build.Input.Schema(), right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *HashProbe) Schema() *expr.RowSchema { return j.schema }
+
+// Open fetches the shared table (building it if this worker is first)
+// and opens the probe input.
+func (j *HashProbe) Open() error {
+	table, err := j.Build.Table()
+	if err != nil {
+		return err
+	}
+	j.table = table
+	j.probeRow = nil
+	j.matches = nil
+	j.mpos = 0
+	return j.Right.Open()
+}
+
+// Next implements Operator.
+func (j *HashProbe) Next() ([]types.Value, error) {
+	for {
+		for j.mpos < len(j.matches) {
+			left := j.matches[j.mpos]
+			j.mpos++
+			out := concatRows(left, j.probeRow)
+			// Re-check key equality to guard against hash collisions.
+			lk, err := j.LeftKey.Eval(out)
+			if err != nil {
+				return nil, err
+			}
+			rk, err := j.RightKey.Eval(out)
+			if err != nil {
+				return nil, err
+			}
+			if types.Equal(lk, rk) {
+				return out, nil
+			}
+		}
+		row, err := j.Right.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		j.probeRow = row
+		padded := concatRows(make([]types.Value, j.LeftWidth), row)
+		k, err := j.RightKey.Eval(padded)
+		if err != nil {
+			return nil, err
+		}
+		if k.IsNull() {
+			j.matches = nil
+			j.mpos = 0
+			continue
+		}
+		j.matches = j.table[types.Hash(k)]
+		j.mpos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashProbe) Close() error {
+	j.table = nil
+	j.matches = nil
+	return j.Right.Close()
+}
+
+// String describes the probe for plan explanations.
+func (j *HashProbe) String() string {
+	return fmt.Sprintf("HashProbe(%s = %s)", j.LeftKey, j.RightKey)
+}

@@ -1,0 +1,45 @@
+package expr
+
+import "repro/internal/engine/types"
+
+// Clone returns a copy of a bound expression that is safe to evaluate
+// concurrently with the original. Most expression nodes are immutable
+// and shared as-is; the exception is Call, whose built-in fast path
+// reuses a per-instance argument buffer, so every worker of a parallel
+// pipeline must evaluate its own Call instances.
+func Clone(e Expr) Expr {
+	switch n := e.(type) {
+	case *Cmp:
+		return &Cmp{Op: n.Op, L: Clone(n.L), R: Clone(n.R)}
+	case *And:
+		return &And{L: Clone(n.L), R: Clone(n.R)}
+	case *Or:
+		return &Or{L: Clone(n.L), R: Clone(n.R)}
+	case *Not:
+		return &Not{E: Clone(n.E)}
+	case *Call:
+		return n.clone()
+	default:
+		// Const, Col and Like evaluate without mutable state; sharing
+		// them across workers is safe.
+		return e
+	}
+}
+
+// CloneAll clones a slice of expressions.
+func CloneAll(es []Expr) []Expr {
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = Clone(e)
+	}
+	return out
+}
+
+// clone copies a Call with a private argument buffer.
+func (c *Call) clone() *Call {
+	args := make([]Expr, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = Clone(a)
+	}
+	return &Call{Func: c.Func, Args: args, reg: c.reg, buf: make([]types.Value, len(args))}
+}

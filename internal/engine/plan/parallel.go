@@ -1,0 +1,157 @@
+package plan
+
+import (
+	"repro/internal/engine/exec"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/storage"
+)
+
+// parallelize rewrites a plan for intra-query parallelism. Maximal
+// scan-rooted fragments — chains of Filter / Project / TableFuncApply /
+// hash-join probe sides / index-loop-join outer sides ending in a
+// SeqScan — are cloned once per worker and fanned out behind a Gather
+// exchange; everything else keeps its serial operator but has its
+// streaming input parallelized in place. Hash-join build sides are
+// lifted into a HashBuild shared by all probe workers (built once, with
+// the key hashing itself parallelized), and the build input is
+// recursively parallelized too.
+func (p *Planner) parallelize(op exec.Operator) exec.Operator {
+	b := &parallelBuilder{planner: p, dop: p.Opts.DOP, morselPages: p.Opts.MorselPages}
+	return b.rewrite(op)
+}
+
+// parallelBuilder carries the rewrite parameters.
+type parallelBuilder struct {
+	planner     *Planner
+	dop         int
+	morselPages int
+}
+
+// rewrite returns an equivalent plan with parallel fragments installed.
+func (b *parallelBuilder) rewrite(op exec.Operator) exec.Operator {
+	if pipes, shared, ok := b.fragment(op); ok {
+		return exec.NewGather(pipes, b.morselPages, shared)
+	}
+	switch n := op.(type) {
+	case *exec.Filter:
+		n.Child = b.rewrite(n.Child)
+	case *exec.Project:
+		n.Child = b.rewrite(n.Child)
+	case *exec.TableFuncApply:
+		n.Child = b.rewrite(n.Child)
+	case *exec.Sort:
+		n.Child = b.rewrite(n.Child)
+	case *exec.Distinct:
+		n.Child = b.rewrite(n.Child)
+	case *exec.Limit:
+		n.Child = b.rewrite(n.Child)
+	case *exec.HashAggregate:
+		n.Child = b.rewrite(n.Child)
+	case *exec.NestedLoopJoin:
+		// The inner side is materialized once at Open; only the streamed
+		// outer side benefits from a parallel input.
+		n.Left = b.rewrite(n.Left)
+	case *exec.HashJoin:
+		n.Left = b.rewrite(n.Left)
+		n.Right = b.rewrite(n.Right)
+	case *exec.MergeJoin:
+		n.Left = b.rewrite(n.Left)
+		n.Right = b.rewrite(n.Right)
+	case *exec.IndexLoopJoin:
+		n.Left = b.rewrite(n.Left)
+	}
+	return op
+}
+
+// fragment attempts to clone the subtree rooted at op into per-worker
+// pipelines. It succeeds only when the fragment bottoms out in a
+// SeqScan large enough to split into more than one morsel; expressions
+// are cloned per worker so no evaluation state is shared.
+func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Resettable, bool) {
+	switch n := op.(type) {
+	case *exec.SeqScan:
+		morselPages := b.morselPages
+		if morselPages <= 0 {
+			morselPages = storage.DefaultMorselPages
+		}
+		pages := n.Table.Heap.DataPages()
+		if pages <= morselPages {
+			return nil, nil, false // a single morsel gains nothing
+		}
+		workers := b.dop
+		if m := (pages + morselPages - 1) / morselPages; workers > m {
+			workers = m
+		}
+		pipes := make([]exec.Pipeline, workers)
+		for i := range pipes {
+			leaf := exec.NewMorselScan(n.Table, n.Alias)
+			pipes[i] = exec.Pipeline{Root: leaf, Leaf: leaf}
+		}
+		return pipes, nil, true
+
+	case *exec.Filter:
+		pipes, shared, ok := b.fragment(n.Child)
+		if !ok {
+			return nil, nil, false
+		}
+		for i := range pipes {
+			pipes[i].Root = exec.NewFilter(pipes[i].Root, expr.Clone(n.Pred))
+		}
+		return pipes, shared, true
+
+	case *exec.Project:
+		pipes, shared, ok := b.fragment(n.Child)
+		if !ok {
+			return nil, nil, false
+		}
+		names := n.Schema().Names()
+		for i := range pipes {
+			pipes[i].Root = exec.NewProject(pipes[i].Root, expr.CloneAll(n.Exprs), names)
+		}
+		return pipes, shared, true
+
+	case *exec.TableFuncApply:
+		pipes, shared, ok := b.fragment(n.Child)
+		if !ok {
+			return nil, nil, false
+		}
+		for i := range pipes {
+			pipes[i].Root = exec.NewTableFuncApply(pipes[i].Root, n.Func, expr.CloneAll(n.Args), n.Alias)
+		}
+		return pipes, shared, true
+
+	case *exec.HashJoin:
+		// Parallelize the probe (right) side; the build side becomes a
+		// shared HashBuild, itself recursively parallelized.
+		pipes, shared, ok := b.fragment(n.Right)
+		if !ok {
+			return nil, nil, false
+		}
+		build := &exec.HashBuild{
+			Input:    b.rewrite(n.Left),
+			Key:      n.LeftKey,
+			BuildDOP: b.dop,
+		}
+		shared = append(shared, build)
+		for i := range pipes {
+			pipes[i].Root = exec.NewHashProbe(build, pipes[i].Root,
+				expr.Clone(n.LeftKey), expr.Clone(n.RightKey))
+		}
+		return pipes, shared, true
+
+	case *exec.IndexLoopJoin:
+		// The B+tree and inner heap are read-only at query time, so
+		// workers probe them concurrently; only the key expression needs
+		// cloning.
+		pipes, shared, ok := b.fragment(n.Left)
+		if !ok {
+			return nil, nil, false
+		}
+		for i := range pipes {
+			pipes[i].Root = exec.NewIndexLoopJoin(pipes[i].Root, n.Right, n.Alias,
+				n.Index, expr.Clone(n.LeftKey))
+		}
+		return pipes, shared, true
+	}
+	return nil, nil, false
+}

@@ -32,6 +32,17 @@ type Options struct {
 	// IndexJoin enables index-nested-loop joins when the inner table has
 	// an index on the join column.
 	IndexJoin bool
+	// DOP is the degree of intra-query parallelism: scan-rooted plan
+	// fragments are cloned across up to DOP workers behind a Gather
+	// exchange. 0 or 1 plans exactly the serial operator tree
+	// (engine.Open defaults DOP to runtime.GOMAXPROCS). Because the
+	// exchange reassembles worker output in morsel order, a parallel
+	// plan returns rows in exactly the serial order at any DOP.
+	DOP int
+	// MorselPages is the page count of one parallel-scan morsel; 0 uses
+	// storage.DefaultMorselPages. Tables at most one morsel long stay
+	// serial.
+	MorselPages int
 }
 
 // Planner compiles SELECT statements against a catalog and function
@@ -172,6 +183,16 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	if stmt.Limit >= 0 {
 		root = exec.NewLimit(root, stmt.Limit)
 	}
+
+	// Intra-query parallelism: clone scan-rooted fragments across DOP
+	// workers behind a Gather exchange. Order-sensitive operators (Sort,
+	// Limit, the aggregate's group ordering) sit above the exchange and
+	// consume its order-preserving stream, so no plan shape needs a
+	// serial fallback for correctness; DOP <= 1 skips the rewrite and
+	// yields the exact serial tree.
+	if p.Opts.DOP > 1 {
+		root = p.parallelize(root)
+	}
 	return root, nil
 }
 
@@ -229,16 +250,18 @@ func (p *Planner) analyzeFrom(stmt *sql.SelectStmt) ([]*baseItem, []*funcItem, m
 // other predicates).
 func (p *Planner) estimate(bases []*baseItem) {
 	for _, b := range bases {
+		// Snapshot once so concurrent planners never race a RunStats.
+		stats := b.table.StatsSnapshot()
 		rows := float64(b.table.Rows())
-		if b.table.Stats.Valid {
-			rows = float64(b.table.Stats.Rows)
+		if stats.Valid {
+			rows = float64(stats.Rows)
 		}
 		if rows < 1 {
 			rows = 1
 		}
 		for _, conj := range b.push {
 			if ref, _, ok := constEquality(conj); ok {
-				d := b.table.Stats.DistinctOr(ref.Name, 10)
+				d := stats.DistinctOr(ref.Name, 10)
 				if d < 1 {
 					d = 1
 				}
@@ -682,6 +705,17 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 	case *exec.Limit:
 		fmt.Fprintf(sb, "%sLimit(%d)\n", indent, n.N)
 		explain(sb, n.Child, depth+1)
+	case *exec.Gather:
+		// All pipelines are clones; show the first as representative.
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		explain(sb, n.Pipes[0].Root, depth+1)
+	case *exec.MorselScan:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+	case *exec.HashProbe:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		fmt.Fprintf(sb, "%s  HashBuild\n", indent)
+		explain(sb, n.Build.Input, depth+2)
+		explain(sb, n.Right, depth+1)
 	default:
 		fmt.Fprintf(sb, "%s%T\n", indent, op)
 	}
@@ -713,6 +747,10 @@ func CountJoins(op exec.Operator) int {
 		return CountJoins(n.Child)
 	case *exec.Limit:
 		return CountJoins(n.Child)
+	case *exec.Gather:
+		return CountJoins(n.Pipes[0].Root)
+	case *exec.HashProbe:
+		return 1 + CountJoins(n.Build.Input) + CountJoins(n.Right)
 	default:
 		return 0
 	}

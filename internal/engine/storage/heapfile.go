@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine/types"
 )
@@ -17,12 +19,26 @@ type RID struct {
 // String renders the RID for diagnostics.
 func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
 
+// heapFileIDs hands out unique identities for buffer-pool shard hashing.
+var heapFileIDs atomic.Uint64
+
 // HeapFile is an append-only heap of records in slotted pages. Records
 // larger than a page spill into dedicated overflow storage, referenced by
 // an in-page stub so scan order is preserved. The workload of the paper is
 // load-then-query, so deletion and in-place update are intentionally not
 // provided.
+//
+// Concurrency: any number of readers (Get, Scan, cursors) may run in
+// parallel — the parallel executor scans one heap from many goroutines.
+// The mutex guards the page directory and overflow directory so readers
+// always observe a consistent prefix; cursors snapshot the directory once
+// at creation. Inserts take the write lock; interleaving inserts with
+// readers is safe for the directory but newly inserted rows become
+// visible to an in-flight cursor only at page granularity, so the engine
+// keeps its load-then-query discipline.
 type HeapFile struct {
+	mu       sync.RWMutex
+	id       uint64
 	pages    []*page
 	overflow [][]byte
 	rows     int
@@ -32,12 +48,14 @@ type HeapFile struct {
 // NewHeapFile returns an empty heap file. The buffer pool is optional; if
 // present, page reads are accounted against it.
 func NewHeapFile(pool *BufferPool) *HeapFile {
-	return &HeapFile{pool: pool}
+	return &HeapFile{pool: pool, id: heapFileIDs.Add(1)}
 }
 
 // Insert appends a row and returns its RID.
 func (h *HeapFile) Insert(row []types.Value) RID {
 	rec := EncodeRecord(row)
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(rec) > maxInlineRecord {
 		idx := len(h.overflow)
 		h.overflow = append(h.overflow, rec)
@@ -64,15 +82,26 @@ func (h *HeapFile) fitsLast(rec []byte) bool {
 	return len(rec) <= h.pages[len(h.pages)-1].freeSpace()
 }
 
+// pageSnapshot returns the current page directory. The returned slice is
+// never mutated in place (Insert only appends), so holders may read it
+// without further locking.
+func (h *HeapFile) pageSnapshot() []*page {
+	h.mu.RLock()
+	ps := h.pages
+	h.mu.RUnlock()
+	return ps
+}
+
 // Get fetches the row at rid.
 func (h *HeapFile) Get(rid RID) ([]types.Value, error) {
-	if int(rid.Page) >= len(h.pages) {
+	pages := h.pageSnapshot()
+	if int(rid.Page) >= len(pages) {
 		return nil, errors.New("storage: page out of range")
 	}
 	if h.pool != nil {
 		h.pool.Touch(PageID{File: h, Page: int(rid.Page)})
 	}
-	rec, err := h.pages[rid.Page].read(int(rid.Slot))
+	rec, err := pages[rid.Page].read(int(rid.Slot))
 	if err != nil {
 		return nil, err
 	}
@@ -82,17 +111,20 @@ func (h *HeapFile) Get(rid RID) ([]types.Value, error) {
 func (h *HeapFile) decode(rec []byte) ([]types.Value, error) {
 	if len(rec) > 0 && rec[0] == tagOverflow {
 		idx, n := binary.Uvarint(rec[1:])
-		if n <= 0 || idx >= uint64(len(h.overflow)) {
+		h.mu.RLock()
+		overflow := h.overflow
+		h.mu.RUnlock()
+		if n <= 0 || idx >= uint64(len(overflow)) {
 			return nil, errors.New("storage: corrupt overflow stub")
 		}
 		if h.pool != nil {
 			// Overflow records occupy their own page run; count one
 			// logical access per overflow page.
-			for i := 0; i < pagesFor(len(h.overflow[idx])); i++ {
+			for i := 0; i < pagesFor(len(overflow[idx])); i++ {
 				h.pool.Touch(PageID{File: h, Page: -1 - int(idx)*1024 - i})
 			}
 		}
-		rec = h.overflow[idx]
+		rec = overflow[idx]
 	}
 	return DecodeRecord(rec)
 }
@@ -101,7 +133,7 @@ func (h *HeapFile) decode(rec []byte) ([]types.Value, error) {
 // freshly decoded and owned by the callee. Returning an error stops the
 // scan and propagates the error.
 func (h *HeapFile) Scan(fn func(RID, []types.Value) error) error {
-	for pi, p := range h.pages {
+	for pi, p := range h.pageSnapshot() {
 		if h.pool != nil {
 			h.pool.Touch(PageID{File: h, Page: pi})
 		}
@@ -123,32 +155,63 @@ func (h *HeapFile) Scan(fn func(RID, []types.Value) error) error {
 }
 
 // Rows returns the number of stored rows.
-func (h *HeapFile) Rows() int { return h.rows }
-
-// Cursor iterates the heap file in insertion order, pull-style, for the
-// executor's iterator model.
-type Cursor struct {
-	h    *HeapFile
-	page int
-	slot int
+func (h *HeapFile) Rows() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.rows
 }
 
-// NewCursor returns a cursor positioned before the first row.
+// DataPages returns the number of data pages (excluding overflow runs) —
+// the page range a full scan covers, which the parallel executor splits
+// into morsels.
+func (h *HeapFile) DataPages() int { return len(h.pageSnapshot()) }
+
+// Cursor iterates a contiguous page range of the heap file in insertion
+// order, pull-style, for the executor's iterator model. It works over a
+// snapshot of the page directory, so concurrent cursors over the same
+// file never interfere.
+type Cursor struct {
+	h     *HeapFile
+	pages []*page // snapshot of the covered range
+	base  int     // page number of pages[0]
+	i     int     // index into pages
+	slot  int
+}
+
+// NewCursor returns a cursor over the whole file, positioned before the
+// first row.
 func (h *HeapFile) NewCursor() *Cursor {
-	return &Cursor{h: h}
+	return h.NewRangeCursor(0, h.DataPages())
+}
+
+// NewRangeCursor returns a cursor over pages [lo, hi), clamped to the
+// file's current extent — the access path of one morsel of a parallel
+// scan.
+func (h *HeapFile) NewRangeCursor(lo, hi int) *Cursor {
+	pages := h.pageSnapshot()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(pages) {
+		hi = len(pages)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Cursor{h: h, pages: pages[lo:hi], base: lo}
 }
 
 // Next returns the next row and its RID, or ok=false at the end.
 func (c *Cursor) Next() (RID, []types.Value, bool, error) {
-	for c.page < len(c.h.pages) {
-		p := c.h.pages[c.page]
+	for c.i < len(c.pages) {
+		p := c.pages[c.i]
 		if c.slot >= p.nslots() {
-			c.page++
+			c.i++
 			c.slot = 0
 			continue
 		}
 		if c.slot == 0 && c.h.pool != nil {
-			c.h.pool.Touch(PageID{File: c.h, Page: c.page})
+			c.h.pool.Touch(PageID{File: c.h, Page: c.base + c.i})
 		}
 		rec, err := p.read(c.slot)
 		if err != nil {
@@ -158,7 +221,7 @@ func (c *Cursor) Next() (RID, []types.Value, bool, error) {
 		if err != nil {
 			return RID{}, nil, false, err
 		}
-		rid := RID{Page: int32(c.page), Slot: int32(c.slot)}
+		rid := RID{Page: int32(c.base + c.i), Slot: int32(c.slot)}
 		c.slot++
 		return rid, row, true, nil
 	}
@@ -168,6 +231,8 @@ func (c *Cursor) Next() (RID, []types.Value, bool, error) {
 // PageCount returns the number of pages the file occupies, counting
 // overflow storage in page units.
 func (h *HeapFile) PageCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	n := len(h.pages)
 	for _, o := range h.overflow {
 		n += pagesFor(len(o))

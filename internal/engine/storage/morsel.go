@@ -1,0 +1,69 @@
+package storage
+
+import "sync/atomic"
+
+// Morsel is one unit of parallel scan work: a contiguous page range of a
+// heap file plus its position in the file's page order. Sequence numbers
+// let the consumer reassemble worker output in scan order, so a parallel
+// scan emits rows in exactly the order a serial scan would.
+type Morsel struct {
+	Seq    int // 0-based position of this morsel in page order
+	Lo, Hi int // page range [Lo, Hi)
+}
+
+// DefaultMorselPages is the page count of one morsel. It is small enough
+// that a table of a few hundred pages load-balances across workers, and
+// large enough that the per-morsel dispatch cost (one atomic increment,
+// one pipeline re-open) is noise against decoding the pages.
+const DefaultMorselPages = 16
+
+// MorselSource hands out the morsels of one heap scan to a pool of
+// workers. It is a single atomic counter — the contention-free heart of
+// the morsel-driven scan: workers that finish early simply pull the next
+// morsel, so skew in per-page predicate cost balances itself.
+type MorselSource struct {
+	pages       int
+	morselPages int
+	next        atomic.Int64
+	aborted     atomic.Bool
+}
+
+// NewMorselSource splits a pages-long file into morsels of morselPages
+// pages (DefaultMorselPages when <= 0).
+func NewMorselSource(pages, morselPages int) *MorselSource {
+	if morselPages <= 0 {
+		morselPages = DefaultMorselPages
+	}
+	return &MorselSource{pages: pages, morselPages: morselPages}
+}
+
+// Count returns the total number of morsels the source will hand out.
+func (s *MorselSource) Count() int {
+	if s.pages <= 0 {
+		return 0
+	}
+	return (s.pages + s.morselPages - 1) / s.morselPages
+}
+
+// Next claims the next morsel. ok is false when the scan is exhausted or
+// aborted.
+func (s *MorselSource) Next() (Morsel, bool) {
+	if s.aborted.Load() {
+		return Morsel{}, false
+	}
+	seq := int(s.next.Add(1)) - 1
+	lo := seq * s.morselPages
+	if lo >= s.pages {
+		return Morsel{}, false
+	}
+	hi := lo + s.morselPages
+	if hi > s.pages {
+		hi = s.pages
+	}
+	return Morsel{Seq: seq, Lo: lo, Hi: hi}, true
+}
+
+// Abort stops the source from handing out further morsels; workers drain
+// out after their current morsel. Used for error propagation and early
+// termination (LIMIT above a parallel scan).
+func (s *MorselSource) Abort() { s.aborted.Store(true) }

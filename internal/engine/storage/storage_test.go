@@ -194,13 +194,13 @@ func TestBufferPoolLRU(t *testing.T) {
 	b.Touch(p(1)) // hit
 	b.Touch(p(3)) // miss, evicts 2
 	b.Touch(p(2)) // miss again
-	hits, misses := b.Stats()
-	if hits != 2 || misses != 4 {
-		t.Errorf("hits=%d misses=%d, want 2/4", hits, misses)
+	st := b.Stats()
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 2/4", st.Hits, st.Misses)
 	}
 	b.Reset()
-	hits, misses = b.Stats()
-	if hits != 0 || misses != 0 {
+	st = b.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
 		t.Error("Reset did not clear counters")
 	}
 }
@@ -210,9 +210,9 @@ func TestBufferPoolDisabled(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		b.Touch(PageID{Page: 1})
 	}
-	hits, misses := b.Stats()
-	if hits != 0 || misses != 3 {
-		t.Errorf("disabled pool: hits=%d misses=%d", hits, misses)
+	st := b.Stats()
+	if st.Hits != 0 || st.Misses != 3 {
+		t.Errorf("disabled pool: hits=%d misses=%d", st.Hits, st.Misses)
 	}
 }
 
@@ -223,14 +223,12 @@ func TestHeapFileWithPoolCountsScans(t *testing.T) {
 		h.Insert([]types.Value{types.NewInt(int64(i)), types.NewString(strings.Repeat("y", 40))})
 	}
 	h.Scan(func(RID, []types.Value) error { return nil })
-	_, misses := pool.Stats()
-	if misses == 0 {
+	first := pool.Stats().Misses
+	if first == 0 {
 		t.Error("scan should touch pages")
 	}
-	first := misses
 	h.Scan(func(RID, []types.Value) error { return nil })
-	hits, _ := pool.Stats()
-	if hits < first {
+	if hits := pool.Stats().Hits; hits < first {
 		t.Errorf("second scan should hit cached pages: hits=%d", hits)
 	}
 }

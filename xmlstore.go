@@ -45,6 +45,13 @@ const (
 // Config tunes a Store; see core.Config for field semantics.
 type Config = core.Config
 
+// EngineConfig tunes the underlying database (buffer pool size, planner
+// options, degree of parallelism); assign it to Config.Engine. Setting
+// DOP > 1 — or leaving it 0 to default to runtime.GOMAXPROCS — makes
+// scans, hash joins, and XADT UDF evaluation run across that many
+// workers, with results identical to serial execution.
+type EngineConfig = engine.Config
+
 // Store is a loaded XML store under one mapping.
 type Store = core.Store
 
