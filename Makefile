@@ -20,9 +20,11 @@ race:
 	$(GO) test -race ./...
 
 # One-iteration benchmark pass: proves the benchmarks still compile and
-# run without paying for stable measurements.
+# run without paying for stable measurements. The xadt smoke runs the
+# full fast-path experiment at reduced scale under the race detector.
 benchsmoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x ./internal/engine/
+	$(GO) test -race -run TestXadtSmoke ./internal/bench/
 
 bench:
 	$(GO) test -run=NONE -bench=. ./...
@@ -33,4 +35,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_xadt.json *.pprof

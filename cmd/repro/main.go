@@ -10,11 +10,14 @@
 //	-exp monet     §2: Monet table-count comparison
 //	-exp compress  §4.1: XADT storage-format decision per corpus
 //	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
+//	-exp xadt      XADT fast path: header filter + decode cache vs baseline
 //	-exp all       everything above
 //
 // Use -quick for a reduced-scale smoke run, -scales to override the
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
-// The parallel experiment also writes BENCH_parallel.json.
+// The parallel experiment also writes BENCH_parallel.json; the xadt
+// experiment writes BENCH_xadt.json. -cpuprofile and -memprofile write
+// pprof profiles covering the selected experiments.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -34,19 +38,50 @@ import (
 	"repro/internal/xadt"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain runs the CLI and returns the process exit code; keeping it
+// separate from main lets the profiling defers flush before exit.
+func realMain() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run")
 		quick    = flag.Bool("quick", false, "reduced data sizes for a fast smoke run")
 		scaleStr = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
 		repeats  = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
 		dop      = flag.Int("dop", runtime.GOMAXPROCS(0), "degree of parallelism for -exp parallel")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	scales, err := parseScales(*scaleStr)
 	if err != nil {
-		fatal(err)
+		return perror(err)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return perror(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return perror(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				perror(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				perror(err)
+			}
+		}()
 	}
 	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop}
 
@@ -60,24 +95,32 @@ func main() {
 		"fig14":    r.fig14,
 		"compress": r.compress,
 		"parallel": r.parallel,
+		"xadt":     r.xadt,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt"}
 
 	if *exp == "all" {
 		for _, name := range order {
 			if err := run(name, experiments[name]); err != nil {
-				fatal(err)
+				return perror(err)
 			}
 		}
-		return
+		return 0
 	}
 	fn, ok := experiments[*exp]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+		return perror(fmt.Errorf("unknown experiment %q", *exp))
 	}
 	if err := run(*exp, fn); err != nil {
-		fatal(err)
+		return perror(err)
 	}
+	return 0
+}
+
+// perror reports err on stderr and returns the failure exit code.
+func perror(err error) int {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	return 1
 }
 
 func run(name string, fn func() error) error {
@@ -256,6 +299,22 @@ func (r *runner) parallel() error {
 		return err
 	}
 	fmt.Println("wrote BENCH_parallel.json")
+	return nil
+}
+
+// xadt measures the XADT fast path (fragment-header fast-reject +
+// decode cache + pushdown) against the parse-every-call baseline on the
+// same stores, prints the table, and writes BENCH_xadt.json.
+func (r *runner) xadt() error {
+	ms, err := bench.RunXadt(r.shakespeareDS(), r.sigmodDS(), r.dop, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.XadtTable(ms))
+	if err := bench.WriteXadtJSON("BENCH_xadt.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_xadt.json")
 	return nil
 }
 

@@ -1,0 +1,250 @@
+// XADT fast-path benchmark: the Fig-14-style UDF-overhead measurement
+// re-run before/after the XADT evaluation accelerator (fragment-header
+// fast-reject, worker-private decode caching, and predicate pushdown
+// into the scan/apply pipeline). Each query is timed on the same
+// headered store with the fast path off (the parse-every-call baseline)
+// and on, at DOP 1 and DOP N, verifying byte-identical rows across
+// every combination, and once more against a headerless legacy twin
+// store to prove seed-era fragments stay readable. Emitted as a report
+// table and as machine-readable BENCH_xadt.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+	"repro/internal/xadt"
+)
+
+// XadtMeasurement is one query measured baseline-vs-fast.
+type XadtMeasurement struct {
+	Query         string  `json:"query"`
+	Dataset       string  `json:"dataset"`
+	Format        string  `json:"format"`
+	BaseDop1Ms    float64 `json:"baseline_dop1_ms"`
+	FastDop1Ms    float64 `json:"fast_dop1_ms"`
+	SpeedupDop1   float64 `json:"speedup_dop1"`
+	BaseDopNMs    float64 `json:"baseline_dopn_ms"`
+	FastDopNMs    float64 `json:"fast_dopn_ms"`
+	SpeedupDopN   float64 `json:"speedup_dopn"`
+	DOP           int     `json:"dop"`
+	Rows          int     `json:"rows"`
+	IdenticalDop1 bool    `json:"identical_dop1"`
+	IdenticalDopN bool    `json:"identical_dopn"`
+	LegacyOK      bool    `json:"legacy_ok"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+}
+
+// xadtQuery is one benchmark query bound to a dataset's stores.
+type xadtQuery struct {
+	id   string
+	text string
+}
+
+// xadtShakespeareQueries are the Shakespeare-side queries, run against a
+// forced-Compressed store so the baseline pays a full decode per method
+// call (the paper's worst case) while the fast path consults the header.
+func xadtShakespeareQueries() []xadtQuery {
+	qs := map[string]string{}
+	for _, q := range ShakespeareQueries() {
+		qs[q.ID] = q.XORator
+	}
+	return []xadtQuery{
+		// Fast-reject heavy: most speech_line fragments hold no STAGEDIR,
+		// so the header filter skips the decode entirely.
+		{"QS2", qs["QS2"]},
+		{"QS3", qs["QS3"]},
+		// Composed probes over the same column: the WHERE predicates parse
+		// speech_speaker/speech_line and the projection re-reads
+		// speech_line — decode-cache territory.
+		{"QS5", qs["QS5"]},
+		// Order access: getElmIndex per speech.
+		{"QS6", qs["QS6"]},
+	}
+}
+
+// xadtSigmodQueries are the SIGMOD-side queries: composed getElm calls
+// (QG1) and unnest pipelines whose findKeyInElm predicates the planner
+// pushes into the apply (QG3, QG5).
+func xadtSigmodQueries() []xadtQuery {
+	qs := map[string]string{}
+	for _, q := range SigmodQueries() {
+		qs[q.ID] = q.XORator
+	}
+	return []xadtQuery{
+		{"QG1", qs["QG1"]},
+		{"QG3", qs["QG3"]},
+		{"QG5", qs["QG5"]},
+	}
+}
+
+// buildXadtStore loads ds into a fresh XORator store under cfg with
+// workload indexes and statistics.
+func buildXadtStore(ds Dataset, cfg core.Config) (*core.Store, error) {
+	cfg.Algorithm = core.XORator
+	st, err := core.NewStore(ds.DTD, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Load(ds.Docs); err != nil {
+		return nil, err
+	}
+	if err := st.CreateDefaultIndexes(); err != nil {
+		return nil, err
+	}
+	if err := st.RunStats(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// RunXadt measures the XADT fast path on both datasets. For each query
+// the headered store runs with the fast path off and on (DOP 1 and dop),
+// and a headerless twin store checks the legacy decode path returns the
+// same rows.
+func RunXadt(shake, sigmod Dataset, dop, repeats int) ([]XadtMeasurement, error) {
+	if dop < 2 {
+		dop = 2
+	}
+	comp := xadt.Compressed
+	shakeCfg := core.Config{ForceFormat: &comp}
+	var out []XadtMeasurement
+
+	groups := []struct {
+		ds      Dataset
+		cfg     core.Config
+		queries []xadtQuery
+	}{
+		{shake, shakeCfg, xadtShakespeareQueries()},
+		{sigmod, core.Config{}, xadtSigmodQueries()},
+	}
+	for _, g := range groups {
+		st, err := buildXadtStore(g.ds, g.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: xadt %s store: %w", g.ds.Name, err)
+		}
+		legacyCfg := g.cfg
+		legacyCfg.DisableXADTHeaders = true
+		legacy, err := buildXadtStore(g.ds, legacyCfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: xadt %s legacy store: %w", g.ds.Name, err)
+		}
+		for _, q := range g.queries {
+			m, err := measureXadt(st, legacy, q, g.ds.Name, dop, repeats)
+			if err != nil {
+				return nil, fmt.Errorf("bench: xadt %s: %w", q.id, err)
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// measureXadt runs one query through every baseline/fast × DOP cell.
+func measureXadt(st, legacy *core.Store, q xadtQuery, dataset string, dop, repeats int) (XadtMeasurement, error) {
+	serial := plan.Options{DOP: 1}
+	parallel := plan.Options{DOP: dop}
+	var zero XadtMeasurement
+
+	type cell struct {
+		fast bool
+		opts plan.Options
+	}
+	cells := []cell{
+		{false, serial}, {true, serial},
+		{false, parallel}, {true, parallel},
+	}
+	times := make([]float64, len(cells))
+	var rows [4]int
+	var rowData [4]interface{}
+	var hits, misses uint64
+	for i, c := range cells {
+		st.DB.SetXADTFastPath(c.fast)
+		st.DB.SetPlannerOptions(c.opts)
+		res, err := st.Query(q.text)
+		if err != nil {
+			return zero, err
+		}
+		before := st.DB.XADTCacheStats()
+		t, _, err := timeQuery(st, q.text, repeats)
+		if err != nil {
+			return zero, err
+		}
+		if c.fast && c.opts.DOP == 1 {
+			after := st.DB.XADTCacheStats()
+			hits = after.Hits - before.Hits
+			misses = after.Misses - before.Misses
+		}
+		times[i] = float64(t.Microseconds()) / 1e3
+		rows[i] = len(res.Rows)
+		rowData[i] = res.Rows
+	}
+	st.DB.SetXADTFastPath(true)
+	st.DB.SetPlannerOptions(serial)
+
+	// Legacy store: headerless fragments, fast path on — the header
+	// probe must fall through to the seed-era decode and agree.
+	legacy.DB.SetPlannerOptions(serial)
+	legacyRes, err := legacy.Query(q.text)
+	if err != nil {
+		return zero, err
+	}
+
+	speedup := func(base, fast float64) float64 {
+		if fast <= 0 {
+			return 0
+		}
+		return base / fast
+	}
+	return XadtMeasurement{
+		Query:         q.id,
+		Dataset:       dataset,
+		Format:        st.Format.String(),
+		BaseDop1Ms:    times[0],
+		FastDop1Ms:    times[1],
+		SpeedupDop1:   speedup(times[0], times[1]),
+		BaseDopNMs:    times[2],
+		FastDopNMs:    times[3],
+		SpeedupDopN:   speedup(times[2], times[3]),
+		DOP:           dop,
+		Rows:          rows[1],
+		IdenticalDop1: reflect.DeepEqual(rowData[0], rowData[1]),
+		IdenticalDopN: reflect.DeepEqual(rowData[0], rowData[2]) && reflect.DeepEqual(rowData[0], rowData[3]),
+		LegacyOK:      reflect.DeepEqual(rowData[0], legacyRes.Rows),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+	}, nil
+}
+
+// XadtTable renders the measurements as the repro CLI report.
+func XadtTable(ms []XadtMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("XADT fast path: parse-every-call baseline vs header filter + decode cache\n")
+	fmt.Fprintf(&sb, "%-6s %-12s %-11s %9s %9s %8s %9s %9s %8s %6s %5s %6s %10s\n",
+		"query", "dataset", "format", "base1_ms", "fast1_ms", "speedup",
+		"baseN_ms", "fastN_ms", "speedupN", "rows", "ident", "legacy", "hit/miss")
+	for _, m := range ms {
+		ident := m.IdenticalDop1 && m.IdenticalDopN
+		fmt.Fprintf(&sb, "%-6s %-12s %-11s %9.2f %9.2f %8.2f %9.2f %9.2f %8.2f %6d %5t %6t %4d/%d\n",
+			m.Query, m.Dataset, m.Format, m.BaseDop1Ms, m.FastDop1Ms, m.SpeedupDop1,
+			m.BaseDopNMs, m.FastDopNMs, m.SpeedupDopN, m.Rows, ident, m.LegacyOK,
+			m.CacheHits, m.CacheMisses)
+	}
+	return sb.String()
+}
+
+// WriteXadtJSON writes the measurements as a JSON array to path
+// (conventionally BENCH_xadt.json).
+func WriteXadtJSON(path string, ms []XadtMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestXadtSmoke runs the full xadt experiment at reduced scale — this is
+// the `make ci` benchsmoke entry point, run under -race, so it exercises
+// the pooled decode caches and the fast-path toggle concurrently with
+// parallel morsel scans.
+func TestXadtSmoke(t *testing.T) {
+	ms, err := RunXadt(ShakespeareDataset(3), SigmodDataset(60), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, m := range ms {
+		if !m.IdenticalDop1 {
+			t.Errorf("%s: fast path rows differ from baseline at DOP 1", m.Query)
+		}
+		if !m.IdenticalDopN {
+			t.Errorf("%s: rows differ at DOP %d", m.Query, m.DOP)
+		}
+		if !m.LegacyOK {
+			t.Errorf("%s: headerless legacy store rows differ", m.Query)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_xadt.json")
+	if err := WriteXadtJSON(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("json not written: %v", err)
+	}
+	if tbl := XadtTable(ms); tbl == "" {
+		t.Fatal("empty table")
+	}
+}

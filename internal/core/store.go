@@ -42,6 +42,9 @@ type Config struct {
 	SampleDocs int
 	// ForceFormat, when non-nil, overrides the sampling decision.
 	ForceFormat *xadt.Format
+	// DisableXADTHeaders stores seed-era headerless XADT values, for
+	// exercising the legacy decode path.
+	DisableXADTHeaders bool
 	// Engine configures the underlying database.
 	Engine engine.Config
 }
@@ -139,6 +142,7 @@ func (st *Store) Load(docs []*xmltree.Document) error {
 		if err != nil {
 			return err
 		}
+		loader.DisableHeaders = st.cfg.DisableXADTHeaders
 		st.loader = loader
 		st.Format = format
 	}

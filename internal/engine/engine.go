@@ -11,6 +11,7 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
@@ -36,6 +37,42 @@ type Config struct {
 	// runtime.GOMAXPROCS(0); 1 forces serial execution. A non-zero
 	// Planner.DOP takes precedence.
 	DOP int
+	// XADTCacheEntries bounds each worker's XADT decode cache; 0 uses
+	// xadt.DefaultCacheEntries.
+	XADTCacheEntries int
+	// DisableXADTFastPath starts the database with header fast-reject
+	// and decode caching off (the parse-every-call baseline). Toggle at
+	// runtime with SetXADTFastPath.
+	DisableXADTFastPath bool
+}
+
+// xadtRuntime is the per-database XADT evaluation state: the decode
+// cache pool the UDFs borrow worker-private caches from, and the
+// fast-path switch benchmarks toggle to compare against the
+// parse-every-call baseline.
+type xadtRuntime struct {
+	caches  *xadt.CachePool
+	enabled atomic.Bool
+}
+
+func newXadtRuntime(cfg Config) *xadtRuntime {
+	rt := &xadtRuntime{caches: xadt.NewCachePool(cfg.XADTCacheEntries)}
+	rt.enabled.Store(!cfg.DisableXADTFastPath)
+	return rt
+}
+
+// evaluator returns the evaluator for one UDF invocation and its
+// release function. With the fast path on, the evaluator carries a
+// pooled cache (sync.Pool keeps it effectively worker-private, so the
+// hot path takes no locks); off, it parses every call and ignores
+// headers, reproducing seed-era behaviour exactly.
+func (rt *xadtRuntime) evaluator() (*xadt.Evaluator, func()) {
+	if !rt.enabled.Load() {
+		return &xadt.Evaluator{NoFilter: true}, func() {}
+	}
+	c := rt.caches.Get()
+	e := &xadt.Evaluator{Cache: c}
+	return e, func() { rt.caches.Put(c) }
 }
 
 // Database is an embedded database instance.
@@ -44,7 +81,20 @@ type Database struct {
 	Registry *expr.Registry
 	Pool     *storage.BufferPool
 	planner  *plan.Planner
+	xadtRT   *xadtRuntime
 }
+
+// SetXADTFastPath switches XADT header fast-reject and decode caching
+// on or off at runtime. Off reproduces the parse-every-call baseline on
+// the same stored data, so results must be byte-identical either way.
+func (db *Database) SetXADTFastPath(on bool) { db.xadtRT.enabled.Store(on) }
+
+// XADTFastPath reports whether the fast path is on.
+func (db *Database) XADTFastPath() bool { return db.xadtRT.enabled.Load() }
+
+// XADTCacheStats returns the decode-cache hit/miss totals accumulated
+// so far, the XADT counterpart of Pool.Stats.
+func (db *Database) XADTCacheStats() xadt.CacheStats { return db.xadtRT.caches.Stats() }
 
 // Result is a fully materialized query result.
 type Result struct {
@@ -64,8 +114,9 @@ func Open(cfg Config) *Database {
 		Registry: reg,
 		Pool:     pool,
 		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveDOP(cfg)},
+		xadtRT:   newXadtRuntime(cfg),
 	}
-	registerStandardFunctions(reg)
+	registerStandardFunctions(reg, db.xadtRT)
 	return db
 }
 
@@ -167,15 +218,19 @@ func OpenSnapshot(r io.Reader, cfg Config) (*Database, error) {
 		Registry: reg,
 		Pool:     pool,
 		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveDOP(cfg)},
+		xadtRT:   newXadtRuntime(cfg),
 	}
-	registerStandardFunctions(reg)
+	registerStandardFunctions(reg, db.xadtRT)
 	return db, nil
 }
 
 // registerStandardFunctions installs the XADT methods (§3.4.2), the
 // unnest table function (§3.5), and the built-in/UDF string function
-// pairs of the Figure 14 experiment.
-func registerStandardFunctions(reg *expr.Registry) {
+// pairs of the Figure 14 experiment. The XADT UDFs evaluate through rt:
+// each invocation borrows a worker-private decode cache and honors the
+// fast-path switch. They are ReadOnly — they never mutate the fragment
+// bytes — so the call convention skips the defensive argument copy.
+func registerStandardFunctions(reg *expr.Registry, rt *xadtRuntime) {
 	must := func(err error) {
 		if err != nil {
 			panic(err)
@@ -184,7 +239,7 @@ func registerStandardFunctions(reg *expr.Registry) {
 
 	// getElm(inXML, rootElm, searchElm, searchKey [, level]) → XADT
 	must(reg.RegisterScalar(&expr.ScalarFunc{
-		Name: "getElm", MinArgs: 4, MaxArgs: 5,
+		Name: "getElm", MinArgs: 4, MaxArgs: 5, ReadOnly: true,
 		Fn: func(args []types.Value) (types.Value, error) {
 			if args[0].IsNull() {
 				return types.Null, nil
@@ -201,7 +256,9 @@ func registerStandardFunctions(reg *expr.Registry) {
 			if len(args) == 5 && !args[4].IsNull() {
 				level = int(args[4].Int())
 			}
-			out, err := xadt.GetElm(in, rootElm, searchElm, searchKey, level)
+			eval, release := rt.evaluator()
+			defer release()
+			out, err := eval.GetElm(in, rootElm, searchElm, searchKey, level)
 			if err != nil {
 				return types.Null, err
 			}
@@ -211,7 +268,7 @@ func registerStandardFunctions(reg *expr.Registry) {
 
 	// findKeyInElm(inXML, searchElm, searchKey) → INTEGER 0/1
 	must(reg.RegisterScalar(&expr.ScalarFunc{
-		Name: "findKeyInElm", MinArgs: 3, MaxArgs: 3,
+		Name: "findKeyInElm", MinArgs: 3, MaxArgs: 3, ReadOnly: true,
 		Fn: func(args []types.Value) (types.Value, error) {
 			if args[0].IsNull() {
 				return types.NewInt(0), nil
@@ -224,7 +281,9 @@ func registerStandardFunctions(reg *expr.Registry) {
 			if err != nil {
 				return types.Null, err
 			}
-			found, err := xadt.FindKeyInElm(in, searchElm, searchKey)
+			eval, release := rt.evaluator()
+			defer release()
+			found, err := eval.FindKeyInElm(in, searchElm, searchKey)
 			if err != nil {
 				return types.Null, err
 			}
@@ -237,7 +296,7 @@ func registerStandardFunctions(reg *expr.Registry) {
 
 	// getElmIndex(inXML, parentElm, childElm, startPos, endPos) → XADT
 	must(reg.RegisterScalar(&expr.ScalarFunc{
-		Name: "getElmIndex", MinArgs: 5, MaxArgs: 5,
+		Name: "getElmIndex", MinArgs: 5, MaxArgs: 5, ReadOnly: true,
 		Fn: func(args []types.Value) (types.Value, error) {
 			if args[0].IsNull() {
 				return types.Null, nil
@@ -253,7 +312,9 @@ func registerStandardFunctions(reg *expr.Registry) {
 			if args[3].IsNull() || args[4].IsNull() {
 				return types.Null, nil
 			}
-			out, err := xadt.GetElmIndex(in, parentElm, childElm, int(args[3].Int()), int(args[4].Int()))
+			eval, release := rt.evaluator()
+			defer release()
+			out, err := eval.GetElmIndex(in, parentElm, childElm, int(args[3].Int()), int(args[4].Int()))
 			if err != nil {
 				return types.Null, err
 			}
@@ -264,7 +325,7 @@ func registerStandardFunctions(reg *expr.Registry) {
 	// xadtText(inXML) → VARCHAR: serialized fragment text, used to
 	// render query answers and compare results across mappings.
 	must(reg.RegisterScalar(&expr.ScalarFunc{
-		Name: "xadtText", MinArgs: 1, MaxArgs: 1,
+		Name: "xadtText", MinArgs: 1, MaxArgs: 1, ReadOnly: true,
 		Fn: func(args []types.Value) (types.Value, error) {
 			if args[0].IsNull() {
 				return types.Null, nil
@@ -285,7 +346,7 @@ func registerStandardFunctions(reg *expr.Registry) {
 	// fragment, without tags or attributes. Grouping queries use it to
 	// compare fragment contents across mappings (QG4/QG5).
 	must(reg.RegisterScalar(&expr.ScalarFunc{
-		Name: "xadtInnerText", MinArgs: 1, MaxArgs: 1,
+		Name: "xadtInnerText", MinArgs: 1, MaxArgs: 1, ReadOnly: true,
 		Fn: func(args []types.Value) (types.Value, error) {
 			if args[0].IsNull() {
 				return types.Null, nil
@@ -322,7 +383,9 @@ func registerStandardFunctions(reg *expr.Registry) {
 			if args[1].IsNull() || args[1].Kind() != types.KindString {
 				return nil, fmt.Errorf("engine: unnest tag must be a string")
 			}
-			vals, err := xadt.Unnest(in, args[1].Str())
+			eval, release := rt.evaluator()
+			defer release()
+			vals, err := eval.Unnest(in, args[1].Str())
 			if err != nil {
 				return nil, err
 			}

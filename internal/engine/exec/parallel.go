@@ -24,10 +24,13 @@ import (
 
 // MorselScan reads one page range of a table at a time. It is the leaf
 // of a parallel pipeline: the owning Gather re-targets it with SetRange
-// for every morsel its worker claims.
+// for every morsel its worker claims. A fused predicate (the parallel
+// twin of SeqScan.Pred) runs inside the worker, so pushed-down filters
+// parallelize across morsels.
 type MorselScan struct {
 	Table  *catalog.Table
 	Alias  string
+	Pred   expr.Expr // optional, resolved against the scan schema
 	schema *expr.RowSchema
 	lo, hi int
 	cursor *storage.Cursor
@@ -53,11 +56,22 @@ func (s *MorselScan) Open() error {
 
 // Next implements Operator.
 func (s *MorselScan) Next() ([]types.Value, error) {
-	_, row, ok, err := s.cursor.Next()
-	if err != nil || !ok {
-		return nil, err
+	for {
+		_, row, ok, err := s.cursor.Next()
+		if err != nil || !ok {
+			return nil, err
+		}
+		if s.Pred != nil {
+			v, err := s.Pred.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		return row, nil
 	}
-	return row, nil
 }
 
 // Close implements Operator.
@@ -68,6 +82,9 @@ func (s *MorselScan) Close() error {
 
 // String describes the scan for plan explanations.
 func (s *MorselScan) String() string {
+	if s.Pred != nil {
+		return fmt.Sprintf("MorselScan(%s as %s, filter: %s)", s.Table.Schema.Table, s.Alias, s.Pred)
+	}
 	return fmt.Sprintf("MorselScan(%s as %s)", s.Table.Schema.Table, s.Alias)
 }
 

@@ -18,10 +18,13 @@ func tableSchema(t *catalog.Table, alias string) *expr.RowSchema {
 	return expr.NewRowSchema(cols...)
 }
 
-// SeqScan reads a table front to back.
+// SeqScan reads a table front to back. A fused predicate, when set,
+// drops rows at the cursor before anything above the scan sees them —
+// the destination of the planner's predicate pushdown.
 type SeqScan struct {
 	Table  *catalog.Table
 	Alias  string
+	Pred   expr.Expr // optional, resolved against the scan schema
 	schema *expr.RowSchema
 	cursor *storage.Cursor
 }
@@ -42,11 +45,22 @@ func (s *SeqScan) Open() error {
 
 // Next implements Operator.
 func (s *SeqScan) Next() ([]types.Value, error) {
-	_, row, ok, err := s.cursor.Next()
-	if err != nil || !ok {
-		return nil, err
+	for {
+		_, row, ok, err := s.cursor.Next()
+		if err != nil || !ok {
+			return nil, err
+		}
+		if s.Pred != nil {
+			v, err := s.Pred.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		return row, nil
 	}
-	return row, nil
 }
 
 // Close implements Operator.
@@ -57,6 +71,9 @@ func (s *SeqScan) Close() error {
 
 // String describes the scan for plan explanations.
 func (s *SeqScan) String() string {
+	if s.Pred != nil {
+		return fmt.Sprintf("SeqScan(%s as %s, filter: %s)", s.Table.Schema.Table, s.Alias, s.Pred)
+	}
 	return fmt.Sprintf("SeqScan(%s as %s)", s.Table.Schema.Table, s.Alias)
 }
 

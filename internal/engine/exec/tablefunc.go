@@ -11,15 +11,20 @@ import (
 // the paper's unnest query relies on), invokes the table function, and
 // emits the input row concatenated with each output row.
 type TableFuncApply struct {
-	Child  Operator
-	Func   *expr.TableFunc
-	Args   []expr.Expr // resolved against the child's schema
-	Alias  string
+	Child Operator
+	Func  *expr.TableFunc
+	Args  []expr.Expr // resolved against the child's schema
+	Alias string
+	// Filter, when set by the pushdown rule, is a predicate over the
+	// apply's output schema evaluated before each joined row is
+	// materialized: rejected combinations never allocate an output row.
+	Filter expr.Expr
 	schema *expr.RowSchema
 
 	childRow []types.Value
 	outRows  [][]types.Value
 	pos      int
+	scratch  []types.Value
 }
 
 // NewTableFuncApply wraps child with a lateral table-function invocation
@@ -50,9 +55,21 @@ func (t *TableFuncApply) Open() error {
 func (t *TableFuncApply) Next() ([]types.Value, error) {
 	for {
 		if t.pos < len(t.outRows) {
-			out := concatRows(t.childRow, t.outRows[t.pos])
+			outRow := t.outRows[t.pos]
 			t.pos++
-			return out, nil
+			if t.Filter != nil {
+				// Evaluate over a reused scratch row so rejected
+				// combinations cost no allocation.
+				t.scratch = append(append(t.scratch[:0], t.childRow...), outRow...)
+				v, err := t.Filter.Eval(t.scratch)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			return concatRows(t.childRow, outRow), nil
 		}
 		row, err := t.Child.Next()
 		if err != nil || row == nil {

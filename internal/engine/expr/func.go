@@ -17,6 +17,12 @@ type ScalarFunc struct {
 	Builtin bool
 	// MinArgs and MaxArgs bound the argument count.
 	MinArgs, MaxArgs int
+	// ReadOnly declares that Fn never mutates its argument payloads, so
+	// the external call convention may skip the per-call defensive copy
+	// (DB2's NO SQL + deterministic UDFs get the same marshaling
+	// shortcut). Leave false for UDFs used to measure the full Figure-14
+	// invocation overhead.
+	ReadOnly bool
 	// Fn is the implementation.
 	Fn func(args []types.Value) (types.Value, error)
 }
@@ -153,8 +159,13 @@ func (c *Call) Eval(row []types.Value) (types.Value, error) {
 		// The external call convention copies argument payloads into the
 		// UDF's own memory (DB2 marshals SQL values into the UDF's
 		// buffers on every call) — the per-call cost Figure 14
-		// quantifies.
-		args[i] = copyValue(v)
+		// quantifies. ReadOnly UDFs skip the copy; it also keeps the
+		// bytes' identity stable, which the XADT decode cache keys on.
+		if c.Func.ReadOnly {
+			args[i] = v
+		} else {
+			args[i] = copyValue(v)
+		}
 	}
 	// The handle is re-resolved and arguments re-validated per
 	// invocation.

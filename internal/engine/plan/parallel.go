@@ -85,6 +85,10 @@ func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Re
 		pipes := make([]exec.Pipeline, workers)
 		for i := range pipes {
 			leaf := exec.NewMorselScan(n.Table, n.Alias)
+			if n.Pred != nil {
+				// The fused scan predicate runs inside each worker.
+				leaf.Pred = expr.Clone(n.Pred)
+			}
 			pipes[i] = exec.Pipeline{Root: leaf, Leaf: leaf}
 		}
 		return pipes, nil, true
@@ -116,7 +120,11 @@ func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Re
 			return nil, nil, false
 		}
 		for i := range pipes {
-			pipes[i].Root = exec.NewTableFuncApply(pipes[i].Root, n.Func, expr.CloneAll(n.Args), n.Alias)
+			apply := exec.NewTableFuncApply(pipes[i].Root, n.Func, expr.CloneAll(n.Args), n.Alias)
+			if n.Filter != nil {
+				apply.Filter = expr.Clone(n.Filter)
+			}
+			pipes[i].Root = apply
 		}
 		return pipes, shared, true
 

@@ -78,8 +78,10 @@ func TestParallelPlanShape(t *testing.T) {
 	if !strings.Contains(pText, "Gather(dop=4)") || !strings.Contains(pText, "MorselScan") {
 		t.Fatalf("parallel plan missing Gather/MorselScan:\n%s", pText)
 	}
-	// The filter must run inside the workers, below the exchange.
-	if strings.Index(pText, "Gather") > strings.Index(pText, "Filter") {
+	// The filter must run inside the workers, fused into each MorselScan
+	// below the exchange.
+	fused := strings.Index(pText, "MorselScan(fact as fact, filter: val > 500)")
+	if fused < 0 || strings.Index(pText, "Gather") > fused {
 		t.Fatalf("filter not pushed into worker pipelines:\n%s", pText)
 	}
 }

@@ -134,9 +134,9 @@ func TestPlanPushdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := Explain(op)
-	// The emp_name filter sits below the join.
+	// The emp_name filter is fused into emp's scan, below the join.
 	joinLine := strings.Index(text, "Join")
-	filterLine := strings.Index(text, "Filter(emp_name = 'ann')")
+	filterLine := strings.Index(text, "SeqScan(emp as emp, filter: emp_name = 'ann')")
 	if filterLine < 0 || joinLine < 0 || filterLine < joinLine {
 		t.Errorf("pushdown missing:\n%s", text)
 	}
@@ -251,6 +251,60 @@ WHERE emp_name = 'bob'`)
 	// "bob" → letters b, o.
 	if len(rows) != 2 {
 		t.Errorf("letters = %v", rows)
+	}
+}
+
+func TestPlanPushdownIntoTableFunc(t *testing.T) {
+	_, p := fixture(t)
+	reg := expr.NewRegistry()
+	reg.RegisterTable(&expr.TableFunc{
+		Name: "splitName", Cols: []string{"out"}, Types: []types.Kind{types.KindString},
+		MinArgs: 1, MaxArgs: 1,
+		Fn: func(args []types.Value) ([][]types.Value, error) {
+			s := args[0].Str()
+			out := make([][]types.Value, len(s))
+			for i := range s {
+				out[i] = []types.Value{types.NewString(s[i : i+1])}
+			}
+			return out, nil
+		},
+	})
+	p.Reg = reg
+	q := `SELECT empID FROM emp, TABLE(splitName(emp_name)) letters WHERE letters.out = 'b'`
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := p.Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Explain(op)
+	if !strings.Contains(text, "TableFuncApply(splitName as letters, filter: letters.out = 'b')") {
+		t.Errorf("predicate on the function output should fuse into the apply:\n%s", text)
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disabling pushdown keeps the predicate in a Filter above the apply
+	// and must not change the result.
+	p.Opts.DisablePushdown = true
+	op2, err := p.Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text2 := Explain(op2)
+	if strings.Contains(text2, "filter:") {
+		t.Errorf("DisablePushdown plan still fuses predicates:\n%s", text2)
+	}
+	rows2, err := exec.Drain(op2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rows2) {
+		t.Errorf("pushdown changed row count: %d vs %d", len(rows), len(rows2))
 	}
 }
 

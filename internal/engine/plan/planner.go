@@ -122,6 +122,33 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 		return nil, err
 	}
 
+	// Residual pushdown: attach each residual conjunct at the earliest
+	// pipeline position where every alias it references is bound. Filters
+	// commute with lateral applies (an apply only appends columns), so a
+	// conjunct over base tables runs below the first apply, and a conjunct
+	// over a table function's output fuses into that apply's Filter —
+	// rejected rows are dropped before the joined row is materialized and
+	// before any later apply multiplies them. Column indexes are stable
+	// under the move because each apply extends the schema as a suffix.
+	boundAliases := map[string]bool{}
+	for _, b := range bases {
+		boundAliases[b.alias] = true
+	}
+	if !p.Opts.DisablePushdown {
+		ready, rest, err := partitionReady(residual, boundAliases, schemas)
+		if err != nil {
+			return nil, err
+		}
+		if len(ready) > 0 {
+			pred, err := p.bindConjuncts(ready, root.Schema())
+			if err != nil {
+				return nil, err
+			}
+			root = exec.NewFilter(root, pred)
+		}
+		residual = rest
+	}
+
 	// Lateral table functions, in declaration order.
 	for _, f := range funcs {
 		args := make([]expr.Expr, len(f.call.Args))
@@ -132,10 +159,27 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 			}
 			args[i] = bound
 		}
-		root = exec.NewTableFuncApply(root, f.fn, args, f.alias)
+		apply := exec.NewTableFuncApply(root, f.fn, args, f.alias)
+		if !p.Opts.DisablePushdown {
+			boundAliases[f.alias] = true
+			ready, rest, err := partitionReady(residual, boundAliases, schemas)
+			if err != nil {
+				return nil, err
+			}
+			if len(ready) > 0 {
+				pred, err := p.bindConjuncts(ready, apply.Schema())
+				if err != nil {
+					return nil, err
+				}
+				apply.Filter = pred
+			}
+			residual = rest
+		}
+		root = apply
 	}
 
-	// Residual predicates.
+	// Residual predicates not attachable earlier (or all of them when
+	// pushdown is disabled).
 	if len(residual) > 0 {
 		pred, err := p.bindConjuncts(residual, root.Schema())
 		if err != nil {
@@ -299,7 +343,19 @@ func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 		}
 	}
 	if op == nil {
-		op = exec.NewSeqScan(b.table, b.alias)
+		scan := exec.NewSeqScan(b.table, b.alias)
+		if len(remaining) > 0 {
+			// Fuse pushed predicates into the scan itself: rows are
+			// rejected at the cursor, and the parallel rewrite carries the
+			// predicate into every worker's MorselScan.
+			pred, err := p.bindConjuncts(remaining, scan.Schema())
+			if err != nil {
+				return nil, err
+			}
+			scan.Pred = pred
+			remaining = nil
+		}
+		op = scan
 	}
 	if len(remaining) > 0 {
 		pred, err := p.bindConjuncts(remaining, op.Schema())
@@ -309,6 +365,30 @@ func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 		op = exec.NewFilter(op, pred)
 	}
 	return op, nil
+}
+
+// partitionReady splits conjuncts into those whose referenced aliases
+// are all in bound (attachable now) and the rest (attachable later).
+func partitionReady(conjs []sql.Expr, bound map[string]bool, schemas map[string]*expr.RowSchema) (ready, rest []sql.Expr, err error) {
+	for _, conj := range conjs {
+		aliases, err := refAliases(conj, schemas)
+		if err != nil {
+			return nil, nil, err
+		}
+		ok := true
+		for a := range aliases {
+			if !bound[a] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, conj)
+		} else {
+			rest = append(rest, conj)
+		}
+	}
+	return ready, rest, nil
 }
 
 // joinPred is a classified two-alias equi-join conjunct with its sides'
@@ -691,7 +771,11 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 		fmt.Fprintf(sb, "%s%s\n", indent, n)
 		explain(sb, n.Left, depth+1)
 	case *exec.TableFuncApply:
-		fmt.Fprintf(sb, "%sTableFuncApply(%s as %s)\n", indent, n.Func.Name, n.Alias)
+		if n.Filter != nil {
+			fmt.Fprintf(sb, "%sTableFuncApply(%s as %s, filter: %s)\n", indent, n.Func.Name, n.Alias, n.Filter)
+		} else {
+			fmt.Fprintf(sb, "%sTableFuncApply(%s as %s)\n", indent, n.Func.Name, n.Alias)
+		}
 		explain(sb, n.Child, depth+1)
 	case *exec.HashAggregate:
 		fmt.Fprintf(sb, "%sHashAggregate(%d groups keys, %d aggs)\n", indent, len(n.GroupBy), len(n.Aggs))

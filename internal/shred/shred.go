@@ -23,6 +23,10 @@ type Loader struct {
 	// Format is the storage representation used for XADT columns,
 	// normally decided by ChooseFormat over sample documents (§4.1).
 	Format xadt.Format
+	// DisableHeaders writes seed-era headerless XADT values instead of
+	// headered ones — for stores that must exercise the legacy decode
+	// path.
+	DisableHeaders bool
 
 	ids map[string]int64 // per-relation ID counters
 }
@@ -153,8 +157,12 @@ func (l *Loader) emit(rel *mapping.Relation, n *xmltree.Node, parentID int64, pa
 			frags := n.ChildrenNamed(col.Path[0])
 			if len(frags) == 0 {
 				row[i] = types.Null
-			} else {
+			} else if l.DisableHeaders {
 				row[i] = types.NewXADT(xadt.Encode(frags, l.Format).Bytes())
+			} else {
+				// Stored values carry the fragment header so the XADT
+				// methods can fast-reject without decoding.
+				row[i] = types.NewXADT(xadt.EncodeStored(frags, l.Format).Bytes())
 			}
 		default:
 			return 0, fmt.Errorf("shred: unknown column kind %v", col.Kind)

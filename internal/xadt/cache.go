@@ -1,0 +1,146 @@
+package xadt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xmltree"
+)
+
+// DefaultCacheEntries bounds each decode cache. 128 fragments is enough
+// to cover the reuse pattern that matters — a WHERE predicate parsing a
+// fragment and the projection re-parsing the same one — while keeping a
+// worker's cache well under a megabyte on the paper's datasets.
+const DefaultCacheEntries = 128
+
+// Cache memoizes fragment→parsed-tree, keyed by the fragment's encoded
+// bytes, with LRU eviction. It is not safe for concurrent use; each
+// execution worker owns one (see CachePool).
+type Cache struct {
+	cap     int
+	entries map[string]*cacheEntry
+	// Intrusive LRU list with a sentinel: head.next is most recent.
+	head cacheEntry
+	hits, misses uint64
+	// missStreak counts consecutive misses; a long streak means the
+	// caller is sweeping distinct fragments (no reuse), so admission is
+	// throttled to avoid paying key-copy + eviction per call.
+	missStreak int
+}
+
+type cacheEntry struct {
+	key        string
+	nodes      []*xmltree.Node
+	prev, next *cacheEntry
+}
+
+// NewCache returns a cache bounded to max entries (DefaultCacheEntries
+// if max <= 0).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	c := &Cache{cap: max, entries: make(map[string]*cacheEntry, max)}
+	c.head.prev, c.head.next = &c.head, &c.head
+	return c
+}
+
+// Nodes returns the parsed node list for v, decoding and caching on
+// miss. Callers must treat the returned trees as read-only: they are
+// shared across lookups of the same fragment.
+func (c *Cache) Nodes(v Value) ([]*xmltree.Node, error) {
+	// The inline string(v.data) conversion lets the compiler elide the
+	// key copy on the hit path.
+	if e, ok := c.entries[string(v.data)]; ok {
+		c.hits++
+		c.missStreak = 0
+		c.unlink(e)
+		c.pushFront(e)
+		return e.nodes, nil
+	}
+	c.misses++
+	c.missStreak++
+	nodes, err := v.Nodes()
+	if err != nil {
+		return nil, err
+	}
+	// Sweep detection: after 2*cap consecutive misses nothing inserted
+	// recently has been re-referenced, so admit only every 8th fragment.
+	// A single hit resets the streak and restores full admission.
+	if c.missStreak > 2*c.cap && c.missStreak%8 != 0 {
+		return nodes, nil
+	}
+	if len(c.entries) >= c.cap {
+		lru := c.head.prev
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+	}
+	e := &cacheEntry{key: string(v.data), nodes: nodes}
+	c.entries[e.key] = e
+	c.pushFront(e)
+	return nodes, nil
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.next = c.head.next
+	e.prev = &c.head
+	e.next.prev = e
+	c.head.next = e
+}
+
+// Len reports the number of cached fragments.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats reports the cache's accumulated hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+// CacheStats are decode-cache counters, aggregated per pool.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// CachePool hands out decode caches to execution workers. It is backed
+// by sync.Pool, so under the parallel executor each worker effectively
+// keeps a private cache for the life of a pipeline (no contention on the
+// hot path); counters are flushed into the pool's atomic totals on Put
+// so Stats survives cache recycling.
+type CachePool struct {
+	pool    sync.Pool
+	entries int
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewCachePool returns a pool of caches each bounded to entriesPerCache
+// (DefaultCacheEntries if <= 0).
+func NewCachePool(entriesPerCache int) *CachePool {
+	p := &CachePool{entries: entriesPerCache}
+	p.pool.New = func() any { return NewCache(p.entries) }
+	return p
+}
+
+// Get borrows a cache. Pair with Put.
+func (p *CachePool) Get() *Cache { return p.pool.Get().(*Cache) }
+
+// Put returns a cache to the pool, folding its counters into the pool
+// totals. The cache keeps its contents, so a worker that re-borrows one
+// still benefits from earlier decodes.
+func (p *CachePool) Put(c *Cache) {
+	p.hits.Add(c.hits)
+	p.misses.Add(c.misses)
+	c.hits, c.misses = 0, 0
+	p.pool.Put(c)
+}
+
+// Stats returns the pool-wide totals flushed by Put so far.
+func (p *CachePool) Stats() CacheStats {
+	return CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load()}
+}

@@ -7,6 +7,55 @@ import (
 	"repro/internal/xmltree"
 )
 
+// Evaluator runs the XADT methods with the fast-path machinery: header
+// fast-reject (skip fragments whose element-name filter proves the
+// searched element absent, without decoding) and an optional decode
+// cache (skip re-parsing fragments seen earlier in the execution). A nil
+// *Evaluator is valid and evaluates with both disabled, which is the
+// seed-era behaviour; the package-level functions use it.
+//
+// Evaluators are cheap value-like structs; each execution worker should
+// use its own Cache (see CachePool) since caches are not thread-safe.
+type Evaluator struct {
+	// Cache, when non-nil, memoizes fragment decoding across calls.
+	Cache *Cache
+	// NoFilter disables header fast-reject, forcing the full decode path
+	// even on headered values — the parse-every-call baseline.
+	NoFilter bool
+}
+
+// nodes decodes in, through the cache when one is attached.
+func (e *Evaluator) nodes(in Value) ([]*xmltree.Node, error) {
+	if e != nil && e.Cache != nil {
+		return e.Cache.Nodes(in)
+	}
+	return in.Nodes()
+}
+
+// mayContain reports whether in may contain an element called name.
+// Only a headered value with name absent from its filter yields false;
+// legacy values and disabled filters always pass.
+func (e *Evaluator) mayContain(in Value, name string) bool {
+	if name == "" || (e != nil && e.NoFilter) {
+		return true
+	}
+	h, ok := in.Header()
+	if !ok {
+		return true
+	}
+	return h.MayContain(name)
+}
+
+// depthBelow reports whether a headered value's fragment is provably
+// shallower than min levels of element nesting.
+func (e *Evaluator) depthBelow(in Value, min int) bool {
+	if e != nil && e.NoFilter {
+		return false
+	}
+	h, ok := in.Header()
+	return ok && h.Depth < min
+}
+
 // GetElm implements the getElm method of §3.4.2: it returns all rootElm
 // elements in the fragment that contain a searchElm descendant — within
 // depth level of the rootElm when level > 0 — whose content contains
@@ -19,8 +68,17 @@ import (
 //
 // The result is a new Value in the same storage format as the input, so
 // calls compose: the output of one GetElm can be the input of the next.
-func GetElm(in Value, rootElm, searchElm, searchKey string, level int) (Value, error) {
-	nodes, err := in.Nodes()
+// Results are always headerless, matching what the seed produced.
+func (e *Evaluator) GetElm(in Value, rootElm, searchElm, searchKey string, level int) (Value, error) {
+	// Fast reject: no rootElm element, or no searchElm anywhere, means an
+	// empty result — which Encode produces identically without a decode.
+	// A searchElm distinct from the root must sit strictly inside it, so
+	// a fragment only one level deep cannot match either.
+	if !e.mayContain(in, rootElm) || !e.mayContain(in, searchElm) ||
+		(searchElm != "" && searchElm != rootElm && e.depthBelow(in, 2)) {
+		return Encode(nil, in.Format()), nil
+	}
+	nodes, err := e.nodes(in)
 	if err != nil {
 		return Value{}, err
 	}
@@ -34,6 +92,11 @@ func GetElm(in Value, rootElm, searchElm, searchKey string, level int) (Value, e
 		}
 	})
 	return Encode(out, in.Format()), nil
+}
+
+// GetElm evaluates with the default (seed-behaviour) evaluator.
+func GetElm(in Value, rootElm, searchElm, searchKey string, level int) (Value, error) {
+	return (*Evaluator)(nil).GetElm(in, rootElm, searchElm, searchKey, level)
 }
 
 // matchesElm reports whether root has a searchElm descendant within the
@@ -76,11 +139,14 @@ func matchesElm(root *xmltree.Node, searchElm, searchKey string, level int) bool
 // searchElm; with an empty searchElm it tests whether any element content
 // contains searchKey. Both arguments empty is an error, as the paper
 // specifies.
-func FindKeyInElm(in Value, searchElm, searchKey string) (bool, error) {
+func (e *Evaluator) FindKeyInElm(in Value, searchElm, searchKey string) (bool, error) {
 	if searchElm == "" && searchKey == "" {
 		return false, errors.New("xadt: findKeyInElm requires searchElm or searchKey")
 	}
 	if searchElm != "" {
+		if !e.mayContain(in, searchElm) {
+			return false, nil
+		}
 		// The paper implements this method "using the C string compare
 		// and copy functions on the VARCHAR": scan the raw fragment text
 		// directly instead of materializing a tree. Raw values are
@@ -90,7 +156,7 @@ func FindKeyInElm(in Value, searchElm, searchKey string) (bool, error) {
 			return findKeyRaw(text, searchElm, searchKey), nil
 		}
 	}
-	nodes, err := in.Nodes()
+	nodes, err := e.nodes(in)
 	if err != nil {
 		return false, err
 	}
@@ -109,19 +175,27 @@ func FindKeyInElm(in Value, searchElm, searchKey string) (bool, error) {
 	return found, nil
 }
 
+// FindKeyInElm evaluates with the default (seed-behaviour) evaluator.
+func FindKeyInElm(in Value, searchElm, searchKey string) (bool, error) {
+	return (*Evaluator)(nil).FindKeyInElm(in, searchElm, searchKey)
+}
+
 // GetElmIndex implements the getElmIndex method of §3.4.2: it returns the
 // childElm children of each parentElm element whose 1-based order among
 // same-named siblings falls in [startPos, endPos]. With an empty parentElm
 // the childElm elements at the top level of the fragment are indexed.
 // childElm must not be empty.
-func GetElmIndex(in Value, parentElm, childElm string, startPos, endPos int) (Value, error) {
+func (e *Evaluator) GetElmIndex(in Value, parentElm, childElm string, startPos, endPos int) (Value, error) {
 	if childElm == "" {
 		return Value{}, errors.New("xadt: getElmIndex requires a childElm")
+	}
+	if !e.mayContain(in, childElm) || !e.mayContain(in, parentElm) {
+		return Encode(nil, in.Format()), nil
 	}
 	if parentElm == "" && in.Format() == Directory {
 		// The element directory resolves top-level positions without
 		// parsing — the metadata speed-up the paper proposes.
-		out, ok, err := sliceIndexed(in.data[1:], childElm, startPos, endPos)
+		out, ok, err := sliceIndexed(in.payloadBytes()[1:], childElm, startPos, endPos)
 		if err == nil && ok {
 			return out, nil
 		}
@@ -129,7 +203,7 @@ func GetElmIndex(in Value, parentElm, childElm string, startPos, endPos int) (Va
 			return Value{}, err
 		}
 	}
-	nodes, err := in.Nodes()
+	nodes, err := e.nodes(in)
 	if err != nil {
 		return Value{}, err
 	}
@@ -158,14 +232,22 @@ func GetElmIndex(in Value, parentElm, childElm string, startPos, endPos int) (Va
 	return Encode(out, in.Format()), nil
 }
 
+// GetElmIndex evaluates with the default (seed-behaviour) evaluator.
+func GetElmIndex(in Value, parentElm, childElm string, startPos, endPos int) (Value, error) {
+	return (*Evaluator)(nil).GetElmIndex(in, parentElm, childElm, startPos, endPos)
+}
+
 // Unnest implements the unnest table function of §3.5: it splits the
 // fragment into one Value per element with the given tag name, in document
 // order. Each returned Value keeps the input's storage format.
-func Unnest(in Value, tag string) ([]Value, error) {
-	if in.Format() == Directory {
-		return sliceUnnest(in.data[1:], tag)
+func (e *Evaluator) Unnest(in Value, tag string) ([]Value, error) {
+	if tag != "" && !e.mayContain(in, tag) {
+		return nil, nil
 	}
-	nodes, err := in.Nodes()
+	if in.Format() == Directory {
+		return sliceUnnest(in.payloadBytes()[1:], tag)
+	}
+	nodes, err := e.nodes(in)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +258,11 @@ func Unnest(in Value, tag string) ([]Value, error) {
 		}
 	})
 	return out, nil
+}
+
+// Unnest evaluates with the default (seed-behaviour) evaluator.
+func Unnest(in Value, tag string) ([]Value, error) {
+	return (*Evaluator)(nil).Unnest(in, tag)
 }
 
 // forEachElement visits every element in the fragment in document order,

@@ -1,6 +1,9 @@
 package xadt
 
-import "strings"
+import (
+	"strconv"
+	"strings"
+)
 
 // This file implements string-scanning fast paths over the Raw storage
 // format, mirroring the paper's XADT implementation on top of VARCHAR
@@ -156,8 +159,11 @@ func textContentContains(markup, key string) bool {
 	return strings.Contains(string(buf), key)
 }
 
-// decodeEntityRef decodes the predefined and numeric character
-// references the serializer emits.
+// decodeEntityRef decodes the predefined entities and the numeric
+// character references (&#NN; decimal, &#xNN; hex) XML allows in
+// content. Out-of-range or malformed references are rejected so the
+// scanner falls back to treating the '&' literally, matching the tree
+// parser's behaviour.
 func decodeEntityRef(ref string) (string, error) {
 	switch ref {
 	case "lt":
@@ -170,6 +176,17 @@ func decodeEntityRef(ref string) (string, error) {
 		return `"`, nil
 	case "apos":
 		return "'", nil
+	}
+	if len(ref) > 1 && ref[0] == '#' {
+		digits, base := ref[1:], 10
+		if len(digits) > 1 && (digits[0] == 'x' || digits[0] == 'X') {
+			digits, base = digits[1:], 16
+		}
+		n, err := strconv.ParseInt(digits, base, 32)
+		if err != nil || n < 0 || n > 0x10FFFF {
+			return "", errUnknownEntity
+		}
+		return string(rune(n)), nil
 	}
 	return "", errUnknownEntity
 }

@@ -124,6 +124,72 @@ func TestTextContentContains(t *testing.T) {
 	}
 }
 
+func TestDecodeEntityRef(t *testing.T) {
+	cases := []struct {
+		ref  string
+		want string
+		ok   bool
+	}{
+		{"lt", "<", true},
+		{"gt", ">", true},
+		{"amp", "&", true},
+		{"quot", `"`, true},
+		{"apos", "'", true},
+		{"#65", "A", true},
+		{"#233", "é", true},
+		{"#x41", "A", true},
+		{"#xE9", "é", true},
+		{"#XE9", "é", true}, // capital X is accepted like the tree parser
+		{"#x1F600", "\U0001F600", true},
+		{"#x10FFFF", "\U0010FFFF", true},
+		{"#1114112", "", false}, // 0x110000: beyond Unicode
+		{"#x110000", "", false},
+		{"#-1", "", false},
+		{"#", "", false},
+		{"#x", "", false},
+		{"#xZZ", "", false},
+		{"#12a", "", false},
+		{"nbsp", "", false}, // undeclared named entity
+		{"", "", false},
+	}
+	for _, tc := range cases {
+		got, err := decodeEntityRef(tc.ref)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("decodeEntityRef(%q) = %q, %v; want %q", tc.ref, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("decodeEntityRef(%q) = %q, want error", tc.ref, got)
+		}
+	}
+}
+
+func TestTextContentContainsNumericRefs(t *testing.T) {
+	if !textContentContains("caf&#233;", "café") {
+		t.Error("decimal character reference not decoded")
+	}
+	if !textContentContains("caf&#xE9;", "café") {
+		t.Error("hex character reference not decoded")
+	}
+	if !textContentContains("<LINE>A&#x26;B</LINE>", "A&B") {
+		t.Error("hex amp reference not decoded")
+	}
+	// Malformed references keep the literal bytes, as the tree parser does.
+	if !textContentContains("fish &#; chips", "fish &#; chips") {
+		t.Error("malformed reference should stay literal")
+	}
+	if got, err := FindKeyInElm(mustParse("<LINE>caf&#xE9; life</LINE>", Raw), "LINE", "café life"); err != nil || !got {
+		t.Errorf("raw-scan numeric ref through FindKeyInElm = %v, %v", got, err)
+	}
+}
+
+func mustParse(s string, f Format) Value {
+	v, err := Parse(s, f)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func TestRawScanPerformanceSanity(t *testing.T) {
 	// The fast path must not allocate trees: spot-check it handles a
 	// large fragment quickly (smoke test, no timing assertion).

@@ -60,14 +60,16 @@ func (v Value) Bytes() []byte { return v.data }
 func (v Value) Len() int { return len(v.data) }
 
 // IsEmpty reports whether the value holds no fragment.
-func (v Value) IsEmpty() bool { return len(v.data) <= 1 }
+func (v Value) IsEmpty() bool { return len(v.payloadBytes()) <= 1 }
 
-// Format returns the storage representation of the value.
+// Format returns the storage representation of the value, looking
+// through a fragment header if present.
 func (v Value) Format() Format {
-	if len(v.data) == 0 {
+	p := v.payloadBytes()
+	if len(p) == 0 {
 		return Raw
 	}
-	switch v.data[0] {
+	switch p[0] {
 	case byte(Compressed):
 		return Compressed
 	case byte(Directory):
@@ -108,33 +110,35 @@ func encodeRaw(nodes []*xmltree.Node) Value {
 
 // Nodes decodes the fragment into a node list.
 func (v Value) Nodes() ([]*xmltree.Node, error) {
-	if len(v.data) == 0 {
+	p := v.payloadBytes()
+	if len(p) == 0 {
 		return nil, nil
 	}
-	switch v.data[0] {
+	switch p[0] {
 	case byte(Compressed):
-		return decodeCompressed(v.data[1:])
+		return decodeCompressed(p[1:])
 	case byte(Directory):
-		_, text, err := directoryParts(v.data[1:])
+		_, text, err := directoryParts(p[1:])
 		if err != nil {
 			return nil, err
 		}
 		return xmltree.ParseFragment(text)
 	default:
-		return xmltree.ParseFragment(string(v.data[1:]))
+		return xmltree.ParseFragment(string(p[1:]))
 	}
 }
 
 // Text returns the serialized fragment text, decompressing if needed.
 func (v Value) Text() (string, error) {
-	if len(v.data) == 0 {
+	p := v.payloadBytes()
+	if len(p) == 0 {
 		return "", nil
 	}
-	switch v.data[0] {
+	switch p[0] {
 	case byte(Raw):
-		return string(v.data[1:]), nil
+		return string(p[1:]), nil
 	case byte(Directory):
-		_, text, err := directoryParts(v.data[1:])
+		_, text, err := directoryParts(p[1:])
 		return text, err
 	default:
 		nodes, err := v.Nodes()
@@ -148,14 +152,15 @@ func (v Value) Text() (string, error) {
 // textPart returns the raw fragment text for formats that store it
 // verbatim (Raw and Directory), for the string-scanning fast paths.
 func (v Value) textPart() (string, bool) {
-	if len(v.data) == 0 {
+	p := v.payloadBytes()
+	if len(p) == 0 {
 		return "", false
 	}
-	switch v.data[0] {
+	switch p[0] {
 	case byte(Raw):
-		return string(v.data[1:]), true
+		return string(p[1:]), true
 	case byte(Directory):
-		_, text, err := directoryParts(v.data[1:])
+		_, text, err := directoryParts(p[1:])
 		if err != nil {
 			return "", false
 		}
