@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race benchsmoke bench repro clean
+.PHONY: ci vet build test race benchsmoke fuzz bench repro clean
 
-ci: vet build test race benchsmoke
+ci: vet build test race benchsmoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,17 @@ race:
 benchsmoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x ./internal/engine/
 	$(GO) test -race -run TestXadtSmoke ./internal/bench/
+
+# Short coverage-guided fuzz pass over the hostile-input decoders. The
+# committed corpora (testdata/fuzz/) replay past crashers on every plain
+# `go test`; this target additionally explores for a few seconds per
+# target so CI keeps probing new inputs. Run a target standalone with a
+# longer -fuzztime to dig deeper.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDTDParse -fuzztime=$(FUZZTIME) ./internal/dtd/
+	$(GO) test -run=NONE -fuzz=FuzzRawScanEntities -fuzztime=$(FUZZTIME) ./internal/xadt/
+	$(GO) test -run=NONE -fuzz=FuzzHeaderDecode -fuzztime=$(FUZZTIME) ./internal/xadt/
 
 bench:
 	$(GO) test -run=NONE -bench=. ./...

@@ -11,7 +11,13 @@
 //	-exp compress  §4.1: XADT storage-format decision per corpus
 //	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
 //	-exp xadt      XADT fast path: header filter + decode cache vs baseline
+//	-exp difftest  differential correctness fuzzing across the full matrix
 //	-exp all       everything above
+//
+// The difftest experiment takes -seed and -iters and writes a minimized
+// failure artifact (difftest_failure.txt) on divergence; -sabotage
+// deliberately corrupts the Gather reorder to prove the harness detects a
+// broken configuration.
 //
 // Use -quick for a reduced-scale smoke run, -scales to override the
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
@@ -33,7 +39,9 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/difftest"
 	"repro/internal/dtd"
+	"repro/internal/engine/exec"
 	"repro/internal/mapping"
 	"repro/internal/xadt"
 )
@@ -49,6 +57,9 @@ func realMain() int {
 		scaleStr = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
 		repeats  = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
 		dop      = flag.Int("dop", runtime.GOMAXPROCS(0), "degree of parallelism for -exp parallel")
+		seed     = flag.Int64("seed", 1, "base seed for -exp difftest")
+		iters    = flag.Int("iters", 0, "iterations for -exp difftest (0 = 200, or 50 with -quick)")
+		sabotage = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -83,7 +94,8 @@ func realMain() int {
 			}
 		}()
 	}
-	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop}
+	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop,
+		seed: *seed, iters: *iters, sabotage: *sabotage}
 
 	experiments := map[string]func() error{
 		"schemas":  r.schemas,
@@ -96,8 +108,9 @@ func realMain() int {
 		"compress": r.compress,
 		"parallel": r.parallel,
 		"xadt":     r.xadt,
+		"difftest": r.difftest,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "difftest"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -134,10 +147,13 @@ func run(name string, fn func() error) error {
 }
 
 type runner struct {
-	quick   bool
-	scales  []int
-	repeats int
-	dop     int
+	quick    bool
+	scales   []int
+	repeats  int
+	dop      int
+	seed     int64
+	iters    int
+	sabotage bool
 
 	shakespeare *bench.Dataset
 	sigmod      *bench.Dataset
@@ -168,24 +184,11 @@ func (r *runner) sigmodDS() bench.Dataset {
 }
 
 func (r *runner) schemas() error {
-	for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
-		d, err := dtd.Parse(corpus.PlaysDTD)
-		if err != nil {
-			return err
-		}
-		s := dtd.Simplify(d)
-		var schema *mapping.Schema
-		if alg == core.Hybrid {
-			schema, err = mapping.Hybrid(s)
-		} else {
-			schema, err = mapping.XORator(s)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Printf("-- %s mapping of the Plays DTD (%d tables)\n%s\n",
-			alg, len(schema.Relations), schema)
+	report, err := bench.SchemasReport()
+	if err != nil {
+		return err
 	}
+	fmt.Print(report)
 	return nil
 }
 
@@ -315,6 +318,37 @@ func (r *runner) xadt() error {
 		return err
 	}
 	fmt.Println("wrote BENCH_xadt.json")
+	return nil
+}
+
+// difftest runs the differential correctness harness: random DTDs,
+// documents, and queries checked across the Hybrid/XORator × DOP1/DOPN ×
+// fast-path/legacy matrix. Any divergence is minimized into
+// difftest_failure.txt and fails the experiment with a replay command.
+func (r *runner) difftest() error {
+	if r.sabotage {
+		exec.DisableGatherReorder = true
+		defer func() { exec.DisableGatherReorder = false }()
+		fmt.Println("sabotage: Gather morsel reordering disabled; the matrix should diverge")
+	}
+	iters := r.iters
+	if iters == 0 {
+		iters = 200
+		if r.quick {
+			iters = 50
+		}
+	}
+	sum, err := difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Log: os.Stdout})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("difftest: %d iterations, %d cases, %d matrix cells, %d divergences (base seed %d)\n",
+		sum.Iters, sum.Cases, sum.Cells, len(sum.Divergences), r.seed)
+	if n := len(sum.Divergences); n > 0 {
+		d := sum.Divergences[0]
+		return fmt.Errorf("%d divergences; first: %s\nartifact: %s\nreplay: go run ./cmd/repro -exp difftest -seed %d -iters 1",
+			n, d, sum.Artifact, d.Seed)
+	}
 	return nil
 }
 

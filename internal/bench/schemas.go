@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+	"repro/internal/mapping"
+)
+
+// SchemasReport renders Figures 5 & 6 of the paper: the relational
+// schemas the Hybrid and XORator mappings produce for the Plays DTD.
+// The repro CLI prints it for -exp schemas; the golden test pins it.
+func SchemasReport() (string, error) {
+	var sb strings.Builder
+	for _, alg := range []core.Algorithm{core.Hybrid, core.XORator} {
+		d, err := dtd.Parse(corpus.PlaysDTD)
+		if err != nil {
+			return "", err
+		}
+		s := dtd.Simplify(d)
+		var schema *mapping.Schema
+		if alg == core.Hybrid {
+			schema, err = mapping.Hybrid(s)
+		} else {
+			schema, err = mapping.XORator(s)
+		}
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "-- %s mapping of the Plays DTD (%d tables)\n%s\n",
+			alg, len(schema.Relations), schema)
+	}
+	return sb.String(), nil
+}

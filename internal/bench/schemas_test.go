@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestSchemasGolden pins the Figures 5 & 6 schema rendering. Any change
+// to the DTD simplifier, the mapping algorithms, or the schema printer
+// shows up as a diff against testdata/schemas.golden; run with -update
+// after reviewing an intentional change.
+func TestSchemasGolden(t *testing.T) {
+	got, err := SchemasReport()
+	if err != nil {
+		t.Fatalf("SchemasReport: %v", err)
+	}
+	path := filepath.Join("testdata", "schemas.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file: %v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("schema report differs from %s.\nIf the change is intentional, rerun with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

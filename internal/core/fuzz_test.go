@@ -9,6 +9,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/dtdgraph"
 	"repro/internal/mapping"
+	"repro/internal/testutil"
 	"repro/internal/xmltree"
 )
 
@@ -102,7 +103,7 @@ func witnessedElements(st *Store) map[string]bool {
 // map with both algorithms, shred, recount — over randomized DTDs and
 // documents, checking that every element instance survives the mapping.
 func TestRandomDTDConservation(t *testing.T) {
-	rng := rand.New(rand.NewSource(2002))
+	rng := rand.New(rand.NewSource(testutil.Seed(t, 2002)))
 	for trial := 0; trial < 25; trial++ {
 		src := randomDTD(rng)
 		d, err := dtd.Parse(src)
@@ -157,7 +158,7 @@ func TestRandomDTDConservation(t *testing.T) {
 // both mappings create a relation for the root, and the XORator table set
 // is never larger than the Hybrid one.
 func TestRandomDTDSchemasAreSane(t *testing.T) {
-	rng := rand.New(rand.NewSource(77))
+	rng := rand.New(rand.NewSource(testutil.Seed(t, 77)))
 	for trial := 0; trial < 50; trial++ {
 		src := randomDTD(rng)
 		st, err := NewStore(src, Config{Algorithm: XORator})

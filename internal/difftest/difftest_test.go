@@ -1,0 +1,69 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/exec"
+	"repro/internal/testutil"
+)
+
+// TestDifferentialSmoke is the short-budget differential run that make ci
+// executes under -race: a dozen random DTDs, each checked across the full
+// mapping × DOP × fast-path × legacy matrix.
+func TestDifferentialSmoke(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	sum, err := Run(Options{
+		Seed:         seed,
+		Iters:        12,
+		ArtifactPath: filepath.Join(t.TempDir(), "artifact.txt"),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) > 0 {
+		t.Fatalf("%d divergences, first: %s (%s)",
+			len(sum.Divergences), sum.Divergences[0], testutil.ReproLine(t, seed))
+	}
+	if sum.Cells == 0 {
+		t.Fatal("no matrix cells executed")
+	}
+	t.Logf("%d iterations, %d cases, %d cells, all identical", sum.Iters, sum.Cases, sum.Cells)
+}
+
+// TestDifferentialDetectsDivergence proves the harness has teeth: with the
+// Gather's morsel reordering disabled (a deliberately corrupted config),
+// parallel cells emit rows in arrival order and the run must report a
+// divergence plus a seed-replayable failure artifact.
+func TestDifferentialDetectsDivergence(t *testing.T) {
+	exec.DisableGatherReorder = true
+	defer func() { exec.DisableGatherReorder = false }()
+	seed := testutil.Seed(t, 1)
+	art := filepath.Join(t.TempDir(), "artifact.txt")
+	sum, err := Run(Options{
+		Seed:         seed,
+		Iters:        40,
+		Docs:         4,
+		LoadRepeat:   12,
+		FailFast:     true,
+		ArtifactPath: art,
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) == 0 {
+		t.Fatalf("sabotaged Gather reorder went undetected (%s)", testutil.ReproLine(t, seed))
+	}
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatalf("failure artifact not written: %v", err)
+	}
+	for _, want := range []string{"# replay: go run ./cmd/repro -exp difftest -seed", "--- DTD ---", "--- document 1 of"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("artifact missing %q", want)
+		}
+	}
+	t.Logf("detected: %s", sum.Divergences[0])
+}

@@ -1,0 +1,36 @@
+package dtd_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dtd"
+)
+
+// FuzzDTDParse asserts the DTD parser never panics, and that anything it
+// accepts survives a render/re-parse round trip: Parse(d.String()) must
+// succeed and the simplifier must handle both results.
+func FuzzDTDParse(f *testing.F) {
+	f.Add(corpus.PlaysDTD)
+	f.Add(corpus.ShakespeareDTD)
+	f.Add(corpus.SigmodDTD)
+	f.Add("<!ELEMENT a (#PCDATA)>")
+	f.Add("<!ELEMENT a (b, c?, (d | e)*)>\n<!ELEMENT b EMPTY>\n<!ELEMENT c ANY>")
+	f.Add("<!ELEMENT a (#PCDATA | b)*>\n<!ATTLIST a k CDATA #REQUIRED j (x|y) \"x\">")
+	f.Add("<!ENTITY % kids \"(b, c)\">\n<!ELEMENT a %kids;>")
+	f.Add("<!-- comment --><!ELEMENT a (a?)>")
+	f.Add("<!ELEMENT \xff (#PCDATA)>")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := dtd.Parse(src)
+		if err != nil {
+			return
+		}
+		dtd.Simplify(d)
+		rendered := d.String()
+		d2, err := dtd.Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal:\n%s\nrendered:\n%s", err, src, rendered)
+		}
+		dtd.Simplify(d2)
+	})
+}

@@ -106,6 +106,13 @@ type morselBatch struct {
 	err  error
 }
 
+// DisableGatherReorder, when true, makes every Gather serve batches in
+// arrival order instead of morsel-sequence order — deliberately breaking
+// the ordering contract documented below. It exists only so the
+// differential harness (internal/difftest, repro -sabotage) can prove it
+// detects a corrupted configuration; never enable it outside tests.
+var DisableGatherReorder = false
+
 // Gather is the exchange operator: it runs N worker pipelines over a
 // shared MorselSource and merges their output back into one pull-based
 // stream, preserving Operator semantics so operators above it compose
@@ -221,8 +228,7 @@ func (g *Gather) Next() ([]types.Value, error) {
 			g.pos++
 			return row, nil
 		}
-		if b, ok := g.pending[g.nextSeq]; ok {
-			delete(g.pending, g.nextSeq)
+		if b, ok := g.takePending(); ok {
 			if b.err != nil {
 				g.err = b.err
 				return nil, g.err
@@ -251,6 +257,23 @@ func (g *Gather) Next() ([]types.Value, error) {
 		}
 		g.pending[b.seq] = b
 	}
+}
+
+// takePending removes and returns the next batch to serve: the batch for
+// nextSeq normally, or any pending batch when DisableGatherReorder is on.
+func (g *Gather) takePending() (morselBatch, bool) {
+	if DisableGatherReorder {
+		for seq, b := range g.pending {
+			delete(g.pending, seq)
+			return b, true
+		}
+		return morselBatch{}, false
+	}
+	b, ok := g.pending[g.nextSeq]
+	if ok {
+		delete(g.pending, g.nextSeq)
+	}
+	return b, ok
 }
 
 // Close stops the workers and releases batches. Workers finish their

@@ -1,0 +1,186 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+	"repro/internal/testutil"
+)
+
+// refEntry mirrors one inserted pair for the sorted reference model.
+type refEntry struct {
+	key int64
+	rid storage.RID
+}
+
+// collectRange drains AscendRange into a slice.
+func collectRange(t *BTree, lo, hi types.Value) []refEntry {
+	var out []refEntry
+	t.AscendRange(lo, hi, func(k types.Value, rid storage.RID) bool {
+		out = append(out, refEntry{key: k.Int(), rid: rid})
+		return true
+	})
+	return out
+}
+
+// refRange filters and sorts the reference model for lo <= key <= hi.
+// Only keys are ordered; RIDs of duplicate keys may come back in any
+// insertion-dependent order, so comparisons sort ties by RID on both
+// sides.
+func refRange(ref []refEntry, lo, hi int64, useLo, useHi bool) []refEntry {
+	var out []refEntry
+	for _, e := range ref {
+		if (useLo && e.key < lo) || (useHi && e.key > hi) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(es []refEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].key != es[j].key {
+			return es[i].key < es[j].key
+		}
+		if es[i].rid.Page != es[j].rid.Page {
+			return es[i].rid.Page < es[j].rid.Page
+		}
+		return es[i].rid.Slot < es[j].rid.Slot
+	})
+}
+
+func assertSameEntries(t *testing.T, label string, got, want []refEntry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// keysAscending asserts the scan emitted keys in non-decreasing order —
+// the property a leaf-boundary bug in the chain would break.
+func keysAscending(t *testing.T, label string, es []refEntry) {
+	t.Helper()
+	for i := 1; i < len(es); i++ {
+		if es[i].key < es[i-1].key {
+			t.Fatalf("%s: keys out of order at %d: %d after %d", label, i, es[i].key, es[i-1].key)
+		}
+	}
+}
+
+// TestBTreeSplitWithDuplicateKeys fills the tree with few distinct keys
+// and many duplicates, forcing leaf and internal splits where equal keys
+// straddle the split point, then checks every key's RID set and the full
+// scan against the reference.
+func TestBTreeSplitWithDuplicateKeys(t *testing.T) {
+	seed := testutil.Seed(t, 42)
+	rng := rand.New(rand.NewSource(seed))
+	tr := New()
+	var ref []refEntry
+	const distinct = 7
+	// ~300 duplicates per key: far beyond one leaf (order 128), so equal
+	// keys cross multiple leaves and act as separator keys too.
+	for i := 0; i < distinct*300; i++ {
+		k := int64(rng.Intn(distinct))
+		rid := storage.RID{Page: int32(i / 100), Slot: int32(i % 100)}
+		tr.Insert(types.NewInt(k), rid)
+		ref = append(ref, refEntry{key: k, rid: rid})
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree never split: height %d with %d entries", tr.Height(), tr.Len())
+	}
+	for k := int64(0); k < distinct; k++ {
+		rids := tr.Lookup(types.NewInt(k))
+		got := make([]refEntry, len(rids))
+		for i, r := range rids {
+			got[i] = refEntry{key: k, rid: r}
+		}
+		sortEntries(got)
+		want := refRange(ref, k, k, true, true)
+		assertSameEntries(t, fmt.Sprintf("Lookup(%d) [seed %d]", k, seed), got, want)
+	}
+	got := collectRange(tr, types.Null, types.Null)
+	keysAscending(t, "full scan", got)
+	sortEntries(got)
+	assertSameEntries(t, "full scan", got, refRange(ref, 0, 0, false, false))
+}
+
+// TestBTreeRangeScanAcrossLeaves builds a tree several leaves wide and
+// checks range scans whose bounds land inside, between, and outside
+// leaves — including bounds that are not present as keys — against the
+// sorted reference slice.
+func TestBTreeRangeScanAcrossLeaves(t *testing.T) {
+	seed := testutil.Seed(t, 7)
+	rng := rand.New(rand.NewSource(seed))
+	tr := New()
+	var ref []refEntry
+	// Even keys only, so odd range bounds fall between stored keys.
+	for i := 0; i < 2000; i++ {
+		k := int64(rng.Intn(1500)) * 2
+		rid := storage.RID{Page: int32(i), Slot: int32(i % 7)}
+		tr.Insert(types.NewInt(k), rid)
+		ref = append(ref, refEntry{key: k, rid: rid})
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree too small to cross leaf boundaries")
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := int64(rng.Intn(3100)) - 50
+		hi := lo + int64(rng.Intn(400))
+		label := fmt.Sprintf("range [%d,%d] (seed %d)", lo, hi, seed)
+		got := collectRange(tr, types.NewInt(lo), types.NewInt(hi))
+		keysAscending(t, label, got)
+		sortEntries(got)
+		assertSameEntries(t, label, got, refRange(ref, lo, hi, true, true))
+	}
+	// Open-ended scans: Null bounds.
+	got := collectRange(tr, types.NewInt(1000), types.Null)
+	keysAscending(t, "open hi", got)
+	sortEntries(got)
+	assertSameEntries(t, "open hi", got, refRange(ref, 1000, 0, true, false))
+	got = collectRange(tr, types.Null, types.NewInt(1000))
+	keysAscending(t, "open lo", got)
+	sortEntries(got)
+	assertSameEntries(t, "open lo", got, refRange(ref, 0, 1000, false, true))
+}
+
+// TestBTreeReverseInsertionOrder inserts strictly descending keys — the
+// worst case for leftmost-leaning splits — and checks the scan comes back
+// fully sorted with every entry present.
+func TestBTreeReverseInsertionOrder(t *testing.T) {
+	tr := New()
+	var ref []refEntry
+	const n = 1000
+	for i := 0; i < n; i++ {
+		k := int64(n - i)
+		rid := storage.RID{Page: int32(i), Slot: 0}
+		tr.Insert(types.NewInt(k), rid)
+		ref = append(ref, refEntry{key: k, rid: rid})
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree never split under reverse insertion")
+	}
+	got := collectRange(tr, types.Null, types.Null)
+	keysAscending(t, "reverse-order scan", got)
+	sortEntries(got)
+	assertSameEntries(t, "reverse-order scan", got, refRange(ref, 0, 0, false, false))
+
+	// A range crossing several leaves of the reverse-built tree.
+	got = collectRange(tr, types.NewInt(250), types.NewInt(750))
+	keysAscending(t, "reverse range", got)
+	sortEntries(got)
+	assertSameEntries(t, "reverse range", got, refRange(ref, 250, 750, true, true))
+}

@@ -190,17 +190,19 @@ func parseHeader(data []byte) (Header, int, bool) {
 	}
 	r := &byteReader{b: data, pos: 2} // skip marker + version
 	hlen, err := r.uvarint()
-	if err != nil || r.pos+int(hlen) > len(data) {
+	// Compare lengths as uint64 before converting: a corrupt varint can
+	// exceed math.MaxInt and flip negative under int().
+	if err != nil || hlen > uint64(len(data)) || r.pos+int(hlen) > len(data) {
 		return Header{}, 0, false
 	}
 	off := r.pos + int(hlen)
 	body := &byteReader{b: data[:off], pos: r.pos}
 	depth, err := body.uvarint()
-	if err != nil {
+	if err != nil || depth > uint64(len(data)) {
 		return Header{}, 0, false
 	}
 	nfilter, err := body.uvarint()
-	if err != nil || body.pos+int(nfilter) > off {
+	if err != nil || nfilter > uint64(off) || body.pos+int(nfilter) > off {
 		return Header{}, 0, false
 	}
 	filter := data[body.pos : body.pos+int(nfilter)]

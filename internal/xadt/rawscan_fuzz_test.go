@@ -1,0 +1,61 @@
+package xadt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// FuzzRawScanEntities drives the raw-markup scanner — the parse-free fast
+// path behind FindKeyInElm — with arbitrary markup, element names, and
+// keys. The scanner must never panic on any input. For markup that
+// parses, the fragment is re-encoded through the package serializer (raw
+// payloads are only ever produced by it) and the raw fast path must agree
+// with the parsed slow path.
+func FuzzRawScanEntities(f *testing.F) {
+	f.Add("<a>hello &amp; goodbye</a>", "a", "hello")
+	f.Add("<a><b k=\"v\">x&#65;y</b><b>z</b></a>", "b", "xAy")
+	f.Add("<a>text &#x3C;tag&#x3E; more</a>", "a", "<tag>")
+	f.Add("<a>unterminated &amp", "a", "unterminated")
+	f.Add("<a/><a>two</a>", "a", "two")
+	f.Add("<a><a>nested</a></a>", "a", "nested")
+	f.Add("&bogus;&#xZZ;&#99999999999;", "e", "k")
+	f.Add("<e>\xff\xfe</e>", "e", "\xff")
+	f.Fuzz(func(t *testing.T, markup, elm, key string) {
+		// Arbitrary bytes: only the no-panic guarantee applies.
+		findKeyRaw(markup, elm, key)
+		textContentContains(markup, key)
+		forEachRegion(markup, elm, func(string) bool { return true })
+		decodeEntityRef(key)
+
+		if elm == "" || strings.ContainsAny(elm, "<>&/ \t\n\r\"'=") {
+			return
+		}
+		v := FromBytes(append([]byte{byte(Raw)}, markup...))
+		nodes, err := v.Nodes()
+		if err != nil {
+			return
+		}
+		canon := Encode(nodes, Raw)
+		fast, err := FindKeyInElm(canon, elm, key)
+		if err != nil {
+			return
+		}
+		slow := false
+		for _, n := range nodes {
+			n.Walk(func(c *xmltree.Node) bool {
+				if c.IsElement() && c.Name == elm &&
+					(key == "" || strings.Contains(c.InnerText(), key)) {
+					slow = true
+					return false
+				}
+				return true
+			})
+		}
+		if fast != slow {
+			t.Fatalf("fast path = %v, parsed slow path = %v for markup %q elm %q key %q",
+				fast, slow, markup, elm, key)
+		}
+	})
+}

@@ -262,7 +262,9 @@ func (r *byteReader) str() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if r.pos+int(n) > len(r.b) {
+	// Compare as uint64 first: a corrupt varint length can exceed
+	// math.MaxInt and flip negative under int().
+	if n > uint64(len(r.b)) || r.pos+int(n) > len(r.b) {
 		return "", errors.New("xadt: truncated string")
 	}
 	s := string(r.b[r.pos : r.pos+int(n)])
@@ -311,9 +313,11 @@ func expandCodes(body string, names []string) (string, error) {
 		code := 0
 		for _, c := range body[start:j] {
 			code = code*10 + int(c-'0')
-		}
-		if code >= len(names) {
-			return "", 0, fmt.Errorf("xadt: tag code %d out of range", code)
+			// Checking inside the loop keeps a long corrupt digit run
+			// from overflowing code past MaxInt into a negative index.
+			if code >= len(names) {
+				return "", 0, fmt.Errorf("xadt: tag code %s out of range", body[start:j])
+			}
 		}
 		return names[code], j, nil
 	}
