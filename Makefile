@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race benchsmoke fuzz bench repro clean
+.PHONY: ci vet build test race benchsmoke crashmatrix fuzz bench repro clean
 
-ci: vet build test race benchsmoke fuzz
+ci: vet build test race benchsmoke crashmatrix fuzz
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,14 @@ race:
 benchsmoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x ./internal/engine/
 	$(GO) test -race -run TestXadtSmoke ./internal/bench/
+	$(GO) test -race -run TestDurabilitySmoke ./internal/bench/
+
+# Exhaustive fault-injection sweep: crash the store at every mutating
+# filesystem operation (plus torn-write variants) and require recovery to
+# reproduce the committed prefix byte-for-byte. `race` already runs these
+# tests once; this target keeps them callable standalone with -v output.
+crashmatrix:
+	$(GO) test -race -run 'TestCrashMatrix|TestRecoveredStoreAnswersQueries' ./internal/engine/wal/
 
 # Short coverage-guided fuzz pass over the hostile-input decoders. The
 # committed corpora (testdata/fuzz/) replay past crashers on every plain
@@ -36,6 +44,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDTDParse -fuzztime=$(FUZZTIME) ./internal/dtd/
 	$(GO) test -run=NONE -fuzz=FuzzRawScanEntities -fuzztime=$(FUZZTIME) ./internal/xadt/
 	$(GO) test -run=NONE -fuzz=FuzzHeaderDecode -fuzztime=$(FUZZTIME) ./internal/xadt/
+	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/engine/wal/
 
 bench:
 	$(GO) test -run=NONE -bench=. ./...
@@ -46,4 +55,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_durability.json *.pprof

@@ -12,23 +12,28 @@
 //	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
 //	-exp xadt      XADT fast path: header filter + decode cache vs baseline
 //	-exp difftest  differential correctness fuzzing across the full matrix
+//	-exp crash     crash a WAL-backed load at a seeded point and recover it
+//	-exp durability  load throughput with the WAL off/batch/always synced
 //	-exp all       everything above
 //
 // The difftest experiment takes -seed and -iters and writes a minimized
-// failure artifact (difftest_failure.txt) on divergence; -sabotage
+// failure artifact (difftest_failure.txt) on divergence; -crash adds a
+// kill-and-recover store to its comparison matrix, and -sabotage
 // deliberately corrupts the Gather reorder to prove the harness detects a
 // broken configuration.
 //
 // Use -quick for a reduced-scale smoke run, -scales to override the
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
 // The parallel experiment also writes BENCH_parallel.json; the xadt
-// experiment writes BENCH_xadt.json. -cpuprofile and -memprofile write
-// pprof profiles covering the selected experiments.
+// experiment writes BENCH_xadt.json; the durability experiment writes
+// BENCH_durability.json. -cpuprofile and -memprofile write pprof
+// profiles covering the selected experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -41,7 +46,10 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/difftest"
 	"repro/internal/dtd"
+	"repro/internal/engine"
 	"repro/internal/engine/exec"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/wal"
 	"repro/internal/mapping"
 	"repro/internal/xadt"
 )
@@ -57,8 +65,9 @@ func realMain() int {
 		scaleStr = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
 		repeats  = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
 		dop      = flag.Int("dop", runtime.GOMAXPROCS(0), "degree of parallelism for -exp parallel")
-		seed     = flag.Int64("seed", 1, "base seed for -exp difftest")
+		seed     = flag.Int64("seed", 1, "base seed for -exp difftest and -exp crash")
 		iters    = flag.Int("iters", 0, "iterations for -exp difftest (0 = 200, or 50 with -quick)")
+		crash    = flag.Bool("crash", false, "add the crash-recovery axis to -exp difftest")
 		sabotage = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,7 +104,7 @@ func realMain() int {
 		}()
 	}
 	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop,
-		seed: *seed, iters: *iters, sabotage: *sabotage}
+		seed: *seed, iters: *iters, crash: *crash, sabotage: *sabotage}
 
 	experiments := map[string]func() error{
 		"schemas":  r.schemas,
@@ -107,10 +116,12 @@ func realMain() int {
 		"fig14":    r.fig14,
 		"compress": r.compress,
 		"parallel": r.parallel,
-		"xadt":     r.xadt,
-		"difftest": r.difftest,
+		"xadt":       r.xadt,
+		"difftest":   r.difftest,
+		"crash":      r.crashDemo,
+		"durability": r.durability,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "difftest"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "difftest", "crash", "durability"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -153,6 +164,7 @@ type runner struct {
 	dop      int
 	seed     int64
 	iters    int
+	crash    bool
 	sabotage bool
 
 	shakespeare *bench.Dataset
@@ -338,7 +350,10 @@ func (r *runner) difftest() error {
 			iters = 50
 		}
 	}
-	sum, err := difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Log: os.Stdout})
+	if r.crash {
+		fmt.Println("crash axis enabled: each iteration also crashes, recovers, and requeries a WAL-backed store")
+	}
+	sum, err := difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Crash: r.crash, Log: os.Stdout})
 	if err != nil {
 		return err
 	}
@@ -349,6 +364,130 @@ func (r *runner) difftest() error {
 		return fmt.Errorf("%d divergences; first: %s\nartifact: %s\nreplay: go run ./cmd/repro -exp difftest -seed %d -iters 1",
 			n, d, sum.Artifact, d.Seed)
 	}
+	return nil
+}
+
+// crashDemo kills a WAL-backed load at a seeded fault point without
+// killing the process (a fault-injecting in-memory filesystem stands in
+// for the disk), recovers the store, verifies the committed prefix
+// byte-for-byte against an uninterrupted twin, and resumes loading to
+// completion.
+func (r *runner) crashDemo() error {
+	ds := r.shakespeareDS()
+	format := xadt.Raw
+	mk := func(vfs storage.VFS) (*core.Store, error) {
+		cfg := core.Config{Algorithm: core.XORator, ForceFormat: &format}
+		if vfs != nil {
+			cfg.Engine = engine.Config{WALDir: "wal", WALSync: wal.SyncBatch, VFS: vfs}
+		}
+		return core.NewStore(ds.DTD, cfg)
+	}
+	timeline := func(vfs storage.VFS) error {
+		st, err := mk(vfs)
+		if err != nil {
+			return err
+		}
+		half := len(ds.Docs) / 2
+		if err := st.Load(ds.Docs[:half]); err != nil {
+			return err
+		}
+		if err := st.Checkpoint(); err != nil {
+			return err
+		}
+		if err := st.Load(ds.Docs[half:]); err != nil {
+			return err
+		}
+		return st.Close()
+	}
+
+	counter := &storage.FaultVFS{Inner: storage.NewMemVFS()}
+	if err := timeline(counter); err != nil {
+		return err
+	}
+	kinds := counter.OpKinds()
+	firstCheckpoint := 0
+	for i, k := range kinds {
+		if k == "rename" {
+			firstCheckpoint = i + 1
+			break
+		}
+	}
+	rng := rand.New(rand.NewSource(r.seed))
+	failAt := firstCheckpoint + 1 + rng.Intn(len(kinds)-firstCheckpoint)
+	fmt.Printf("loading %d documents issues %d filesystem operations; crashing at op %d (%s), seed %d\n",
+		len(ds.Docs), len(kinds), failAt, kinds[failAt-1], r.seed)
+
+	mem := storage.NewMemVFS()
+	if err := timeline(&storage.FaultVFS{Inner: mem, FailAtOp: failAt}); err == nil {
+		return fmt.Errorf("timeline survived its injected fault")
+	} else {
+		fmt.Printf("crash: %v\n", err)
+	}
+
+	start := time.Now()
+	rec, err := core.OpenRecovered(core.Config{ForceFormat: &format,
+		Engine: engine.Config{WALDir: "wal", WALSync: wal.SyncBatch, VFS: mem}})
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	committed := int(rec.CommittedBatches())
+	fmt.Printf("recovered %d/%d committed documents in %v\n",
+		committed, len(ds.Docs), time.Since(start).Round(time.Microsecond))
+
+	twin, err := mk(nil)
+	if err != nil {
+		return err
+	}
+	if committed > 0 {
+		if err := twin.Load(ds.Docs[:committed]); err != nil {
+			return err
+		}
+	}
+	if err := difftest.CompareStores(rec, twin); err != nil {
+		return fmt.Errorf("recovered store differs from the committed prefix: %w", err)
+	}
+	fmt.Println("recovered store is byte-identical to an uninterrupted load of the committed prefix")
+
+	if err := rec.Load(ds.Docs[committed:]); err != nil {
+		return fmt.Errorf("resuming load: %w", err)
+	}
+	full, err := mk(nil)
+	if err != nil {
+		return err
+	}
+	if err := full.Load(ds.Docs); err != nil {
+		return err
+	}
+	if err := difftest.CompareStores(rec, full); err != nil {
+		return fmt.Errorf("resumed store differs from a full load: %w", err)
+	}
+	fmt.Printf("resumed the remaining %d documents; final state matches a never-crashed store\n",
+		len(ds.Docs)-committed)
+	return rec.Close()
+}
+
+// durability measures document-load throughput with the WAL disabled and
+// at each sync policy, prints the overhead table, and writes
+// BENCH_durability.json.
+func (r *runner) durability() error {
+	dir, err := os.MkdirTemp("", "repro-durability-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	repeats := r.repeats
+	if r.quick {
+		repeats = 1
+	}
+	ms, err := bench.RunDurability(r.shakespeareDS(), dir, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.DurabilityTable(ms))
+	if err := bench.WriteDurabilityJSON("BENCH_durability.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_durability.json")
 	return nil
 }
 

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/wal"
+	"repro/internal/xadt"
+)
+
+// DurabilityMeasurement is one row of the WAL overhead table: the corpus
+// loaded once under one durability mode.
+type DurabilityMeasurement struct {
+	// Mode is "nowal" (no log), or the WAL sync policy: "off", "batch",
+	// "always".
+	Mode       string  `json:"mode"`
+	Docs       int     `json:"docs"`
+	Rows       int64   `json:"rows"`
+	Millis     float64 `json:"ms"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	// OverheadPct is the slowdown relative to the nowal baseline of the
+	// same run.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// RunDurability measures document-load throughput under each durability
+// mode — no WAL, then WAL at sync off / batch / always — on the real
+// filesystem under dir, so sync costs are the operating system's. Each
+// mode runs repeats times and keeps its fastest run (load benchmarks are
+// noisy upward, never downward).
+func RunDurability(ds Dataset, dir string, repeats int) ([]DurabilityMeasurement, error) {
+	if repeats <= 0 {
+		repeats = 3
+	}
+	modes := []struct {
+		name   string
+		logged bool
+		sync   wal.SyncPolicy
+	}{
+		{"nowal", false, wal.SyncOff},
+		{"off", true, wal.SyncOff},
+		{"batch", true, wal.SyncBatch},
+		{"always", true, wal.SyncAlways},
+	}
+	format := xadt.Raw
+	out := make([]DurabilityMeasurement, 0, len(modes))
+	for _, mode := range modes {
+		var best time.Duration
+		var rows int64
+		for rep := 0; rep < repeats; rep++ {
+			cfg := core.Config{Algorithm: core.XORator, ForceFormat: &format}
+			walDir := filepath.Join(dir, fmt.Sprintf("wal-%s-%d", mode.name, rep))
+			if mode.logged {
+				cfg.Engine = engine.Config{WALDir: walDir, WALSync: mode.sync}
+			}
+			start := time.Now()
+			st, err := core.NewStore(ds.DTD, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("durability %s: %w", mode.name, err)
+			}
+			if err := st.Load(ds.Docs); err != nil {
+				return nil, fmt.Errorf("durability %s: %w", mode.name, err)
+			}
+			if err := st.Close(); err != nil {
+				return nil, fmt.Errorf("durability %s: %w", mode.name, err)
+			}
+			elapsed := time.Since(start)
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+			rows = st.Stats().Rows
+			if mode.logged {
+				if err := os.RemoveAll(walDir); err != nil {
+					return nil, err
+				}
+			}
+		}
+		ms := float64(best.Nanoseconds()) / 1e6
+		out = append(out, DurabilityMeasurement{
+			Mode:       mode.name,
+			Docs:       len(ds.Docs),
+			Rows:       rows,
+			Millis:     ms,
+			DocsPerSec: float64(len(ds.Docs)) / best.Seconds(),
+		})
+	}
+	base := out[0].Millis
+	for i := range out {
+		out[i].OverheadPct = (out[i].Millis/base - 1) * 100
+	}
+	return out, nil
+}
+
+// DurabilityTable renders the measurements.
+func DurabilityTable(ms []DurabilityMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Durability: load throughput by WAL sync policy\n")
+	fmt.Fprintf(&sb, "%-8s %6s %10s %10s %12s %10s\n",
+		"mode", "docs", "rows", "load_ms", "docs_per_s", "overhead")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-8s %6d %10d %10.1f %12.1f %9.1f%%\n",
+			m.Mode, m.Docs, m.Rows, m.Millis, m.DocsPerSec, m.OverheadPct)
+	}
+	return sb.String()
+}
+
+// WriteDurabilityJSON writes the measurements as a JSON array to path
+// (the BENCH_durability.json artifact).
+func WriteDurabilityJSON(path string, ms []DurabilityMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

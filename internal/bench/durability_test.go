@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDurabilitySmoke runs the WAL-overhead benchmark at reduced scale:
+// all four durability modes must complete, load the same rows, and
+// produce a parseable BENCH_durability.json. CI runs this under the race
+// detector as the durability counterpart of the xadt smoke.
+func TestDurabilitySmoke(t *testing.T) {
+	ds := ShakespeareDataset(2)
+	dir := t.TempDir()
+	ms, err := RunDurability(ds, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("modes = %d, want 4", len(ms))
+	}
+	wantModes := []string{"nowal", "off", "batch", "always"}
+	for i, m := range ms {
+		if m.Mode != wantModes[i] {
+			t.Errorf("mode %d = %s, want %s", i, m.Mode, wantModes[i])
+		}
+		if m.Docs != len(ds.Docs) || m.Rows == 0 || m.DocsPerSec <= 0 {
+			t.Errorf("mode %s: implausible measurement %+v", m.Mode, m)
+		}
+		if m.Rows != ms[0].Rows {
+			t.Errorf("mode %s loaded %d rows, baseline loaded %d", m.Mode, m.Rows, ms[0].Rows)
+		}
+	}
+	if ms[0].OverheadPct != 0 {
+		t.Errorf("baseline overhead = %f, want 0", ms[0].OverheadPct)
+	}
+
+	out := filepath.Join(dir, "BENCH_durability.json")
+	if err := WriteDurabilityJSON(out, ms); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []DurabilityMeasurement
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(parsed) != len(ms) {
+		t.Fatalf("artifact rows = %d, want %d", len(parsed), len(ms))
+	}
+	if DurabilityTable(ms) == "" {
+		t.Fatal("empty table rendering")
+	}
+}

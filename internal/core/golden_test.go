@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/wal"
+	"repro/internal/xadt"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+const goldenDTD = `
+<!ELEMENT book (title, chapter+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT chapter (#PCDATA)>
+`
+
+// TestSnapshotHeaderGolden pins the snapshot/checkpoint header format:
+// the uvarint length prefix and the JSON header with its durability
+// fields (version, format decision, WAL watermark). OpenRecovered reads
+// this header from checkpoints written by earlier builds, so a diff
+// against testdata/snapshot_header.golden is a compatibility break
+// unless the version is bumped and decodeSnapshot keeps accepting the
+// old shape; rerun with -update after reviewing.
+func TestSnapshotHeaderGolden(t *testing.T) {
+	mem := storage.NewMemVFS()
+	format := xadt.Compressed
+	st, err := NewStore(goldenDTD, Config{
+		Algorithm:   XORator,
+		ForceFormat: &format,
+		Engine:      engine.Config{WALDir: "wal", WALSync: wal.SyncAlways, VFS: mem},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]string{
+		`<book><title>First</title><chapter>one</chapter></book>`,
+		`<book><title>Second</title><chapter>two</chapter></book>`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hlen, n := binary.Uvarint(buf.Bytes())
+	if n <= 0 || int(hlen) > buf.Len()-n {
+		t.Fatalf("bad header length prefix (%d, %d)", hlen, n)
+	}
+	got := fmt.Sprintf("length prefix: %d bytes (uvarint % x)\nheader JSON:\n%s\n",
+		hlen, buf.Bytes()[:n], buf.Bytes()[n:n+int(hlen)])
+
+	goldenPath := filepath.Join("testdata", "snapshot_header.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file: %v (run with -update to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("snapshot header differs from %s — existing checkpoints may stop loading.\nIf intentional, rerun with -update.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}

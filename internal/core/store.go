@@ -11,7 +11,9 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/engine/catalog"
+	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
+	"repro/internal/engine/wal"
 	"repro/internal/mapping"
 	"repro/internal/shred"
 	"repro/internal/xadt"
@@ -64,6 +66,18 @@ type Store struct {
 
 	cfg    Config
 	loader *shred.Loader
+
+	// Durability state, present only when cfg.Engine.WALDir is set: the
+	// write-ahead log writer, the filesystem it goes through, and
+	// whether the XADT format decision still needs to be logged with
+	// the next committed batch.
+	wal           *wal.Writer
+	vfs           storage.VFS
+	pendingFormat bool
+	// recovered marks a store rebuilt by OpenRecovered whose mapped
+	// tables already exist (possibly empty, with no format decided yet),
+	// so the first Load must resume the loader rather than create one.
+	recovered bool
 }
 
 // Stats summarizes a store's storage footprint.
@@ -113,13 +127,43 @@ func NewStore(dtdSource string, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{
+	st := &Store{
 		DB:         engine.Open(cfg.Engine),
 		DTD:        d,
 		Simplified: s,
 		Schema:     schema,
 		cfg:        cfg,
-	}, nil
+	}
+	if cfg.Engine.WALDir != "" {
+		if err := st.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// openWAL initializes durability for a fresh store: it refuses a WAL
+// directory that already holds a store (recover it with OpenRecovered or
+// remove it explicitly — silently clobbering a recoverable store would
+// defeat the log), creates the log, and writes the initial checkpoint so
+// recovery always has a base state.
+func (st *Store) openWAL() error {
+	st.vfs = st.cfg.Engine.VFS
+	if st.vfs == nil {
+		st.vfs = storage.OSFS{}
+	}
+	dir := st.cfg.Engine.WALDir
+	if _, err := st.vfs.Stat(checkpointPath(dir)); err == nil {
+		return fmt.Errorf("core: WAL dir %s already holds a store; use OpenRecovered or remove it", dir)
+	} else if !storage.IsNotExist(err) {
+		return err
+	}
+	w, err := wal.Create(st.vfs, dir, st.cfg.Engine.WALSync)
+	if err != nil {
+		return err
+	}
+	st.wal = w
+	return st.Checkpoint()
 }
 
 // Load shreds documents into the store. The first call fixes the XADT
@@ -138,18 +182,52 @@ func (st *Store) Load(docs []*xmltree.Document) error {
 			}
 			format = shred.ChooseFormat(st.Schema, docs[:n], st.cfg.CompressionThreshold)
 		}
-		loader, err := shred.NewLoader(st.DB, st.Schema, format)
+		var loader *shred.Loader
+		var err error
+		if st.recovered {
+			// Recovery already created the (empty) mapped tables; attach
+			// to them instead of refusing to re-create them.
+			loader, err = shred.ResumeLoader(st.DB, st.Schema, format)
+		} else {
+			loader, err = shred.NewLoader(st.DB, st.Schema, format)
+		}
 		if err != nil {
 			return err
 		}
 		loader.DisableHeaders = st.cfg.DisableXADTHeaders
 		st.loader = loader
 		st.Format = format
+		if st.wal != nil {
+			// The format decision must survive a crash: log it with the
+			// next committed batch so a recovered store resumes loading
+			// under the same representation.
+			st.pendingFormat = true
+		}
 	}
 	for _, doc := range docs {
-		if err := st.loader.LoadDocument(doc); err != nil {
+		if st.wal == nil {
+			if err := st.loader.LoadDocument(doc); err != nil {
+				return err
+			}
+			continue
+		}
+		// One document is one WAL batch: its tuples are logged as they
+		// are shredded and become durable together at Commit, so
+		// recovery never sees half a document.
+		b := st.wal.Begin()
+		if st.pendingFormat {
+			b.SetFormat(byte(st.Format))
+		}
+		st.loader.OnInsert = b.Insert
+		err := st.loader.LoadDocument(doc)
+		st.loader.OnInsert = nil
+		if err != nil {
 			return err
 		}
+		if err := b.Commit(); err != nil {
+			return err
+		}
+		st.pendingFormat = false
 	}
 	return nil
 }
@@ -178,6 +256,12 @@ func (st *Store) CreateDefaultIndexes() error {
 			switch col.Kind {
 			case mapping.KindXADT:
 				continue // no index structure over fragments
+			}
+			// Skip indexes that already exist so the call is idempotent —
+			// a store recovered from a checkpoint carries that
+			// checkpoint's index definitions.
+			if t := st.DB.Catalog.Table(rel.Name); t != nil && t.IndexOn(col.Name) != nil {
+				continue
 			}
 			if err := st.DB.CreateIndex(rel.Name, col.Name); err != nil {
 				return err
@@ -215,6 +299,25 @@ func (st *Store) Stats() Stats {
 		IndexBytes: st.DB.Catalog.TotalIndexBytes(),
 		Format:     st.Format,
 	}
+}
+
+// CommittedBatches reports how many WAL batches (= documents) have ever
+// been committed, counting batches absorbed into checkpoints; 0 for a
+// store without a WAL.
+func (st *Store) CommittedBatches() uint64 {
+	if st.wal == nil {
+		return 0
+	}
+	return st.wal.LastCommitted()
+}
+
+// Close syncs any pending group-committed WAL batches and releases the
+// log file. It is a no-op for stores without a WAL.
+func (st *Store) Close() error {
+	if st.wal == nil {
+		return nil
+	}
+	return st.wal.Close()
 }
 
 // Table returns the named table for direct inspection, or nil.

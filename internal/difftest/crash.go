@@ -1,0 +1,129 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/wal"
+	"repro/internal/xmltree"
+)
+
+// buildRecovered builds the crash-recovery member of the matrix: the
+// iteration's documents loaded into a WAL-backed XORator store on an
+// in-memory filesystem, killed at a seeded fault point (sometimes with a
+// torn final write), recovered with OpenRecovered, and resumed to the
+// full document set. Everything about the crash — sync policy, fault
+// point, tearing — derives from the iteration seed, so a diverging
+// iteration replays exactly.
+//
+// The resulting store must be byte-identical to the uninterrupted
+// XORator store: checkAll compares their heaps directly and checkCase
+// runs every XORator query against both.
+func (st *iterState) buildRecovered(opts Options) error {
+	timeline := func(vfs storage.VFS, sync wal.SyncPolicy) error {
+		s, err := core.NewStore(st.dtdSrc, core.Config{
+			Algorithm:   core.XORator,
+			ForceFormat: st.format,
+			Engine:      engine.Config{WALDir: "wal", WALSync: sync, VFS: vfs},
+		})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < opts.LoadRepeat; r++ {
+			if err := s.Load(st.docs); err != nil {
+				return err
+			}
+			if r == 0 {
+				// Checkpoint between repeats so faults land on both sides
+				// of a checkpoint boundary.
+				if err := s.Checkpoint(); err != nil {
+					return err
+				}
+			}
+		}
+		return s.Close()
+	}
+
+	rng := rand.New(rand.NewSource(st.seed ^ 0x57a1f00d))
+	sync := []wal.SyncPolicy{wal.SyncAlways, wal.SyncBatch, wal.SyncOff}[rng.Intn(3)]
+
+	// Fault-free pass to learn the operation schedule; the crash point is
+	// drawn from the window after the first checkpoint publication (its
+	// rename), before which there is legitimately nothing to recover.
+	counter := &storage.FaultVFS{Inner: storage.NewMemVFS()}
+	if err := timeline(counter, sync); err != nil {
+		return fmt.Errorf("crash twin count pass: %w", err)
+	}
+	kinds := counter.OpKinds()
+	firstCheckpoint := 0
+	for i, k := range kinds {
+		if k == "rename" {
+			firstCheckpoint = i + 1
+			break
+		}
+	}
+	if firstCheckpoint == 0 || firstCheckpoint >= len(kinds) {
+		return fmt.Errorf("crash twin: no post-checkpoint fault window in %d operations", len(kinds))
+	}
+	failAt := firstCheckpoint + 1 + rng.Intn(len(kinds)-firstCheckpoint)
+	torn := kinds[failAt-1] == "write" && rng.Intn(2) == 0
+
+	mem := storage.NewMemVFS()
+	fv := &storage.FaultVFS{Inner: mem, FailAtOp: failAt, Torn: torn}
+	err := timeline(fv, sync)
+	if err == nil {
+		return fmt.Errorf("crash twin: timeline survived its fault at op %d/%d", failAt, len(kinds))
+	}
+	if !errors.Is(err, storage.ErrCrashed) {
+		return fmt.Errorf("crash twin: op %d failed outside the injected fault: %w", failAt, err)
+	}
+
+	rec, err := core.OpenRecovered(core.Config{
+		ForceFormat: st.format,
+		Engine:      engine.Config{WALDir: "wal", WALSync: sync, VFS: mem},
+	})
+	if err != nil {
+		return fmt.Errorf("crash twin: recovery after op %d (%s, torn=%v, sync=%s): %w",
+			failAt, kinds[failAt-1], torn, sync, err)
+	}
+	committed := int(rec.CommittedBatches())
+	total := opts.LoadRepeat * len(st.docs)
+	if committed > total {
+		return fmt.Errorf("crash twin: recovered %d batches from %d documents", committed, total)
+	}
+	if committed == 0 {
+		// No batch committed, so the format decision was never logged:
+		// resume with the same Load grouping the twin used, which re-makes
+		// the decision over the same sample.
+		for r := 0; r < opts.LoadRepeat; r++ {
+			if err := rec.Load(st.docs); err != nil {
+				return fmt.Errorf("crash twin: resuming load: %w", err)
+			}
+		}
+	} else {
+		rest := make([]*xmltree.Document, 0, total-committed)
+		for i := committed; i < total; i++ {
+			rest = append(rest, st.docs[i%len(st.docs)])
+		}
+		if len(rest) > 0 {
+			if err := rec.Load(rest); err != nil {
+				return fmt.Errorf("crash twin: resuming load: %w", err)
+			}
+		}
+	}
+	if err := rec.CreateDefaultIndexes(); err != nil {
+		return fmt.Errorf("crash twin: %w", err)
+	}
+	if err := rec.RunStats(); err != nil {
+		return fmt.Errorf("crash twin: %w", err)
+	}
+	if err := rec.Close(); err != nil {
+		return fmt.Errorf("crash twin: %w", err)
+	}
+	st.recovered = rec
+	return nil
+}

@@ -35,6 +35,12 @@ type Options struct {
 	LoadRepeat int
 	// DOP is the parallel degree of the DOP-N cells (default 4).
 	DOP int
+	// Crash adds the crash-recovery axis: each iteration also loads the
+	// documents into a WAL-backed XORator store that is crashed at a
+	// seeded fault point, recovered, and resumed — its heap must be
+	// byte-identical to the uninterrupted store and every XORator query
+	// must agree on it.
+	Crash bool
 	// FailFast stops at the first diverging iteration.
 	FailFast bool
 	// ArtifactPath receives the failure artifact (default
@@ -147,6 +153,9 @@ type iterState struct {
 	cases  []Case
 
 	hy, xo, legacy *core.Store
+	// recovered is the crash-recovered XORator twin, present only when
+	// Options.Crash is set.
+	recovered *core.Store
 }
 
 // buildIteration derives the iteration's DTD, documents, twin stores, and
@@ -212,12 +221,26 @@ func (st *iterState) build(opts Options) error {
 	if st.legacy, err = mk(core.XORator, true); err != nil {
 		return fmt.Errorf("legacy xorator store: %w", err)
 	}
+	if opts.Crash {
+		if err := st.buildRecovered(opts); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func checkAll(opts Options, st *iterState) ([]Divergence, int, error) {
 	var divs []Divergence
 	cells := 0
+	if st.recovered != nil {
+		// The recovered store's heaps must be indistinguishable from the
+		// store that never crashed, before any query runs.
+		cells++
+		if err := CompareStores(st.recovered, st.xo); err != nil {
+			divs = append(divs, Divergence{Case: Case{Name: "(recovered state)"},
+				Axis: "xorator:recovered-state", Detail: err.Error()})
+		}
+	}
 	for _, c := range st.cases {
 		ds, n, err := checkCase(opts, st, c)
 		cells += n
@@ -231,7 +254,9 @@ func checkAll(opts Options, st *iterState) ([]Divergence, int, error) {
 
 // checkCase executes one case across the matrix. Within a store, every
 // cell must match the serial fast-path reference exactly (same rows, same
-// order). The legacy twin stores different XADT bytes, so its cells
+// order); the crash-recovered twin holds byte-identical data, so its
+// cells are held to the same exact standard. The legacy twin stores
+// different XADT bytes, so its cells
 // compare after canonicalizing fragments to their text; the cross-mapping
 // cell compares canonicalized row multisets, because the two mappings may
 // plan different row orders.
@@ -295,6 +320,24 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			cells++
 			if !sameRows(ref.Rows, got.Rows) {
 				record(cell.axis, diffRows(ref.Rows, got.Rows))
+			}
+		}
+		if st.recovered != nil {
+			for _, cell := range []struct {
+				axis string
+				o    plan.Options
+			}{
+				{"xorator:recovered", serial},
+				{"xorator:recovered+dop", par},
+			} {
+				got, err := run(st.recovered, cell.o, true, c.XORator)
+				if err != nil {
+					return divs, cells, fmt.Errorf("recovered xorator %w", err)
+				}
+				cells++
+				if !sameRows(ref.Rows, got.Rows) {
+					record(cell.axis, diffRows(ref.Rows, got.Rows))
+				}
 			}
 		}
 		for _, cell := range []struct {

@@ -33,6 +33,30 @@ func TestDifferentialSmoke(t *testing.T) {
 	t.Logf("%d iterations, %d cases, %d cells, all identical", sum.Iters, sum.Cases, sum.Cells)
 }
 
+// TestDifferentialCrashAxis runs the matrix with the crash-recovery axis
+// on: each iteration's documents are also loaded through a WAL on a
+// fault-injecting in-memory filesystem, crashed at a seeded point,
+// recovered, resumed, and the recovered store must agree with the
+// uninterrupted one — byte-for-byte on the heaps and row-for-row on
+// every XORator query.
+func TestDifferentialCrashAxis(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	sum, err := Run(Options{
+		Seed:         seed,
+		Iters:        8,
+		Crash:        true,
+		ArtifactPath: filepath.Join(t.TempDir(), "artifact.txt"),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) > 0 {
+		t.Fatalf("%d divergences, first: %s (%s)",
+			len(sum.Divergences), sum.Divergences[0], testutil.ReproLine(t, seed))
+	}
+	t.Logf("%d iterations, %d cells with recovered stores, all identical", sum.Iters, sum.Cells)
+}
+
 // TestDifferentialDetectsDivergence proves the harness has teeth: with the
 // Gather's morsel reordering disabled (a deliberately corrupted config),
 // parallel cells emit rows in arrival order and the run must report a

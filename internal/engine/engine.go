@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine/sql"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
+	"repro/internal/engine/wal"
 	"repro/internal/xadt"
 )
 
@@ -44,6 +45,21 @@ type Config struct {
 	// and decode caching off (the parse-every-call baseline). Toggle at
 	// runtime with SetXADTFastPath.
 	DisableXADTFastPath bool
+	// WALDir, when non-empty, enables the record-level write-ahead log:
+	// every document load becomes one committed batch under this
+	// directory, checkpoints truncate the log, and core.OpenRecovered
+	// restores the committed prefix after a crash. Consumed by the
+	// store lifecycle layer (core), which owns load batching and
+	// checkpointing.
+	WALDir string
+	// WALSync is the log sync policy (wal.SyncAlways, the zero value,
+	// wal.SyncBatch, or wal.SyncOff).
+	WALSync wal.SyncPolicy
+	// VFS is the filesystem the WAL and checkpoint files go through;
+	// nil means the operating system (storage.OSFS). Tests inject
+	// storage.MemVFS/storage.FaultVFS here to drive crash points
+	// deterministically.
+	VFS storage.VFS
 }
 
 // xadtRuntime is the per-database XADT evaluation state: the decode

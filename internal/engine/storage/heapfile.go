@@ -56,7 +56,7 @@ func (h *HeapFile) Insert(row []types.Value) RID {
 	rec := EncodeRecord(row)
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(rec) > maxInlineRecord {
+	if len(rec) > MaxInlineRecord {
 		idx := len(h.overflow)
 		h.overflow = append(h.overflow, rec)
 		stub := make([]byte, 1, 1+binary.MaxVarintLen64)

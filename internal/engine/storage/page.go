@@ -76,5 +76,7 @@ func (p *page) read(slot int) ([]byte, error) {
 	return p.data[off : off+ln], nil
 }
 
-// maxInlineRecord is the largest record that fits in a fresh page.
-const maxInlineRecord = PageSize - pageHeaderSize - slotSize
+// MaxInlineRecord is the largest record that fits in a fresh page; larger
+// records spill into overflow storage (and, under the WAL, are logged as
+// overflow-blob frames).
+const MaxInlineRecord = PageSize - pageHeaderSize - slotSize

@@ -74,6 +74,11 @@ func DecodeRecord(buf []byte) ([]types.Value, error) {
 	if n <= 0 {
 		return nil, errors.New("storage: corrupt record header")
 	}
+	// Every value occupies at least one byte, so a count beyond the
+	// remaining buffer is damage — reject before sizing the row slice.
+	if ncols > uint64(len(buf)) {
+		return nil, errors.New("storage: implausible record column count")
+	}
 	pos += n
 	row := make([]types.Value, 0, ncols)
 	for i := uint64(0); i < ncols; i++ {

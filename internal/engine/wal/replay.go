@@ -1,0 +1,189 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path"
+
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// ScannedRecord is one logged row insert.
+type ScannedRecord struct {
+	Table string
+	Row   []types.Value
+	// Overflow reports that the row was framed as an overflow blob
+	// (its encoded record exceeds the inline page capacity).
+	Overflow bool
+}
+
+// ScannedBatch is one committed batch of the log.
+type ScannedBatch struct {
+	// Seq is the batch's commit sequence number.
+	Seq uint64
+	// Format, when non-nil, is the XADT storage format the batch logged.
+	Format *byte
+	// Records are the batch's inserts in log order.
+	Records []ScannedRecord
+}
+
+// Tail is the result of scanning a log: the committed batches and the
+// position of the end of the last one, where Resume truncates.
+type Tail struct {
+	Batches []ScannedBatch
+	// ValidEnd is the file offset just past the last committed batch
+	// (or past the magic when none committed; 0 when even the magic is
+	// missing or torn). Everything after it is an uncommitted or torn
+	// tail that recovery discards.
+	ValidEnd int64
+	// LastSeq is the sequence number of the last committed batch, 0 if
+	// none.
+	LastSeq uint64
+	// Torn reports that scanning stopped at a truncated or CRC-corrupt
+	// frame (the expected shape of a crash) rather than the clean end of
+	// the file.
+	Torn bool
+}
+
+// CorruptError reports structural damage the scanner cannot attribute to
+// a torn tail: a CRC-valid frame whose content violates the format (bad
+// record encoding, non-monotonic commit sequence, unknown frame type), or
+// a wrong file magic. Callers distinguish it from clean prefix recovery
+// with errors.As.
+type CorruptError struct {
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt log at offset %d: %s", e.Offset, e.Reason)
+}
+
+// maxFramePayload bounds a frame payload; anything larger is treated as
+// damage. The largest legitimate frame is an overflow blob, which the
+// shredder caps well under this.
+const maxFramePayload = 1 << 28
+
+// Scan reads the log in dir and returns its committed batches. A missing
+// log file yields an empty tail. Scanning never panics on arbitrary
+// bytes: damage either terminates the committed prefix (torn tail) or
+// surfaces as a *CorruptError.
+func Scan(vfs storage.VFS, dir string) (*Tail, error) {
+	f, err := vfs.Open(path.Join(dir, FileName))
+	if err != nil {
+		if storage.IsNotExist(err) {
+			return &Tail{}, nil
+		}
+		return nil, fmt.Errorf("wal: opening log: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading log: %w", err)
+	}
+	return ScanBytes(data)
+}
+
+// ScanBytes scans an in-memory log image; see Scan.
+func ScanBytes(data []byte) (*Tail, error) {
+	t := &Tail{}
+	if len(data) < len(Magic) {
+		// The magic itself was torn; there is nothing to keep.
+		t.Torn = len(data) > 0
+		return t, nil
+	}
+	if !bytes.Equal(data[:len(Magic)], []byte(Magic)) {
+		return nil, &CorruptError{Offset: 0, Reason: "bad magic"}
+	}
+	pos := int64(len(Magic))
+	t.ValidEnd = pos
+	var pending []ScannedRecord
+	var pendingFormat *byte
+	for int(pos) < len(data) {
+		frameStart := pos
+		typ, payload, next, ok := readFrame(data, pos)
+		if !ok {
+			t.Torn = true
+			return t, nil
+		}
+		switch typ {
+		case frameInsert, frameBlob:
+			rec, err := parseInsert(payload, typ == frameBlob)
+			if err != nil {
+				return nil, &CorruptError{Offset: frameStart, Reason: err.Error()}
+			}
+			pending = append(pending, rec)
+		case frameFormat:
+			if len(payload) != 1 {
+				return nil, &CorruptError{Offset: frameStart, Reason: "format frame payload must be 1 byte"}
+			}
+			b := payload[0]
+			pendingFormat = &b
+		case frameCommit:
+			seq, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) {
+				return nil, &CorruptError{Offset: frameStart, Reason: "malformed commit sequence"}
+			}
+			if seq <= t.LastSeq {
+				return nil, &CorruptError{Offset: frameStart,
+					Reason: fmt.Sprintf("commit sequence %d not after %d", seq, t.LastSeq)}
+			}
+			t.Batches = append(t.Batches, ScannedBatch{Seq: seq, Format: pendingFormat, Records: pending})
+			t.LastSeq = seq
+			pending, pendingFormat = nil, nil
+			t.ValidEnd = next
+		default:
+			return nil, &CorruptError{Offset: frameStart, Reason: fmt.Sprintf("unknown frame type 0x%02x", typ)}
+		}
+		pos = next
+	}
+	return t, nil
+}
+
+// readFrame decodes the frame at pos; ok is false when the frame is
+// truncated or its CRC does not match (a torn tail).
+func readFrame(data []byte, pos int64) (typ byte, payload []byte, next int64, ok bool) {
+	p := int(pos)
+	if p >= len(data) {
+		return 0, nil, 0, false
+	}
+	typ = data[p]
+	plen, n := binary.Uvarint(data[p+1:])
+	if n <= 0 || plen > maxFramePayload {
+		return 0, nil, 0, false
+	}
+	payloadStart := p + 1 + n
+	end := payloadStart + int(plen) + 4
+	if end > len(data) || end < payloadStart {
+		return 0, nil, 0, false
+	}
+	body := data[p : payloadStart+int(plen)]
+	want := binary.LittleEndian.Uint32(data[payloadStart+int(plen) : end])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, 0, false
+	}
+	return typ, data[payloadStart : payloadStart+int(plen)], int64(end), true
+}
+
+// parseInsert decodes an insert/blob payload and cross-checks the framing
+// against the record's inline/overflow size class.
+func parseInsert(payload []byte, blob bool) (ScannedRecord, error) {
+	tlen, n := binary.Uvarint(payload)
+	if n <= 0 || tlen > 1<<16 || int(tlen) > len(payload)-n {
+		return ScannedRecord{}, fmt.Errorf("malformed table name length")
+	}
+	table := string(payload[n : n+int(tlen)])
+	rec := payload[n+int(tlen):]
+	if blob != (len(rec) > storage.MaxInlineRecord) {
+		return ScannedRecord{}, fmt.Errorf("frame size class does not match record size %d", len(rec))
+	}
+	row, err := storage.DecodeRecord(rec)
+	if err != nil {
+		return ScannedRecord{}, fmt.Errorf("record does not decode: %v", err)
+	}
+	return ScannedRecord{Table: table, Row: row, Overflow: blob}, nil
+}

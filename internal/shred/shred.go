@@ -27,23 +27,46 @@ type Loader struct {
 	// headered ones — for stores that must exercise the legacy decode
 	// path.
 	DisableHeaders bool
+	// OnInsert, when non-nil, observes every tuple before it reaches the
+	// table — the write-ahead log hook. An error aborts the load before
+	// the unlogged insert is applied.
+	OnInsert func(table string, row []types.Value) error
 
 	ids map[string]int64 // per-relation ID counters
 }
 
 // NewLoader creates the schema's tables in the database and returns a
-// loader.
+// loader. The database must not already hold the mapped tables (resume
+// an existing store with ResumeLoader instead).
 func NewLoader(db *engine.Database, schema *mapping.Schema, format xadt.Format) (*Loader, error) {
 	for _, rel := range schema.Relations {
+		if db.Catalog.Table(rel.Name) != nil {
+			return nil, fmt.Errorf("shred: table %s already exists; use ResumeLoader", rel.Name)
+		}
+	}
+	if err := EnsureTables(db, schema); err != nil {
+		return nil, err
+	}
+	return &Loader{DB: db, Schema: schema, Format: format, ids: map[string]int64{}}, nil
+}
+
+// EnsureTables creates any mapped relation missing from the database —
+// used by fresh loaders and by crash recovery, whose checkpoint may
+// predate the first load (and so hold none of the mapped tables).
+func EnsureTables(db *engine.Database, schema *mapping.Schema) error {
+	for _, rel := range schema.Relations {
+		if db.Catalog.Table(rel.Name) != nil {
+			continue
+		}
 		cols := make([]catalog.Column, len(rel.Columns))
 		for i, c := range rel.Columns {
 			cols[i] = catalog.Column{Name: c.Name, Type: kindOf(c.Type)}
 		}
 		if _, err := db.CreateTable(rel.Name, cols); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return &Loader{DB: db, Schema: schema, Format: format, ids: map[string]int64{}}, nil
+	return nil
 }
 
 // ResumeLoader attaches a loader to a database whose tables already hold
@@ -166,6 +189,11 @@ func (l *Loader) emit(rel *mapping.Relation, n *xmltree.Node, parentID int64, pa
 			}
 		default:
 			return 0, fmt.Errorf("shred: unknown column kind %v", col.Kind)
+		}
+	}
+	if l.OnInsert != nil {
+		if err := l.OnInsert(rel.Name, row); err != nil {
+			return 0, err
 		}
 	}
 	if err := l.DB.Catalog.Table(rel.Name).Insert(row); err != nil {

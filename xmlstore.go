@@ -27,6 +27,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dtd"
 	"repro/internal/engine"
+	"repro/internal/engine/wal"
 	"repro/internal/mapping"
 	"repro/internal/xadt"
 )
@@ -86,6 +87,34 @@ var FragmentText = core.FragmentText
 func OpenSnapshotFile(path string) (*Store, error) {
 	return core.OpenSnapshotFile(path, engine.Config{})
 }
+
+// OpenRecovered reopens a WAL-backed store (one created with
+// Config.Engine.WALDir set) after a crash or clean shutdown: it loads
+// the newest checkpoint and replays the committed write-ahead-log tail,
+// dropping any torn final batch. The recovered store accepts further
+// loads and checkpoints. Returns ErrNoCheckpoint when the directory
+// holds no checkpoint yet.
+func OpenRecovered(cfg Config) (*Store, error) {
+	return core.OpenRecovered(cfg)
+}
+
+// ErrNoCheckpoint reports that a WAL directory holds no checkpoint to
+// recover from.
+var ErrNoCheckpoint = core.ErrNoCheckpoint
+
+// SyncPolicy selects when the write-ahead log is fsynced; assign one to
+// EngineConfig.WALSync.
+type SyncPolicy = wal.SyncPolicy
+
+// The WAL sync policies, strongest first.
+const (
+	// SyncAlways (the zero value) syncs at every batch commit.
+	SyncAlways = wal.SyncAlways
+	// SyncBatch group-commits: one sync per Load call.
+	SyncBatch = wal.SyncBatch
+	// SyncOff never syncs explicitly; the OS decides.
+	SyncOff = wal.SyncOff
+)
 
 // Built-in DTDs from the paper, usable as NewStore inputs and with the
 // bundled data generators.

@@ -1,6 +1,7 @@
 package xmlstore
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -98,5 +99,37 @@ func TestSnapshotThroughPublicAPI(t *testing.T) {
 	res, err := restored.Query(`SELECT COUNT(*) FROM speech`)
 	if err != nil || res.Rows[0][0].Int() != 2 {
 		t.Errorf("restored speech count = %v, %v", res, err)
+	}
+}
+
+func TestRecoveryThroughPublicAPI(t *testing.T) {
+	cfg := Config{
+		Algorithm: XORator,
+		Engine:    EngineConfig{WALDir: t.TempDir(), WALSync: SyncBatch},
+	}
+	if _, err := OpenRecovered(cfg); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty WAL dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	st, err := NewStore(PlaysDTD, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LoadXML([]string{tinyDoc}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the store "crashes" with the load only in the WAL.
+	recovered, err := OpenRecovered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.LoadXML([]string{tinyDoc}); err != nil {
+		t.Fatalf("load after recovery: %v", err)
+	}
+	res, err := recovered.Query(`SELECT COUNT(*) FROM speech`)
+	if err != nil || res.Rows[0][0].Int() != 4 {
+		t.Errorf("recovered speech count = %v, %v", res, err)
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
