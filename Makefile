@@ -20,12 +20,14 @@ race:
 	$(GO) test -race ./...
 
 # One-iteration benchmark pass: proves the benchmarks still compile and
-# run without paying for stable measurements. The xadt smoke runs the
-# full fast-path experiment at reduced scale under the race detector.
+# run without paying for stable measurements. The xadt and spill smokes
+# run their full experiments at reduced scale under the race detector;
+# the spill one budget-forces all three blocking operators to disk.
 benchsmoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x ./internal/engine/
 	$(GO) test -race -run TestXadtSmoke ./internal/bench/
 	$(GO) test -race -run TestDurabilitySmoke ./internal/bench/
+	$(GO) test -race -run TestSpillSmoke ./internal/bench/
 
 # Exhaustive fault-injection sweep: crash the store at every mutating
 # filesystem operation (plus torn-write variants) and require recovery to
@@ -55,4 +57,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_durability.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_spill.json BENCH_durability.json *.pprof

@@ -11,6 +11,7 @@
 //	-exp compress  §4.1: XADT storage-format decision per corpus
 //	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
 //	-exp xadt      XADT fast path: header filter + decode cache vs baseline
+//	-exp spill     memory-bounded execution: spilling operators + Top-N pushdown
 //	-exp difftest  differential correctness fuzzing across the full matrix
 //	-exp crash     crash a WAL-backed load at a seeded point and recover it
 //	-exp durability  load throughput with the WAL off/batch/always synced
@@ -18,14 +19,16 @@
 //
 // The difftest experiment takes -seed and -iters and writes a minimized
 // failure artifact (difftest_failure.txt) on divergence; -crash adds a
-// kill-and-recover store to its comparison matrix, and -sabotage
-// deliberately corrupts the Gather reorder to prove the harness detects a
-// broken configuration.
+// kill-and-recover store to its comparison matrix, -membudget N adds the
+// memory-budget axis (every query rerun under an N-byte budget, forcing
+// spills), and -sabotage deliberately corrupts the Gather reorder to
+// prove the harness detects a broken configuration.
 //
 // Use -quick for a reduced-scale smoke run, -scales to override the
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
 // The parallel experiment also writes BENCH_parallel.json; the xadt
-// experiment writes BENCH_xadt.json; the durability experiment writes
+// experiment writes BENCH_xadt.json; the spill experiment writes
+// BENCH_spill.json; the durability experiment writes
 // BENCH_durability.json. -cpuprofile and -memprofile write pprof
 // profiles covering the selected experiments.
 package main
@@ -60,17 +63,18 @@ func main() { os.Exit(realMain()) }
 // separate from main lets the profiling defers flush before exit.
 func realMain() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		quick    = flag.Bool("quick", false, "reduced data sizes for a fast smoke run")
-		scaleStr = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
-		repeats  = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
-		dop      = flag.Int("dop", runtime.GOMAXPROCS(0), "degree of parallelism for -exp parallel")
-		seed     = flag.Int64("seed", 1, "base seed for -exp difftest and -exp crash")
-		iters    = flag.Int("iters", 0, "iterations for -exp difftest (0 = 200, or 50 with -quick)")
-		crash    = flag.Bool("crash", false, "add the crash-recovery axis to -exp difftest")
-		sabotage = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp       = flag.String("exp", "all", "experiment to run")
+		quick     = flag.Bool("quick", false, "reduced data sizes for a fast smoke run")
+		scaleStr  = flag.String("scales", "1,2,4,8", "comma-separated DSxN scale factors")
+		repeats   = flag.Int("repeats", 5, "runs per query (trimmed mean, paper uses 5)")
+		dop       = flag.Int("dop", runtime.GOMAXPROCS(0), "degree of parallelism for -exp parallel")
+		seed      = flag.Int64("seed", 1, "base seed for -exp difftest and -exp crash")
+		iters     = flag.Int("iters", 0, "iterations for -exp difftest (0 = 200, or 50 with -quick)")
+		crash     = flag.Bool("crash", false, "add the crash-recovery axis to -exp difftest")
+		membudget = flag.Int64("membudget", 0, "per-query memory budget in bytes for the -exp difftest budget axis (0 = off)")
+		sabotage  = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -104,24 +108,25 @@ func realMain() int {
 		}()
 	}
 	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop,
-		seed: *seed, iters: *iters, crash: *crash, sabotage: *sabotage}
+		seed: *seed, iters: *iters, crash: *crash, membudget: *membudget, sabotage: *sabotage}
 
 	experiments := map[string]func() error{
-		"schemas":  r.schemas,
-		"monet":    r.monet,
-		"table1":   r.table1,
-		"table2":   r.table2,
-		"fig11":    r.fig11,
-		"fig13":    r.fig13,
-		"fig14":    r.fig14,
-		"compress": r.compress,
-		"parallel": r.parallel,
+		"schemas":    r.schemas,
+		"monet":      r.monet,
+		"table1":     r.table1,
+		"table2":     r.table2,
+		"fig11":      r.fig11,
+		"fig13":      r.fig13,
+		"fig14":      r.fig14,
+		"compress":   r.compress,
+		"parallel":   r.parallel,
 		"xadt":       r.xadt,
+		"spill":      r.spill,
 		"difftest":   r.difftest,
 		"crash":      r.crashDemo,
 		"durability": r.durability,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "difftest", "crash", "durability"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "spill", "difftest", "crash", "durability"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -158,14 +163,15 @@ func run(name string, fn func() error) error {
 }
 
 type runner struct {
-	quick    bool
-	scales   []int
-	repeats  int
-	dop      int
-	seed     int64
-	iters    int
-	crash    bool
-	sabotage bool
+	quick     bool
+	scales    []int
+	repeats   int
+	dop       int
+	seed      int64
+	iters     int
+	crash     bool
+	membudget int64
+	sabotage  bool
 
 	shakespeare *bench.Dataset
 	sigmod      *bench.Dataset
@@ -333,6 +339,28 @@ func (r *runner) xadt() error {
 	return nil
 }
 
+// spill measures memory-bounded execution: the Top-N fusion against the
+// seed full-sort plan, and the three blocking operators at unlimited
+// memory vs a 4 MiB per-query budget (forcing external sort, Grace
+// join, and aggregate spilling), verifying identical rows serially and
+// at DOP N. Writes BENCH_spill.json.
+func (r *runner) spill() error {
+	rows, budget := 60000, int64(4<<20)
+	if r.quick {
+		rows, budget = 8000, int64(256<<10)
+	}
+	ms, err := bench.RunSpill(rows, budget, r.dop, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.SpillTable(ms))
+	if err := bench.WriteSpillJSON("BENCH_spill.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_spill.json")
+	return nil
+}
+
 // difftest runs the differential correctness harness: random DTDs,
 // documents, and queries checked across the Hybrid/XORator × DOP1/DOPN ×
 // fast-path/legacy matrix. Any divergence is minimized into
@@ -353,7 +381,11 @@ func (r *runner) difftest() error {
 	if r.crash {
 		fmt.Println("crash axis enabled: each iteration also crashes, recovers, and requeries a WAL-backed store")
 	}
-	sum, err := difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Crash: r.crash, Log: os.Stdout})
+	if r.membudget > 0 {
+		fmt.Printf("memory-budget axis enabled: every query also reruns under a %d-byte budget\n", r.membudget)
+	}
+	sum, err := difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Crash: r.crash,
+		MemBudget: r.membudget, Log: os.Stdout})
 	if err != nil {
 		return err
 	}

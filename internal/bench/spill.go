@@ -1,0 +1,238 @@
+// Memory-bounded execution benchmark: the blocking operators (sort,
+// hash-join build, hash aggregate) measured with unlimited memory
+// against a per-query budget that forces them to spill, plus the
+// ORDER BY + LIMIT Top-N fusion measured against the seed full-sort
+// plan (the QS6 shape: rank everything, keep k). Every bounded run must
+// return exactly the unbounded run's rows, serially and at DOP N.
+// Emitted as a report table and as machine-readable BENCH_spill.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/types"
+)
+
+// SpillMeasurement is one operator shape measured unbounded vs bounded.
+// For op "topn" the bounded run is the fused TopN plan (the unbounded
+// one is the seed Sort+Limit); for the spill ops it is the same query
+// under BudgetBytes of tracked memory.
+type SpillMeasurement struct {
+	Op            string  `json:"op"`
+	Query         string  `json:"query"`
+	Rows          int     `json:"rows"`
+	DOP           int     `json:"dop"`
+	BudgetBytes   int64   `json:"budget_bytes"`
+	UnboundedMs   float64 `json:"unbounded_ms"`
+	BoundedMs     float64 `json:"bounded_ms"`
+	Speedup       float64 `json:"speedup"`
+	SpillRuns     int64   `json:"spill_runs"`
+	SpillBytes    int64   `json:"spill_bytes"`
+	MergePasses   int64   `json:"merge_passes"`
+	PeakMemBytes  int64   `json:"peak_mem_bytes"`
+	Identical     bool    `json:"identical_dop1"`
+	IdenticalDopN bool    `json:"identical_dopn"`
+}
+
+// buildSpillDB creates an engine database with one synthetic table r of
+// n rows sized so that at a few MiB of budget every blocking operator
+// overflows: ~150 tracked bytes per row, a shuffled non-unique sort
+// key, and 3n/4 distinct group values.
+func buildSpillDB(n int) (*engine.Database, error) {
+	db := engine.Open(engine.Config{})
+	_, err := db.CreateTable("r", []catalog.Column{
+		{Name: "id", Type: types.KindInt},
+		{Name: "grp", Type: types.KindInt},
+		{Name: "val", Type: types.KindInt},
+		{Name: "pad", Type: types.KindString},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := db.Catalog.Table("r")
+	filler := strings.Repeat("p", 40)
+	groups := 3 * n / 4
+	if groups < 1 {
+		groups = 1
+	}
+	for i := 0; i < n; i++ {
+		row := []types.Value{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % groups)),
+			types.NewInt(int64((i*7919 + 13) % n)),
+			types.NewString(fmt.Sprintf("%06d-%s", i, filler)),
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.RunStats(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// timeEngineQuery is timeQuery for a bare engine database: trimmed mean
+// over repeats (minimum 3).
+func timeEngineQuery(db *engine.Database, query string, repeats int) (time.Duration, error) {
+	if repeats < 3 {
+		repeats = 3
+	}
+	times := make([]time.Duration, 0, repeats)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := db.Query(query); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	trimmed := times[1 : len(times)-1]
+	var sum time.Duration
+	for _, d := range trimmed {
+		sum += d
+	}
+	return sum / time.Duration(len(trimmed)), nil
+}
+
+// RunSpill measures Top-N pushdown and budget-forced spilling of the
+// three blocking operators on a synthetic table of rows rows. Zero
+// arguments select the full-scale defaults (60000 rows, 4 MiB budget).
+func RunSpill(rows int, budget int64, dop, repeats int) ([]SpillMeasurement, error) {
+	if rows <= 0 {
+		rows = 60000
+	}
+	if budget <= 0 {
+		budget = 4 << 20
+	}
+	if dop < 2 {
+		dop = 2
+	}
+	db, err := buildSpillDB(rows)
+	if err != nil {
+		return nil, fmt.Errorf("bench: spill fixture: %w", err)
+	}
+
+	specs := []struct {
+		op    string
+		query string
+	}{
+		{"topn", `SELECT id, val FROM r ORDER BY val, id LIMIT 10`},
+		{"sort", `SELECT id, grp, val, pad FROM r ORDER BY val, id`},
+		{"join", `SELECT a.id, b.val FROM r a, r b WHERE a.id = b.id`},
+		{"aggregate", `SELECT grp, COUNT(*), SUM(val) FROM r GROUP BY grp`},
+	}
+	var out []SpillMeasurement
+	for _, s := range specs {
+		// The unbounded cell is the seed behaviour: unlimited memory, and
+		// for topn the full Sort+Limit plan.
+		unbounded := plan.Options{DOP: 1}
+		bounded := plan.Options{DOP: 1}
+		boundedPar := plan.Options{DOP: dop}
+		cellBudget := int64(0)
+		if s.op == "topn" {
+			unbounded.DisableTopN = true
+		} else {
+			cellBudget = budget
+			bounded.MemBudgetBytes = budget
+			boundedPar.MemBudgetBytes = budget
+		}
+
+		db.SetPlannerOptions(bounded)
+		if s.op == "topn" {
+			ex, err := db.Explain(s.query)
+			if err != nil {
+				return nil, fmt.Errorf("bench: spill %s: %w", s.op, err)
+			}
+			if !strings.Contains(ex, "TopN(") {
+				return nil, fmt.Errorf("bench: spill topn: plan lacks TopN operator:\n%s", ex)
+			}
+		}
+
+		db.SetPlannerOptions(unbounded)
+		ref, err := db.Query(s.query)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill %s unbounded: %w", s.op, err)
+		}
+		t1, err := timeEngineQuery(db, s.query, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill %s unbounded: %w", s.op, err)
+		}
+
+		db.SetPlannerOptions(bounded)
+		db.ResetSpillStats()
+		got, err := db.Query(s.query)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill %s bounded: %w", s.op, err)
+		}
+		stats := db.SpillStats()
+		db.SetPlannerOptions(boundedPar)
+		gotN, err := db.Query(s.query)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill %s bounded dop=%d: %w", s.op, dop, err)
+		}
+		db.SetPlannerOptions(bounded)
+		t2, err := timeEngineQuery(db, s.query, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill %s bounded: %w", s.op, err)
+		}
+
+		speedup := 0.0
+		if t2 > 0 {
+			speedup = float64(t1) / float64(t2)
+		}
+		out = append(out, SpillMeasurement{
+			Op:            s.op,
+			Query:         s.query,
+			Rows:          len(got.Rows),
+			DOP:           dop,
+			BudgetBytes:   cellBudget,
+			UnboundedMs:   float64(t1.Microseconds()) / 1e3,
+			BoundedMs:     float64(t2.Microseconds()) / 1e3,
+			Speedup:       speedup,
+			SpillRuns:     stats.Runs,
+			SpillBytes:    stats.SpillBytes,
+			MergePasses:   stats.MergePasses,
+			PeakMemBytes:  stats.PeakMemBytes,
+			Identical:     reflect.DeepEqual(ref.Rows, got.Rows),
+			IdenticalDopN: reflect.DeepEqual(ref.Rows, gotN.Rows),
+		})
+	}
+	db.SetPlannerOptions(plan.Options{DOP: 1})
+	return out, nil
+}
+
+// SpillTable renders the measurements as the repro CLI report.
+func SpillTable(ms []SpillMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Memory-bounded execution: unbounded vs budgeted/Top-N plans\n")
+	fmt.Fprintf(&sb, "%-10s %8s %4s %10s %12s %10s %8s %5s %10s %7s %9s %6s %6s\n",
+		"op", "rows", "dop", "budget_kb", "unbounded_ms", "bounded_ms", "speedup",
+		"runs", "spill_kb", "passes", "peak_kb", "ident", "identN")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-10s %8d %4d %10d %12.2f %10.2f %8.2f %5d %10d %7d %9d %6t %6t\n",
+			m.Op, m.Rows, m.DOP, m.BudgetBytes>>10, m.UnboundedMs, m.BoundedMs, m.Speedup,
+			m.SpillRuns, m.SpillBytes>>10, m.MergePasses, m.PeakMemBytes>>10,
+			m.Identical, m.IdenticalDopN)
+	}
+	return sb.String()
+}
+
+// WriteSpillJSON writes the measurements as a JSON array to path
+// (conventionally BENCH_spill.json).
+func WriteSpillJSON(path string, ms []SpillMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

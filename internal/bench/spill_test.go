@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSpillSmoke runs the spill experiment at reduced scale — a `make
+// ci` benchsmoke entry point, run under -race. The budget is far below
+// the table size, so all three blocking operators must actually spill
+// (runs > 0), return exactly the unbounded rows at DOP 1 and DOP 4, and
+// keep peak tracked memory within the budget plus one 8 KiB page.
+func TestSpillSmoke(t *testing.T) {
+	const budget = 64 << 10
+	ms, err := RunSpill(4000, budget, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("expected 4 measurements, got %d", len(ms))
+	}
+	for _, m := range ms {
+		if !m.Identical {
+			t.Errorf("%s: bounded rows differ from unbounded at DOP 1", m.Op)
+		}
+		if !m.IdenticalDopN {
+			t.Errorf("%s: bounded rows differ at DOP %d", m.Op, m.DOP)
+		}
+		if m.Op == "topn" {
+			continue // no budget cell; plan shape is checked inside RunSpill
+		}
+		if m.SpillRuns == 0 {
+			t.Errorf("%s: budget %d below input size but no spill runs written", m.Op, budget)
+		}
+		if m.PeakMemBytes > budget+8192 {
+			t.Errorf("%s: peak tracked memory %d exceeds budget %d + one page", m.Op, m.PeakMemBytes, budget)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_spill.json")
+	if err := WriteSpillJSON(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("json not written: %v", err)
+	}
+	if tbl := SpillTable(ms); tbl == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
 	"repro/internal/engine/wal"
@@ -284,6 +285,12 @@ func (st *Store) Query(query string) (*engine.Result, error) {
 func (st *Store) JoinCount(query string) (int, error) {
 	return st.DB.JoinCount(query)
 }
+
+// SpillStats reports accumulated spill activity of memory-bounded
+// queries (EngineConfig.MemBudgetBytes > 0): run files written, bytes
+// spilled, intermediate merge passes, and the peak tracked operator
+// memory of any query so far.
+func (st *Store) SpillStats() exec.SpillStats { return st.DB.SpillStats() }
 
 // Stats reports the storage footprint.
 func (st *Store) Stats() Stats {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/engine/plan"
+	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
 	"repro/internal/xadt"
 	"repro/internal/xmltree"
@@ -41,6 +42,12 @@ type Options struct {
 	// byte-identical to the uninterrupted store and every XORator query
 	// must agree on it.
 	Crash bool
+	// MemBudget, when > 0, adds the memory-budget axis: every query
+	// reruns under this per-query budget (spilling through an in-memory
+	// VFS), serially and at DOP, and must return exactly the unlimited
+	// run's rows on both mappings. Pick it small (a few KiB) so sorts,
+	// join builds, and aggregates actually spill.
+	MemBudget int64
 	// FailFast stops at the first diverging iteration.
 	FailFast bool
 	// ArtifactPath receives the failure artifact (default
@@ -266,8 +273,21 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 	record := func(axis, detail string) {
 		divs = append(divs, Divergence{Case: c, Axis: axis, Detail: detail})
 	}
+	type cellSpec struct {
+		axis string
+		o    plan.Options
+		fast bool
+	}
 	serial := plan.Options{DOP: 1}
 	par := plan.Options{DOP: opts.DOP, MorselPages: 1}
+	// Budget cells spill through one shared in-memory VFS; spill file
+	// names are globally unique, so cells never collide.
+	var budget, budgetPar plan.Options
+	if opts.MemBudget > 0 {
+		spillFS := storage.NewMemVFS()
+		budget = plan.Options{DOP: 1, MemBudgetBytes: opts.MemBudget, SpillVFS: spillFS}
+		budgetPar = plan.Options{DOP: opts.DOP, MorselPages: 1, MemBudgetBytes: opts.MemBudget, SpillVFS: spillFS}
+	}
 	run := func(s *core.Store, o plan.Options, fast bool, sql string) (*engine.Result, error) {
 		s.DB.SetXADTFastPath(fast)
 		s.DB.SetPlannerOptions(o)
@@ -289,13 +309,21 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			return divs, cells, fmt.Errorf("hybrid %w", err)
 		}
 		hyRef = ref
-		got, err := run(st.hy, par, true, c.Hybrid)
-		if err != nil {
-			return divs, cells, fmt.Errorf("hybrid %w", err)
+		hyCells := []cellSpec{{"hybrid:dop", par, true}}
+		if opts.MemBudget > 0 {
+			hyCells = append(hyCells,
+				cellSpec{"hybrid:membudget", budget, true},
+				cellSpec{"hybrid:membudget+dop", budgetPar, true})
 		}
-		cells++
-		if !sameRows(ref.Rows, got.Rows) {
-			record("hybrid:dop", diffRows(ref.Rows, got.Rows))
+		for _, cell := range hyCells {
+			got, err := run(st.hy, cell.o, cell.fast, c.Hybrid)
+			if err != nil {
+				return divs, cells, fmt.Errorf("hybrid %w", err)
+			}
+			cells++
+			if !sameRows(ref.Rows, got.Rows) {
+				record(cell.axis, diffRows(ref.Rows, got.Rows))
+			}
 		}
 	}
 	if c.XORator != "" {
@@ -304,15 +332,17 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			return divs, cells, fmt.Errorf("xorator %w", err)
 		}
 		xoRef = ref
-		for _, cell := range []struct {
-			axis string
-			o    plan.Options
-			fast bool
-		}{
+		xoCells := []cellSpec{
 			{"xorator:dop", par, true},
 			{"xorator:fastpath", serial, false},
 			{"xorator:fastpath+dop", par, false},
-		} {
+		}
+		if opts.MemBudget > 0 {
+			xoCells = append(xoCells,
+				cellSpec{"xorator:membudget", budget, true},
+				cellSpec{"xorator:membudget+dop", budgetPar, true})
+		}
+		for _, cell := range xoCells {
 			got, err := run(st.xo, cell.o, cell.fast, c.XORator)
 			if err != nil {
 				return divs, cells, fmt.Errorf("xorator %w", err)
@@ -485,6 +515,9 @@ func writeArtifact(opts Options, st *iterState, d Divergence, texts []string) er
 		fmt.Fprintf(&sb, "xadt format: %v\n", *st.format)
 	}
 	fmt.Fprintf(&sb, "load repeat: %d, dop: %d\n", opts.LoadRepeat, opts.DOP)
+	if opts.MemBudget > 0 {
+		fmt.Fprintf(&sb, "mem budget: %d bytes\n", opts.MemBudget)
+	}
 	hsql, xsql := d.Case.Hybrid, d.Case.XORator
 	if hsql == "" {
 		hsql = "(not expressible)"

@@ -57,6 +57,28 @@ func TestDifferentialCrashAxis(t *testing.T) {
 	t.Logf("%d iterations, %d cells with recovered stores, all identical", sum.Iters, sum.Cells)
 }
 
+// TestDifferentialMemBudgetAxis reruns the matrix with a tiny per-query
+// memory budget: every query additionally executes with its blocking
+// operators forced through the spill paths (serially and at DOP), and
+// must still return exactly the unlimited-memory rows on both mappings.
+func TestDifferentialMemBudgetAxis(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	sum, err := Run(Options{
+		Seed:         seed,
+		Iters:        8,
+		MemBudget:    4096,
+		ArtifactPath: filepath.Join(t.TempDir(), "artifact.txt"),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) > 0 {
+		t.Fatalf("%d divergences, first: %s (%s)",
+			len(sum.Divergences), sum.Divergences[0], testutil.ReproLine(t, seed))
+	}
+	t.Logf("%d iterations, %d cells including budget axis, all identical", sum.Iters, sum.Cells)
+}
+
 // TestDifferentialDetectsDivergence proves the harness has teeth: with the
 // Gather's morsel reordering disabled (a deliberately corrupted config),
 // parallel cells emit rows in arrival order and the run must report a

@@ -60,6 +60,16 @@ type Config struct {
 	// storage.MemVFS/storage.FaultVFS here to drive crash points
 	// deterministically.
 	VFS storage.VFS
+	// MemBudgetBytes caps the tracked memory of each query's blocking
+	// operators (sort, hash-join build, aggregate groups); when a query
+	// exceeds it, those operators spill to run files and merge back with
+	// byte-identical output. 0 means unlimited (the in-memory paths).
+	// A non-zero Planner.MemBudgetBytes takes precedence.
+	MemBudgetBytes int64
+	// SpillDir is the base directory for per-query spill files; empty
+	// uses a subdirectory of os.TempDir(). Spill I/O goes through VFS
+	// when set (falling back to the OS).
+	SpillDir string
 }
 
 // xadtRuntime is the per-database XADT evaluation state: the decode
@@ -98,7 +108,17 @@ type Database struct {
 	Pool     *storage.BufferPool
 	planner  *plan.Planner
 	xadtRT   *xadtRuntime
+	spill    *exec.SpillSink
 }
+
+// SpillStats returns the spill counters accumulated across all queries
+// since Open or the last ResetSpillStats: runs written, bytes spilled,
+// extra merge passes, and the highest tracked-memory peak of any query.
+func (db *Database) SpillStats() exec.SpillStats { return db.spill.Stats() }
+
+// ResetSpillStats zeroes the spill counters, so benchmarks can attribute
+// spill activity to one measured query.
+func (db *Database) ResetSpillStats() { db.spill.Reset() }
 
 // SetXADTFastPath switches XADT header fast-reject and decode caching
 // on or off at runtime. Off reproduces the parse-every-call baseline on
@@ -125,28 +145,41 @@ func Open(cfg Config) *Database {
 	cat := catalog.New(pool)
 	reg := expr.NewRegistry()
 	reg.Fenced = cfg.FencedUDFs
+	spill := &exec.SpillSink{}
 	db := &Database{
 		Catalog:  cat,
 		Registry: reg,
 		Pool:     pool,
-		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveDOP(cfg)},
+		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveOptions(cfg), Spill: spill},
 		xadtRT:   newXadtRuntime(cfg),
+		spill:    spill,
 	}
 	registerStandardFunctions(reg, db.xadtRT)
 	return db
 }
 
-// resolveDOP folds Config.DOP into the planner options: an explicit
-// Planner.DOP wins, then Config.DOP, then the machine's GOMAXPROCS.
-// A bare plan.Planner constructed without engine.Open keeps DOP 0 and
-// plans serially.
-func resolveDOP(cfg Config) plan.Options {
+// resolveOptions folds the top-level Config knobs into the planner
+// options: an explicit Planner.DOP wins, then Config.DOP, then the
+// machine's GOMAXPROCS (a bare plan.Planner constructed without
+// engine.Open keeps DOP 0 and plans serially). The memory budget and
+// spill location fold the same way, and spill I/O defaults to the
+// database's VFS so tests exercising spills stay in memory.
+func resolveOptions(cfg Config) plan.Options {
 	opts := cfg.Planner
 	if opts.DOP == 0 {
 		opts.DOP = cfg.DOP
 	}
 	if opts.DOP == 0 {
 		opts.DOP = runtime.GOMAXPROCS(0)
+	}
+	if opts.MemBudgetBytes == 0 {
+		opts.MemBudgetBytes = cfg.MemBudgetBytes
+	}
+	if opts.SpillVFS == nil {
+		opts.SpillVFS = cfg.VFS
+	}
+	if opts.SpillDir == "" {
+		opts.SpillDir = cfg.SpillDir
 	}
 	return opts
 }
@@ -229,12 +262,14 @@ func OpenSnapshot(r io.Reader, cfg Config) (*Database, error) {
 	}
 	reg := expr.NewRegistry()
 	reg.Fenced = cfg.FencedUDFs
+	spill := &exec.SpillSink{}
 	db := &Database{
 		Catalog:  cat,
 		Registry: reg,
 		Pool:     pool,
-		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveDOP(cfg)},
+		planner:  &plan.Planner{Cat: cat, Reg: reg, Opts: resolveOptions(cfg), Spill: spill},
 		xadtRT:   newXadtRuntime(cfg),
+		spill:    spill,
 	}
 	registerStandardFunctions(reg, db.xadtRT)
 	return db, nil

@@ -34,15 +34,31 @@ type AggSpec struct {
 // followed by the aggregate columns. With no group expressions it
 // produces exactly one row (the implicit single group), even on empty
 // input.
+//
+// Groups are emitted in first-appearance order. With a QueryCtx, group
+// state is tracked against the memory budget; on overflow, group
+// creation freezes — rows matching an existing in-memory group keep
+// absorbing, rows introducing new keys are hash-partitioned to spill
+// runs and aggregated per partition afterwards (see spillagg.go). Every
+// group therefore lives entirely in memory or entirely in one partition
+// chain, which keeps DISTINCT aggregates exact, and first-seen sequence
+// tags restore the exact in-memory emission order.
 type HashAggregate struct {
 	Child      Operator
 	GroupBy    []expr.Expr
 	GroupNames []string
 	Aggs       []AggSpec
-	schema     *expr.RowSchema
+	// Ctx enables spilling under its memory budget; nil keeps the
+	// unbounded in-memory path.
+	Ctx *QueryCtx
 
-	out [][]types.Value
-	pos int
+	schema *expr.RowSchema
+
+	out     [][]types.Value
+	pos     int
+	tracked int64
+	merge   *runMerger
+	runs    []*runFile
 }
 
 type aggState struct {
@@ -72,8 +88,16 @@ func NewHashAggregate(child Operator, groupBy []expr.Expr, groupNames []string, 
 // Schema implements Operator.
 func (h *HashAggregate) Schema() *expr.RowSchema { return h.schema }
 
-// Open consumes the input and materializes the aggregated groups.
-func (h *HashAggregate) Open() error {
+// Open consumes the input and materializes the aggregated groups,
+// spilling new-key rows to partitions when group state overflows the
+// budget.
+func (h *HashAggregate) Open() (err error) {
+	h.discard()
+	defer func() {
+		if err != nil {
+			h.discard()
+		}
+	}()
 	if err := h.Child.Open(); err != nil {
 		return err
 	}
@@ -81,18 +105,31 @@ func (h *HashAggregate) Open() error {
 
 	groups := map[uint64][]*groupAgg{}
 	var order []*groupAgg
+	var groupTracked int64
+	var spillTo *partitionSet // non-nil once group creation froze
+	var seq int64
 	for {
 		row, err := h.Child.Next()
 		if err != nil {
+			if spillTo != nil {
+				spillTo.abort()
+			}
+			h.Ctx.release(groupTracked)
 			return err
 		}
 		if row == nil {
 			break
 		}
+		s := seq
+		seq++
 		key := make([]types.Value, len(h.GroupBy))
 		for i, g := range h.GroupBy {
 			v, err := g.Eval(row)
 			if err != nil {
+				if spillTo != nil {
+					spillTo.abort()
+				}
+				h.Ctx.release(groupTracked)
 				return err
 			}
 			key[i] = v
@@ -106,29 +143,77 @@ func (h *HashAggregate) Open() error {
 			}
 		}
 		if ga == nil {
+			if spillTo != nil {
+				// Group creation is frozen: spill the raw row, tagged
+				// with its sequence, to the key's partition.
+				frame := append([]types.Value{types.NewInt(s)}, row...)
+				if err := spillTo.write(partFor(hk, 0), frame); err != nil {
+					spillTo.abort()
+					h.Ctx.release(groupTracked)
+					return err
+				}
+				continue
+			}
 			ga = newGroupAgg(key, len(h.Aggs))
+			ga.firstSeen = s
 			groups[hk] = append(groups[hk], ga)
 			order = append(order, ga)
+			sz := groupBytes(key, len(h.Aggs))
+			groupTracked += sz
+			if !h.Ctx.grow(sz) {
+				spillTo = newPartitionSet(h.Ctx, "agg")
+			}
 		}
-		if err := ga.update(h.Aggs, row); err != nil {
+		added, err := ga.update(h.Aggs, row)
+		if err != nil {
+			if spillTo != nil {
+				spillTo.abort()
+			}
+			h.Ctx.release(groupTracked)
 			return err
+		}
+		if added != 0 {
+			groupTracked += added
+			h.Ctx.grow(added)
 		}
 	}
 	if len(h.GroupBy) == 0 && len(order) == 0 {
 		// Implicit single group over empty input.
 		order = append(order, newGroupAgg(nil, len(h.Aggs)))
 	}
-	h.out = make([][]types.Value, 0, len(order))
-	for _, ga := range order {
-		h.out = append(h.out, ga.result(h.Aggs))
+
+	if spillTo == nil {
+		h.out = make([][]types.Value, 0, len(order))
+		for _, ga := range order {
+			h.out = append(h.out, ga.result(h.Aggs))
+		}
+		h.pos = 0
+		h.tracked = groupTracked
+		return nil
 	}
-	h.pos = 0
-	return nil
+
+	// Spill mode: stream the in-memory groups' results to a head run
+	// (their firstSeen tags all precede every spilled row's sequence),
+	// aggregate each partition into its own ascending result run, and
+	// merge everything back by first appearance.
+	parts, err := spillTo.finish()
+	if err != nil {
+		h.Ctx.release(groupTracked)
+		return err
+	}
+	return h.finishSpill(order, parts, groupTracked)
 }
 
 type groupAgg struct {
-	key    []types.Value
-	states []aggState
+	key       []types.Value
+	firstSeen int64
+	states    []aggState
+}
+
+// groupBytes is the tracked cost of one group's key and aggregate
+// states.
+func groupBytes(key []types.Value, naggs int) int64 {
+	return rowBytes(key) + 64 + 48*int64(naggs)
 }
 
 func newGroupAgg(key []types.Value, naggs int) *groupAgg {
@@ -140,7 +225,10 @@ func newGroupAgg(key []types.Value, naggs int) *groupAgg {
 	return ga
 }
 
-func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) error {
+// update folds one row into the group. It returns the tracked bytes the
+// group grew by (distinct-value sets are the only unbounded state).
+func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) (int64, error) {
+	var added int64
 	for i, spec := range aggs {
 		st := &ga.states[i]
 		var v types.Value
@@ -148,7 +236,7 @@ func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) error {
 			var err error
 			v, err = spec.Arg.Eval(row)
 			if err != nil {
-				return err
+				return added, err
 			}
 			if v.IsNull() {
 				continue // aggregates skip NULLs
@@ -170,6 +258,7 @@ func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) error {
 				continue
 			}
 			st.seen[hv] = append(st.seen[hv], v)
+			added += 32 + int64(v.Size())
 		}
 		st.present = true
 		switch spec.Kind {
@@ -177,7 +266,7 @@ func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) error {
 			st.count++
 		case AggSum:
 			if v.Kind() != types.KindInt {
-				return fmt.Errorf("exec: SUM over non-integer %v", v.Kind())
+				return added, fmt.Errorf("exec: SUM over non-integer %v", v.Kind())
 			}
 			st.sum += v.Int()
 		case AggMin:
@@ -190,7 +279,7 @@ func (ga *groupAgg) update(aggs []AggSpec, row []types.Value) error {
 			}
 		}
 	}
-	return nil
+	return added, nil
 }
 
 func (ga *groupAgg) result(aggs []AggSpec) []types.Value {
@@ -218,6 +307,13 @@ func (ga *groupAgg) result(aggs []AggSpec) []types.Value {
 
 // Next implements Operator.
 func (h *HashAggregate) Next() ([]types.Value, error) {
+	if h.merge != nil {
+		row, err := h.merge.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		return row[1:], nil // strip the firstSeen tag
+	}
 	if h.pos >= len(h.out) {
 		return nil, nil
 	}
@@ -226,8 +322,25 @@ func (h *HashAggregate) Next() ([]types.Value, error) {
 	return row, nil
 }
 
+// discard drops materialized output, spill runs, and tracked memory.
+func (h *HashAggregate) discard() {
+	h.out = nil
+	h.pos = 0
+	if h.merge != nil {
+		h.merge.close()
+		h.merge = nil
+	}
+	for _, r := range h.runs {
+		r.remove()
+	}
+	h.runs = nil
+	h.Ctx.release(h.tracked)
+	h.tracked = 0
+}
+
 // Close implements Operator.
 func (h *HashAggregate) Close() error {
-	h.out = nil
+	h.discard()
+	h.Ctx.notePeak()
 	return nil
 }

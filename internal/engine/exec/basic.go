@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"sort"
-
 	"repro/internal/engine/expr"
 	"repro/internal/engine/types"
 )
@@ -86,89 +84,6 @@ func (p *Project) Next() ([]types.Value, error) {
 
 // Close implements Operator.
 func (p *Project) Close() error { return p.Child.Close() }
-
-// Sort materializes its input and emits it ordered by the key
-// expressions.
-type Sort struct {
-	Child Operator
-	Keys  []expr.Expr
-	Desc  []bool
-	rows  [][]types.Value
-	pos   int
-}
-
-// NewSort wraps child with an order-by. desc is parallel to keys.
-func NewSort(child Operator, keys []expr.Expr, desc []bool) *Sort {
-	return &Sort{Child: child, Keys: keys, Desc: desc}
-}
-
-// Schema implements Operator.
-func (s *Sort) Schema() *expr.RowSchema { return s.Child.Schema() }
-
-// Open materializes and sorts the input.
-func (s *Sort) Open() error {
-	rows, err := Drain(s.Child)
-	if err != nil {
-		return err
-	}
-	keys := make([][]types.Value, len(rows))
-	var evalErr error
-	for i, row := range rows {
-		ks := make([]types.Value, len(s.Keys))
-		for j, k := range s.Keys {
-			v, err := k.Eval(row)
-			if err != nil {
-				evalErr = err
-				break
-			}
-			ks[j] = v
-		}
-		keys[i] = ks
-	}
-	if evalErr != nil {
-		return evalErr
-	}
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
-		for j := range s.Keys {
-			c := types.Compare(ka[j], kb[j])
-			if c == 0 {
-				continue
-			}
-			if s.Desc[j] {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	s.rows = make([][]types.Value, len(rows))
-	for i, j := range idx {
-		s.rows[i] = rows[j]
-	}
-	s.pos = 0
-	return nil
-}
-
-// Next implements Operator.
-func (s *Sort) Next() ([]types.Value, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
-	}
-	row := s.rows[s.pos]
-	s.pos++
-	return row, nil
-}
-
-// Close implements Operator.
-func (s *Sort) Close() error {
-	s.rows = nil
-	return nil
-}
 
 // Limit passes through at most N rows.
 type Limit struct {

@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// Sort emits its input ordered by the key expressions. Without a
+// QueryCtx it materializes everything in memory, exactly as the seed
+// operator did; with one, it is an external merge sort: the input is
+// buffered until the tracked memory budget is hit, each full buffer is
+// stable-sorted and written as a length-prefixed run file through the
+// query's VFS, runs beyond the merge fan-in are collapsed in extra
+// passes, and Next streams a k-way loser-tree merge.
+//
+// Both paths are stable: the in-memory path uses sort.SliceStable, and
+// the external path writes runs in input order and breaks merge ties
+// toward the earlier run, which is the same total order. Stability is
+// load-bearing — a parallel plan's Gather reassembles rows in exact
+// serial order, and the differential harness compares row-for-row.
+type Sort struct {
+	Child Operator
+	Keys  []expr.Expr
+	Desc  []bool
+	// Ctx enables spilling under its memory budget; nil keeps the
+	// unbounded in-memory path.
+	Ctx *QueryCtx
+
+	rows    [][]types.Value // in-memory path output
+	pos     int
+	tracked int64      // bytes held against Ctx.Mem for rows
+	runs    []*runFile // external path: sealed runs
+	merge   *runMerger // external path: final merge
+}
+
+// sortRow pairs a row with its evaluated keys so runs and merges never
+// re-evaluate key expressions.
+type sortRow struct {
+	keys []types.Value
+	row  []types.Value
+}
+
+// NewSort wraps child with an order-by. desc is parallel to keys.
+func NewSort(child Operator, keys []expr.Expr, desc []bool) *Sort {
+	return &Sort{Child: child, Keys: keys, Desc: desc}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *expr.RowSchema { return s.Child.Schema() }
+
+// keyLess compares two evaluated key vectors under the Desc flags.
+// Returns -1/0/+1.
+func keyCompare(a, b []types.Value, desc []bool) int {
+	for j := range desc {
+		c := types.Compare(a[j], b[j])
+		if c == 0 {
+			continue
+		}
+		if desc[j] {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// Open consumes the input, spilling sorted runs when over budget.
+func (s *Sort) Open() (err error) {
+	s.discard()
+	defer func() {
+		if err != nil {
+			s.discard()
+		}
+	}()
+	if err := s.Child.Open(); err != nil {
+		return err
+	}
+	defer s.Child.Close()
+
+	nk := len(s.Keys)
+	var buf []sortRow
+	var bufBytes int64
+	for {
+		row, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys := make([]types.Value, nk)
+		for j, k := range s.Keys {
+			v, err := k.Eval(row)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		sz := rowBytes(row) + rowBytes(keys)
+		buf = append(buf, sortRow{keys: keys, row: row})
+		bufBytes += sz
+		if !s.Ctx.grow(sz) {
+			// Over budget: seal the buffer as one sorted run.
+			if err := s.spillBuffer(buf); err != nil {
+				s.Ctx.release(bufBytes)
+				return err
+			}
+			s.Ctx.release(bufBytes)
+			buf, bufBytes = buf[:0], 0
+		}
+	}
+
+	if len(s.runs) == 0 {
+		// Everything fit: plain stable in-memory sort.
+		s.sortBuffer(buf)
+		s.rows = make([][]types.Value, len(buf))
+		for i := range buf {
+			s.rows[i] = buf[i].row
+		}
+		s.pos = 0
+		s.tracked = bufBytes
+		return nil
+	}
+
+	// Spill the tail so the merge sees a uniform set of runs.
+	if len(buf) > 0 {
+		err := s.spillBuffer(buf)
+		s.Ctx.release(bufBytes)
+		if err != nil {
+			return err
+		}
+	}
+	less := func(a, b []types.Value) bool { return keyCompare(a[:nk], b[:nk], s.Desc) < 0 }
+	s.runs, err = collapseRuns(s.Ctx, s.runs, "sort", less)
+	if err != nil {
+		s.runs = nil
+		return err
+	}
+	s.merge, err = newRunMerger(s.runs, less)
+	return err
+}
+
+// sortBuffer stable-sorts one buffer by (keys, input order).
+func (s *Sort) sortBuffer(buf []sortRow) {
+	sort.SliceStable(buf, func(a, b int) bool {
+		return keyCompare(buf[a].keys, buf[b].keys, s.Desc) < 0
+	})
+}
+
+// spillBuffer sorts and writes one buffer as a run of keys++row frames.
+func (s *Sort) spillBuffer(buf []sortRow) error {
+	s.sortBuffer(buf)
+	w, err := s.Ctx.newRun("sort")
+	if err != nil {
+		return err
+	}
+	frame := make([]types.Value, 0, len(s.Keys)+8)
+	for i := range buf {
+		frame = append(frame[:0], buf[i].keys...)
+		frame = append(frame, buf[i].row...)
+		if err := w.write(frame); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	run, err := w.finish()
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, run)
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() ([]types.Value, error) {
+	if s.merge != nil {
+		row, err := s.merge.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		return row[len(s.Keys):], nil
+	}
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+// discard drops all state: materialized rows, merge readers, run files,
+// and their tracked memory.
+func (s *Sort) discard() {
+	s.rows = nil
+	s.pos = 0
+	if s.merge != nil {
+		s.merge.close()
+		s.merge = nil
+	}
+	for _, r := range s.runs {
+		r.remove()
+	}
+	s.runs = nil
+	s.Ctx.release(s.tracked)
+	s.tracked = 0
+}
+
+// Close releases the materialized rows / spill runs. The operator may be
+// re-opened afterwards.
+func (s *Sort) Close() error {
+	s.discard()
+	s.Ctx.notePeak()
+	return nil
+}

@@ -80,7 +80,9 @@ func (j *NestedLoopJoin) Close() error {
 }
 
 // HashJoin is an equi-join: it builds a hash table on the left input's
-// key and probes with the right input.
+// key and probes with the right input. With a QueryCtx whose budget the
+// build side exceeds, it switches to a Grace-style partitioned join
+// (see graceJoin in spilljoin.go) with byte-identical output order.
 //
 // Both key expressions must be resolved against the concatenated
 // (left ++ right) schema; a left key therefore has column indices within
@@ -88,11 +90,18 @@ func (j *NestedLoopJoin) Close() error {
 type HashJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey expr.Expr
-	schema            *expr.RowSchema
-	table             map[uint64][][]types.Value
-	probeRow          []types.Value
-	matches           [][]types.Value
-	mpos              int
+	// Ctx enables Grace spilling under its memory budget; nil keeps the
+	// unbounded in-memory build.
+	Ctx *QueryCtx
+
+	schema    *expr.RowSchema
+	table     map[uint64][][]types.Value
+	probeRow  []types.Value
+	matches   [][]types.Value
+	mpos      int
+	tracked   int64
+	rightOpen bool
+	grace     *graceJoin
 }
 
 // NewHashJoin joins left and right where leftKey = rightKey.
@@ -106,16 +115,45 @@ func NewHashJoin(left, right Operator, leftKey, rightKey expr.Expr) *HashJoin {
 // Schema implements Operator.
 func (j *HashJoin) Schema() *expr.RowSchema { return j.schema }
 
-// Open builds the hash table from the left input.
+// Open builds the hash table from the left input, or runs the whole
+// partitioned join when the build side overflows the budget.
 func (j *HashJoin) Open() error {
-	rows, err := Drain(j.Left)
-	if err != nil {
+	j.discard()
+	if err := j.Left.Open(); err != nil {
 		return err
 	}
+	var rows [][]types.Value
+	var tracked int64
+	for {
+		row, err := j.Left.Next()
+		if err != nil {
+			j.Left.Close()
+			j.Ctx.release(tracked)
+			return err
+		}
+		if row == nil {
+			break
+		}
+		sz := rowBytes(row)
+		rows = append(rows, row)
+		tracked += sz
+		if !j.Ctx.grow(sz) {
+			// Build side over budget: hand everything to the Grace join,
+			// which drains the still-open left input into partitions
+			// (releasing the buffered rows' memory as it flushes them)
+			// and consumes the right side entirely during Open.
+			err := j.spill(rows)
+			j.Left.Close()
+			return err
+		}
+	}
+	j.Left.Close()
+	j.tracked = tracked
 	j.table = make(map[uint64][][]types.Value, len(rows))
 	for _, row := range rows {
 		k, err := j.LeftKey.Eval(row)
 		if err != nil {
+			j.discard()
 			return err
 		}
 		if k.IsNull() {
@@ -127,11 +165,19 @@ func (j *HashJoin) Open() error {
 	j.probeRow = nil
 	j.matches = nil
 	j.mpos = 0
-	return j.Right.Open()
+	if err := j.Right.Open(); err != nil {
+		j.discard()
+		return err
+	}
+	j.rightOpen = true
+	return nil
 }
 
 // Next implements Operator.
 func (j *HashJoin) Next() ([]types.Value, error) {
+	if j.grace != nil {
+		return j.grace.next()
+	}
 	for {
 		for j.mpos < len(j.matches) {
 			left := j.matches[j.mpos]
@@ -174,11 +220,29 @@ func (j *HashJoin) Next() ([]types.Value, error) {
 
 func leftWidth(j *HashJoin) int { return len(j.Left.Schema().Cols) }
 
-// Close implements Operator.
-func (j *HashJoin) Close() error {
+// discard drops the hash table / grace state and their tracked memory.
+func (j *HashJoin) discard() {
 	j.table = nil
 	j.matches = nil
-	return j.Right.Close()
+	j.probeRow = nil
+	j.mpos = 0
+	j.Ctx.release(j.tracked)
+	j.tracked = 0
+	if j.grace != nil {
+		j.grace.discard()
+		j.grace = nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.discard()
+	j.Ctx.notePeak()
+	if j.rightOpen {
+		j.rightOpen = false
+		return j.Right.Close()
+	}
+	return nil
 }
 
 // MergeJoin is an equi-join that sorts both inputs on their keys and

@@ -1,0 +1,476 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// spillCtx builds a QueryCtx over an in-memory VFS with its own sink,
+// so every test observes exactly its own spill activity.
+func spillCtx(budget int64) (*QueryCtx, *SpillSink, *storage.MemVFS) {
+	fs := storage.NewMemVFS()
+	sink := &SpillSink{}
+	return NewQueryCtx(budget, fs, "spill", sink), sink, fs
+}
+
+// spillFiles lists the *.spill files currently present in fs.
+func spillFiles(fs *storage.MemVFS) []string {
+	var out []string
+	for _, n := range fs.Names() {
+		if strings.HasSuffix(n, ".spill") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sortInput builds n rows (id, val, pad) with val cycling through mod
+// distinct values — duplicate sort keys whose id column exposes any
+// instability.
+func sortInput(n, mod int) (*expr.RowSchema, [][]types.Value) {
+	schema := expr.NewRowSchema(
+		expr.ColInfo{Name: "id"}, expr.ColInfo{Name: "val"}, expr.ColInfo{Name: "pad"})
+	rows := make([][]types.Value, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []types.Value{
+			types.NewInt(int64(i)),
+			types.NewInt(int64((i * 7) % mod)),
+			types.NewString(fmt.Sprintf("pad-%04d", i)),
+		}
+	}
+	return schema, rows
+}
+
+// externalSort drains a budgeted Sort over rows and asserts no spill
+// files leak past Close.
+func externalSort(t *testing.T, budget int64, schema *expr.RowSchema, rows [][]types.Value) ([][]types.Value, SpillStats) {
+	t.Helper()
+	ctx, sink, fs := spillCtx(budget)
+	s := NewSort(NewValuesScan(schema, rows),
+		[]expr.Expr{&expr.Col{Idx: 1, Name: "val"}}, []bool{false})
+	s.Ctx = ctx
+	got, err := Drain(s)
+	if err != nil {
+		t.Fatalf("external sort (budget %d): %v", budget, err)
+	}
+	if leaked := spillFiles(fs); len(leaked) != 0 {
+		t.Fatalf("spill files leaked after Close: %v", leaked)
+	}
+	if used := ctx.Mem.Used(); used != 0 {
+		t.Fatalf("tracked memory leaked after Close: %d bytes", used)
+	}
+	return got, sink.Stats()
+}
+
+func TestExternalSortMatchesInMemory(t *testing.T) {
+	schema, rows := sortInput(500, 17)
+	ref := NewSort(NewValuesScan(schema, rows),
+		[]expr.Expr{&expr.Col{Idx: 1, Name: "val"}}, []bool{false})
+	want, err := Drain(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 1: every row overflows, one run per row, forcing multiple
+	// intermediate merge passes (500 runs at fan-in 6).
+	got, stats := externalSort(t, 1, schema, rows)
+	if stats.Runs == 0 || stats.MergePasses < 1 {
+		t.Fatalf("expected spill runs and merge passes, got %+v", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !rowsEqual(got[i], want[i]) {
+			t.Fatalf("row %d differs (stability broken): %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExternalSortEmptyInput(t *testing.T) {
+	schema, _ := sortInput(0, 1)
+	got, stats := externalSort(t, 1, schema, nil)
+	if len(got) != 0 {
+		t.Fatalf("empty input produced %d rows", len(got))
+	}
+	if stats.Runs != 0 {
+		t.Fatalf("empty input wrote %d runs", stats.Runs)
+	}
+}
+
+// trackedSortBytes mirrors Sort.Open's accounting: per row, the row
+// itself plus its evaluated key vector.
+func trackedSortBytes(rows [][]types.Value) int64 {
+	var total int64
+	for _, r := range rows {
+		total += rowBytes(r) + rowBytes([]types.Value{r[1]})
+	}
+	return total
+}
+
+func TestExternalSortExactBudgetStaysInMemory(t *testing.T) {
+	schema, rows := sortInput(40, 7)
+	// The budget contract is "grow, then spill if over": an input that
+	// lands exactly on the budget never overflows it.
+	got, stats := externalSort(t, trackedSortBytes(rows), schema, rows)
+	if stats.Runs != 0 {
+		t.Fatalf("exactly-budget input spilled %d runs", stats.Runs)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+}
+
+func TestExternalSortSingleRun(t *testing.T) {
+	schema, rows := sortInput(40, 7)
+	// One byte under the total: the overflow fires on the last row, the
+	// whole input seals as a single run, and Next merges k=1 streams.
+	got, stats := externalSort(t, trackedSortBytes(rows)-1, schema, rows)
+	if stats.Runs != 1 {
+		t.Fatalf("want exactly 1 run, got %d", stats.Runs)
+	}
+	if stats.MergePasses != 0 {
+		t.Fatalf("single run needed %d merge passes", stats.MergePasses)
+	}
+	ref := NewSort(NewValuesScan(schema, rows),
+		[]expr.Expr{&expr.Col{Idx: 1, Name: "val"}}, []bool{false})
+	want, err := Drain(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !rowsEqual(got[i], want[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// sliceStream adapts a row slice to the merge's rowStream interface.
+type sliceStream struct {
+	rows [][]types.Value
+	pos  int
+}
+
+func (s *sliceStream) next() ([]types.Value, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func intStream(vals ...int64) rowStream {
+	rows := make([][]types.Value, len(vals))
+	for i, v := range vals {
+		rows[i] = []types.Value{types.NewInt(v)}
+	}
+	return &sliceStream{rows: rows}
+}
+
+func drainTree(t *testing.T, lt *loserTree) []int64 {
+	t.Helper()
+	var out []int64
+	for {
+		row, err := lt.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			return out
+		}
+		out = append(out, row[0].Int())
+	}
+}
+
+func TestLoserTreeBoundaries(t *testing.T) {
+	less := func(a, b []types.Value) bool { return a[0].Int() < b[0].Int() }
+
+	empty, err := newLoserTree(nil, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTree(t, empty); len(got) != 0 {
+		t.Fatalf("zero streams yielded %v", got)
+	}
+
+	one, err := newLoserTree([]rowStream{intStream(3, 1, 2)}, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single stream passes through untouched (already run-sorted by
+	// the caller's contract; the tree must not reorder or drop).
+	if got := drainTree(t, one); fmt.Sprint(got) != "[3 1 2]" {
+		t.Fatalf("single stream = %v", got)
+	}
+
+	many, err := newLoserTree([]rowStream{
+		intStream(1, 4, 7), intStream(2, 5, 8), intStream(), intStream(3, 6, 9),
+	}, less)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTree(t, many); fmt.Sprint(got) != "[1 2 3 4 5 6 7 8 9]" {
+		t.Fatalf("4-way merge = %v", got)
+	}
+}
+
+func TestLoserTreeTieBreaksTowardLowerStream(t *testing.T) {
+	// Rows are (key, origin): equal keys must surface in stream order —
+	// the property external-sort stability rests on.
+	mk := func(origin int64, keys ...int64) rowStream {
+		rows := make([][]types.Value, len(keys))
+		for i, k := range keys {
+			rows[i] = []types.Value{types.NewInt(k), types.NewInt(origin)}
+		}
+		return &sliceStream{rows: rows}
+	}
+	lt, err := newLoserTree([]rowStream{mk(0, 5, 5), mk(1, 5, 5), mk(2, 5)},
+		func(a, b []types.Value) bool { return a[0].Int() < b[0].Int() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var origins []int64
+	for {
+		row, err := lt.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row == nil {
+			break
+		}
+		origins = append(origins, row[1].Int())
+	}
+	if fmt.Sprint(origins) != "[0 0 1 1 2]" {
+		t.Fatalf("tie-break order = %v, want streams in index order", origins)
+	}
+}
+
+func TestSpillCrashMidRunWriteLeavesNoTempFiles(t *testing.T) {
+	schema, rows := sortInput(60, 5)
+	runOnce := func(fault *storage.FaultVFS) error {
+		sink := &SpillSink{}
+		ctx := NewQueryCtx(1, fault, "spill", sink)
+		s := NewSort(NewValuesScan(schema, rows),
+			[]expr.Expr{&expr.Col{Idx: 1, Name: "val"}}, []bool{false})
+		s.Ctx = ctx
+		_, err := Drain(s)
+		return err
+	}
+
+	// Capture the I/O schedule with faults disabled, then fail each
+	// write in turn as a transient error (ENOSPC-style): the query must
+	// error out and leave the inner filesystem free of spill files.
+	probe := &storage.FaultVFS{Inner: storage.NewMemVFS()}
+	if err := runOnce(probe); err != nil {
+		t.Fatal(err)
+	}
+	var writeOps []int
+	for i, kind := range probe.OpKinds() {
+		if kind == "write" {
+			writeOps = append(writeOps, i+1)
+		}
+	}
+	if len(writeOps) == 0 {
+		t.Fatal("schedule recorded no writes; spill never happened")
+	}
+	for _, op := range writeOps {
+		inner := storage.NewMemVFS()
+		err := runOnce(&storage.FaultVFS{Inner: inner, FailAtOp: op, Transient: true})
+		if !errors.Is(err, storage.ErrCrashed) {
+			t.Fatalf("fault at op %d: err = %v, want ErrCrashed", op, err)
+		}
+		if leaked := spillFiles(inner); len(leaked) != 0 {
+			t.Fatalf("fault at op %d leaked spill files: %v", op, leaked)
+		}
+	}
+
+	// Crash-stop at the first write: the error still surfaces (cleanup
+	// cannot be asserted — the simulated process is dead).
+	err := runOnce(&storage.FaultVFS{Inner: storage.NewMemVFS(), FailAtOp: writeOps[0]})
+	if !errors.Is(err, storage.ErrCrashed) {
+		t.Fatalf("crash-stop err = %v, want ErrCrashed", err)
+	}
+}
+
+// errAfter yields n generated rows, then fails — a mid-query execution
+// error after spilling has already begun.
+type errAfter struct {
+	schema *expr.RowSchema
+	n      int
+	pos    int
+}
+
+func (e *errAfter) Schema() *expr.RowSchema { return e.schema }
+func (e *errAfter) Open() error             { e.pos = 0; return nil }
+func (e *errAfter) Close() error            { return nil }
+func (e *errAfter) Next() ([]types.Value, error) {
+	if e.pos >= e.n {
+		return nil, errors.New("synthetic mid-query failure")
+	}
+	e.pos++
+	return []types.Value{types.NewInt(int64(e.pos % 7)), types.NewInt(int64(e.pos))}, nil
+}
+
+func TestFailedQueryLeavesSpillDirEmpty(t *testing.T) {
+	ctx, sink, fs := spillCtx(1)
+	s := NewSort(&errAfter{
+		schema: expr.NewRowSchema(expr.ColInfo{Name: "k"}, expr.ColInfo{Name: "v"}),
+		n:      50,
+	}, []expr.Expr{&expr.Col{Idx: 0, Name: "k"}}, []bool{false})
+	s.Ctx = ctx
+	if _, err := Drain(s); err == nil {
+		t.Fatal("expected the child's error to surface")
+	}
+	if sink.Stats().Runs == 0 {
+		t.Fatal("failure happened before any spill; test proves nothing")
+	}
+	if leaked := spillFiles(fs); len(leaked) != 0 {
+		t.Fatalf("failed query left spill files: %v", leaked)
+	}
+	ctx.Cleanup() // backstop must be a no-op here
+	if used := ctx.Mem.Used(); used != 0 {
+		t.Fatalf("failed query leaked %d tracked bytes", used)
+	}
+}
+
+// joinInput builds two scans sharing key space: left has heavy skew on
+// key 1 (forces recursive re-partitioning under budget), right has a few
+// matches per key.
+func joinInput() (Operator, Operator, *expr.RowSchema) {
+	ls := expr.NewRowSchema(expr.ColInfo{Qualifier: "a", Name: "k"}, expr.ColInfo{Qualifier: "a", Name: "x"})
+	rs := expr.NewRowSchema(expr.ColInfo{Qualifier: "b", Name: "k"}, expr.ColInfo{Qualifier: "b", Name: "y"})
+	var lrows, rrows [][]types.Value
+	for i := 0; i < 240; i++ {
+		key := int64(1) // skew: most of the build side is one key
+		if i%4 == 0 {
+			key = int64(i % 23)
+		}
+		lrows = append(lrows, []types.Value{types.NewInt(key), types.NewInt(int64(i))})
+	}
+	for i := 0; i < 30; i++ {
+		rrows = append(rrows, []types.Value{types.NewInt(int64(i % 23)), types.NewInt(int64(i * 100))})
+	}
+	return NewValuesScan(ls, lrows), NewValuesScan(rs, rrows), expr.Concat(ls, rs)
+}
+
+func TestGraceJoinMatchesInMemory(t *testing.T) {
+	l, r, joined := joinInput()
+	lk := &expr.Col{Idx: mustResolve(t, joined, "a", "k"), Name: "k"}
+	rk := &expr.Col{Idx: mustResolve(t, joined, "b", "k"), Name: "k"}
+
+	want, err := Drain(NewHashJoin(l, r, lk, rk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no join matches")
+	}
+
+	ctx, sink, fs := spillCtx(64)
+	hj := NewHashJoin(l, r, lk, rk)
+	hj.Ctx = ctx
+	got, err := Drain(hj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Stats().Runs == 0 {
+		t.Fatal("budget 64 bytes did not force the join to spill")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !rowsEqual(got[i], want[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if leaked := spillFiles(fs); len(leaked) != 0 {
+		t.Fatalf("grace join leaked spill files: %v", leaked)
+	}
+}
+
+func mustResolve(t *testing.T, s *expr.RowSchema, q, n string) int {
+	t.Helper()
+	i, err := s.Resolve(q, n)
+	if err != nil {
+		t.Fatalf("resolve %s.%s: %v", q, n, err)
+	}
+	return i
+}
+
+func TestSpillAggregateMatchesInMemory(t *testing.T) {
+	schema := expr.NewRowSchema(expr.ColInfo{Name: "g"}, expr.ColInfo{Name: "v"})
+	var rows [][]types.Value
+	for i := 0; i < 400; i++ {
+		rows = append(rows, []types.Value{
+			types.NewInt(int64(i % 97)),
+			types.NewInt(int64(i % 5)), // repeats within groups exercise DISTINCT
+		})
+	}
+	groups := []expr.Expr{&expr.Col{Idx: 0, Name: "g"}}
+	aggs := []AggSpec{
+		{Kind: AggCount, Name: "n"},
+		{Kind: AggSum, Arg: &expr.Col{Idx: 1, Name: "v"}, Name: "total"},
+		{Kind: AggCount, Arg: &expr.Col{Idx: 1, Name: "v"}, Distinct: true, Name: "nd"},
+	}
+
+	want, err := Drain(NewHashAggregate(NewValuesScan(schema, rows), groups, []string{"g"}, aggs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, sink, fs := spillCtx(256)
+	agg := NewHashAggregate(NewValuesScan(schema, rows), groups, []string{"g"}, aggs)
+	agg.Ctx = ctx
+	got, err := Drain(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Stats().Runs == 0 {
+		t.Fatal("budget 256 bytes did not force the aggregate to spill")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("group counts differ: %d vs %d", len(got), len(want))
+	}
+	// First-appearance emission order must match the in-memory operator.
+	for i := range want {
+		if !rowsEqual(got[i], want[i]) {
+			t.Fatalf("group %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if leaked := spillFiles(fs); len(leaked) != 0 {
+		t.Fatalf("spilling aggregate leaked files: %v", leaked)
+	}
+}
+
+func TestTopNEquivalentToSortLimit(t *testing.T) {
+	schema, rows := sortInput(200, 11) // heavy key duplication: ties decided by arrival order
+	keys := func() []expr.Expr { return []expr.Expr{&expr.Col{Idx: 1, Name: "val"}} }
+	for _, n := range []int64{0, 1, 10, 200, 500} {
+		for _, desc := range []bool{false, true} {
+			want, err := Drain(NewLimit(
+				NewSort(NewValuesScan(schema, rows), keys(), []bool{desc}), n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Drain(NewTopN(NewValuesScan(schema, rows), keys(), []bool{desc}, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d desc=%t: %d rows vs %d", n, desc, len(got), len(want))
+			}
+			for i := range want {
+				if !rowsEqual(got[i], want[i]) {
+					t.Fatalf("n=%d desc=%t row %d: %v vs %v", n, desc, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

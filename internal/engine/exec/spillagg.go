@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"repro/internal/engine/types"
+)
+
+// This file is the spill half of HashAggregate. Result runs hold frames
+// of [firstSeen]++resultRow; within every run the firstSeen tags ascend,
+// and tags are globally unique (one per input sequence number), so a
+// loser-tree merge by tag reproduces exactly the in-memory operator's
+// first-appearance emission order.
+
+// finishSpill turns the frozen in-memory groups plus the raw-row
+// partitions into the final merged result stream. groupTracked is the
+// tracked memory of the in-memory groups, released as soon as their
+// results are written out — so partition aggregation gets the full
+// budget back and the query's peak stays ~one budget, not two.
+func (h *HashAggregate) finishSpill(order []*groupAgg, parts [spillPartitions]*runFile, groupTracked int64) error {
+	removeParts := func() {
+		for _, p := range parts {
+			if p != nil {
+				p.remove()
+			}
+		}
+	}
+
+	// Head run: in-memory groups, already in first-appearance order, and
+	// all earlier than any spilled row.
+	w, err := h.Ctx.newRun("agg")
+	if err != nil {
+		h.Ctx.release(groupTracked)
+		removeParts()
+		return err
+	}
+	for _, ga := range order {
+		frame := append([]types.Value{types.NewInt(ga.firstSeen)}, ga.result(h.Aggs)...)
+		if err := w.write(frame); err != nil {
+			w.abort()
+			h.Ctx.release(groupTracked)
+			removeParts()
+			return err
+		}
+	}
+	head, err := w.finish()
+	h.Ctx.release(groupTracked)
+	if err != nil {
+		removeParts()
+		return err
+	}
+	h.runs = append(h.runs, head)
+
+	for i, p := range parts {
+		if p == nil {
+			continue
+		}
+		parts[i] = nil
+		run, err := h.aggregatePartition(p, 0)
+		if err != nil {
+			for k := i + 1; k < spillPartitions; k++ {
+				if parts[k] != nil {
+					parts[k].remove()
+				}
+			}
+			return err
+		}
+		if run != nil {
+			h.runs = append(h.runs, run)
+		}
+	}
+
+	h.runs, err = collapseRuns(h.Ctx, h.runs, "agg", seqLess)
+	if err != nil {
+		h.runs = nil
+		return err
+	}
+	h.merge, err = newRunMerger(h.runs, seqLess)
+	return err
+}
+
+// aggregatePartition aggregates one partition of raw [seq]++row frames
+// into a single result run ascending in firstSeen. If the partition's
+// group state overflows the budget it freezes creation and routes
+// new-key rows to sub-partitions under the next hash-bit window,
+// recursing; the sub-results merge after this level's groups, which is
+// correct because a frozen level's groups were all first seen before any
+// row it routed onward (frames arrive in ascending sequence). At
+// maxRepartitionDepth the freeze is skipped — an irreducible skewed
+// partition aggregates in memory over budget rather than recursing
+// forever. The input file is always removed.
+func (h *HashAggregate) aggregatePartition(file *runFile, depth int) (out *runFile, err error) {
+	rd, err := file.open()
+	if err != nil {
+		file.remove()
+		return nil, err
+	}
+
+	groups := map[uint64][]*groupAgg{}
+	var order []*groupAgg
+	var tracked int64
+	var spillTo *partitionSet
+	defer func() {
+		h.Ctx.release(tracked)
+		if err != nil && spillTo != nil {
+			spillTo.abort()
+		}
+	}()
+
+	readErr := func() error {
+		for {
+			frame, err := rd.next()
+			if err != nil {
+				return err
+			}
+			if frame == nil {
+				return nil
+			}
+			seqV, row := frame[0], frame[1:]
+			key := make([]types.Value, len(h.GroupBy))
+			for i, g := range h.GroupBy {
+				v, err := g.Eval(row)
+				if err != nil {
+					return err
+				}
+				key[i] = v
+			}
+			hk := hashRow(key)
+			var ga *groupAgg
+			for _, cand := range groups[hk] {
+				if rowsEqual(cand.key, key) {
+					ga = cand
+					break
+				}
+			}
+			if ga == nil {
+				if spillTo != nil {
+					if err := spillTo.write(partFor(hk, depth+1), frame); err != nil {
+						return err
+					}
+					continue
+				}
+				ga = newGroupAgg(key, len(h.Aggs))
+				ga.firstSeen = seqV.Int()
+				groups[hk] = append(groups[hk], ga)
+				order = append(order, ga)
+				sz := groupBytes(key, len(h.Aggs))
+				tracked += sz
+				if !h.Ctx.grow(sz) && depth < maxRepartitionDepth {
+					spillTo = newPartitionSet(h.Ctx, "agg")
+				}
+			}
+			added, err := ga.update(h.Aggs, row)
+			if err != nil {
+				return err
+			}
+			if added != 0 {
+				tracked += added
+				h.Ctx.grow(added)
+			}
+		}
+	}()
+	rd.close()
+	file.remove()
+	if readErr != nil {
+		return nil, readErr
+	}
+
+	// This level's groups, ascending in firstSeen by construction.
+	w, err := h.Ctx.newRun("agg")
+	if err != nil {
+		return nil, err
+	}
+	for _, ga := range order {
+		frame := append([]types.Value{types.NewInt(ga.firstSeen)}, ga.result(h.Aggs)...)
+		if err := w.write(frame); err != nil {
+			w.abort()
+			return nil, err
+		}
+	}
+
+	if spillTo == nil {
+		return w.finish()
+	}
+
+	// Free this level's group state before recursing, then append the
+	// merged sub-results (all later than this level's groups).
+	h.Ctx.release(tracked)
+	tracked = 0
+	groups, order = nil, nil
+	subs, err := spillTo.finish()
+	spillTo = nil
+	if err != nil {
+		w.abort()
+		return nil, err
+	}
+	var subRuns []*runFile
+	removeSubs := func() {
+		for _, r := range subRuns {
+			r.remove()
+		}
+	}
+	for i, p := range subs {
+		if p == nil {
+			continue
+		}
+		subs[i] = nil
+		run, err := h.aggregatePartition(p, depth+1)
+		if err != nil {
+			for k := i + 1; k < spillPartitions; k++ {
+				if subs[k] != nil {
+					subs[k].remove()
+				}
+			}
+			removeSubs()
+			w.abort()
+			return nil, err
+		}
+		if run != nil {
+			subRuns = append(subRuns, run)
+		}
+	}
+	m, err := newRunMerger(subRuns, seqLess)
+	if err != nil {
+		removeSubs()
+		w.abort()
+		return nil, err
+	}
+	for {
+		frame, err := m.next()
+		if err != nil {
+			m.close()
+			removeSubs()
+			w.abort()
+			return nil, err
+		}
+		if frame == nil {
+			break
+		}
+		if err := w.write(frame); err != nil {
+			m.close()
+			removeSubs()
+			w.abort()
+			return nil, err
+		}
+	}
+	m.close()
+	removeSubs()
+	return w.finish()
+}

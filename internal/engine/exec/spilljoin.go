@@ -1,0 +1,481 @@
+package exec
+
+import (
+	"repro/internal/engine/types"
+)
+
+// graceJoin is the spill mode of HashJoin: a Grace-style partitioned
+// hash join. Build and probe rows are hash-partitioned to run files,
+// partition pairs are joined one at a time (re-partitioning recursively
+// when a skewed build partition still exceeds the budget), and each
+// pair's matches are written to an output run tagged with the probe
+// row's arrival sequence. Because every row of one key hash lands in the
+// same partition, a probe row's matches stay in build-insertion order,
+// and the final loser-tree merge by probe sequence reproduces exactly
+// the in-memory join's output order — sequences are disjoint across
+// partitions, so no tie-break is needed.
+type graceJoin struct {
+	j   *HashJoin
+	ctx *QueryCtx
+	out []*runFile // per-partition output runs, each ascending in seq
+	m   *runMerger
+}
+
+// partitionSet is one level of hash partition writers.
+type partitionSet struct {
+	ctx     *QueryCtx
+	writers [spillPartitions]*runWriter
+	label   string
+}
+
+func newPartitionSet(ctx *QueryCtx, label string) *partitionSet {
+	return &partitionSet{ctx: ctx, label: label}
+}
+
+// write routes one frame to its partition, creating the writer lazily.
+func (p *partitionSet) write(part int, frame []types.Value) error {
+	w := p.writers[part]
+	if w == nil {
+		var err error
+		w, err = p.ctx.newRun(p.label)
+		if err != nil {
+			return err
+		}
+		p.writers[part] = w
+	}
+	return w.write(frame)
+}
+
+// finish seals all partitions. Untouched partitions come back as nil.
+func (p *partitionSet) finish() ([spillPartitions]*runFile, error) {
+	var out [spillPartitions]*runFile
+	for i, w := range p.writers {
+		if w == nil {
+			continue
+		}
+		run, err := w.finish()
+		p.writers[i] = nil
+		if err != nil {
+			p.abort()
+			for _, r := range out {
+				if r != nil {
+					r.remove()
+				}
+			}
+			return out, err
+		}
+		out[i] = run
+	}
+	return out, nil
+}
+
+// abort discards all open writers.
+func (p *partitionSet) abort() {
+	for i, w := range p.writers {
+		if w != nil {
+			w.abort()
+			p.writers[i] = nil
+		}
+	}
+}
+
+// spill drives the whole grace join during HashJoin.Open. buffered holds
+// the build rows accumulated before the budget overflowed; their tracked
+// bytes are released as they are flushed to partition files.
+func (j *HashJoin) spill(buffered [][]types.Value) (err error) {
+	g := &graceJoin{j: j, ctx: j.Ctx}
+	j.grace = g
+	defer func() {
+		if err != nil {
+			g.discard()
+			j.grace = nil
+		}
+	}()
+
+	// Partition the build side: the buffered prefix, then the rest of the
+	// still-open left input, streamed row by row.
+	bset := newPartitionSet(j.Ctx, "jbuild")
+	routeBuild := func(row []types.Value) error {
+		k, err := j.LeftKey.Eval(row)
+		if err != nil {
+			return err
+		}
+		if k.IsNull() {
+			return nil // NULL keys never join
+		}
+		return bset.write(partFor(types.Hash(k), 0), row)
+	}
+	for _, row := range buffered {
+		if err := routeBuild(row); err != nil {
+			bset.abort()
+			return err
+		}
+		j.Ctx.release(rowBytes(row))
+	}
+	for {
+		row, err := j.Left.Next()
+		if err != nil {
+			bset.abort()
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if err := routeBuild(row); err != nil {
+			bset.abort()
+			return err
+		}
+	}
+	builds, err := bset.finish()
+	if err != nil {
+		return err
+	}
+	removeAll := func(runs [spillPartitions]*runFile) {
+		for _, r := range runs {
+			if r != nil {
+				r.remove()
+			}
+		}
+	}
+	defer removeAll(builds)
+
+	// Partition the probe side, tagging every row with its arrival
+	// sequence; that sequence is the global output order.
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	pset := newPartitionSet(j.Ctx, "jprobe")
+	lw := len(j.Left.Schema().Cols)
+	var seq int64
+	for {
+		row, err := j.Right.Next()
+		if err != nil {
+			pset.abort()
+			j.Right.Close()
+			return err
+		}
+		if row == nil {
+			break
+		}
+		s := seq
+		seq++
+		padded := concatRows(make([]types.Value, lw), row)
+		k, err := j.RightKey.Eval(padded)
+		if err != nil {
+			pset.abort()
+			j.Right.Close()
+			return err
+		}
+		if k.IsNull() {
+			continue
+		}
+		frame := append([]types.Value{types.NewInt(s)}, row...)
+		if err := pset.write(partFor(types.Hash(k), 0), frame); err != nil {
+			pset.abort()
+			j.Right.Close()
+			return err
+		}
+	}
+	j.Right.Close()
+	probes, err := pset.finish()
+	if err != nil {
+		return err
+	}
+	defer removeAll(probes)
+
+	// Join partition pairs; each appends output runs to g.out.
+	for i := 0; i < spillPartitions; i++ {
+		b, p := builds[i], probes[i]
+		builds[i], probes[i] = nil, nil
+		if err := g.joinPartition(b, p, 0); err != nil {
+			return err
+		}
+	}
+
+	g.out, err = collapseRuns(j.Ctx, g.out, "jout", seqLess)
+	if err != nil {
+		g.out = nil
+		return err
+	}
+	if len(g.out) > 0 {
+		g.m, err = newRunMerger(g.out, seqLess)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinPartition joins one build/probe partition pair. Either side may be
+// nil (no rows hashed there). If the build side exceeds the budget it is
+// re-partitioned under the next hash-bit window, recursively, up to
+// maxRepartitionDepth; a partition of one giant key group cannot shrink
+// further and is then joined in memory regardless of budget.
+func (g *graceJoin) joinPartition(build, probe *runFile, depth int) error {
+	cleanup := func() {
+		if build != nil {
+			build.remove()
+		}
+		if probe != nil {
+			probe.remove()
+		}
+	}
+	if build == nil || probe == nil {
+		cleanup()
+		return nil
+	}
+	j := g.j
+
+	rd, err := build.open()
+	if err != nil {
+		cleanup()
+		return err
+	}
+	var rows [][]types.Value
+	var tracked int64
+	overflow := false
+	for {
+		row, err := rd.next()
+		if err != nil {
+			rd.close()
+			cleanup()
+			g.ctx.release(tracked)
+			return err
+		}
+		if row == nil {
+			break
+		}
+		sz := rowBytes(row)
+		rows = append(rows, row)
+		tracked += sz
+		if !g.ctx.grow(sz) && depth < maxRepartitionDepth {
+			overflow = true
+			break
+		}
+	}
+
+	if overflow {
+		// repartition releases tracked once the buffered rows are back on
+		// disk — before the recursive joins, so a sub-partition that fits
+		// the budget sees a near-empty tracker instead of inheriting this
+		// level's usage and cascading to maxRepartitionDepth.
+		return g.repartition(rd, rows, tracked, build, probe, depth)
+	}
+	rd.close()
+	defer g.ctx.release(tracked)
+	defer cleanup()
+
+	// Build the partition's hash table in file (= build input) order.
+	table := make(map[uint64][][]types.Value, len(rows))
+	for _, row := range rows {
+		k, err := j.LeftKey.Eval(row)
+		if err != nil {
+			return err
+		}
+		table[types.Hash(k)] = append(table[types.Hash(k)], row)
+	}
+
+	prd, err := probe.open()
+	if err != nil {
+		return err
+	}
+	defer prd.close()
+	lw := len(j.Left.Schema().Cols)
+	var w *runWriter
+	probeErr := func() error {
+		for {
+			frame, err := prd.next()
+			if err != nil {
+				return err
+			}
+			if frame == nil {
+				return nil
+			}
+			seqV, right := frame[0], frame[1:]
+			padded := concatRows(make([]types.Value, lw), right)
+			k, err := j.RightKey.Eval(padded)
+			if err != nil {
+				return err
+			}
+			for _, left := range table[types.Hash(k)] {
+				out := concatRows(left, right)
+				// Re-check key equality to guard against hash collisions,
+				// mirroring the in-memory probe.
+				lk, err := j.LeftKey.Eval(out)
+				if err != nil {
+					return err
+				}
+				rk, err := j.RightKey.Eval(out)
+				if err != nil {
+					return err
+				}
+				if !types.Equal(lk, rk) {
+					continue
+				}
+				if w == nil {
+					if w, err = g.ctx.newRun("jout"); err != nil {
+						return err
+					}
+				}
+				if err := w.write(append([]types.Value{seqV}, out...)); err != nil {
+					return err
+				}
+			}
+		}
+	}()
+	if probeErr != nil {
+		if w != nil {
+			w.abort()
+		}
+		return probeErr
+	}
+	if w != nil {
+		run, err := w.finish()
+		if err != nil {
+			return err
+		}
+		g.out = append(g.out, run)
+	}
+	return nil
+}
+
+// repartition splits an over-budget build partition (the buffered prefix
+// plus the rest of rd) and its probe partition under the next hash-bit
+// window, then joins the sub-pairs. tracked is the buffered rows' memory
+// accounting, released as soon as they are routed back to disk.
+func (g *graceJoin) repartition(rd *runReader, buffered [][]types.Value, tracked int64, build, probe *runFile, depth int) error {
+	j := g.j
+	bset := newPartitionSet(g.ctx, "jbuild")
+	route := func(row []types.Value) error {
+		k, err := j.LeftKey.Eval(row)
+		if err != nil {
+			return err
+		}
+		return bset.write(partFor(types.Hash(k), depth+1), row)
+	}
+	var err error
+	for _, row := range buffered {
+		if err = route(row); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		for {
+			var row []types.Value
+			row, err = rd.next()
+			if err != nil || row == nil {
+				break
+			}
+			if err = route(row); err != nil {
+				break
+			}
+		}
+	}
+	rd.close()
+	build.remove()
+	g.ctx.release(tracked)
+	if err != nil {
+		bset.abort()
+		probe.remove()
+		return err
+	}
+	subB, err := bset.finish()
+	if err != nil {
+		probe.remove()
+		return err
+	}
+
+	prd, err := probe.open()
+	if err != nil {
+		probe.remove()
+		for _, r := range subB {
+			if r != nil {
+				r.remove()
+			}
+		}
+		return err
+	}
+	pset := newPartitionSet(g.ctx, "jprobe")
+	lw := len(j.Left.Schema().Cols)
+	for {
+		frame, ferr := prd.next()
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		if frame == nil {
+			break
+		}
+		padded := concatRows(make([]types.Value, lw), frame[1:])
+		k, kerr := j.RightKey.Eval(padded)
+		if kerr != nil {
+			err = kerr
+			break
+		}
+		if err = pset.write(partFor(types.Hash(k), depth+1), frame); err != nil {
+			break
+		}
+	}
+	prd.close()
+	probe.remove()
+	if err != nil {
+		pset.abort()
+		for _, r := range subB {
+			if r != nil {
+				r.remove()
+			}
+		}
+		return err
+	}
+	subP, err := pset.finish()
+	if err != nil {
+		for _, r := range subB {
+			if r != nil {
+				r.remove()
+			}
+		}
+		return err
+	}
+
+	for i := 0; i < spillPartitions; i++ {
+		b, p := subB[i], subP[i]
+		subB[i], subP[i] = nil, nil
+		if err := g.joinPartition(b, p, depth+1); err != nil {
+			for k := i + 1; k < spillPartitions; k++ {
+				if subB[k] != nil {
+					subB[k].remove()
+				}
+				if subP[k] != nil {
+					subP[k].remove()
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// next streams the merged, sequence-ordered output; the leading sequence
+// column is stripped.
+func (g *graceJoin) next() ([]types.Value, error) {
+	if g.m == nil {
+		return nil, nil
+	}
+	row, err := g.m.next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	return row[1:], nil
+}
+
+// discard closes the merger and removes all output runs.
+func (g *graceJoin) discard() {
+	if g.m != nil {
+		g.m.close()
+		g.m = nil
+	}
+	for _, r := range g.out {
+		r.remove()
+	}
+	g.out = nil
+}

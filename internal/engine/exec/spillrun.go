@@ -1,0 +1,383 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// Spill tuning constants. They are deliberately small: partition fan-out
+// and I/O buffers are tracked against the query budget, and the smoke
+// test asserts peak tracked memory stays within budget ± one 8 KiB page,
+// so all fixed buffers of one spill stage must fit inside that slack.
+const (
+	// spillBufSize is the buffered-I/O size of one run writer or reader.
+	spillBufSize = 1024
+	// spillPartitions is the hash fan-out of the Grace join and the
+	// spilling aggregate.
+	spillPartitions = 4
+	// mergeFanIn bounds how many runs one merge consumes; more runs
+	// trigger intermediate merge passes.
+	mergeFanIn = 6
+	// maxRepartitionDepth bounds recursive re-partitioning of skewed
+	// partitions; beyond it the partition is processed in memory even if
+	// over budget (a single over-budget key group is irreducible).
+	maxRepartitionDepth = 6
+)
+
+// partFor maps a key hash to a partition index at a re-partition depth.
+// Each depth consumes a different bit range, so a skewed partition
+// re-splits under a fresh view of the same hash.
+func partFor(h uint64, depth int) int {
+	return int((h >> (2 * uint(depth))) % spillPartitions)
+}
+
+// Run-file format (documented in DESIGN.md §5e):
+//
+//	run   := frame*
+//	frame := uvarint(len(record)) || record
+//
+// where record is storage.EncodeRecord of the frame's row. The row
+// layout per frame is operator-specific (sort runs prepend the evaluated
+// sort keys, join/aggregate runs prepend a sequence number); the codec
+// is self-describing, so readers just decode and slice.
+
+// runFile is one finished, immutable spill run.
+type runFile struct {
+	ctx   *QueryCtx
+	name  string
+	rows  int64
+	bytes int64
+}
+
+func (r *runFile) remove() { r.ctx.removeFile(r.name) }
+
+// runWriter appends frames to a new spill file. Its buffered-I/O memory
+// is tracked against the query budget for its lifetime.
+type runWriter struct {
+	ctx   *QueryCtx
+	name  string
+	f     storage.File
+	bw    *bufio.Writer
+	rows  int64
+	bytes int64
+	len   [binary.MaxVarintLen64]byte
+}
+
+// newRun creates a spill file under the per-query directory.
+func (q *QueryCtx) newRun(label string) (*runWriter, error) {
+	name, err := q.newFileName(label)
+	if err != nil {
+		return nil, err
+	}
+	f, err := q.vfs.Create(name)
+	if err != nil {
+		q.removeFile(name)
+		return nil, fmt.Errorf("exec: creating spill run: %w", err)
+	}
+	q.Mem.Grow(spillBufSize)
+	return &runWriter{ctx: q, name: name, f: f, bw: bufio.NewWriterSize(f, spillBufSize)}, nil
+}
+
+// write appends one row as a frame.
+func (w *runWriter) write(row []types.Value) error {
+	rec := storage.EncodeRecord(row)
+	n := binary.PutUvarint(w.len[:], uint64(len(rec)))
+	if _, err := w.bw.Write(w.len[:n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(rec); err != nil {
+		return err
+	}
+	w.rows++
+	w.bytes += int64(n + len(rec))
+	return nil
+}
+
+// finish flushes and seals the run. On error the partial file is
+// removed.
+func (w *runWriter) finish() (*runFile, error) {
+	err := w.bw.Flush()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.ctx.Mem.Release(spillBufSize)
+	if err != nil {
+		w.ctx.removeFile(w.name)
+		return nil, err
+	}
+	w.ctx.sink.addRun(w.bytes)
+	return &runFile{ctx: w.ctx, name: w.name, rows: w.rows, bytes: w.bytes}, nil
+}
+
+// abort discards a run mid-write (error paths).
+func (w *runWriter) abort() {
+	_ = w.f.Close()
+	w.ctx.Mem.Release(spillBufSize)
+	w.ctx.removeFile(w.name)
+}
+
+// runReader streams frames back out of a sealed run.
+type runReader struct {
+	ctx *QueryCtx
+	f   storage.File
+	br  *bufio.Reader
+	buf []byte
+}
+
+func (r *runFile) open() (*runReader, error) {
+	f, err := r.ctx.vfs.Open(r.name)
+	if err != nil {
+		return nil, fmt.Errorf("exec: opening spill run: %w", err)
+	}
+	r.ctx.Mem.Grow(spillBufSize)
+	return &runReader{ctx: r.ctx, f: f, br: bufio.NewReaderSize(f, spillBufSize)}, nil
+}
+
+// next decodes the next frame's row, or returns nil at end of run.
+func (r *runReader) next() ([]types.Value, error) {
+	ln, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("exec: reading spill frame: %w", err)
+	}
+	if uint64(cap(r.buf)) < ln {
+		r.buf = make([]byte, ln)
+	}
+	buf := r.buf[:ln]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("exec: reading spill frame: %w", err)
+	}
+	row, err := storage.DecodeRecord(buf)
+	if err != nil {
+		return nil, fmt.Errorf("exec: decoding spill frame: %w", err)
+	}
+	return row, nil
+}
+
+func (r *runReader) close() {
+	_ = r.f.Close()
+	r.ctx.Mem.Release(spillBufSize)
+}
+
+// rowStream is anything yielding rows until a nil row; run readers and
+// nested merges both qualify.
+type rowStream interface {
+	next() ([]types.Value, error)
+}
+
+// loserTree is a k-way tournament merge over row streams. Internal nodes
+// hold losers, tree[0] the current winner; advancing the winner replays
+// a single leaf-to-root path, so each output row costs O(log k)
+// comparisons. Ties break toward the lower stream index, which is how
+// the external sort preserves stability: streams are ordered by input
+// position, so equal-key rows surface in original order.
+type loserTree struct {
+	streams []rowStream
+	heads   [][]types.Value // current front row per stream; nil = exhausted
+	tree    []int           // tree[0] winner, tree[1..k-1] losers
+	less    func(a, b []types.Value) bool
+}
+
+// newLoserTree primes every stream and builds the tournament. less must
+// be a strict weak ordering over rows; index order settles ties.
+func newLoserTree(streams []rowStream, less func(a, b []types.Value) bool) (*loserTree, error) {
+	k := len(streams)
+	t := &loserTree{
+		streams: streams,
+		heads:   make([][]types.Value, k),
+		tree:    make([]int, k),
+		less:    less,
+	}
+	for i := range streams {
+		row, err := streams[i].next()
+		if err != nil {
+			return nil, err
+		}
+		t.heads[i] = row
+	}
+	if k == 0 {
+		return t, nil
+	}
+	if k == 1 {
+		t.tree[0] = 0
+		return t, nil
+	}
+	// Bottom-up build: winners bubble up, losers stay at internal nodes.
+	winners := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		winners[k+i] = i
+	}
+	for n := 2*k - 2; n >= 2; n -= 2 {
+		w, l := t.play(winners[n], winners[n+1])
+		winners[n/2] = w
+		t.tree[n/2] = l
+	}
+	t.tree[0] = winners[1]
+	return t, nil
+}
+
+// play returns (winner, loser) between two stream indexes by their
+// current heads. Exhausted streams lose to live ones; equal heads and
+// two exhausted streams resolve by index.
+func (t *loserTree) play(a, b int) (winner, loser int) {
+	ra, rb := t.heads[a], t.heads[b]
+	switch {
+	case ra == nil && rb == nil:
+		// both exhausted: keep index order
+	case ra == nil:
+		return b, a
+	case rb == nil:
+		return a, b
+	case t.less(ra, rb):
+		return a, b
+	case t.less(rb, ra):
+		return b, a
+	}
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+// next pops the smallest head, refills its stream, and replays its path.
+func (t *loserTree) next() ([]types.Value, error) {
+	if len(t.streams) == 0 {
+		return nil, nil
+	}
+	w := t.tree[0]
+	row := t.heads[w]
+	if row == nil {
+		return nil, nil // all streams exhausted
+	}
+	nr, err := t.streams[w].next()
+	if err != nil {
+		return nil, err
+	}
+	t.heads[w] = nr
+	if len(t.streams) == 1 {
+		return row, nil
+	}
+	cur := w
+	for n := (len(t.streams) + w) / 2; n >= 1; n /= 2 {
+		if win, _ := t.play(cur, t.tree[n]); win != cur {
+			cur, t.tree[n] = t.tree[n], cur
+		}
+	}
+	t.tree[0] = cur
+	return row, nil
+}
+
+// runMerger streams a loser-tree merge over runs and owns the readers.
+type runMerger struct {
+	tree    *loserTree
+	readers []*runReader
+}
+
+// newRunMerger opens the runs and builds the tree. On error any opened
+// readers are closed.
+func newRunMerger(runs []*runFile, less func(a, b []types.Value) bool) (*runMerger, error) {
+	m := &runMerger{}
+	streams := make([]rowStream, 0, len(runs))
+	for _, r := range runs {
+		rd, err := r.open()
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		m.readers = append(m.readers, rd)
+		streams = append(streams, rd)
+	}
+	tree, err := newLoserTree(streams, less)
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	m.tree = tree
+	return m, nil
+}
+
+func (m *runMerger) next() ([]types.Value, error) { return m.tree.next() }
+
+func (m *runMerger) close() {
+	for _, rd := range m.readers {
+		rd.close()
+	}
+	m.readers = nil
+}
+
+// collapseRuns merges adjacent groups of runs until at most mergeFanIn
+// remain, preserving run order (and therefore merge stability). Each
+// round over the data counts as one merge pass. Input runs are removed
+// as they are consumed; on error the merged partials are removed too.
+func collapseRuns(ctx *QueryCtx, runs []*runFile, label string, less func(a, b []types.Value) bool) ([]*runFile, error) {
+	for len(runs) > mergeFanIn {
+		ctx.sink.addMergePass()
+		next := make([]*runFile, 0, (len(runs)+mergeFanIn-1)/mergeFanIn)
+		for i := 0; i < len(runs); i += mergeFanIn {
+			end := i + mergeFanIn
+			if end > len(runs) {
+				end = len(runs)
+			}
+			merged, err := mergeRunsToFile(ctx, runs[i:end], label, less)
+			if err != nil {
+				for _, r := range next {
+					r.remove()
+				}
+				for _, r := range runs[i:] {
+					r.remove()
+				}
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	return runs, nil
+}
+
+// mergeRunsToFile merges a group of runs into one new run and removes
+// the inputs.
+func mergeRunsToFile(ctx *QueryCtx, runs []*runFile, label string, less func(a, b []types.Value) bool) (*runFile, error) {
+	m, err := newRunMerger(runs, less)
+	if err != nil {
+		return nil, err
+	}
+	defer m.close()
+	w, err := ctx.newRun(label)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		row, err := m.next()
+		if err != nil {
+			w.abort()
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		if err := w.write(row); err != nil {
+			w.abort()
+			return nil, err
+		}
+	}
+	out, err := w.finish()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		r.remove()
+	}
+	return out, nil
+}
+
+// seqLess orders rows by an int64 sequence number stored in column 0 —
+// the merge order of join output and aggregate result runs.
+func seqLess(a, b []types.Value) bool { return a[0].Int() < b[0].Int() }

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// TopN fuses ORDER BY + LIMIT into one bounded-heap pass: it keeps only
+// the N smallest rows under the sort keys, so memory is O(N) regardless
+// of input size and no full sort ever happens — the fix for the paper's
+// admitted QS6 weakness, where order-access queries pay a whole sort for
+// a handful of rows.
+//
+// Selection is stable: rows are ranked by (keys, arrival order), the
+// exact total order of a stable Sort followed by Limit. That also makes
+// per-worker partial TopN below a Gather exchange safe — any row in the
+// global top N is preceded by fewer than N rows within its own worker's
+// stream, so it survives the partial cut, and Gather's morsel-order
+// reassembly feeds the final TopN rows in serial arrival order.
+type TopN struct {
+	Child Operator
+	Keys  []expr.Expr
+	Desc  []bool
+	N     int64
+
+	out [][]types.Value
+	pos int
+}
+
+// topEntry is one heap slot: evaluated keys plus arrival sequence.
+type topEntry struct {
+	keys []types.Value
+	seq  int64
+	row  []types.Value
+}
+
+// NewTopN wraps child with a bounded top-N under (keys, desc).
+func NewTopN(child Operator, keys []expr.Expr, desc []bool, n int64) *TopN {
+	return &TopN{Child: child, Keys: keys, Desc: desc, N: n}
+}
+
+// Schema implements Operator.
+func (t *TopN) Schema() *expr.RowSchema { return t.Child.Schema() }
+
+// String implements fmt.Stringer for plan explains.
+func (t *TopN) String() string { return fmt.Sprintf("TopN(%d)", t.N) }
+
+// entryLess is the stable ranking: keys under Desc, then arrival order.
+func (t *TopN) entryLess(a, b *topEntry) bool {
+	if c := keyCompare(a.keys, b.keys, t.Desc); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// Open consumes the input, keeping the N best rows in a max-heap (the
+// worst survivor at the root, evicted first).
+func (t *TopN) Open() error {
+	t.out = nil
+	t.pos = 0
+	if err := t.Child.Open(); err != nil {
+		return err
+	}
+	defer t.Child.Close()
+	if t.N <= 0 {
+		return nil
+	}
+	heap := make([]*topEntry, 0, t.N)
+	var seq int64
+	for {
+		row, err := t.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys := make([]types.Value, len(t.Keys))
+		for j, k := range t.Keys {
+			v, err := k.Eval(row)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		e := &topEntry{keys: keys, seq: seq, row: row}
+		seq++
+		if int64(len(heap)) < t.N {
+			heap = append(heap, e)
+			siftUp(heap, len(heap)-1, t.entryLess)
+			continue
+		}
+		if t.entryLess(e, heap[0]) {
+			heap[0] = e
+			siftDown(heap, 0, t.entryLess)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool { return t.entryLess(heap[a], heap[b]) })
+	t.out = make([][]types.Value, len(heap))
+	for i, e := range heap {
+		t.out[i] = e.row
+	}
+	return nil
+}
+
+// siftUp restores the max-heap property after appending at i.
+func siftUp(h []*topEntry, i int, less func(a, b *topEntry) bool) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[parent], h[i]) {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property after replacing the root.
+func siftDown(h []*topEntry, i int, less func(a, b *topEntry) bool) {
+	for {
+		largest := i
+		if l := 2*i + 1; l < len(h) && less(h[largest], h[l]) {
+			largest = l
+		}
+		if r := 2*i + 2; r < len(h) && less(h[largest], h[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// Next implements Operator.
+func (t *TopN) Next() ([]types.Value, error) {
+	if t.pos >= len(t.out) {
+		return nil, nil
+	}
+	row := t.out[t.pos]
+	t.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (t *TopN) Close() error {
+	t.out = nil
+	return nil
+}

@@ -16,7 +16,12 @@ import (
 // the key hashing itself parallelized), and the build input is
 // recursively parallelized too.
 func (p *Planner) parallelize(op exec.Operator) exec.Operator {
-	b := &parallelBuilder{planner: p, dop: p.Opts.DOP, morselPages: p.Opts.MorselPages}
+	b := &parallelBuilder{
+		planner:     p,
+		dop:         p.Opts.DOP,
+		morselPages: p.Opts.MorselPages,
+		memBudget:   p.Opts.MemBudgetBytes > 0,
+	}
 	return b.rewrite(op)
 }
 
@@ -25,6 +30,11 @@ type parallelBuilder struct {
 	planner     *Planner
 	dop         int
 	morselPages int
+	// memBudget disables the shared HashBuild/HashProbe fragment form:
+	// those operators have no spill path, so under a memory budget the
+	// spilling serial HashJoin stays above the exchange and only its
+	// inputs parallelize.
+	memBudget bool
 }
 
 // rewrite returns an equivalent plan with parallel fragments installed.
@@ -41,6 +51,20 @@ func (b *parallelBuilder) rewrite(op exec.Operator) exec.Operator {
 		n.Child = b.rewrite(n.Child)
 	case *exec.Sort:
 		n.Child = b.rewrite(n.Child)
+	case *exec.TopN:
+		// When the child parallelizes into a Gather, push a partial TopN
+		// into every worker pipeline: each worker keeps at most N rows,
+		// so the exchange moves O(DOP·N) rows instead of the full input.
+		// The outer TopN re-selects the global N; its seq tie-break sees
+		// the same arrival order as the serial plan because Gather
+		// preserves morsel order.
+		n.Child = b.rewrite(n.Child)
+		if g, ok := n.Child.(*exec.Gather); ok {
+			for i := range g.Pipes {
+				g.Pipes[i].Root = exec.NewTopN(g.Pipes[i].Root,
+					expr.CloneAll(n.Keys), append([]bool(nil), n.Desc...), n.N)
+			}
+		}
 	case *exec.Distinct:
 		n.Child = b.rewrite(n.Child)
 	case *exec.Limit:
@@ -129,6 +153,12 @@ func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Re
 		return pipes, shared, true
 
 	case *exec.HashJoin:
+		if b.memBudget {
+			// HashBuild/HashProbe cannot spill; keep the serial spilling
+			// HashJoin above the exchange (its inputs still parallelize
+			// via the rewrite switch).
+			return nil, nil, false
+		}
 		// Parallelize the probe (right) side; the build side becomes a
 		// shared HashBuild, itself recursively parallelized.
 		pipes, shared, ok := b.fragment(n.Right)

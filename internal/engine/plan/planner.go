@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
 	"repro/internal/engine/sql"
+	"repro/internal/engine/storage"
 )
 
 // JoinAlgorithm selects the physical equi-join operator.
@@ -43,6 +44,24 @@ type Options struct {
 	// storage.DefaultMorselPages. Tables at most one morsel long stay
 	// serial.
 	MorselPages int
+	// MemBudgetBytes caps the tracked memory of one query's blocking
+	// operators (sort buffers, hash-join builds, aggregate group state).
+	// Each compiled plan gets its own exec.QueryCtx sharing one
+	// MemTracker across all its operators and workers; operators that
+	// would exceed the budget spill to run files. 0 means unlimited and
+	// plans the exact in-memory operator paths.
+	MemBudgetBytes int64
+	// SpillVFS is the filesystem spill runs go through; nil means the
+	// operating system (storage.OSFS). Tests inject storage.MemVFS or
+	// storage.FaultVFS.
+	SpillVFS storage.VFS
+	// SpillDir is the base directory for per-query spill directories;
+	// empty uses a subdirectory of os.TempDir().
+	SpillDir string
+	// DisableTopN keeps ORDER BY + LIMIT as a full Sort + Limit instead
+	// of fusing them into the bounded-heap TopN operator — the seed
+	// behaviour, kept for the before/after benchmark and ablations.
+	DisableTopN bool
 }
 
 // Planner compiles SELECT statements against a catalog and function
@@ -51,6 +70,9 @@ type Planner struct {
 	Cat  *catalog.Catalog
 	Reg  *expr.Registry
 	Opts Options
+	// Spill accumulates spill statistics across every query this planner
+	// compiles; engine.Open points it at the database's sink. May be nil.
+	Spill *exec.SpillSink
 }
 
 // New returns a planner with default options.
@@ -85,6 +107,14 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 		return nil, err
 	}
 
+	// One QueryCtx per compiled plan: all blocking operators of this
+	// query share one MemTracker and one spill directory, so the budget
+	// is per query, not per operator, and worker-safe under DOP > 1.
+	var qctx *exec.QueryCtx
+	if p.Opts.MemBudgetBytes > 0 {
+		qctx = exec.NewQueryCtx(p.Opts.MemBudgetBytes, p.Opts.SpillVFS, p.Opts.SpillDir, p.Spill)
+	}
+
 	// Classify WHERE conjuncts.
 	var joinPreds []joinPred // two-alias equi predicates between base tables
 	var residual []sql.Expr  // everything else evaluated above the joins
@@ -117,7 +147,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	}
 	p.estimate(bases)
 
-	root, err := p.buildJoinTree(bases, joinPreds)
+	root, err := p.buildJoinTree(bases, joinPreds, qctx)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +219,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	}
 
 	// Aggregation and projection.
-	root, err = p.buildOutput(stmt, root)
+	root, err = p.buildOutput(stmt, root, qctx)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +241,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 		root = exec.NewDistinct(root)
 	}
 
+	limitDone := false
 	if len(stmt.OrderBy) > 0 {
 		keys := make([]expr.Expr, len(stmt.OrderBy))
 		desc := make([]bool, len(stmt.OrderBy))
@@ -222,9 +253,20 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 			keys[i] = bound
 			desc[i] = o.Desc
 		}
-		root = exec.NewSort(root, keys, desc)
+		if stmt.Limit >= 0 && !p.Opts.DisableTopN {
+			// ORDER BY + LIMIT k fuses into a bounded heap: O(k) memory
+			// instead of materializing and sorting the whole input. The
+			// parallel rewrite additionally pushes a partial TopN below
+			// the Gather exchange so each worker retains only k rows.
+			root = exec.NewTopN(root, keys, desc, stmt.Limit)
+			limitDone = true
+		} else {
+			s := exec.NewSort(root, keys, desc)
+			s.Ctx = qctx
+			root = s
+		}
 	}
-	if stmt.Limit >= 0 {
+	if stmt.Limit >= 0 && !limitDone {
 		root = exec.NewLimit(root, stmt.Limit)
 	}
 
@@ -406,7 +448,7 @@ func (jp joinPred) expr() sql.Expr {
 // estimated table first, then repeatedly the smallest table connected to
 // the current set by an equi-join predicate (falling back to a cross
 // product only when the FROM list is genuinely disconnected).
-func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred) (exec.Operator, error) {
+func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *exec.QueryCtx) (exec.Operator, error) {
 	remaining := append([]*baseItem(nil), bases...)
 	used := make([]bool, len(joinPreds))
 	joined := map[string]bool{}
@@ -493,7 +535,9 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred) (exec.O
 		case p.Opts.Join == JoinNested:
 			cur = exec.NewNestedLoopJoin(cur, right, &expr.Cmp{Op: expr.EQ, L: keyL, R: keyR})
 		default:
-			cur = exec.NewHashJoin(cur, right, keyL, keyR)
+			hj := exec.NewHashJoin(cur, right, keyL, keyR)
+			hj.Ctx = qctx
+			cur = hj
 		}
 		for _, e := range extra {
 			cur = exec.NewFilter(cur, e)
@@ -517,7 +561,7 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred) (exec.O
 }
 
 // buildOutput adds aggregation and projection.
-func (p *Planner) buildOutput(stmt *sql.SelectStmt, input exec.Operator) (exec.Operator, error) {
+func (p *Planner) buildOutput(stmt *sql.SelectStmt, input exec.Operator, qctx *exec.QueryCtx) (exec.Operator, error) {
 	if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
 		exprs := make([]expr.Expr, len(stmt.Items))
 		names := make([]string, len(stmt.Items))
@@ -575,6 +619,7 @@ func (p *Planner) buildOutput(stmt *sql.SelectStmt, input exec.Operator) (exec.O
 		aggs = append(aggs, spec)
 	}
 	agg := exec.NewHashAggregate(input, groupExprs, groupNames, aggs)
+	agg.Ctx = qctx
 
 	// Map select items onto the aggregate's output columns.
 	exprs := make([]expr.Expr, len(stmt.Items))
@@ -783,6 +828,9 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 	case *exec.Sort:
 		fmt.Fprintf(sb, "%sSort\n", indent)
 		explain(sb, n.Child, depth+1)
+	case *exec.TopN:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		explain(sb, n.Child, depth+1)
 	case *exec.Distinct:
 		fmt.Fprintf(sb, "%sDistinct\n", indent)
 		explain(sb, n.Child, depth+1)
@@ -826,6 +874,8 @@ func CountJoins(op exec.Operator) int {
 	case *exec.HashAggregate:
 		return CountJoins(n.Child)
 	case *exec.Sort:
+		return CountJoins(n.Child)
+	case *exec.TopN:
 		return CountJoins(n.Child)
 	case *exec.Distinct:
 		return CountJoins(n.Child)

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"io/fs"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// spillFixtureDB builds big(id, grp, val, pad): enough pages to
+// morselize, grp drawn from only 5 values so ORDER BY grp is decided
+// almost entirely by tie-breaking.
+func spillFixtureDB(t *testing.T) *Database {
+	t.Helper()
+	db := Open(Config{BufferPoolPages: 256})
+	_, err := db.CreateTable("big", []catalog.Column{
+		{Name: "id", Type: types.KindInt},
+		{Name: "grp", Type: types.KindInt},
+		{Name: "val", Type: types.KindInt},
+		{Name: "pad", Type: types.KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Catalog.Table("big")
+	pad := strings.Repeat("x", 24)
+	for i := 0; i < 3000; i++ {
+		err := tbl.Insert([]types.Value{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 5)),
+			types.NewInt(int64((i * 37) % 101)),
+			types.NewString(pad),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.RunStats(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSortEqualKeyOrderAcrossConfigs is the equal-key regression test:
+// a sort key with massive duplication must yield byte-identical row
+// order serially, at DOP 4, and under a budget that forces the external
+// sort — stability is what lets the differential harness compare
+// row-for-row.
+func TestSortEqualKeyOrderAcrossConfigs(t *testing.T) {
+	db := spillFixtureDB(t)
+	const q = `SELECT id, grp FROM big ORDER BY grp`
+
+	db.SetPlannerOptions(plan.Options{DOP: 1})
+	ref, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := []struct {
+		name string
+		o    plan.Options
+	}{
+		{"dop4", plan.Options{DOP: 4, MorselPages: 1}},
+		{"budget", plan.Options{DOP: 1, MemBudgetBytes: 2048, SpillVFS: storage.NewMemVFS()}},
+		{"budget+dop4", plan.Options{DOP: 4, MorselPages: 1, MemBudgetBytes: 2048, SpillVFS: storage.NewMemVFS()}},
+	}
+	for _, c := range cells {
+		db.SetPlannerOptions(c.o)
+		got, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(got.Rows, ref.Rows) {
+			for i := range ref.Rows {
+				if !reflect.DeepEqual(got.Rows[i], ref.Rows[i]) {
+					t.Fatalf("%s: first divergence at row %d: %v vs %v", c.name, i, got.Rows[i], ref.Rows[i])
+				}
+			}
+			t.Fatalf("%s: rows differ", c.name)
+		}
+	}
+}
+
+// TestConfigBudgetWiring exercises the engine-level surface: a budget
+// set in Config flows to every query, spill activity shows up in
+// SpillStats, and the on-disk spill directory holds no files once the
+// query finishes.
+func TestConfigBudgetWiring(t *testing.T) {
+	spillDir := t.TempDir()
+	db := Open(Config{BufferPoolPages: 256, MemBudgetBytes: 2048, SpillDir: spillDir})
+	_, err := db.CreateTable("s", []catalog.Column{
+		{Name: "k", Type: types.KindInt},
+		{Name: "v", Type: types.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Catalog.Table("s")
+	for i := 0; i < 500; i++ {
+		if err := tbl.Insert([]types.Value{types.NewInt(int64((i * 13) % 97)), types.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.RunStats(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := db.Query(`SELECT k, v FROM s ORDER BY k, v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 500 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	stats := db.SpillStats()
+	if stats.Runs == 0 || stats.SpillBytes == 0 {
+		t.Fatalf("Config budget did not reach the query: %+v", stats)
+	}
+	if stats.PeakMemBytes == 0 || stats.PeakMemBytes > 2048+8192 {
+		t.Fatalf("peak tracked memory %d outside (0, budget+8KiB]", stats.PeakMemBytes)
+	}
+
+	var leftover []string
+	err = filepath.WalkDir(spillDir, func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			leftover = append(leftover, p)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftover) != 0 {
+		t.Fatalf("spill files left after query: %v", leftover)
+	}
+
+	db.ResetSpillStats()
+	if s := db.SpillStats(); s != (exec.SpillStats{}) {
+		t.Fatalf("ResetSpillStats left %+v", s)
+	}
+}

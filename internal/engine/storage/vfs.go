@@ -255,6 +255,12 @@ var ErrCrashed = errors.New("storage: simulated crash")
 // Running a workload once with FailAtOp 0 and reading OpCount/OpKinds
 // yields the complete crash-point schedule; rerunning it once per index
 // enumerates every reachable crash state.
+//
+// Transient switches the schedule from crash-stop to single-fault: only
+// the FailAtOp-th operation fails and later I/O proceeds normally. That
+// models a recoverable I/O error (ENOSPC, EIO) rather than a dead
+// process, and lets error-path cleanup — e.g. a spilling operator
+// removing its partial run files — be asserted against the inner VFS.
 type FaultVFS struct {
 	Inner VFS
 	// FailAtOp is the 1-based index of the first operation to fail; 0
@@ -262,6 +268,9 @@ type FaultVFS struct {
 	FailAtOp int
 	// Torn makes the failing write persist the first half of its buffer.
 	Torn bool
+	// Transient fails only the FailAtOp-th operation instead of that one
+	// and every later one.
+	Transient bool
 
 	mu      sync.Mutex
 	ops     int
@@ -303,6 +312,14 @@ func (v *FaultVFS) step(kind string) (fail, atPoint bool) {
 		return true, false
 	}
 	if v.FailAtOp > 0 && v.ops >= v.FailAtOp {
+		if v.Transient {
+			// Single-fault mode: this operation fails, the process lives
+			// on, and no later operation is scheduled to fail.
+			if v.ops == v.FailAtOp {
+				return true, true
+			}
+			return false, false
+		}
 		v.crashed = true
 		return true, true
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dtd"
 	"repro/internal/engine"
+	"repro/internal/engine/exec"
 	"repro/internal/engine/wal"
 	"repro/internal/mapping"
 	"repro/internal/xadt"
@@ -50,8 +51,16 @@ type Config = core.Config
 // options, degree of parallelism); assign it to Config.Engine. Setting
 // DOP > 1 — or leaving it 0 to default to runtime.GOMAXPROCS — makes
 // scans, hash joins, and XADT UDF evaluation run across that many
-// workers, with results identical to serial execution.
+// workers, with results identical to serial execution. Setting
+// MemBudgetBytes caps each query's tracked operator memory: sorts,
+// hash-join builds, and hash aggregates past the budget spill to
+// temporary run files (under SpillDir) and still return exactly the
+// unlimited-memory rows; Store.SpillStats reports the activity.
 type EngineConfig = engine.Config
+
+// SpillStats summarizes the spill activity of memory-bounded queries;
+// returned by Store.SpillStats when EngineConfig.MemBudgetBytes is set.
+type SpillStats = exec.SpillStats
 
 // Store is a loaded XML store under one mapping.
 type Store = core.Store
