@@ -28,6 +28,7 @@ benchsmoke:
 	$(GO) test -race -run TestXadtSmoke ./internal/bench/
 	$(GO) test -race -run TestDurabilitySmoke ./internal/bench/
 	$(GO) test -race -run TestSpillSmoke ./internal/bench/
+	$(GO) test -race -run TestVectorSmoke ./internal/bench/
 
 # Exhaustive fault-injection sweep: crash the store at every mutating
 # filesystem operation (plus torn-write variants) and require recovery to
@@ -57,4 +58,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_spill.json BENCH_durability.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_spill.json BENCH_durability.json BENCH_vector.json *.pprof

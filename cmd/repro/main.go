@@ -12,6 +12,7 @@
 //	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
 //	-exp xadt      XADT fast path: header filter + decode cache vs baseline
 //	-exp spill     memory-bounded execution: spilling operators + Top-N pushdown
+//	-exp vector    vectorized batch execution vs the row-at-a-time engine
 //	-exp difftest  differential correctness fuzzing across the full matrix
 //	-exp crash     crash a WAL-backed load at a seeded point and recover it
 //	-exp durability  load throughput with the WAL off/batch/always synced
@@ -28,9 +29,9 @@
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
 // The parallel experiment also writes BENCH_parallel.json; the xadt
 // experiment writes BENCH_xadt.json; the spill experiment writes
-// BENCH_spill.json; the durability experiment writes
-// BENCH_durability.json. -cpuprofile and -memprofile write pprof
-// profiles covering the selected experiments.
+// BENCH_spill.json; the vector experiment writes BENCH_vector.json; the
+// durability experiment writes BENCH_durability.json. -cpuprofile and
+// -memprofile write pprof profiles covering the selected experiments.
 package main
 
 import (
@@ -122,11 +123,12 @@ func realMain() int {
 		"parallel":   r.parallel,
 		"xadt":       r.xadt,
 		"spill":      r.spill,
+		"vector":     r.vector,
 		"difftest":   r.difftest,
 		"crash":      r.crashDemo,
 		"durability": r.durability,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "spill", "difftest", "crash", "durability"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "spill", "vector", "difftest", "crash", "durability"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -358,6 +360,26 @@ func (r *runner) spill() error {
 		return err
 	}
 	fmt.Println("wrote BENCH_spill.json")
+	return nil
+}
+
+// vector measures the batch-at-a-time engine against the seed
+// row-at-a-time engine on scan, filter, aggregation, and Top-N shapes at
+// DOP 1 and DOP N, requiring identical rows cell by cell.
+func (r *runner) vector() error {
+	rows := 60000
+	if r.quick {
+		rows = 8000
+	}
+	ms, err := bench.RunVector(rows, r.dop, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.VectorTable(ms))
+	if err := bench.WriteVectorJSON("BENCH_vector.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_vector.json")
 	return nil
 }
 

@@ -1,0 +1,171 @@
+// Vectorized execution benchmark: the same queries run on the seed
+// row-at-a-time engine (DisableVectorized) and on the batch-at-a-time
+// engine, at DOP 1 and DOP N, with the rows required identical cell by
+// cell. The query set covers the shapes vectorization targets — a
+// selective scan+filter, a grouped aggregation, a filtered COUNT(*) —
+// plus a Top-N that stays row-wise above a vectorized scan, guarding
+// against shim regressions. Emitted as a report table and as
+// machine-readable BENCH_vector.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/types"
+)
+
+// VectorMeasurement is one query shape at one DOP, row engine vs
+// vectorized engine.
+type VectorMeasurement struct {
+	Op        string  `json:"op"`
+	Query     string  `json:"query"`
+	TableRows int     `json:"table_rows"`
+	OutRows   int     `json:"out_rows"`
+	DOP       int     `json:"dop"`
+	RowMs     float64 `json:"row_ms"`
+	VecMs     float64 `json:"vec_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+// buildVectorDB creates a database with one synthetic table r of n rows
+// shaped for kernel measurement: a shuffled non-unique value column for
+// selective filters and 64 groups so aggregation is accumulation-bound
+// rather than group-creation-bound. All columns are integers so the
+// measurement isolates iteration and kernel cost rather than the string
+// decode allocations both engines pay identically.
+func buildVectorDB(n int) (*engine.Database, error) {
+	db := engine.Open(engine.Config{})
+	_, err := db.CreateTable("r", []catalog.Column{
+		{Name: "id", Type: types.KindInt},
+		{Name: "grp", Type: types.KindInt},
+		{Name: "val", Type: types.KindInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := db.Catalog.Table("r")
+	for i := 0; i < n; i++ {
+		row := []types.Value{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 64)),
+			types.NewInt(int64((i*7919 + 13) % n)),
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.RunStats(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// RunVector measures the row engine against the vectorized engine on a
+// synthetic table of rows rows, at DOP 1 and DOP dop. Zero arguments
+// select the full-scale defaults (60000 rows, DOP 4).
+func RunVector(rows, dop, repeats int) ([]VectorMeasurement, error) {
+	if rows <= 0 {
+		rows = 60000
+	}
+	if dop < 2 {
+		dop = 4
+	}
+	db, err := buildVectorDB(rows)
+	if err != nil {
+		return nil, fmt.Errorf("bench: vector fixture: %w", err)
+	}
+
+	specs := []struct {
+		op    string
+		query string
+	}{
+		{"scan-filter", fmt.Sprintf(`SELECT id, val FROM r WHERE val > %d`, 9*rows/10)},
+		{"scan-wide", fmt.Sprintf(`SELECT id, val FROM r WHERE val > %d`, rows/2)},
+		{"aggregate", `SELECT grp, COUNT(*), SUM(val), MIN(val), MAX(val) FROM r GROUP BY grp`},
+		{"count-filter", fmt.Sprintf(`SELECT COUNT(*) FROM r WHERE val > %d`, rows/4)},
+		{"topn", `SELECT id, val FROM r ORDER BY val, id LIMIT 10`},
+	}
+	var out []VectorMeasurement
+	for _, s := range specs {
+		for _, d := range []int{1, dop} {
+			rowOpts := plan.Options{DOP: d, DisableVectorized: true}
+			vecOpts := plan.Options{DOP: d}
+
+			db.SetPlannerOptions(vecOpts)
+			ex, err := db.Explain(s.query)
+			if err != nil {
+				return nil, fmt.Errorf("bench: vector %s: %w", s.op, err)
+			}
+			if !strings.Contains(ex, "[vec]") {
+				return nil, fmt.Errorf("bench: vector %s: plan has no vectorized operator:\n%s", s.op, ex)
+			}
+			got, err := db.Query(s.query)
+			if err != nil {
+				return nil, fmt.Errorf("bench: vector %s vec dop=%d: %w", s.op, d, err)
+			}
+			tVec, err := timeEngineQuery(db, s.query, repeats)
+			if err != nil {
+				return nil, fmt.Errorf("bench: vector %s vec dop=%d: %w", s.op, d, err)
+			}
+
+			db.SetPlannerOptions(rowOpts)
+			ref, err := db.Query(s.query)
+			if err != nil {
+				return nil, fmt.Errorf("bench: vector %s row dop=%d: %w", s.op, d, err)
+			}
+			tRow, err := timeEngineQuery(db, s.query, repeats)
+			if err != nil {
+				return nil, fmt.Errorf("bench: vector %s row dop=%d: %w", s.op, d, err)
+			}
+
+			speedup := 0.0
+			if tVec > 0 {
+				speedup = float64(tRow) / float64(tVec)
+			}
+			out = append(out, VectorMeasurement{
+				Op:        s.op,
+				Query:     s.query,
+				TableRows: rows,
+				OutRows:   len(got.Rows),
+				DOP:       d,
+				RowMs:     float64(tRow.Microseconds()) / 1e3,
+				VecMs:     float64(tVec.Microseconds()) / 1e3,
+				Speedup:   speedup,
+				Identical: reflect.DeepEqual(ref.Rows, got.Rows),
+			})
+		}
+	}
+	db.SetPlannerOptions(plan.Options{DOP: 1})
+	return out, nil
+}
+
+// VectorTable renders the measurements as the repro CLI report.
+func VectorTable(ms []VectorMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Vectorized batch execution: row engine vs columnar kernels\n")
+	fmt.Fprintf(&sb, "%-12s %10s %9s %4s %9s %9s %8s %6s\n",
+		"op", "table_rows", "out_rows", "dop", "row_ms", "vec_ms", "speedup", "ident")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-12s %10d %9d %4d %9.2f %9.2f %8.2f %6t\n",
+			m.Op, m.TableRows, m.OutRows, m.DOP, m.RowMs, m.VecMs, m.Speedup, m.Identical)
+	}
+	return sb.String()
+}
+
+// WriteVectorJSON writes the measurements as a JSON array to path
+// (conventionally BENCH_vector.json).
+func WriteVectorJSON(path string, ms []VectorMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/engine/vec"
+)
+
+// TestVectorSmoke runs the vector benchmark at a reduced scale, checking
+// that every cell produced identical rows on both engines and that no
+// pooled batches leak across the whole run (serial and parallel, row and
+// vectorized). Wired into the CI benchsmoke target.
+func TestVectorSmoke(t *testing.T) {
+	base := vec.Outstanding()
+	ms, err := RunVector(4000, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, m := range ms {
+		if !m.Identical {
+			t.Errorf("%s dop=%d: vectorized rows differ from row engine", m.Op, m.DOP)
+		}
+		if m.OutRows == 0 {
+			t.Errorf("%s dop=%d: no output rows", m.Op, m.DOP)
+		}
+	}
+	if got := vec.Outstanding(); got != base {
+		t.Fatalf("leaked %d pooled batches across benchmark run", got-base)
+	}
+}

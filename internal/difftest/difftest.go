@@ -278,15 +278,23 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 		o    plan.Options
 		fast bool
 	}
+	// The serial reference runs the default engine, which vectorizes
+	// every capable subtree; the rowengine cells disable that and must
+	// match byte-for-byte — the batch/row differential axis. Parallel
+	// cells disable the small-input gate (MinParallelPages: -1) so the
+	// tiny generated tables still produce genuinely parallel plans.
 	serial := plan.Options{DOP: 1}
-	par := plan.Options{DOP: opts.DOP, MorselPages: 1}
+	par := plan.Options{DOP: opts.DOP, MorselPages: 1, MinParallelPages: -1}
+	rowSerial := plan.Options{DOP: 1, DisableVectorized: true}
+	rowPar := plan.Options{DOP: opts.DOP, MorselPages: 1, MinParallelPages: -1, DisableVectorized: true}
 	// Budget cells spill through one shared in-memory VFS; spill file
 	// names are globally unique, so cells never collide.
-	var budget, budgetPar plan.Options
+	var budget, budgetPar, budgetRow plan.Options
 	if opts.MemBudget > 0 {
 		spillFS := storage.NewMemVFS()
 		budget = plan.Options{DOP: 1, MemBudgetBytes: opts.MemBudget, SpillVFS: spillFS}
-		budgetPar = plan.Options{DOP: opts.DOP, MorselPages: 1, MemBudgetBytes: opts.MemBudget, SpillVFS: spillFS}
+		budgetPar = plan.Options{DOP: opts.DOP, MorselPages: 1, MinParallelPages: -1, MemBudgetBytes: opts.MemBudget, SpillVFS: spillFS}
+		budgetRow = plan.Options{DOP: 1, MemBudgetBytes: opts.MemBudget, SpillVFS: spillFS, DisableVectorized: true}
 	}
 	run := func(s *core.Store, o plan.Options, fast bool, sql string) (*engine.Result, error) {
 		s.DB.SetXADTFastPath(fast)
@@ -309,11 +317,16 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			return divs, cells, fmt.Errorf("hybrid %w", err)
 		}
 		hyRef = ref
-		hyCells := []cellSpec{{"hybrid:dop", par, true}}
+		hyCells := []cellSpec{
+			{"hybrid:dop", par, true},
+			{"hybrid:rowengine", rowSerial, true},
+			{"hybrid:rowengine+dop", rowPar, true},
+		}
 		if opts.MemBudget > 0 {
 			hyCells = append(hyCells,
 				cellSpec{"hybrid:membudget", budget, true},
-				cellSpec{"hybrid:membudget+dop", budgetPar, true})
+				cellSpec{"hybrid:membudget+dop", budgetPar, true},
+				cellSpec{"hybrid:rowengine+membudget", budgetRow, true})
 		}
 		for _, cell := range hyCells {
 			got, err := run(st.hy, cell.o, cell.fast, c.Hybrid)
@@ -334,13 +347,16 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 		xoRef = ref
 		xoCells := []cellSpec{
 			{"xorator:dop", par, true},
+			{"xorator:rowengine", rowSerial, true},
+			{"xorator:rowengine+dop", rowPar, true},
 			{"xorator:fastpath", serial, false},
 			{"xorator:fastpath+dop", par, false},
 		}
 		if opts.MemBudget > 0 {
 			xoCells = append(xoCells,
 				cellSpec{"xorator:membudget", budget, true},
-				cellSpec{"xorator:membudget+dop", budgetPar, true})
+				cellSpec{"xorator:membudget+dop", budgetPar, true},
+				cellSpec{"xorator:rowengine+membudget", budgetRow, true})
 		}
 		for _, cell := range xoCells {
 			got, err := run(st.xo, cell.o, cell.fast, c.XORator)

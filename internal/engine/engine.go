@@ -70,6 +70,10 @@ type Config struct {
 	// uses a subdirectory of os.TempDir(). Spill I/O goes through VFS
 	// when set (falling back to the OS).
 	SpillDir string
+	// DisableVectorized runs every query with the row-at-a-time operator
+	// paths instead of batch-at-a-time execution — the seed behaviour,
+	// kept for the before/after benchmark and the differential harness.
+	DisableVectorized bool
 }
 
 // xadtRuntime is the per-database XADT evaluation state: the decode
@@ -180,6 +184,9 @@ func resolveOptions(cfg Config) plan.Options {
 	}
 	if opts.SpillDir == "" {
 		opts.SpillDir = cfg.SpillDir
+	}
+	if cfg.DisableVectorized {
+		opts.DisableVectorized = true
 	}
 	return opts
 }

@@ -20,20 +20,27 @@ import (
 	"repro/internal/engine/expr"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
+	"repro/internal/engine/vec"
 )
 
 // MorselScan reads one page range of a table at a time. It is the leaf
 // of a parallel pipeline: the owning Gather re-targets it with SetRange
 // for every morsel its worker claims. A fused predicate (the parallel
 // twin of SeqScan.Pred) runs inside the worker, so pushed-down filters
-// parallelize across morsels.
+// parallelize across morsels. With Vec set it decodes page runs
+// column-major into a pooled batch, exactly like SeqScan.
 type MorselScan struct {
 	Table  *catalog.Table
 	Alias  string
 	Pred   expr.Expr // optional, resolved against the scan schema
+	Vec    bool
 	schema *expr.RowSchema
 	lo, hi int
 	cursor *storage.Cursor
+
+	batch   *vec.Batch
+	scratch expr.VecScratch
+	shim    rowShim
 }
 
 // NewMorselScan returns a morsel-ranged scan of the table under the
@@ -51,11 +58,37 @@ func (s *MorselScan) Schema() *expr.RowSchema { return s.schema }
 // Open implements Operator.
 func (s *MorselScan) Open() error {
 	s.cursor = s.Table.Heap.NewRangeCursor(s.lo, s.hi)
+	s.shim.reset()
+	if s.Vec && s.batch == nil {
+		s.batch = vec.Get(len(s.schema.Cols))
+	}
 	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *MorselScan) NextBatch() (*vec.Batch, error) {
+	b := s.batch
+	n, err := s.cursor.NextBatch(b.Cols, b.Cap())
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b.NRows, b.Sel = n, nil
+	if s.Pred != nil {
+		if err := expr.FilterBatch(s.Pred, b, &s.scratch); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // Next implements Operator.
 func (s *MorselScan) Next() ([]types.Value, error) {
+	if s.Vec {
+		return s.shim.next(s.NextBatch)
+	}
 	for {
 		_, row, ok, err := s.cursor.Next()
 		if err != nil || !ok {
@@ -77,15 +110,22 @@ func (s *MorselScan) Next() ([]types.Value, error) {
 // Close implements Operator.
 func (s *MorselScan) Close() error {
 	s.cursor = nil
+	vec.Release(s.batch)
+	s.batch = nil
+	s.shim.reset()
 	return nil
 }
 
 // String describes the scan for plan explanations.
 func (s *MorselScan) String() string {
-	if s.Pred != nil {
-		return fmt.Sprintf("MorselScan(%s as %s, filter: %s)", s.Table.Schema.Table, s.Alias, s.Pred)
+	suffix := ""
+	if s.Vec {
+		suffix = " [vec]"
 	}
-	return fmt.Sprintf("MorselScan(%s as %s)", s.Table.Schema.Table, s.Alias)
+	if s.Pred != nil {
+		return fmt.Sprintf("MorselScan(%s as %s, filter: %s)%s", s.Table.Schema.Table, s.Alias, s.Pred, suffix)
+	}
+	return fmt.Sprintf("MorselScan(%s as %s)%s", s.Table.Schema.Table, s.Alias, suffix)
 }
 
 // Pipeline is one worker's copy of a parallelized plan fragment: the
@@ -99,11 +139,59 @@ type Pipeline struct {
 // build) that a Gather resets when it is re-opened.
 type Resettable interface{ Reset() }
 
-// morselBatch is the fully evaluated output of one morsel.
+// morselBatch is the fully evaluated output of one morsel: rows when the
+// pipeline ran row-at-a-time, pooled column batches when it ran
+// vectorized. The batches are owned by whoever holds the morselBatch and
+// must be released exactly once.
 type morselBatch struct {
-	seq  int
-	rows [][]types.Value
-	err  error
+	seq     int
+	rows    [][]types.Value
+	batches []*vec.Batch
+	err     error
+}
+
+// releaseBatches returns every batch of a morsel to the pool.
+func releaseBatches(bs []*vec.Batch) {
+	for _, b := range bs {
+		vec.Release(b)
+	}
+}
+
+// drainBatches runs a batch-capable pipeline to completion over its
+// current morsel, compacting each produced batch into a pooled copy that
+// can cross the worker→Gather channel. On error no batches are returned
+// (partial output is released).
+func drainBatches(op Operator) ([]*vec.Batch, error) {
+	bop := op.(BatchOperator)
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []*vec.Batch
+	fail := func(err error) ([]*vec.Batch, error) {
+		op.Close()
+		releaseBatches(out)
+		return nil, err
+	}
+	for {
+		b, err := bop.NextBatch()
+		if err != nil {
+			return fail(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Active() == 0 {
+			continue
+		}
+		nb := vec.Get(len(b.Cols))
+		vec.CompactInto(nb, b)
+		out = append(out, nb)
+	}
+	if err := op.Close(); err != nil {
+		releaseBatches(out)
+		return nil, err
+	}
+	return out, nil
 }
 
 // DisableGatherReorder, when true, makes every Gather serve batches in
@@ -127,6 +215,10 @@ type Gather struct {
 	// Shared is per-execution state reused by all workers (hash builds,
 	// materialized join inners); it is reset on every Open.
 	Shared []Resettable
+	// Vec makes the workers drain their pipelines batch-at-a-time and
+	// Gather forward whole batches; set by the planner only when every
+	// pipeline root is batch-capable.
+	Vec bool
 
 	schema *expr.RowSchema
 
@@ -139,6 +231,10 @@ type Gather struct {
 	pos     int
 	err     error
 	drained bool
+
+	curBatches []*vec.Batch
+	bpos       int
+	shim       rowShim
 }
 
 // NewGather builds the exchange over worker pipelines. All pipelines
@@ -173,6 +269,8 @@ func (g *Gather) Open() error {
 	g.cancel = make(chan struct{})
 	g.pending = make(map[int]morselBatch)
 	g.nextSeq, g.cur, g.pos = 0, nil, 0
+	g.curBatches, g.bpos = nil, 0
+	g.shim.reset()
 	g.err = nil
 	g.drained = false
 
@@ -199,15 +297,25 @@ func (g *Gather) worker(p Pipeline, wg *sync.WaitGroup) {
 			return
 		}
 		p.Leaf.SetRange(m.Lo, m.Hi)
-		rows, err := Drain(p.Root)
+		var (
+			rows    [][]types.Value
+			batches []*vec.Batch
+			err     error
+		)
+		if g.Vec {
+			batches, err = drainBatches(p.Root)
+		} else {
+			rows, err = Drain(p.Root)
+		}
 		if err != nil {
 			// Stop handing out work; in-flight morsels on other workers
 			// finish so every claimed sequence number gets a batch.
 			g.src.Abort()
 		}
 		select {
-		case g.ch <- morselBatch{seq: m.Seq, rows: rows, err: err}:
+		case g.ch <- morselBatch{seq: m.Seq, rows: rows, batches: batches, err: err}:
 		case <-g.cancel:
+			releaseBatches(batches)
 			return
 		}
 		if err != nil {
@@ -217,8 +325,12 @@ func (g *Gather) worker(p Pipeline, wg *sync.WaitGroup) {
 }
 
 // Next implements Operator: it serves rows from the current batch and
-// otherwise advances to the next batch in morsel order.
+// otherwise advances to the next batch in morsel order. A vectorized
+// Gather serves rows through the batch→row shim instead.
 func (g *Gather) Next() ([]types.Value, error) {
+	if g.Vec {
+		return g.shim.next(g.NextBatch)
+	}
 	for {
 		if g.err != nil {
 			return nil, g.err
@@ -259,6 +371,52 @@ func (g *Gather) Next() ([]types.Value, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: it hands out the queued batches of
+// each morsel in sequence order. The batch returned by the previous call
+// is released here, honouring the valid-until-next-call contract.
+func (g *Gather) NextBatch() (*vec.Batch, error) {
+	if g.bpos > 0 {
+		vec.Release(g.curBatches[g.bpos-1])
+		g.curBatches[g.bpos-1] = nil
+	}
+	for {
+		if g.err != nil {
+			return nil, g.err
+		}
+		if g.bpos < len(g.curBatches) {
+			b := g.curBatches[g.bpos]
+			g.bpos++
+			return b, nil
+		}
+		g.curBatches, g.bpos = nil, 0
+		if b, ok := g.takePending(); ok {
+			if b.err != nil {
+				releaseBatches(b.batches)
+				g.err = b.err
+				return nil, g.err
+			}
+			g.curBatches = b.batches
+			g.nextSeq++
+			continue
+		}
+		if g.drained {
+			for _, b := range g.pending {
+				if b.err != nil {
+					g.err = b.err
+					return nil, g.err
+				}
+			}
+			return nil, nil
+		}
+		b, ok := <-g.ch
+		if !ok {
+			g.drained = true
+			continue
+		}
+		g.pending[b.seq] = b
+	}
+}
+
 // takePending removes and returns the next batch to serve: the batch for
 // nextSeq normally, or any pending batch when DisableGatherReorder is on.
 func (g *Gather) takePending() (morselBatch, bool) {
@@ -278,22 +436,34 @@ func (g *Gather) takePending() (morselBatch, bool) {
 
 // Close stops the workers and releases batches. Workers finish their
 // in-flight morsel; subsequent sends land in the closed-over channel
-// drain below, and no new morsels are claimed.
+// drain below, and no new morsels are claimed. Every pooled batch still
+// queued — in the channel, the pending map, or the current morsel — goes
+// back to the pool here.
 func (g *Gather) Close() error {
 	if g.cancel != nil {
 		g.src.Abort()
 		close(g.cancel)
-		for range g.ch { // unblock senders until the closer closes ch
+		for b := range g.ch { // unblock senders until the closer closes ch
+			releaseBatches(b.batches)
 		}
 		g.cancel = nil
 	}
+	for _, b := range g.pending {
+		releaseBatches(b.batches)
+	}
 	g.pending = nil
 	g.cur = nil
+	releaseBatches(g.curBatches) // already-released slots are nil
+	g.curBatches, g.bpos = nil, 0
+	g.shim.reset()
 	return nil
 }
 
 // String describes the exchange for plan explanations.
 func (g *Gather) String() string {
+	if g.Vec {
+		return fmt.Sprintf("Gather(dop=%d) [vec]", len(g.Pipes))
+	}
 	return fmt.Sprintf("Gather(dop=%d)", len(g.Pipes))
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine/expr"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
+	"repro/internal/engine/vec"
 )
 
 // tableSchema builds the row schema of a table bound under an alias.
@@ -21,12 +22,21 @@ func tableSchema(t *catalog.Table, alias string) *expr.RowSchema {
 // SeqScan reads a table front to back. A fused predicate, when set,
 // drops rows at the cursor before anything above the scan sees them —
 // the destination of the planner's predicate pushdown.
+//
+// With Vec set (the planner's vectorize pass), the scan decodes whole
+// page runs column-major into a pooled batch and runs the predicate as
+// a columnar kernel; Next still works through the batch→row shim.
 type SeqScan struct {
 	Table  *catalog.Table
 	Alias  string
 	Pred   expr.Expr // optional, resolved against the scan schema
+	Vec    bool
 	schema *expr.RowSchema
 	cursor *storage.Cursor
+
+	batch   *vec.Batch
+	scratch expr.VecScratch
+	shim    rowShim
 }
 
 // NewSeqScan returns a sequential scan of the table under the alias.
@@ -40,11 +50,39 @@ func (s *SeqScan) Schema() *expr.RowSchema { return s.schema }
 // Open implements Operator.
 func (s *SeqScan) Open() error {
 	s.cursor = s.Table.Heap.NewCursor()
+	s.shim.reset()
+	if s.Vec && s.batch == nil {
+		s.batch = vec.Get(len(s.schema.Cols))
+	}
 	return nil
+}
+
+// NextBatch implements BatchOperator: it decodes up to one batch of rows
+// straight into column arrays and narrows the selection with the fused
+// predicate's columnar kernel.
+func (s *SeqScan) NextBatch() (*vec.Batch, error) {
+	b := s.batch
+	n, err := s.cursor.NextBatch(b.Cols, b.Cap())
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b.NRows, b.Sel = n, nil
+	if s.Pred != nil {
+		if err := expr.FilterBatch(s.Pred, b, &s.scratch); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
 }
 
 // Next implements Operator.
 func (s *SeqScan) Next() ([]types.Value, error) {
+	if s.Vec {
+		return s.shim.next(s.NextBatch)
+	}
 	for {
 		_, row, ok, err := s.cursor.Next()
 		if err != nil || !ok {
@@ -66,15 +104,22 @@ func (s *SeqScan) Next() ([]types.Value, error) {
 // Close implements Operator.
 func (s *SeqScan) Close() error {
 	s.cursor = nil
+	vec.Release(s.batch)
+	s.batch = nil
+	s.shim.reset()
 	return nil
 }
 
 // String describes the scan for plan explanations.
 func (s *SeqScan) String() string {
-	if s.Pred != nil {
-		return fmt.Sprintf("SeqScan(%s as %s, filter: %s)", s.Table.Schema.Table, s.Alias, s.Pred)
+	suffix := ""
+	if s.Vec {
+		suffix = " [vec]"
 	}
-	return fmt.Sprintf("SeqScan(%s as %s)", s.Table.Schema.Table, s.Alias)
+	if s.Pred != nil {
+		return fmt.Sprintf("SeqScan(%s as %s, filter: %s)%s", s.Table.Schema.Table, s.Alias, s.Pred, suffix)
+	}
+	return fmt.Sprintf("SeqScan(%s as %s)%s", s.Table.Schema.Table, s.Alias, suffix)
 }
 
 // IndexScan fetches the rows whose indexed column equals a key.
@@ -129,11 +174,17 @@ func (s *IndexScan) String() string {
 }
 
 // ValuesScan produces a fixed in-memory row set; the planner uses it for
-// materialized inputs and tests use it as a stub source.
+// materialized inputs and tests use it as a stub source. With Vec set it
+// scatters its rows into column-major batches, which gives tests a
+// controllable batch producer.
 type ValuesScan struct {
 	Rows   [][]types.Value
+	Vec    bool
 	schema *expr.RowSchema
 	pos    int
+
+	batch *vec.Batch
+	shim  rowShim
 }
 
 // NewValuesScan wraps rows under the given schema.
@@ -147,11 +198,41 @@ func (s *ValuesScan) Schema() *expr.RowSchema { return s.schema }
 // Open implements Operator.
 func (s *ValuesScan) Open() error {
 	s.pos = 0
+	s.shim.reset()
+	if s.Vec && s.batch == nil {
+		s.batch = vec.Get(len(s.schema.Cols))
+	}
 	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *ValuesScan) NextBatch() (*vec.Batch, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, nil
+	}
+	b := s.batch
+	ncols := len(b.Cols)
+	n := 0
+	for n < b.Cap() && s.pos < len(s.Rows) {
+		row := s.Rows[s.pos]
+		if len(row) != ncols {
+			return nil, fmt.Errorf("exec: values row has %d columns, schema has %d", len(row), ncols)
+		}
+		for j := range b.Cols {
+			b.Cols[j][n] = row[j]
+		}
+		s.pos++
+		n++
+	}
+	b.NRows, b.Sel = n, nil
+	return b, nil
 }
 
 // Next implements Operator.
 func (s *ValuesScan) Next() ([]types.Value, error) {
+	if s.Vec {
+		return s.shim.next(s.NextBatch)
+	}
 	if s.pos >= len(s.Rows) {
 		return nil, nil
 	}
@@ -161,4 +242,9 @@ func (s *ValuesScan) Next() ([]types.Value, error) {
 }
 
 // Close implements Operator.
-func (s *ValuesScan) Close() error { return nil }
+func (s *ValuesScan) Close() error {
+	vec.Release(s.batch)
+	s.batch = nil
+	s.shim.reset()
+	return nil
+}

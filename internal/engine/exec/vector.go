@@ -1,0 +1,103 @@
+// Batch-at-a-time execution support: the BatchOperator contract, the
+// batch→row adapter shim that keeps every vectorized operator usable
+// from the row-at-a-time Operator interface, and the inline FNV-1a hash
+// kernel that hashes whole key columns per batch.
+//
+// The planner (plan.vectorize) flips the Vec flag on operators whose
+// subtree can produce batches; everything else — row-only operators such
+// as TableFuncApply, the spill paths, sorts — consumes vectorized
+// children through the shim, so the refactor needs no parallel operator
+// tree and plans keep their seed shapes.
+package exec
+
+import (
+	"repro/internal/engine/types"
+	"repro/internal/engine/vec"
+)
+
+// BatchOperator is an Operator that can also produce whole row batches.
+// For one Open, a consumer uses either Next or NextBatch, never both.
+// The returned batch is owned by the producer and valid only until the
+// next NextBatch or Close call; a nil batch means end of stream. A
+// returned batch may have no active rows.
+type BatchOperator interface {
+	Operator
+	NextBatch() (*vec.Batch, error)
+}
+
+// rowShim adapts a batch producer to row-at-a-time Next: it gathers one
+// active row per call from the producer's current batch, advancing to
+// the next batch as needed. Each returned row is freshly allocated and
+// caller-owned, matching row-engine semantics.
+type rowShim struct {
+	b   *vec.Batch
+	pos int
+}
+
+func (s *rowShim) reset() { s.b, s.pos = nil, 0 }
+
+func (s *rowShim) next(src func() (*vec.Batch, error)) ([]types.Value, error) {
+	for {
+		if s.b != nil && s.pos < s.b.Active() {
+			row := s.b.Row(s.pos, nil)
+			s.pos++
+			return row, nil
+		}
+		b, err := src()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			s.b = nil
+			return nil, nil
+		}
+		s.b, s.pos = b, 0
+	}
+}
+
+// hashKeyCols computes hashRow over pre-evaluated key columns for every
+// active row of the batch, writing the combined hash for physical row i
+// into hashes[i]. It is bit-identical to hashRow over the gathered key.
+func hashKeyCols(keyCols [][]types.Value, b *vec.Batch, hashes []uint64) {
+	if b.Sel == nil {
+		for i := 0; i < b.NRows; i++ {
+			var h uint64 = 1469598103934665603
+			for _, kc := range keyCols {
+				h ^= types.Hash(kc[i])
+				h *= 1099511628211
+			}
+			hashes[i] = h
+		}
+		return
+	}
+	for _, i := range b.Sel {
+		var h uint64 = 1469598103934665603
+		for _, kc := range keyCols {
+			h ^= types.Hash(kc[i])
+			h *= 1099511628211
+		}
+		hashes[i] = h
+	}
+}
+
+// batchCapable reports whether op produces batches when asked: it
+// implements BatchOperator and its Vec flag is on.
+func batchCapable(op Operator) bool {
+	switch n := op.(type) {
+	case *SeqScan:
+		return n.Vec
+	case *MorselScan:
+		return n.Vec
+	case *ValuesScan:
+		return n.Vec
+	case *Filter:
+		return n.Vec
+	case *Project:
+		return n.Vec
+	case *Limit:
+		return n.Vec
+	case *Gather:
+		return n.Vec
+	}
+	return false
+}

@@ -1,0 +1,251 @@
+// Vectorized expression evaluation: kernels that evaluate a bound
+// expression over a whole column-major batch at once, driven by a
+// selection vector. Filtering narrows the selection in place — data is
+// never moved — and the common predicate shapes (comparison of a column
+// against a constant or another column, conjunctions, LIKE over a
+// column) run as tight loops without the per-row interface dispatch of
+// Expr.Eval. Everything else falls back to a gather-and-Eval loop with
+// identical semantics, so the vectorized path is behaviourally
+// indistinguishable from the row path.
+package expr
+
+import (
+	"repro/internal/engine/types"
+	"repro/internal/engine/vec"
+)
+
+// VecScratch holds the reusable buffers of one operator's vectorized
+// evaluation: a gathered row for the generic fallback path. The zero
+// value is ready to use.
+type VecScratch struct {
+	row []types.Value
+}
+
+func (s *VecScratch) rowBuf(n int) []types.Value {
+	if cap(s.row) < n {
+		s.row = make([]types.Value, n)
+	}
+	return s.row[:n]
+}
+
+// FilterBatch narrows the batch's selection to the rows where pred is
+// true, preserving the row-at-a-time semantics exactly: NULL comparisons
+// are false, AND short-circuits left to right (a row rejected by the
+// left conjunct never evaluates the right), and Truthy decides survival.
+func FilterBatch(pred Expr, b *vec.Batch, s *VecScratch) error {
+	switch p := pred.(type) {
+	case *And:
+		// Sequential narrowing: rows dropped by L are not in the
+		// selection when R runs — the batch form of short-circuiting.
+		if err := FilterBatch(p.L, b, s); err != nil {
+			return err
+		}
+		return FilterBatch(p.R, b, s)
+	case *Cmp:
+		if lc, ok := p.L.(*Col); ok {
+			if rc, ok := p.R.(*Const); ok {
+				return filterColConst(p.Op, lc, rc.Val, b)
+			}
+			if rc, ok := p.R.(*Col); ok {
+				return filterColCol(p.Op, lc, rc, b)
+			}
+		}
+	case *Like:
+		if c, ok := p.E.(*Col); ok {
+			return filterLikeCol(p, c, b)
+		}
+	}
+	return filterGeneric(pred, b, s)
+}
+
+// cmpKeep translates a types.Compare result under op.
+func cmpKeep(op CmpOp, n int) bool {
+	switch op {
+	case EQ:
+		return n == 0
+	case NE:
+		return n != 0
+	case LT:
+		return n < 0
+	case LE:
+		return n <= 0
+	case GT:
+		return n > 0
+	default:
+		return n >= 0
+	}
+}
+
+// filterColConst is the Cmp(Col, Const) kernel.
+func filterColConst(op CmpOp, lc *Col, cv types.Value, b *vec.Batch) error {
+	if lc.Idx >= len(b.Cols) {
+		// Match Col.Eval's out-of-range error via the row path.
+		_, err := lc.Eval(nil)
+		return err
+	}
+	col := b.Cols[lc.Idx]
+	sel := b.SelBuf()
+	k := 0
+	if cv.IsNull() {
+		b.Sel = sel[:0] // NULL comparisons are false for every row
+		return nil
+	}
+	if b.Sel == nil {
+		for i := 0; i < b.NRows; i++ {
+			v := col[i]
+			if !v.IsNull() && cmpKeep(op, types.Compare(v, cv)) {
+				sel[k] = i
+				k++
+			}
+		}
+	} else {
+		for _, i := range b.Sel {
+			v := col[i]
+			if !v.IsNull() && cmpKeep(op, types.Compare(v, cv)) {
+				sel[k] = i
+				k++
+			}
+		}
+	}
+	b.Sel = sel[:k]
+	return nil
+}
+
+// filterColCol is the Cmp(Col, Col) kernel.
+func filterColCol(op CmpOp, lc, rc *Col, b *vec.Batch) error {
+	if lc.Idx >= len(b.Cols) {
+		_, err := lc.Eval(nil)
+		return err
+	}
+	if rc.Idx >= len(b.Cols) {
+		_, err := rc.Eval(nil)
+		return err
+	}
+	l, r := b.Cols[lc.Idx], b.Cols[rc.Idx]
+	sel := b.SelBuf()
+	k := 0
+	if b.Sel == nil {
+		for i := 0; i < b.NRows; i++ {
+			lv, rv := l[i], r[i]
+			if !lv.IsNull() && !rv.IsNull() && cmpKeep(op, types.Compare(lv, rv)) {
+				sel[k] = i
+				k++
+			}
+		}
+	} else {
+		for _, i := range b.Sel {
+			lv, rv := l[i], r[i]
+			if !lv.IsNull() && !rv.IsNull() && cmpKeep(op, types.Compare(lv, rv)) {
+				sel[k] = i
+				k++
+			}
+		}
+	}
+	b.Sel = sel[:k]
+	return nil
+}
+
+// filterLikeCol is the LIKE kernel over a column operand: the compiled
+// matcher runs directly on the column values.
+func filterLikeCol(p *Like, c *Col, b *vec.Batch) error {
+	if c.Idx >= len(b.Cols) {
+		_, err := c.Eval(nil)
+		return err
+	}
+	col := b.Cols[c.Idx]
+	sel := b.SelBuf()
+	k := 0
+	keep := func(v types.Value) bool {
+		return v.Kind() == types.KindString && p.matcher(v.Str())
+	}
+	if b.Sel == nil {
+		for i := 0; i < b.NRows; i++ {
+			if keep(col[i]) {
+				sel[k] = i
+				k++
+			}
+		}
+	} else {
+		for _, i := range b.Sel {
+			if keep(col[i]) {
+				sel[k] = i
+				k++
+			}
+		}
+	}
+	b.Sel = sel[:k]
+	return nil
+}
+
+// filterGeneric is the fallback: gather each active row and evaluate
+// pred with the row-at-a-time engine.
+func filterGeneric(pred Expr, b *vec.Batch, s *VecScratch) error {
+	row := s.rowBuf(len(b.Cols))
+	sel := b.SelBuf()
+	k := 0
+	n := b.Active()
+	for o := 0; o < n; o++ {
+		i := b.RowIdx(o)
+		for j, col := range b.Cols {
+			row[j] = col[i]
+		}
+		v, err := pred.Eval(row)
+		if err != nil {
+			return err
+		}
+		if v.Truthy() {
+			sel[k] = i
+			k++
+		}
+	}
+	b.Sel = sel[:k]
+	return nil
+}
+
+// EvalBatch evaluates e at every active row of the batch, writing the
+// result for physical row i into out[i]. Inactive rows of out are left
+// untouched. Column references and constants avoid per-row dispatch;
+// everything else gathers and Evals.
+func EvalBatch(e Expr, b *vec.Batch, out []types.Value, s *VecScratch) error {
+	switch n := e.(type) {
+	case *Col:
+		if n.Idx >= len(b.Cols) {
+			_, err := n.Eval(nil)
+			return err
+		}
+		col := b.Cols[n.Idx]
+		if b.Sel == nil {
+			copy(out[:b.NRows], col[:b.NRows])
+		} else {
+			for _, i := range b.Sel {
+				out[i] = col[i]
+			}
+		}
+		return nil
+	case *Const:
+		if b.Sel == nil {
+			for i := 0; i < b.NRows; i++ {
+				out[i] = n.Val
+			}
+		} else {
+			for _, i := range b.Sel {
+				out[i] = n.Val
+			}
+		}
+		return nil
+	}
+	row := s.rowBuf(len(b.Cols))
+	na := b.Active()
+	for o := 0; o < na; o++ {
+		i := b.RowIdx(o)
+		for j, col := range b.Cols {
+			row[j] = col[i]
+		}
+		v, err := e.Eval(row)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}

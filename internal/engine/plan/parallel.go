@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
 	"repro/internal/engine/storage"
@@ -15,11 +16,26 @@ import (
 // lifted into a HashBuild shared by all probe workers (built once, with
 // the key hashing itself parallelized), and the build input is
 // recursively parallelized too.
+// Small-input parallelism gate defaults: a table below both thresholds
+// is scanned serially even at DOP > 1, because spinning up workers and
+// reassembling morsel output costs more than the scan itself (the
+// regression the gate removes showed on sub-page lookup queries).
+const (
+	// DefaultMinParallelPages is the data-page floor of the gate when
+	// Options.MinParallelPages is 0.
+	DefaultMinParallelPages = 32
+	// DefaultMinParallelRows is the cardinality floor: a small-paged
+	// table still parallelizes when statistics (or the live row count)
+	// say it holds at least this many rows.
+	DefaultMinParallelRows = 2048
+)
+
 func (p *Planner) parallelize(op exec.Operator) exec.Operator {
 	b := &parallelBuilder{
 		planner:     p,
 		dop:         p.Opts.DOP,
 		morselPages: p.Opts.MorselPages,
+		minPages:    p.Opts.MinParallelPages,
 		memBudget:   p.Opts.MemBudgetBytes > 0,
 	}
 	return b.rewrite(op)
@@ -30,11 +46,37 @@ type parallelBuilder struct {
 	planner     *Planner
 	dop         int
 	morselPages int
+	// minPages is the small-input gate (see DefaultMinParallelPages);
+	// negative disables it.
+	minPages int
 	// memBudget disables the shared HashBuild/HashProbe fragment form:
 	// those operators have no spill path, so under a memory budget the
 	// spilling serial HashJoin stays above the exchange and only its
 	// inputs parallelize.
 	memBudget bool
+}
+
+// tooSmall reports whether the table falls under the small-input gate:
+// fewer pages than the floor and fewer rows than the cardinality floor.
+// Cardinality comes from optimizer statistics when valid (a planner
+// must not touch the live heap concurrently with loads) and the live
+// row count otherwise.
+func (b *parallelBuilder) tooSmall(t *catalog.Table) bool {
+	minPages := b.minPages
+	if minPages < 0 {
+		return false
+	}
+	if minPages == 0 {
+		minPages = DefaultMinParallelPages
+	}
+	if t.Heap.DataPages() >= minPages {
+		return false
+	}
+	rows := t.Rows()
+	if stats := t.StatsSnapshot(); stats.Valid {
+		rows = stats.Rows
+	}
+	return rows < DefaultMinParallelRows
 }
 
 // rewrite returns an equivalent plan with parallel fragments installed.
@@ -101,6 +143,9 @@ func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Re
 		pages := n.Table.Heap.DataPages()
 		if pages <= morselPages {
 			return nil, nil, false // a single morsel gains nothing
+		}
+		if b.tooSmall(n.Table) {
+			return nil, nil, false // exchange overhead would dominate
 		}
 		workers := b.dop
 		if m := (pages + morselPages - 1) / morselPages; workers > m {

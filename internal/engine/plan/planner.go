@@ -62,6 +62,17 @@ type Options struct {
 	// of fusing them into the bounded-heap TopN operator — the seed
 	// behaviour, kept for the before/after benchmark and ablations.
 	DisableTopN bool
+	// DisableVectorized turns batch-at-a-time execution off, planning the
+	// row-at-a-time operator paths everywhere. The zero value vectorizes
+	// every subtree that supports it (see vectorize.go).
+	DisableVectorized bool
+	// MinParallelPages gates intra-query parallelism on input size: a
+	// scan fragment stays serial when its table has both fewer data pages
+	// than this and fewer rows than DefaultMinParallelRows, because the
+	// exchange setup then costs more than the scan. 0 uses
+	// DefaultMinParallelPages; negative disables the gate (tests and the
+	// differential harness force parallel plans on tiny tables).
+	MinParallelPages int
 }
 
 // Planner compiles SELECT statements against a catalog and function
@@ -278,6 +289,13 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	// yields the exact serial tree.
 	if p.Opts.DOP > 1 {
 		root = p.parallelize(root)
+	}
+
+	// Batch-at-a-time execution: flip the Vec flag on every subtree that
+	// can produce batches. Runs after parallelize so worker pipelines and
+	// the exchange vectorize too.
+	if !p.Opts.DisableVectorized {
+		vectorizeOp(root)
 	}
 	return root, nil
 }
@@ -774,6 +792,14 @@ func connected(alias string, joined map[string]bool, preds []joinPred, used []bo
 	return false
 }
 
+// vecSuffix marks a vectorized operator in Explain output.
+func vecSuffix(vec bool) string {
+	if vec {
+		return " [vec]"
+	}
+	return ""
+}
+
 // Explain renders a physical plan tree for diagnostics and tests.
 func Explain(op exec.Operator) string {
 	var sb strings.Builder
@@ -791,10 +817,10 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 	case *exec.ValuesScan:
 		fmt.Fprintf(sb, "%sValuesScan(%d rows)\n", indent, len(n.Rows))
 	case *exec.Filter:
-		fmt.Fprintf(sb, "%sFilter(%s)\n", indent, n.Pred)
+		fmt.Fprintf(sb, "%sFilter(%s)%s\n", indent, n.Pred, vecSuffix(n.Vec))
 		explain(sb, n.Child, depth+1)
 	case *exec.Project:
-		fmt.Fprintf(sb, "%sProject(%s)\n", indent, strings.Join(n.Schema().Names(), ", "))
+		fmt.Fprintf(sb, "%sProject(%s)%s\n", indent, strings.Join(n.Schema().Names(), ", "), vecSuffix(n.Vec))
 		explain(sb, n.Child, depth+1)
 	case *exec.HashJoin:
 		fmt.Fprintf(sb, "%sHashJoin(%s = %s)\n", indent, n.LeftKey, n.RightKey)
@@ -823,7 +849,7 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 		}
 		explain(sb, n.Child, depth+1)
 	case *exec.HashAggregate:
-		fmt.Fprintf(sb, "%sHashAggregate(%d groups keys, %d aggs)\n", indent, len(n.GroupBy), len(n.Aggs))
+		fmt.Fprintf(sb, "%sHashAggregate(%d groups keys, %d aggs)%s\n", indent, len(n.GroupBy), len(n.Aggs), vecSuffix(n.Vec))
 		explain(sb, n.Child, depth+1)
 	case *exec.Sort:
 		fmt.Fprintf(sb, "%sSort\n", indent)
@@ -835,7 +861,7 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 		fmt.Fprintf(sb, "%sDistinct\n", indent)
 		explain(sb, n.Child, depth+1)
 	case *exec.Limit:
-		fmt.Fprintf(sb, "%sLimit(%d)\n", indent, n.N)
+		fmt.Fprintf(sb, "%sLimit(%d)%s\n", indent, n.N, vecSuffix(n.Vec))
 		explain(sb, n.Child, depth+1)
 	case *exec.Gather:
 		// All pipelines are clones; show the first as representative.

@@ -1,0 +1,84 @@
+package plan
+
+import "repro/internal/engine/exec"
+
+// vectorizeOp is the planner's vectorize pass: a bottom-up walk that
+// flips the Vec flag on every operator whose subtree can run
+// batch-at-a-time, and reports whether op itself now produces batches.
+//
+// Scans are the batch sources; Filter, Project, and Limit forward their
+// child's capability; HashAggregate consumes batches (when its child
+// produces them and it has no spill context) but emits rows; Gather
+// forwards batches only when every worker pipeline is batch-capable.
+// Row-only operators — joins, sorts, distinct, the lateral apply, every
+// spill path — keep their row implementations and read vectorized
+// children through the batch→row shim, so no plan shape changes.
+func vectorizeOp(op exec.Operator) bool {
+	switch n := op.(type) {
+	case *exec.SeqScan:
+		n.Vec = true
+		return true
+	case *exec.MorselScan:
+		n.Vec = true
+		return true
+	case *exec.ValuesScan:
+		n.Vec = true
+		return true
+	case *exec.Filter:
+		n.Vec = vectorizeOp(n.Child)
+		return n.Vec
+	case *exec.Project:
+		n.Vec = vectorizeOp(n.Child)
+		return n.Vec
+	case *exec.Limit:
+		n.Vec = vectorizeOp(n.Child)
+		return n.Vec
+	case *exec.HashAggregate:
+		// Batch consumption, row production. The spill path stays
+		// row-at-a-time: its frozen-group/partition bookkeeping is
+		// per-row, so only the unbounded in-memory path vectorizes.
+		n.Vec = vectorizeOp(n.Child) && n.Ctx == nil
+		return false
+	case *exec.Gather:
+		all := true
+		for i := range n.Pipes {
+			if !vectorizeOp(n.Pipes[i].Root) {
+				all = false
+			}
+		}
+		n.Vec = all
+		return all
+	case *exec.Sort:
+		vectorizeOp(n.Child)
+		return false
+	case *exec.TopN:
+		vectorizeOp(n.Child)
+		return false
+	case *exec.Distinct:
+		vectorizeOp(n.Child)
+		return false
+	case *exec.TableFuncApply:
+		vectorizeOp(n.Child)
+		return false
+	case *exec.HashJoin:
+		vectorizeOp(n.Left)
+		vectorizeOp(n.Right)
+		return false
+	case *exec.MergeJoin:
+		vectorizeOp(n.Left)
+		vectorizeOp(n.Right)
+		return false
+	case *exec.NestedLoopJoin:
+		vectorizeOp(n.Left)
+		vectorizeOp(n.Right)
+		return false
+	case *exec.IndexLoopJoin:
+		vectorizeOp(n.Left)
+		return false
+	case *exec.HashProbe:
+		vectorizeOp(n.Build.Input)
+		vectorizeOp(n.Right)
+		return false
+	}
+	return false
+}

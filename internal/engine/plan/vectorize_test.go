@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/types"
+)
+
+// midFixture builds a table that morselizes (several pages) but falls
+// below both small-input gate thresholds: pages < DefaultMinParallelPages
+// and rows < DefaultMinParallelRows.
+func midFixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(nil)
+	tbl, err := cat.CreateTable("mid", []catalog.Column{
+		{Name: "id", Type: types.KindInt},
+		{Name: "pad", Type: types.KindString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tbl.Insert([]types.Value{
+			types.NewInt(int64(i)),
+			types.NewString(strings.Repeat("p", 40)),
+		})
+	}
+	if err := cat.RunStatsAll(); err != nil {
+		t.Fatal(err)
+	}
+	pages := tbl.Heap.DataPages()
+	if pages < 2 || pages >= DefaultMinParallelPages {
+		t.Fatalf("fixture must sit between morselizable and the gate: %d pages", pages)
+	}
+	if tbl.Rows() >= DefaultMinParallelRows {
+		t.Fatalf("fixture must stay under the row floor: %d rows", tbl.Rows())
+	}
+	return cat
+}
+
+func TestSmallInputGateSkipsParallelism(t *testing.T) {
+	cat := midFixture(t)
+	p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	text := Explain(planFor(t, p, `SELECT id FROM mid WHERE id > 10`))
+	if strings.Contains(text, "Gather") {
+		t.Fatalf("small input should stay serial at DOP 4:\n%s", text)
+	}
+}
+
+func TestSmallInputGateDisabled(t *testing.T) {
+	cat := midFixture(t)
+	p := &Planner{Cat: cat, Reg: expr.NewRegistry(),
+		Opts: Options{DOP: 4, MorselPages: 1, MinParallelPages: -1}}
+	text := Explain(planFor(t, p, `SELECT id FROM mid WHERE id > 10`))
+	if !strings.Contains(text, "Gather(dop=4)") {
+		t.Fatalf("MinParallelPages=-1 should force the parallel plan:\n%s", text)
+	}
+}
+
+func TestSmallInputGatePassesRowFloor(t *testing.T) {
+	// bigFixture's fact table has few pages but 4000 rows: the row floor
+	// alone should admit it.
+	cat := bigFixture(t)
+	p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	text := Explain(planFor(t, p, `SELECT id FROM fact WHERE val > 500`))
+	if !strings.Contains(text, "Gather(dop=4)") {
+		t.Fatalf("4000-row table should pass the row floor:\n%s", text)
+	}
+}
+
+func TestVectorizePassMarksPlan(t *testing.T) {
+	cat := bigFixture(t)
+	on := &Planner{Cat: cat, Reg: expr.NewRegistry()}
+	off := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DisableVectorized: true}}
+
+	q := `SELECT id, val FROM fact WHERE val > 500`
+	onText := Explain(planFor(t, on, q))
+	if !strings.Contains(onText, "[vec]") {
+		t.Fatalf("default plan has no vectorized operators:\n%s", onText)
+	}
+	offText := Explain(planFor(t, off, q))
+	if strings.Contains(offText, "[vec]") {
+		t.Fatalf("DisableVectorized plan still vectorized:\n%s", offText)
+	}
+
+	// Parallel plans vectorize inside the worker pipelines and forward
+	// batches through the exchange.
+	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	parText := Explain(planFor(t, par, q))
+	if !strings.Contains(parText, "Gather(dop=4) [vec]") || !strings.Contains(parText, "MorselScan") {
+		t.Fatalf("parallel plan not batch-forwarding:\n%s", parText)
+	}
+
+	// Row-wise operators above a vectorized scan: the scan is marked,
+	// the sort is not.
+	sortText := Explain(planFor(t, on, `SELECT id, val FROM fact ORDER BY val LIMIT 5`))
+	if !strings.Contains(sortText, "[vec]") {
+		t.Fatalf("scan below TopN should still vectorize:\n%s", sortText)
+	}
+	if strings.Contains(sortText, "TopN") && strings.Contains(sortText, "TopN(5) [vec]") {
+		t.Fatalf("TopN must stay row-wise:\n%s", sortText)
+	}
+}

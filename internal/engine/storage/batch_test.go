@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/types"
+)
+
+func TestDecodeRecordCols(t *testing.T) {
+	row := []types.Value{
+		types.NewInt(42),
+		types.NewString("hello"),
+		types.Null,
+		types.NewXADT([]byte("<a>frag</a>")),
+		types.NewBool(true),
+	}
+	cols := make([][]types.Value, len(row))
+	for j := range cols {
+		cols[j] = make([]types.Value, 4)
+	}
+	if err := DecodeRecordCols(EncodeRecord(row), cols, 2); err != nil {
+		t.Fatal(err)
+	}
+	for j := range row {
+		if !types.Equal(cols[j][2], row[j]) {
+			t.Errorf("column %d = %v, want %v", j, cols[j][2], row[j])
+		}
+	}
+	// Arity mismatch must fail loudly, not silently truncate.
+	if err := DecodeRecordCols(EncodeRecord(row), cols[:3], 0); err == nil {
+		t.Fatal("arity mismatch not detected")
+	}
+}
+
+func TestCursorNextBatchMatchesNext(t *testing.T) {
+	h := NewHeapFile(nil)
+	const n = 3000
+	// Mix in an overflow row so NextBatch exercises stub resolution.
+	big := types.NewString(strings.Repeat("x", MaxInlineRecord+10))
+	for i := 0; i < n; i++ {
+		v := types.NewString(fmt.Sprintf("s%d", i))
+		if i == 1234 {
+			v = big
+		}
+		h.Insert([]types.Value{types.NewInt(int64(i)), v})
+	}
+
+	var rowwise [][]types.Value
+	cur := h.NewCursor()
+	for {
+		_, row, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		rowwise = append(rowwise, row)
+	}
+
+	cols := [][]types.Value{make([]types.Value, 100), make([]types.Value, 100)}
+	bc := h.NewCursor()
+	got := 0
+	for {
+		// Deliberately small batches so page boundaries land mid-batch.
+		k, err := bc.NextBatch(cols, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			if got+i >= len(rowwise) {
+				t.Fatalf("batch cursor produced more than %d rows", len(rowwise))
+			}
+			for j := range cols {
+				if !types.Equal(cols[j][i], rowwise[got+i][j]) {
+					t.Fatalf("row %d col %d = %v, want %v", got+i, j, cols[j][i], rowwise[got+i][j])
+				}
+			}
+		}
+		got += k
+	}
+	if got != n {
+		t.Fatalf("batch cursor produced %d rows, want %d", got, n)
+	}
+}
+
+func TestCursorNextBatchTouchAccounting(t *testing.T) {
+	bp := NewBufferPool(64)
+	h := NewHeapFile(bp)
+	for i := 0; i < 2000; i++ {
+		h.Insert([]types.Value{types.NewInt(int64(i))})
+	}
+
+	rowCur := h.NewCursor()
+	for {
+		_, _, ok, err := rowCur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	rowStats := bp.Stats()
+
+	bp2 := NewBufferPool(64)
+	h2 := NewHeapFile(bp2)
+	for i := 0; i < 2000; i++ {
+		h2.Insert([]types.Value{types.NewInt(int64(i))})
+	}
+	cols := [][]types.Value{make([]types.Value, 512)}
+	bc := h2.NewCursor()
+	for {
+		k, err := bc.NextBatch(cols, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			break
+		}
+	}
+	batchStats := bp2.Stats()
+	if rowStats != batchStats {
+		t.Fatalf("buffer-pool accounting diverged: row %+v vs batch %+v", rowStats, batchStats)
+	}
+}

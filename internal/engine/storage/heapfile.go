@@ -228,6 +228,59 @@ func (c *Cursor) Next() (RID, []types.Value, bool, error) {
 	return RID{}, nil, false, nil
 }
 
+// decodeInto decodes one record into column arrays at row, resolving
+// overflow stubs exactly like decode (including the logical buffer-pool
+// touches for overflow page runs).
+func (h *HeapFile) decodeInto(rec []byte, cols [][]types.Value, row int) error {
+	if len(rec) > 0 && rec[0] == tagOverflow {
+		idx, n := binary.Uvarint(rec[1:])
+		h.mu.RLock()
+		overflow := h.overflow
+		h.mu.RUnlock()
+		if n <= 0 || idx >= uint64(len(overflow)) {
+			return errors.New("storage: corrupt overflow stub")
+		}
+		if h.pool != nil {
+			for i := 0; i < pagesFor(len(overflow[idx])); i++ {
+				h.pool.Touch(PageID{File: h, Page: -1 - int(idx)*1024 - i})
+			}
+		}
+		rec = overflow[idx]
+	}
+	return DecodeRecordCols(rec, cols, row)
+}
+
+// NextBatch decodes up to max rows into the column arrays cols — the
+// batch access path of vectorized scans. cols must hold one slice per
+// table column, each at least max long; rows land in cols[j][0:n] in
+// cursor order. It returns the number of rows decoded; 0 means the page
+// range is exhausted. Buffer-pool accounting is identical to Next
+// (one Touch per page entered).
+func (c *Cursor) NextBatch(cols [][]types.Value, max int) (int, error) {
+	n := 0
+	for n < max && c.i < len(c.pages) {
+		p := c.pages[c.i]
+		if c.slot >= p.nslots() {
+			c.i++
+			c.slot = 0
+			continue
+		}
+		if c.slot == 0 && c.h.pool != nil {
+			c.h.pool.Touch(PageID{File: c.h, Page: c.base + c.i})
+		}
+		rec, err := p.read(c.slot)
+		if err != nil {
+			return n, err
+		}
+		if err := c.h.decodeInto(rec, cols, n); err != nil {
+			return n, err
+		}
+		c.slot++
+		n++
+	}
+	return n, nil
+}
+
 // PageCount returns the number of pages the file occupies, counting
 // overflow storage in page units.
 func (h *HeapFile) PageCount() int {

@@ -64,6 +64,70 @@ func EncodeRecord(row []types.Value) []byte {
 	return buf
 }
 
+// DecodeRecordCols deserializes a record produced by EncodeRecord
+// directly into column arrays: value j lands in cols[j][row]. Unlike
+// DecodeRecord it allocates no per-row slice, which is what makes the
+// batch decode path worth having. The record's column count must match
+// len(cols) — heap rows of one table are uniform by construction.
+func DecodeRecordCols(buf []byte, cols [][]types.Value, row int) error {
+	if len(buf) == 0 || buf[0] != tagInline {
+		return errors.New("storage: not an inline record")
+	}
+	pos := 1
+	ncols, n := binary.Uvarint(buf[pos:])
+	if n <= 0 {
+		return errors.New("storage: corrupt record header")
+	}
+	if ncols != uint64(len(cols)) {
+		return fmt.Errorf("storage: record has %d columns, batch expects %d", ncols, len(cols))
+	}
+	pos += n
+	for j := 0; j < len(cols); j++ {
+		if pos >= len(buf) {
+			return errors.New("storage: truncated record")
+		}
+		kind := buf[pos]
+		pos++
+		switch kind {
+		case vNull:
+			cols[j][row] = types.Null
+		case vInt:
+			if pos+8 > len(buf) {
+				return errors.New("storage: truncated int")
+			}
+			cols[j][row] = types.NewInt(int64(binary.LittleEndian.Uint64(buf[pos:])))
+			pos += 8
+		case vString, vXADT:
+			if pos+4 > len(buf) {
+				return errors.New("storage: truncated length")
+			}
+			ln := int(binary.LittleEndian.Uint32(buf[pos:]))
+			pos += 4
+			if pos+ln > len(buf) {
+				return errors.New("storage: truncated payload")
+			}
+			payload := buf[pos : pos+ln]
+			pos += ln
+			if kind == vString {
+				cols[j][row] = types.NewString(string(payload))
+			} else {
+				b := make([]byte, ln)
+				copy(b, payload)
+				cols[j][row] = types.NewXADT(b)
+			}
+		case vBool:
+			if pos >= len(buf) {
+				return errors.New("storage: truncated bool")
+			}
+			cols[j][row] = types.NewBool(buf[pos] != 0)
+			pos++
+		default:
+			return fmt.Errorf("storage: unknown value tag %d", kind)
+		}
+	}
+	return nil
+}
+
 // DecodeRecord deserializes a record produced by EncodeRecord.
 func DecodeRecord(buf []byte) ([]types.Value, error) {
 	if len(buf) == 0 || buf[0] != tagInline {

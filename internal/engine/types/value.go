@@ -5,7 +5,6 @@ package types
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
 )
 
@@ -231,27 +230,40 @@ func compareBytes(a, b []byte) int {
 // Equal reports whether two values compare equal.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
-// Hash returns a hash of the value, consistent with Equal.
+// FNV-1a parameters, matching hash/fnv.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash returns a hash of the value, consistent with Equal. It is FNV-1a
+// over a tag byte plus the payload bytes, written out directly rather
+// than through hash/fnv: the hasher interface forces a heap value and
+// accessor indirection per call, and hashing sits on the hot path of
+// joins, grouping, and the vectorized hash kernels.
 func Hash(v Value) uint64 {
-	h := fnv.New64a()
+	h := fnvOffset
 	switch v.kind {
 	case KindNull:
-		h.Write([]byte{0})
+		h = (h ^ 0) * fnvPrime
 	case KindInt, KindBool:
-		var buf [9]byte
-		buf[0] = 1
+		h = (h ^ 1) * fnvPrime
+		p := uint64(v.i)
 		for i := 0; i < 8; i++ {
-			buf[i+1] = byte(v.i >> (8 * i))
+			h = (h ^ (p >> (8 * i) & 0xff)) * fnvPrime
 		}
-		h.Write(buf[:])
 	case KindString:
-		h.Write([]byte{2})
-		h.Write([]byte(v.s))
+		h = (h ^ 2) * fnvPrime
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime
+		}
 	case KindXADT:
-		h.Write([]byte{3})
-		h.Write(v.x)
+		h = (h ^ 3) * fnvPrime
+		for _, b := range v.x {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // Size returns the approximate in-record size of the value in bytes,

@@ -1,0 +1,152 @@
+// Package vec defines the unit of batch-at-a-time execution: a
+// column-major row batch with a selection vector, plus a sync.Pool-backed
+// buffer cycle so steady-state execution allocates no batches at all.
+//
+// Ownership contract: a batch returned by an operator's NextBatch is
+// owned by that operator and valid only until its next NextBatch or
+// Close call (the bufio model). Batches that outlive that window — the
+// Gather exchange queues them across goroutines — are compacted copies
+// taken from this pool and released back once consumed.
+package vec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine/types"
+)
+
+// DefaultBatchRows is the physical capacity of one batch. Large enough
+// to amortize per-batch overheads (virtual calls, channel sends) over
+// ~1K rows, small enough that a batch of a few columns stays cache- and
+// pool-friendly.
+const DefaultBatchRows = 1024
+
+// Batch is a column-major slice of rows. Cols[j][i] is column j of
+// physical row i; NRows physical rows are populated. Sel, when non-nil,
+// lists the active physical row indices in output order — filtering
+// narrows Sel instead of moving data. A nil Sel means all NRows rows are
+// active.
+type Batch struct {
+	Cols  [][]types.Value
+	Sel   []int
+	NRows int
+
+	selbuf []int
+}
+
+// Active returns the number of active rows.
+func (b *Batch) Active() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.NRows
+}
+
+// RowIdx maps an active-row ordinal to its physical row index.
+func (b *Batch) RowIdx(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return i
+}
+
+// SelBuf returns the batch's private selection buffer, sized for Cap
+// rows. Filter kernels narrow into it and assign the result to Sel;
+// because narrowing only ever writes position k after reading a
+// position >= k, in-place re-narrowing of an existing Sel backed by the
+// same buffer is safe.
+func (b *Batch) SelBuf() []int {
+	if cap(b.selbuf) < cap(b.Cols[0]) {
+		b.selbuf = make([]int, cap(b.Cols[0]))
+	}
+	return b.selbuf[:cap(b.selbuf)]
+}
+
+// Cap returns the physical row capacity of the batch.
+func (b *Batch) Cap() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return cap(b.Cols[0])
+}
+
+// Row gathers the active row at ordinal i into dst (allocating when dst
+// is too small) and returns it. Used by batch→row adapter shims.
+func (b *Batch) Row(i int, dst []types.Value) []types.Value {
+	r := b.RowIdx(i)
+	if cap(dst) < len(b.Cols) {
+		dst = make([]types.Value, len(b.Cols))
+	}
+	dst = dst[:len(b.Cols)]
+	for j, col := range b.Cols {
+		dst[j] = col[r]
+	}
+	return dst
+}
+
+// pool recycles batches. All pooled batches have DefaultBatchRows
+// capacity; Get reshapes the column count in place.
+var pool = sync.Pool{New: func() any { return &Batch{} }}
+
+// outstanding counts batches taken from the pool and not yet released —
+// the leak-check counter tests assert returns to zero.
+var outstanding atomic.Int64
+
+// Outstanding returns the number of pooled batches currently checked
+// out. It is zero whenever no query is mid-execution; tests use it to
+// prove the exchange and operator Close paths leak nothing.
+func Outstanding() int64 { return outstanding.Load() }
+
+// Get checks a batch with ncols columns of DefaultBatchRows capacity out
+// of the pool. The contents are unspecified; NRows and Sel are reset.
+func Get(ncols int) *Batch {
+	b := pool.Get().(*Batch)
+	if cap(b.Cols) < ncols {
+		b.Cols = make([][]types.Value, ncols)
+	}
+	b.Cols = b.Cols[:ncols]
+	for j := range b.Cols {
+		if cap(b.Cols[j]) < DefaultBatchRows {
+			b.Cols[j] = make([]types.Value, DefaultBatchRows)
+		}
+		b.Cols[j] = b.Cols[j][:DefaultBatchRows]
+	}
+	b.NRows = 0
+	b.Sel = nil
+	outstanding.Add(1)
+	return b
+}
+
+// Release returns a batch obtained from Get to the pool. The caller must
+// not touch the batch afterwards. Release(nil) is a no-op.
+func Release(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.Sel = nil
+	b.NRows = 0
+	outstanding.Add(-1)
+	pool.Put(b)
+}
+
+// CompactInto copies the active rows of src into dst (which must have
+// the same column count and sufficient capacity), producing a dense
+// batch with a nil selection. Used to snapshot a producer-owned batch
+// before it crosses an ownership boundary.
+func CompactInto(dst, src *Batch) {
+	n := src.Active()
+	for j := range dst.Cols {
+		dj, sj := dst.Cols[j][:n], src.Cols[j]
+		if src.Sel == nil {
+			copy(dj, sj[:n])
+		} else {
+			for i, r := range src.Sel {
+				dj[i] = sj[r]
+			}
+		}
+		dst.Cols[j] = dj
+	}
+	dst.NRows = n
+	dst.Sel = nil
+}

@@ -1,0 +1,110 @@
+package vec
+
+import (
+	"testing"
+
+	"repro/internal/engine/types"
+)
+
+func fillBatch(b *Batch, n int) {
+	for j := range b.Cols {
+		for i := 0; i < n; i++ {
+			b.Cols[j][i] = types.NewInt(int64(100*j + i))
+		}
+	}
+	b.NRows = n
+	b.Sel = nil
+}
+
+func TestBatchActiveAndRowIdx(t *testing.T) {
+	b := Get(2)
+	defer Release(b)
+	fillBatch(b, 5)
+	if b.Active() != 5 {
+		t.Fatalf("Active = %d, want 5", b.Active())
+	}
+	if b.RowIdx(3) != 3 {
+		t.Fatalf("RowIdx(3) = %d without Sel", b.RowIdx(3))
+	}
+	b.Sel = []int{1, 4}
+	if b.Active() != 2 || b.RowIdx(1) != 4 {
+		t.Fatalf("Active/RowIdx with Sel = %d/%d", b.Active(), b.RowIdx(1))
+	}
+	row := b.Row(1, nil)
+	if row[0].Int() != 4 || row[1].Int() != 104 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+}
+
+func TestPoolOutstandingBalance(t *testing.T) {
+	base := Outstanding()
+	a := Get(3)
+	b := Get(1)
+	if got := Outstanding(); got != base+2 {
+		t.Fatalf("Outstanding = %d, want %d", got, base+2)
+	}
+	if len(a.Cols) != 3 || len(b.Cols) != 1 {
+		t.Fatalf("column counts %d/%d", len(a.Cols), len(b.Cols))
+	}
+	for _, c := range append(a.Cols, b.Cols...) {
+		if len(c) != DefaultBatchRows {
+			t.Fatalf("column capacity %d, want %d", len(c), DefaultBatchRows)
+		}
+	}
+	Release(a)
+	Release(b)
+	Release(nil) // no-op
+	if got := Outstanding(); got != base {
+		t.Fatalf("Outstanding after release = %d, want %d", got, base)
+	}
+	// A recycled batch must come back reshaped and reset.
+	c := Get(2)
+	defer Release(c)
+	if len(c.Cols) != 2 || c.NRows != 0 || c.Sel != nil {
+		t.Fatalf("recycled batch not reset: cols=%d nrows=%d sel=%v", len(c.Cols), c.NRows, c.Sel)
+	}
+}
+
+func TestCompactInto(t *testing.T) {
+	src := Get(2)
+	dst := Get(2)
+	defer Release(src)
+	defer Release(dst)
+	fillBatch(src, 6)
+
+	// Dense source: a straight copy.
+	CompactInto(dst, src)
+	if dst.NRows != 6 || dst.Sel != nil || dst.Cols[1][5].Int() != 105 {
+		t.Fatalf("dense compact: nrows=%d sel=%v last=%v", dst.NRows, dst.Sel, dst.Cols[1][5])
+	}
+
+	// Selective source: gather in selection order, nil out Sel.
+	src.Sel = []int{5, 0, 2}
+	CompactInto(dst, src)
+	if dst.NRows != 3 || dst.Sel != nil {
+		t.Fatalf("selective compact: nrows=%d sel=%v", dst.NRows, dst.Sel)
+	}
+	want := []int64{5, 0, 2}
+	for i, w := range want {
+		if dst.Cols[0][i].Int() != w {
+			t.Fatalf("compacted row %d = %v, want %d", i, dst.Cols[0][i], w)
+		}
+	}
+}
+
+func TestSelBufSizedToCapacity(t *testing.T) {
+	b := Get(1)
+	defer Release(b)
+	fillBatch(b, 4)
+	sel := b.SelBuf()
+	if len(sel) != DefaultBatchRows {
+		t.Fatalf("SelBuf len = %d, want %d", len(sel), DefaultBatchRows)
+	}
+	// Narrowing in place: write positions only after reading them.
+	b.Sel = sel[:3]
+	copy(b.Sel, []int{0, 2, 3})
+	again := b.SelBuf()
+	if &again[0] != &sel[0] {
+		t.Fatal("SelBuf reallocated despite sufficient capacity")
+	}
+}
