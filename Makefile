@@ -26,6 +26,7 @@ race:
 benchsmoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x ./internal/engine/
 	$(GO) test -race -run TestXadtSmoke ./internal/bench/
+	$(GO) test -race -run TestIndexSmoke ./internal/bench/
 	$(GO) test -race -run TestDurabilitySmoke ./internal/bench/
 	$(GO) test -race -run TestSpillSmoke ./internal/bench/
 	$(GO) test -race -run TestVectorSmoke ./internal/bench/
@@ -48,6 +49,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRawScanEntities -fuzztime=$(FUZZTIME) ./internal/xadt/
 	$(GO) test -run=NONE -fuzz=FuzzHeaderDecode -fuzztime=$(FUZZTIME) ./internal/xadt/
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/engine/wal/
+	$(GO) test -run=NONE -fuzz=FuzzPostingCodec -fuzztime=$(FUZZTIME) ./internal/engine/xindex/
+	$(GO) test -run=NONE -fuzz=FuzzTokenizeSuperset -fuzztime=$(FUZZTIME) ./internal/engine/xindex/
 
 bench:
 	$(GO) test -run=NONE -bench=. ./...
@@ -58,4 +61,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_spill.json BENCH_durability.json BENCH_vector.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json *.pprof

@@ -11,6 +11,7 @@
 //	-exp compress  §4.1: XADT storage-format decision per corpus
 //	-exp parallel  intra-query parallelism: DOP 1 vs DOP N speedups
 //	-exp xadt      XADT fast path: header filter + decode cache vs baseline
+//	-exp index     XADT fragment indexes: path + keyword postings vs scans
 //	-exp spill     memory-bounded execution: spilling operators + Top-N pushdown
 //	-exp vector    vectorized batch execution vs the row-at-a-time engine
 //	-exp difftest  differential correctness fuzzing across the full matrix
@@ -28,7 +29,8 @@
 // Use -quick for a reduced-scale smoke run, -scales to override the
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
 // The parallel experiment also writes BENCH_parallel.json; the xadt
-// experiment writes BENCH_xadt.json; the spill experiment writes
+// experiment writes BENCH_xadt.json; the index experiment writes
+// BENCH_index.json; the spill experiment writes
 // BENCH_spill.json; the vector experiment writes BENCH_vector.json; the
 // durability experiment writes BENCH_durability.json. -cpuprofile and
 // -memprofile write pprof profiles covering the selected experiments.
@@ -122,13 +124,14 @@ func realMain() int {
 		"compress":   r.compress,
 		"parallel":   r.parallel,
 		"xadt":       r.xadt,
+		"index":      r.index,
 		"spill":      r.spill,
 		"vector":     r.vector,
 		"difftest":   r.difftest,
 		"crash":      r.crashDemo,
 		"durability": r.durability,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "spill", "vector", "difftest", "crash", "durability"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "difftest", "crash", "durability"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -334,10 +337,39 @@ func (r *runner) xadt() error {
 		return err
 	}
 	fmt.Print(bench.XadtTable(ms))
+	// Show where each predicate ended up — pushed into the scan, answered
+	// by an index, fused into the apply, or residual — per query plan.
+	rep, err := bench.XadtPlanReport(r.shakespeareDS(), r.sigmodDS())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
 	if err := bench.WriteXadtJSON("BENCH_xadt.json", ms); err != nil {
 		return err
 	}
 	fmt.Println("wrote BENCH_xadt.json")
+	return nil
+}
+
+// index measures the XADT fragment indexes (structural path + inverted
+// keyword postings) against the fast-path scan and seed scan baselines,
+// prints each query's plan and predicate classification, and writes
+// BENCH_index.json.
+func (r *runner) index() error {
+	ms, err := bench.RunIndex(r.shakespeareDS(), r.sigmodDS(), r.dop, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.IndexTable(ms))
+	rep, err := bench.IndexPlanReport(r.shakespeareDS(), r.sigmodDS())
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if err := bench.WriteIndexJSON("BENCH_index.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_index.json")
 	return nil
 }
 

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+)
+
+// planReport renders each query's physical plan followed by the
+// predicate classification — which conjuncts were pushed into scan
+// cursors, answered by an XADT fragment index, fused into a
+// table-function apply, or left as residual filters.
+func planReport(st *core.Store, queries []xadtQuery) (string, error) {
+	var sb strings.Builder
+	for _, q := range queries {
+		op, err := st.DB.Plan(q.text)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", q.id, err)
+		}
+		fmt.Fprintf(&sb, "-- %s\n", q.id)
+		sb.WriteString(plan.Explain(op))
+		sb.WriteString(plan.PredicateSummary(op))
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// XadtPlanReport builds the xadt-benchmark stores and reports every
+// benchmark query's plan and predicate classification.
+func XadtPlanReport(shake, sigmod Dataset) (string, error) {
+	return plansFor(shake, sigmod, xadtShakespeareQueries(), xadtSigmodQueries())
+}
+
+// IndexPlanReport does the same for the index-benchmark query set.
+func IndexPlanReport(shake, sigmod Dataset) (string, error) {
+	return plansFor(shake, sigmod, indexShakespeareQueries(), indexSigmodQueries())
+}
+
+func plansFor(shake, sigmod Dataset, shakeQs, sigmodQs []xadtQuery) (string, error) {
+	var sb strings.Builder
+	groups := []struct {
+		ds      Dataset
+		queries []xadtQuery
+	}{
+		{shake, shakeQs},
+		{sigmod, sigmodQs},
+	}
+	for _, g := range groups {
+		st, err := buildXadtStore(g.ds, core.Config{})
+		if err != nil {
+			return "", fmt.Errorf("bench: %s plan report: %w", g.ds.Name, err)
+		}
+		fmt.Fprintf(&sb, "== %s plans ==\n", g.ds.Name)
+		rep, err := planReport(st, g.queries)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(rep)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,208 @@
+// XADT index benchmark: keyword/point selection queries timed with the
+// secondary fragment indexes (structural path + inverted keyword) on,
+// against the PR-2 fast-path scan baseline (indexes off, header
+// fast-reject + decode cache on) and the seed scan baseline (indexes and
+// fast path both off). Each cell runs at DOP 1 and DOP N and every cell
+// must return rows byte-identical to the indexed plan. Emitted as a
+// report table and machine-readable BENCH_index.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine/plan"
+	"repro/internal/xadt"
+)
+
+// IndexMeasurement is one query measured indexed vs fast-scan vs
+// seed-scan.
+type IndexMeasurement struct {
+	Query          string  `json:"query"`
+	Dataset        string  `json:"dataset"`
+	Format         string  `json:"format"`
+	IdxDop1Ms      float64 `json:"indexed_dop1_ms"`
+	FastScanDop1Ms float64 `json:"fastscan_dop1_ms"`
+	SeedScanDop1Ms float64 `json:"seedscan_dop1_ms"`
+	SpeedupFast1   float64 `json:"speedup_vs_fastscan_dop1"`
+	SpeedupSeed1   float64 `json:"speedup_vs_seedscan_dop1"`
+	IdxDopNMs      float64 `json:"indexed_dopn_ms"`
+	FastScanDopNMs float64 `json:"fastscan_dopn_ms"`
+	SpeedupFastN   float64 `json:"speedup_vs_fastscan_dopn"`
+	DOP            int     `json:"dop"`
+	Rows           int     `json:"rows"`
+	Identical      bool    `json:"identical"`
+	IndexedPlan    bool    `json:"indexed_plan"`
+}
+
+// indexShakespeareQueries are the Shakespeare selections whose
+// findKeyInElm(col, 'Elm', 'key') = 1 conjuncts the index rewrite
+// answers: element-presence probes (QS2), keyword probes (QS3), a point
+// speaker selection (QS4), and a two-conjunct intersection (QS5).
+func indexShakespeareQueries() []xadtQuery {
+	qs := map[string]string{}
+	for _, q := range ShakespeareQueries() {
+		qs[q.ID] = q.XORator
+	}
+	return []xadtQuery{
+		{"QS2", qs["QS2"]},
+		{"QS3", qs["QS3"]},
+		{"QS4", qs["QS4"]},
+		{"QS5", qs["QS5"]},
+	}
+}
+
+// indexSigmodQueries are the SIGMOD-side indexable selections. QG3/QG5
+// apply findKeyInElm to table-function output, which no stored index
+// covers, so only the stored-column probe QG1 rides here.
+func indexSigmodQueries() []xadtQuery {
+	qs := map[string]string{}
+	for _, q := range SigmodQueries() {
+		qs[q.ID] = q.XORator
+	}
+	return []xadtQuery{
+		{"QG1", qs["QG1"]},
+	}
+}
+
+// RunIndex measures the fragment indexes on both datasets. The
+// Shakespeare store is forced-Compressed so the scan baselines pay a
+// decode per fragment — the paper's worst case and the index's best.
+func RunIndex(shake, sigmod Dataset, dop, repeats int) ([]IndexMeasurement, error) {
+	if dop < 2 {
+		dop = 2
+	}
+	comp := xadt.Compressed
+	shakeCfg := core.Config{ForceFormat: &comp}
+	var out []IndexMeasurement
+
+	groups := []struct {
+		ds      Dataset
+		cfg     core.Config
+		queries []xadtQuery
+	}{
+		{shake, shakeCfg, indexShakespeareQueries()},
+		{sigmod, core.Config{}, indexSigmodQueries()},
+	}
+	for _, g := range groups {
+		st, err := buildXadtStore(g.ds, g.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: index %s store: %w", g.ds.Name, err)
+		}
+		for _, q := range g.queries {
+			m, err := measureIndex(st, q, g.ds.Name, dop, repeats)
+			if err != nil {
+				return nil, fmt.Errorf("bench: index %s: %w", q.id, err)
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// measureIndex runs one query through every mode × DOP cell on one
+// store; modes differ only in planner options and the fast-path toggle.
+func measureIndex(st *core.Store, q xadtQuery, dataset string, dop, repeats int) (IndexMeasurement, error) {
+	serial := plan.Options{DOP: 1}
+	var zero IndexMeasurement
+
+	type cell struct {
+		fast bool
+		opts plan.Options
+	}
+	cells := []cell{
+		{true, plan.Options{DOP: 1}},                                 // indexed, DOP 1
+		{true, plan.Options{DOP: 1, DisableXADTIndexes: true}},       // fast scan, DOP 1
+		{false, plan.Options{DOP: 1, DisableXADTIndexes: true}},      // seed scan, DOP 1
+		{true, plan.Options{DOP: dop}},                               // indexed, DOP N
+		{true, plan.Options{DOP: dop, DisableXADTIndexes: true}},     // fast scan, DOP N
+	}
+	times := make([]float64, len(cells))
+	rowData := make([]interface{}, len(cells))
+	nrows := 0
+	for i, c := range cells {
+		st.DB.SetXADTFastPath(c.fast)
+		st.DB.SetPlannerOptions(c.opts)
+		res, err := st.Query(q.text)
+		if err != nil {
+			return zero, err
+		}
+		t, _, err := timeQuery(st, q.text, repeats)
+		if err != nil {
+			return zero, err
+		}
+		times[i] = float64(t.Microseconds()) / 1e3
+		rowData[i] = res.Rows
+		if i == 0 {
+			nrows = len(res.Rows)
+		}
+	}
+	// Confirm the indexed cells actually planned an IndexedFragScan.
+	st.DB.SetPlannerOptions(serial)
+	op, err := st.DB.Plan(q.text)
+	if err != nil {
+		return zero, err
+	}
+	indexedPlan := strings.Contains(plan.Explain(op), "[idx")
+	st.DB.SetXADTFastPath(true)
+
+	identical := true
+	for i := 1; i < len(rowData); i++ {
+		if !reflect.DeepEqual(rowData[0], rowData[i]) {
+			identical = false
+		}
+	}
+	speedup := func(base, idx float64) float64 {
+		if idx <= 0 {
+			return 0
+		}
+		return base / idx
+	}
+	return IndexMeasurement{
+		Query:          q.id,
+		Dataset:        dataset,
+		Format:         st.Format.String(),
+		IdxDop1Ms:      times[0],
+		FastScanDop1Ms: times[1],
+		SeedScanDop1Ms: times[2],
+		SpeedupFast1:   speedup(times[1], times[0]),
+		SpeedupSeed1:   speedup(times[2], times[0]),
+		IdxDopNMs:      times[3],
+		FastScanDopNMs: times[4],
+		SpeedupFastN:   speedup(times[4], times[3]),
+		DOP:            dop,
+		Rows:           nrows,
+		Identical:      identical,
+		IndexedPlan:    indexedPlan,
+	}, nil
+}
+
+// IndexTable renders the measurements as the repro CLI report.
+func IndexTable(ms []IndexMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("XADT fragment indexes: path + keyword postings vs fast-path scan vs seed scan\n")
+	fmt.Fprintf(&sb, "%-6s %-12s %-11s %8s %8s %8s %8s %8s %8s %8s %6s %5s %4s\n",
+		"query", "dataset", "format", "idx1_ms", "scan1_ms", "seed1_ms", "xscan", "xseed",
+		"idxN_ms", "scanN_ms", "rows", "ident", "plan")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-6s %-12s %-11s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %6d %5t %4t\n",
+			m.Query, m.Dataset, m.Format, m.IdxDop1Ms, m.FastScanDop1Ms, m.SeedScanDop1Ms,
+			m.SpeedupFast1, m.SpeedupSeed1, m.IdxDopNMs, m.FastScanDopNMs,
+			m.Rows, m.Identical, m.IndexedPlan)
+	}
+	return sb.String()
+}
+
+// WriteIndexJSON writes the measurements as a JSON array to path
+// (conventionally BENCH_index.json).
+func WriteIndexJSON(path string, ms []IndexMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestIndexSmoke runs the full index experiment at reduced scale — the
+// `make ci` benchsmoke entry point for the fragment indexes, run under
+// -race so indexed plans race against parallel morsel scans and the
+// planner-option toggles.
+func TestIndexSmoke(t *testing.T) {
+	ms, err := RunIndex(ShakespeareDataset(3), SigmodDataset(60), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, m := range ms {
+		if !m.Identical {
+			t.Errorf("%s: indexed rows differ from scan rows", m.Query)
+		}
+		if !m.IndexedPlan {
+			t.Errorf("%s: expected an IndexedFragScan in the plan", m.Query)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_index.json")
+	if err := WriteIndexJSON(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path); err != nil || len(data) == 0 {
+		t.Fatalf("json not written: %v", err)
+	}
+	if tbl := IndexTable(ms); tbl == "" {
+		t.Fatal("empty table")
+	}
+}

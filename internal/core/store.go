@@ -256,7 +256,15 @@ func (st *Store) CreateDefaultIndexes() error {
 		for _, col := range rel.Columns {
 			switch col.Kind {
 			case mapping.KindXADT:
-				continue // no index structure over fragments
+				// Fragments get the secondary XADT index (structural paths
+				// + inverted keywords) instead of a B+tree on the bytes.
+				if t := st.DB.Catalog.Table(rel.Name); t != nil && t.FragIndexOn(col.Name) != nil {
+					continue
+				}
+				if err := st.DB.CreateXADTIndex(rel.Name, col.Name); err != nil {
+					return err
+				}
+				continue
 			}
 			// Skip indexes that already exist so the call is idempotent —
 			// a store recovered from a checkpoint carries that

@@ -287,6 +287,12 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 	par := plan.Options{DOP: opts.DOP, MorselPages: 1, MinParallelPages: -1}
 	rowSerial := plan.Options{DOP: 1, DisableVectorized: true}
 	rowPar := plan.Options{DOP: opts.DOP, MorselPages: 1, MinParallelPages: -1, DisableVectorized: true}
+	// Index cells: the reference runs with the XADT fragment indexes on
+	// (stores build them by default), so the noindex cells are the
+	// index-on vs index-off differential axis — an indexed plan must
+	// return byte-identical rows to the scan it replaced.
+	noIdx := plan.Options{DOP: 1, DisableXADTIndexes: true}
+	noIdxPar := plan.Options{DOP: opts.DOP, MorselPages: 1, MinParallelPages: -1, DisableXADTIndexes: true}
 	// Budget cells spill through one shared in-memory VFS; spill file
 	// names are globally unique, so cells never collide.
 	var budget, budgetPar, budgetRow plan.Options
@@ -321,6 +327,8 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			{"hybrid:dop", par, true},
 			{"hybrid:rowengine", rowSerial, true},
 			{"hybrid:rowengine+dop", rowPar, true},
+			{"hybrid:noindex", noIdx, true},
+			{"hybrid:noindex+dop", noIdxPar, true},
 		}
 		if opts.MemBudget > 0 {
 			hyCells = append(hyCells,
@@ -351,6 +359,8 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			{"xorator:rowengine+dop", rowPar, true},
 			{"xorator:fastpath", serial, false},
 			{"xorator:fastpath+dop", par, false},
+			{"xorator:noindex", noIdx, true},
+			{"xorator:noindex+dop", noIdxPar, true},
 		}
 		if opts.MemBudget > 0 {
 			xoCells = append(xoCells,
@@ -375,6 +385,7 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			}{
 				{"xorator:recovered", serial},
 				{"xorator:recovered+dop", par},
+				{"xorator:recovered+noindex", noIdx},
 			} {
 				got, err := run(st.recovered, cell.o, true, c.XORator)
 				if err != nil {
@@ -392,6 +403,7 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 		}{
 			{"xorator:legacy", serial},
 			{"xorator:legacy+dop", par},
+			{"xorator:legacy+noindex", noIdx},
 		} {
 			got, err := run(st.legacy, cell.o, true, c.XORator)
 			if err != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine/index"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
+	"repro/internal/engine/xindex"
 )
 
 // Column is one column of a table schema.
@@ -73,7 +74,11 @@ type Table struct {
 	Schema  *Schema
 	Heap    *storage.HeapFile
 	Indexes []*Index
-	Stats   Stats
+	// FragIndexes are the secondary XADT indexes (path + keyword
+	// postings) over this table's fragment columns; Insert keeps them
+	// current so they are never stale while they remain valid.
+	FragIndexes []*xindex.FragmentIndex
+	Stats       Stats
 
 	mu sync.RWMutex
 }
@@ -99,6 +104,9 @@ func (t *Table) Insert(row []types.Value) error {
 	for _, idx := range t.Indexes {
 		idx.Tree.Insert(row[idx.ColIdx], rid)
 	}
+	for _, fi := range t.FragIndexes {
+		fi.AddRow(rid, row[fi.ColumnIndex()])
+	}
 	t.Stats.Valid = false
 	return nil
 }
@@ -110,6 +118,19 @@ func (t *Table) IndexOn(column string) *Index {
 	for _, idx := range t.Indexes {
 		if idx.Column == column {
 			return idx
+		}
+	}
+	return nil
+}
+
+// FragIndexOn returns the XADT fragment index over the named column, or
+// nil.
+func (t *Table) FragIndexOn(column string) *xindex.FragmentIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, fi := range t.FragIndexes {
+		if fi.Column() == column {
+			return fi
 		}
 	}
 	return nil
@@ -138,6 +159,9 @@ func (t *Table) IndexBytes() int64 {
 	var n int64
 	for _, idx := range t.Indexes {
 		n += idx.Tree.SizeBytes()
+	}
+	for _, fi := range t.FragIndexes {
+		n += fi.SizeBytes()
 	}
 	return n
 }
@@ -225,6 +249,39 @@ func (c *Catalog) CreateIndex(table, column string) (*Index, error) {
 	t.Indexes = append(t.Indexes, idx)
 	t.mu.Unlock()
 	return idx, nil
+}
+
+// CreateXADTIndex builds the path + keyword fragment index over one XADT
+// column, backfilling existing rows in heap order. Inserts maintain it
+// from then on; a row that fails to index invalidates it (the planner
+// then falls back to scans) rather than failing the load.
+func (c *Catalog) CreateXADTIndex(table, column string) (*xindex.FragmentIndex, error) {
+	t := c.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("catalog: no table %s", table)
+	}
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("catalog: table %s has no column %s", table, column)
+	}
+	if t.Schema.Columns[ci].Type != types.KindXADT {
+		return nil, fmt.Errorf("catalog: column %s.%s is not an XADT column", table, column)
+	}
+	if t.FragIndexOn(column) != nil {
+		return nil, fmt.Errorf("catalog: XADT index on %s.%s already exists", table, column)
+	}
+	fi := xindex.NewFragmentIndex(table, column, ci)
+	err := t.Heap.Scan(func(rid storage.RID, row []types.Value) error {
+		fi.AddRow(rid, row[ci])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.FragIndexes = append(t.FragIndexes, fi)
+	t.mu.Unlock()
+	return fi, nil
 }
 
 // RunStats recomputes optimizer statistics for one table — the analogue

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
@@ -12,6 +13,13 @@ import (
 
 // snapshotMagic identifies a catalog snapshot stream.
 const snapshotMagic = "XORCAT01"
+
+// xadtIndexPrefix marks an entry of the per-table index list as an XADT
+// fragment-index definition rather than a B+tree column index. "!" is
+// not a legal XML name character, so the prefix can never collide with a
+// real column name; snapshots without fragment indexes stay byte-for-
+// byte identical to the prior format.
+const xadtIndexPrefix = "xadt!"
 
 // Save writes the catalog — schemas, heap data, and index definitions —
 // to w. Index trees are not serialized; Load rebuilds them, which is
@@ -40,11 +48,19 @@ func (c *Catalog) Save(w io.Writer) error {
 				return err
 			}
 		}
-		if err := writeUvarint(bw, uint64(len(t.Indexes))); err != nil {
+		if err := writeUvarint(bw, uint64(len(t.Indexes)+len(t.FragIndexes))); err != nil {
 			return err
 		}
 		for _, idx := range t.Indexes {
 			if err := writeString(bw, idx.Column); err != nil {
+				return err
+			}
+		}
+		// Fragment indexes persist as definitions only, like the B+tree
+		// indexes: Load rebuilds the postings from the heap, and WAL
+		// replay after a checkpoint keeps them current through Insert.
+		for _, fi := range t.FragIndexes {
+			if err := writeString(bw, xadtIndexPrefix+fi.Column()); err != nil {
 				return err
 			}
 		}
@@ -116,6 +132,12 @@ func Load(r io.Reader, pool *storage.BufferPool) (*Catalog, error) {
 		}
 		tbl.Heap = heap
 		for _, col := range idxCols {
+			if frag, ok := strings.CutPrefix(col, xadtIndexPrefix); ok {
+				if _, err := c.CreateXADTIndex(name, frag); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if _, err := c.CreateIndex(name, col); err != nil {
 				return nil, err
 			}

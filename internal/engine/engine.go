@@ -74,6 +74,10 @@ type Config struct {
 	// paths instead of batch-at-a-time execution — the seed behaviour,
 	// kept for the before/after benchmark and the differential harness.
 	DisableVectorized bool
+	// DisableXADTIndexes keeps the planner off the XADT fragment indexes
+	// (path + keyword) even when they exist — the scan baseline for the
+	// index benchmark and the index-off differential cells.
+	DisableXADTIndexes bool
 }
 
 // xadtRuntime is the per-database XADT evaluation state: the decode
@@ -188,6 +192,9 @@ func resolveOptions(cfg Config) plan.Options {
 	if cfg.DisableVectorized {
 		opts.DisableVectorized = true
 	}
+	if cfg.DisableXADTIndexes {
+		opts.DisableXADTIndexes = true
+	}
 	return opts
 }
 
@@ -205,6 +212,13 @@ func (db *Database) CreateTable(name string, cols []catalog.Column) (*catalog.Ta
 // CreateIndex builds an index over table.column.
 func (db *Database) CreateIndex(table, column string) error {
 	_, err := db.Catalog.CreateIndex(table, column)
+	return err
+}
+
+// CreateXADTIndex builds the path + keyword fragment index over an XADT
+// column.
+func (db *Database) CreateXADTIndex(table, column string) error {
+	_, err := db.Catalog.CreateXADTIndex(table, column)
 	return err
 }
 

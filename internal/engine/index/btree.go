@@ -69,7 +69,11 @@ func (t *BTree) Insert(key types.Value, rid storage.RID) {
 // its separator key.
 func (t *BTree) insert(n *node, key types.Value, rid storage.RID) (*node, types.Value) {
 	if n.leaf {
-		i := lowerBound(n.keys, key)
+		// Place duplicates after existing equal keys: descent already
+		// picks the rightmost leaf that can hold the key (upperBound), so
+		// equal-key postings stay in insertion order and Lookup returns
+		// them in the order rows entered the heap.
+		i := upperBound(n.keys, key)
 		n.keys = insertAt(n.keys, i, key)
 		n.rids = insertRIDAt(n.rids, i, rid)
 		if len(n.keys) <= order {

@@ -73,6 +73,11 @@ type Options struct {
 	// DefaultMinParallelPages; negative disables the gate (tests and the
 	// differential harness force parallel plans on tiny tables).
 	MinParallelPages int
+	// DisableXADTIndexes turns the XADT fragment-index rewrite off: even
+	// when a valid path/keyword index covers a findKeyInElm conjunct, the
+	// planner keeps the sequential scan. Used by the differential harness
+	// (index-on vs index-off cells) and the index benchmark baselines.
+	DisableXADTIndexes bool
 }
 
 // Planner compiles SELECT statements against a catalog and function
@@ -387,6 +392,20 @@ func (p *Planner) estimate(bases []*baseItem) {
 func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 	var op exec.Operator
 	remaining := b.push
+	// A covering fragment index on a findKeyInElm conjunct wins over a
+	// B+tree equality: the workload's equality columns (parentCODE and the
+	// like) select large fractions of the table, while a keyword/path probe
+	// is sharp — and the fragment scan re-verifies every pushed conjunct,
+	// equalities included, so precedence never affects results.
+	if !p.Opts.DisableXADTIndexes {
+		frag, err := p.xadtIndexAccess(b)
+		if err != nil {
+			return nil, err
+		}
+		if frag != nil {
+			return frag, nil
+		}
+	}
 	if !p.Opts.DisableIndexScan {
 		for i, conj := range b.push {
 			ref, val, ok := constEquality(conj)
@@ -813,6 +832,8 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 	case *exec.SeqScan:
 		fmt.Fprintf(sb, "%s%s\n", indent, n)
 	case *exec.IndexScan:
+		fmt.Fprintf(sb, "%s%s\n", indent, n)
+	case *exec.IndexedFragScan:
 		fmt.Fprintf(sb, "%s%s\n", indent, n)
 	case *exec.ValuesScan:
 		fmt.Fprintf(sb, "%sValuesScan(%d rows)\n", indent, len(n.Rows))

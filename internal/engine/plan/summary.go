@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine/exec"
+)
+
+// PredicateSummary walks a compiled plan and reports where each
+// predicate ended up: pushed into a scan cursor, answered by an XADT
+// fragment index (with re-verification), fused into a table-function
+// apply, or left as a residual filter above the joins. EXPLAIN output
+// shows the operators; this shows the classification at a glance.
+func PredicateSummary(op exec.Operator) string {
+	var pushed, indexed, fused, residual []string
+	collectPredicates(op, &pushed, &indexed, &fused, &residual)
+	var sb strings.Builder
+	line := func(label string, preds []string) {
+		if len(preds) == 0 {
+			fmt.Fprintf(&sb, "%s: (none)\n", label)
+			return
+		}
+		fmt.Fprintf(&sb, "%s: %s\n", label, strings.Join(preds, "; "))
+	}
+	line("pushed", pushed)
+	line("indexed", indexed)
+	line("apply-fused", fused)
+	line("residual", residual)
+	return sb.String()
+}
+
+func collectPredicates(op exec.Operator, pushed, indexed, fused, residual *[]string) {
+	switch n := op.(type) {
+	case *exec.SeqScan:
+		if n.Pred != nil {
+			*pushed = append(*pushed, n.Pred.String())
+		}
+	case *exec.MorselScan:
+		if n.Pred != nil {
+			*pushed = append(*pushed, n.Pred.String())
+		}
+	case *exec.IndexScan:
+		*indexed = append(*indexed, n.String())
+	case *exec.IndexedFragScan:
+		*indexed = append(*indexed, fmt.Sprintf("%s (verified)", n.IndexDesc))
+	case *exec.Filter:
+		*residual = append(*residual, n.Pred.String())
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.Project:
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.TableFuncApply:
+		if n.Filter != nil {
+			*fused = append(*fused, n.Filter.String())
+		}
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.HashJoin:
+		collectPredicates(n.Left, pushed, indexed, fused, residual)
+		collectPredicates(n.Right, pushed, indexed, fused, residual)
+	case *exec.MergeJoin:
+		collectPredicates(n.Left, pushed, indexed, fused, residual)
+		collectPredicates(n.Right, pushed, indexed, fused, residual)
+	case *exec.NestedLoopJoin:
+		if n.Pred != nil {
+			*residual = append(*residual, n.Pred.String())
+		}
+		collectPredicates(n.Left, pushed, indexed, fused, residual)
+		collectPredicates(n.Right, pushed, indexed, fused, residual)
+	case *exec.IndexLoopJoin:
+		collectPredicates(n.Left, pushed, indexed, fused, residual)
+	case *exec.HashProbe:
+		collectPredicates(n.Build.Input, pushed, indexed, fused, residual)
+		collectPredicates(n.Right, pushed, indexed, fused, residual)
+	case *exec.Gather:
+		// All pipelines are clones; the first is representative.
+		collectPredicates(n.Pipes[0].Root, pushed, indexed, fused, residual)
+	case *exec.HashAggregate:
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.Sort:
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.TopN:
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.Distinct:
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	case *exec.Limit:
+		collectPredicates(n.Child, pushed, indexed, fused, residual)
+	}
+}

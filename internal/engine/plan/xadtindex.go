@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"strings"
+
+	"repro/internal/engine/exec"
+	"repro/internal/engine/sql"
+	"repro/internal/engine/storage"
+)
+
+// findKeyConjunct is one pushed conjunct the XADT fragment index can
+// answer: findKeyInElm(col, 'Elm', 'key') = 1 with literal arguments,
+// where col is an indexed XADT column of the base table.
+type findKeyConjunct struct {
+	conj   sql.Expr
+	column string
+	elm    string
+	key    string
+}
+
+// matchFindKey recognizes a findKeyInElm(col, 'E', 'k') = 1 conjunct
+// (either operand order) over a column of b's table. Only the exact
+// "= 1" form is indexable: the index knows which rows may contain a
+// match, never which rows certainly lack one.
+func matchFindKey(b *baseItem, conj sql.Expr) (findKeyConjunct, bool) {
+	none := findKeyConjunct{}
+	bin, ok := conj.(*sql.BinOp)
+	if !ok || bin.Op != "=" {
+		return none, false
+	}
+	fn, fok := bin.L.(*sql.FuncExpr)
+	lit, lok := bin.R.(*sql.IntLit)
+	if !fok || !lok {
+		fn, fok = bin.R.(*sql.FuncExpr)
+		lit, lok = bin.L.(*sql.IntLit)
+	}
+	if !fok || !lok || lit.Val != 1 {
+		return none, false
+	}
+	if !strings.EqualFold(fn.Name, "findKeyInElm") || len(fn.Args) != 3 {
+		return none, false
+	}
+	ref, ok := fn.Args[0].(*sql.ColRef)
+	if !ok {
+		return none, false
+	}
+	if ref.Qualifier != "" && ref.Qualifier != b.alias {
+		return none, false
+	}
+	if b.table.Schema.ColIndex(ref.Name) < 0 {
+		return none, false
+	}
+	elm, ok := fn.Args[1].(*sql.StrLit)
+	if !ok {
+		return none, false
+	}
+	key, ok := fn.Args[2].(*sql.StrLit)
+	if !ok {
+		return none, false
+	}
+	return findKeyConjunct{conj: conj, column: ref.Name, elm: elm.Val, key: key.Val}, true
+}
+
+// xadtIndexAccess tries to answer b's pushed predicates through XADT
+// fragment indexes. It returns a non-nil IndexedFragScan when at least
+// one conjunct is indexable by a valid index that covers every heap row;
+// candidate sets of multiple indexable conjuncts are intersected. All
+// pushed conjuncts — indexed and not — are re-verified on the fetched
+// rows, so the rewrite can only change how rows are found, never which
+// rows are returned. nil,nil means "no index applies, use a scan".
+func (p *Planner) xadtIndexAccess(b *baseItem) (exec.Operator, error) {
+	var rids []storage.RID
+	var matched []string
+	have := false
+	for _, conj := range b.push {
+		fk, ok := matchFindKey(b, conj)
+		if !ok {
+			continue
+		}
+		fi := b.table.FragIndexOn(fk.column)
+		if fi == nil || !fi.Valid() || fi.Rows() != b.table.Rows() {
+			// Missing, invalidated, or stale (has not absorbed every heap
+			// row) — the contract says fall back, never guess.
+			continue
+		}
+		cand, ok := fi.LookupFindKey(fk.elm, fk.key)
+		if !ok {
+			continue
+		}
+		if have {
+			rids = intersectRIDs(rids, cand)
+		} else {
+			rids = cand
+			have = true
+		}
+		matched = append(matched, fk.conj.String())
+	}
+	if !have {
+		return nil, nil
+	}
+	scan := exec.NewIndexedFragScan(b.table, b.alias, rids, nil, strings.Join(matched, " AND "))
+	if len(b.push) > 0 {
+		pred, err := p.bindConjuncts(b.push, scan.Schema())
+		if err != nil {
+			return nil, err
+		}
+		scan.Pred = pred
+	}
+	return scan, nil
+}
+
+// intersectRIDs intersects two candidate lists sorted in heap order.
+func intersectRIDs(a, b []storage.RID) []storage.RID {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case ridLess(a[i], b[j]):
+			i++
+		case ridLess(b[j], a[i]):
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func ridLess(a, b storage.RID) bool {
+	if a.Page != b.Page {
+		return a.Page < b.Page
+	}
+	return a.Slot < b.Slot
+}

@@ -1,0 +1,189 @@
+package xindex
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+	"repro/internal/xadt"
+	"repro/internal/xmltree"
+)
+
+// FragmentIndex is the combined secondary index over one stored XADT
+// column: a structural path index plus an inverted keyword index, built
+// row by row as tuples are inserted (or backfilled from the heap). It
+// tracks how many heap rows it has absorbed so the planner can detect a
+// stale index — an index that has not seen every row is never consulted,
+// and a row whose fragment fails to decode invalidates the whole index
+// rather than silently dropping postings. Lookups only ever produce
+// candidate supersets; IndexedFragScan re-verifies the real predicate.
+type FragmentIndex struct {
+	mu     sync.RWMutex
+	table  string
+	column string
+	colIdx int
+
+	path *PathIndex
+	kw   *KeywordIndex
+
+	rows    int
+	invalid bool
+}
+
+// NewFragmentIndex returns an empty index over table.column at colIdx.
+func NewFragmentIndex(table, column string, colIdx int) *FragmentIndex {
+	return &FragmentIndex{
+		table: table, column: column, colIdx: colIdx,
+		path: NewPathIndex(), kw: NewKeywordIndex(),
+	}
+}
+
+// Table returns the owning table name.
+func (fi *FragmentIndex) Table() string { return fi.table }
+
+// Column returns the indexed column name.
+func (fi *FragmentIndex) Column() string { return fi.column }
+
+// ColumnIndex returns the indexed column's position in the row.
+func (fi *FragmentIndex) ColumnIndex() int { return fi.colIdx }
+
+// Rows reports how many heap rows the index has absorbed.
+func (fi *FragmentIndex) Rows() int {
+	fi.mu.RLock()
+	defer fi.mu.RUnlock()
+	return fi.rows
+}
+
+// Valid reports whether the index is usable; it turns false permanently
+// once any row fails to index (the staleness/fallback contract: a broken
+// index is never consulted, the planner falls back to scans).
+func (fi *FragmentIndex) Valid() bool {
+	fi.mu.RLock()
+	defer fi.mu.RUnlock()
+	return !fi.invalid
+}
+
+// Invalidate marks the index unusable; the planner will fall back to
+// sequential scans until it is rebuilt.
+func (fi *FragmentIndex) Invalidate() {
+	fi.mu.Lock()
+	fi.invalid = true
+	fi.mu.Unlock()
+}
+
+// SizeBytes reports the combined index footprint.
+func (fi *FragmentIndex) SizeBytes() int64 {
+	fi.mu.RLock()
+	defer fi.mu.RUnlock()
+	return fi.path.SizeBytes() + fi.kw.SizeBytes()
+}
+
+// AddRow absorbs one inserted heap row. Every row counts toward
+// coverage, including NULL fragments (which simply contribute no
+// postings). Rows must arrive in heap (RID) order; a decode failure or
+// an out-of-order RID invalidates the index instead of erroring the
+// insert — correctness comes from the planner's fallback, not from
+// aborting loads.
+func (fi *FragmentIndex) AddRow(rid storage.RID, v types.Value) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.rows++
+	if fi.invalid || v.IsNull() {
+		return
+	}
+	if v.Kind() != types.KindXADT {
+		fi.invalid = true
+		return
+	}
+	nodes, err := xadt.FromBytes(v.XADT()).Nodes()
+	if err != nil {
+		fi.invalid = true
+		return
+	}
+	if !fi.addNodes(rid, nodes) {
+		fi.invalid = true
+	}
+}
+
+// addNodes indexes one decoded fragment under fi.mu.
+func (fi *FragmentIndex) addNodes(rid storage.RID, nodes []*xmltree.Node) bool {
+	// Keyword postings over the concatenated character data in document
+	// order — the same concatenation InnerText performs, so any
+	// element's inner text is a contiguous substring of it and the
+	// tokenizer's superset guarantee carries through.
+	var sb strings.Builder
+	for _, n := range nodes {
+		sb.WriteString(n.InnerText())
+	}
+	if !fi.kw.Add(ridKey(rid), TokenSet(sb.String())) {
+		return false
+	}
+	// Structural postings: each distinct root-to-element path, once per
+	// row no matter how often the document repeats it.
+	seen := map[string]bool{}
+	var walk func(n *xmltree.Node, prefix string)
+	walk = func(n *xmltree.Node, prefix string) {
+		if !n.IsElement() {
+			return
+		}
+		p := n.Name
+		if prefix != "" {
+			p = prefix + "/" + n.Name
+		}
+		if !seen[p] {
+			seen[p] = true
+			fi.path.Add(rid, p)
+		}
+		for _, c := range n.Children {
+			walk(c, p)
+		}
+	}
+	for _, n := range nodes {
+		walk(n, "")
+	}
+	return true
+}
+
+// LookupFindKey answers a findKeyInElm(col, elm, key) = 1 conjunct with
+// a candidate RID set: rows containing an element named elm (path index)
+// intersected with rows whose text can contain key (keyword index),
+// sorted in heap order. ok is false when the index cannot answer — it is
+// invalid, or both the element name is empty and the key has no
+// word-shaped tokens to look up.
+func (fi *FragmentIndex) LookupFindKey(elm, key string) (rids []storage.RID, ok bool) {
+	fi.mu.RLock()
+	defer fi.mu.RUnlock()
+	if fi.invalid {
+		return nil, false
+	}
+	tokens := TokenSet(key)
+	if elm == "" && len(tokens) == 0 {
+		return nil, false
+	}
+	var acc []uint64
+	have := false
+	if elm != "" {
+		acc = fi.path.LookupName(elm)
+		have = true
+	}
+	if len(tokens) > 0 {
+		kw, kok := fi.kw.Candidates(tokens)
+		if kok {
+			if have {
+				acc = IntersectSorted(acc, kw)
+			} else {
+				acc = kw
+			}
+			have = true
+		}
+	}
+	if !have {
+		return nil, false
+	}
+	out := make([]storage.RID, len(acc))
+	for i, k := range acc {
+		out[i] = keyRID(k)
+	}
+	return out, true
+}

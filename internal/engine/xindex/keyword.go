@@ -1,0 +1,80 @@
+package xindex
+
+import "strings"
+
+// KeywordIndex is the inverted index over fragment text: each distinct
+// token of a row's concatenated character data gets the row's posting
+// appended to its term list. Because the XADT predicates match by
+// substring (strings.Contains), a query key is answered by taking, per
+// key token, the union of the postings of every dictionary term that
+// contains the token as a substring, then intersecting those unions —
+// a guaranteed superset of the rows whose text contains the key.
+type KeywordIndex struct {
+	terms map[string]*PostingList
+}
+
+// NewKeywordIndex returns an empty index.
+func NewKeywordIndex() *KeywordIndex {
+	return &KeywordIndex{terms: map[string]*PostingList{}}
+}
+
+// Terms reports the dictionary size.
+func (k *KeywordIndex) Terms() int { return len(k.terms) }
+
+// SizeBytes reports the posting footprint plus dictionary strings.
+func (k *KeywordIndex) SizeBytes() int64 {
+	var n int64
+	for t, pl := range k.terms {
+		n += int64(len(t)) + pl.SizeBytes()
+	}
+	return n
+}
+
+// Add appends rid to the posting list of each token. Tokens must be
+// deduplicated per row and rids must arrive in increasing order; it
+// reports false if an append would break posting order.
+func (k *KeywordIndex) Add(rid uint64, tokens []string) bool {
+	for _, t := range tokens {
+		pl := k.terms[t]
+		if pl == nil {
+			pl = &PostingList{}
+			k.terms[t] = pl
+		}
+		if !pl.Append(rid) {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates returns the sorted posting union-intersection for the key
+// tokens: rows where every token is a substring of at least one of the
+// row's terms. ok is false when tokens is empty (nothing to index on).
+// An empty (non-nil) result means no row can match.
+func (k *KeywordIndex) Candidates(tokens []string) (rids []uint64, ok bool) {
+	if len(tokens) == 0 {
+		return nil, false
+	}
+	var acc []uint64
+	for i, tok := range tokens {
+		var lists []*PostingList
+		for term, pl := range k.terms {
+			if strings.Contains(term, tok) {
+				lists = append(lists, pl)
+			}
+		}
+		if len(lists) == 0 {
+			return []uint64{}, true
+		}
+		u := Union(lists)
+		if i == 0 {
+			acc = u
+		} else {
+			acc = IntersectSorted(acc, u)
+		}
+		if len(acc) == 0 {
+			return []uint64{}, true
+		}
+	}
+	return acc, true
+}

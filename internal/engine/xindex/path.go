@@ -1,0 +1,67 @@
+package xindex
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/engine/index"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// PathIndex is the structural index: every distinct root-to-element path
+// of a stored fragment ("SPEECH/LINE/STAGEDIR") maps to the postings of
+// the rows containing it. Paths live in the engine's B+tree keyed by the
+// path string, so the per-path RID lists come back in insertion (= heap)
+// order; the small distinct-path dictionary is kept alongside for
+// segment-membership lookups.
+type PathIndex struct {
+	tree  *index.BTree
+	paths map[string][]string // path → its element-name segments
+}
+
+// NewPathIndex returns an empty index.
+func NewPathIndex() *PathIndex {
+	return &PathIndex{tree: index.New(), paths: map[string][]string{}}
+}
+
+// Paths reports the distinct path count.
+func (p *PathIndex) Paths() int { return len(p.paths) }
+
+// SizeBytes reports the B+tree footprint.
+func (p *PathIndex) SizeBytes() int64 { return p.tree.SizeBytes() }
+
+// Add records that the row at rid contains path. Callers deduplicate
+// paths per row (a document may repeat a path many times).
+func (p *PathIndex) Add(rid storage.RID, path string) {
+	if _, ok := p.paths[path]; !ok {
+		p.paths[path] = strings.Split(path, "/")
+	}
+	p.tree.Insert(types.NewString(path), rid)
+}
+
+// LookupName returns the sorted, deduplicated posting keys of the rows
+// whose fragments contain an element with the given name at any depth,
+// by unioning the postings of every dictionary path with that segment.
+func (p *PathIndex) LookupName(name string) []uint64 {
+	var all []uint64
+	for path, segs := range p.paths {
+		if !containsSeg(segs, name) {
+			continue
+		}
+		for _, rid := range p.tree.Lookup(types.NewString(path)) {
+			all = append(all, ridKey(rid))
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return dedupSorted(all)
+}
+
+func containsSeg(segs []string, name string) bool {
+	for _, s := range segs {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}

@@ -47,6 +47,9 @@ func NewLoader(db *engine.Database, schema *mapping.Schema, format xadt.Format) 
 	if err := EnsureTables(db, schema); err != nil {
 		return nil, err
 	}
+	if err := EnsureXADTIndexes(db, schema); err != nil {
+		return nil, err
+	}
 	return &Loader{DB: db, Schema: schema, Format: format, ids: map[string]int64{}}, nil
 }
 
@@ -64,6 +67,28 @@ func EnsureTables(db *engine.Database, schema *mapping.Schema) error {
 		}
 		if _, err := db.CreateTable(rel.Name, cols); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// EnsureXADTIndexes creates the secondary fragment index (structural
+// paths + inverted keywords) on every mapped XADT column that lacks one.
+// Creating them before the first load means Insert maintains them row by
+// row instead of a separate backfill pass.
+func EnsureXADTIndexes(db *engine.Database, schema *mapping.Schema) error {
+	for _, rel := range schema.Relations {
+		t := db.Catalog.Table(rel.Name)
+		if t == nil {
+			continue
+		}
+		for _, col := range rel.Columns {
+			if col.Kind != mapping.KindXADT || t.FragIndexOn(col.Name) != nil {
+				continue
+			}
+			if err := db.CreateXADTIndex(rel.Name, col.Name); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
