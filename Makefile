@@ -30,6 +30,7 @@ benchsmoke:
 	$(GO) test -race -run TestDurabilitySmoke ./internal/bench/
 	$(GO) test -race -run TestSpillSmoke ./internal/bench/
 	$(GO) test -race -run TestVectorSmoke ./internal/bench/
+	$(GO) test -race -run TestMutationSmoke ./internal/bench/
 
 # Exhaustive fault-injection sweep: crash the store at every mutating
 # filesystem operation (plus torn-write variants) and require recovery to
@@ -49,6 +50,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRawScanEntities -fuzztime=$(FUZZTIME) ./internal/xadt/
 	$(GO) test -run=NONE -fuzz=FuzzHeaderDecode -fuzztime=$(FUZZTIME) ./internal/xadt/
 	$(GO) test -run=NONE -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/engine/wal/
+	$(GO) test -run=NONE -fuzz=FuzzMutationReplay -fuzztime=$(FUZZTIME) ./internal/engine/wal/
 	$(GO) test -run=NONE -fuzz=FuzzPostingCodec -fuzztime=$(FUZZTIME) ./internal/engine/xindex/
 	$(GO) test -run=NONE -fuzz=FuzzTokenizeSuperset -fuzztime=$(FUZZTIME) ./internal/engine/xindex/
 
@@ -61,4 +63,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json BENCH_mutation.json *.pprof

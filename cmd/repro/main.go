@@ -17,11 +17,14 @@
 //	-exp difftest  differential correctness fuzzing across the full matrix
 //	-exp crash     crash a WAL-backed load at a seeded point and recover it
 //	-exp durability  load throughput with the WAL off/batch/always synced
+//	-exp mutation  update-workload throughput: DML access paths + WAL cost
 //	-exp all       everything above
 //
 // The difftest experiment takes -seed and -iters and writes a minimized
 // failure artifact (difftest_failure.txt) on divergence; -crash adds a
-// kill-and-recover store to its comparison matrix, -membudget N adds the
+// kill-and-recover store to its comparison matrix, -mutate switches it
+// to randomized mutation histories (SQL DML + document ops applied to
+// both mappings with periodic kill-and-recover), -membudget N adds the
 // memory-budget axis (every query rerun under an N-byte budget, forcing
 // spills), and -sabotage deliberately corrupts the Gather reorder to
 // prove the harness detects a broken configuration.
@@ -32,7 +35,8 @@
 // experiment writes BENCH_xadt.json; the index experiment writes
 // BENCH_index.json; the spill experiment writes
 // BENCH_spill.json; the vector experiment writes BENCH_vector.json; the
-// durability experiment writes BENCH_durability.json. -cpuprofile and
+// durability experiment writes BENCH_durability.json; the mutation
+// experiment writes BENCH_mutation.json. -cpuprofile and
 // -memprofile write pprof profiles covering the selected experiments.
 package main
 
@@ -74,6 +78,7 @@ func realMain() int {
 		seed      = flag.Int64("seed", 1, "base seed for -exp difftest and -exp crash")
 		iters     = flag.Int("iters", 0, "iterations for -exp difftest (0 = 200, or 50 with -quick)")
 		crash     = flag.Bool("crash", false, "add the crash-recovery axis to -exp difftest")
+		mutate    = flag.Bool("mutate", false, "run -exp difftest as randomized mutation histories (DML + document ops)")
 		membudget = flag.Int64("membudget", 0, "per-query memory budget in bytes for the -exp difftest budget axis (0 = off)")
 		sabotage  = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -111,7 +116,7 @@ func realMain() int {
 		}()
 	}
 	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop,
-		seed: *seed, iters: *iters, crash: *crash, membudget: *membudget, sabotage: *sabotage}
+		seed: *seed, iters: *iters, crash: *crash, mutate: *mutate, membudget: *membudget, sabotage: *sabotage}
 
 	experiments := map[string]func() error{
 		"schemas":    r.schemas,
@@ -130,8 +135,9 @@ func realMain() int {
 		"difftest":   r.difftest,
 		"crash":      r.crashDemo,
 		"durability": r.durability,
+		"mutation":   r.mutation,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "difftest", "crash", "durability"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "difftest", "crash", "durability", "mutation"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -175,6 +181,7 @@ type runner struct {
 	seed      int64
 	iters     int
 	crash     bool
+	mutate    bool
 	membudget int64
 	sabotage  bool
 
@@ -438,8 +445,25 @@ func (r *runner) difftest() error {
 	if r.membudget > 0 {
 		fmt.Printf("memory-budget axis enabled: every query also reruns under a %d-byte budget\n", r.membudget)
 	}
-	sum, err := difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Crash: r.crash,
-		MemBudget: r.membudget, Log: os.Stdout})
+	var sum *difftest.Summary
+	var err error
+	replay := ""
+	if r.mutate {
+		// Mutation histories check many cells per iteration, so the
+		// default iteration budget is smaller.
+		if r.iters == 0 {
+			iters = 25
+			if r.quick {
+				iters = 8
+			}
+		}
+		fmt.Println("mutation axis: each iteration applies a random DML + document-op history with periodic kill-and-recover")
+		sum, err = difftest.RunMutation(difftest.Options{Seed: r.seed, Iters: iters, Log: os.Stdout})
+		replay = " -mutate"
+	} else {
+		sum, err = difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Crash: r.crash,
+			MemBudget: r.membudget, Log: os.Stdout})
+	}
 	if err != nil {
 		return err
 	}
@@ -447,8 +471,8 @@ func (r *runner) difftest() error {
 		sum.Iters, sum.Cases, sum.Cells, len(sum.Divergences), r.seed)
 	if n := len(sum.Divergences); n > 0 {
 		d := sum.Divergences[0]
-		return fmt.Errorf("%d divergences; first: %s\nartifact: %s\nreplay: go run ./cmd/repro -exp difftest -seed %d -iters 1",
-			n, d, sum.Artifact, d.Seed)
+		return fmt.Errorf("%d divergences; first: %s\nartifact: %s\nreplay: go run ./cmd/repro -exp difftest%s -seed %d -iters 1",
+			n, d, sum.Artifact, replay, d.Seed)
 	}
 	return nil
 }
@@ -555,6 +579,28 @@ func (r *runner) crashDemo() error {
 // durability measures document-load throughput with the WAL disabled and
 // at each sync policy, prints the overhead table, and writes
 // BENCH_durability.json.
+func (r *runner) mutation() error {
+	dir, err := os.MkdirTemp("", "repro-mutation-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ops, repeats := 400, r.repeats
+	if r.quick {
+		ops, repeats = 120, 1
+	}
+	ms, err := bench.RunMutation(r.shakespeareDS(), dir, ops, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.MutationTable(ms))
+	if err := bench.WriteMutationJSON("BENCH_mutation.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_mutation.json")
+	return nil
+}
+
 func (r *runner) durability() error {
 	dir, err := os.MkdirTemp("", "repro-durability-*")
 	if err != nil {

@@ -1,0 +1,269 @@
+// Update-workload benchmark: a seeded stream of SQL DML (point and
+// range UPDATE/DELETE, multi-row INSERT) plus whole-document churn
+// (remove + re-add) applied to freshly loaded stores. Cells compare the
+// Hybrid and XORator mappings, B+tree-assisted DML against forced-scan
+// DML, and the WAL off/batch/always durability costs of the same
+// history. Emitted as a report table and machine-readable
+// BENCH_mutation.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/wal"
+	"repro/internal/mapping"
+	"repro/internal/xadt"
+)
+
+// MutationMeasurement is one configuration cell: the same DML stream and
+// document churn timed under one mapping / access-path / durability
+// combination.
+type MutationMeasurement struct {
+	Config  string `json:"config"`
+	Mapping string `json:"mapping"`
+	// WalSync is "none" for unlogged stores, else the sync policy.
+	WalSync string `json:"wal_sync"`
+	// IndexedDML is false when the WHERE access path is forced to scan.
+	IndexedDML   bool    `json:"indexed_dml"`
+	DMLOps       int     `json:"dml_ops"`
+	DMLMs        float64 `json:"dml_ms"`
+	DMLOpsPerSec float64 `json:"dml_ops_per_sec"`
+	DocChurn     int     `json:"doc_churn"`
+	DocChurnMs   float64 `json:"doc_churn_ms"`
+	RowsAffected int     `json:"rows_affected"`
+}
+
+// mutationWorkload is the pre-generated statement stream, identical for
+// every cell so timings are comparable.
+type mutationWorkload struct {
+	stmts []string
+	churn int
+}
+
+var mutationWords = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+
+// genMutationWorkload derives a DML stream over the relations both
+// mappings share, so Hybrid and XORator cells execute byte-identical
+// statements. IDs for INSERT are negative: the shredder counts up from
+// one, so synthetic rows can never alias a document row.
+func genMutationWorkload(hy, xo *mapping.Schema, maxID map[string]int64, ops int) mutationWorkload {
+	type target struct {
+		table   string
+		idCol   string
+		strCols []string
+	}
+	var targets []target
+	for _, xr := range xo.Relations {
+		hr := hy.Relation(xr.Name)
+		if hr == nil || hr.Element != xr.Element || maxID[xr.Name] == 0 {
+			continue
+		}
+		tg := target{table: xr.Name, idCol: xr.IDColumn()}
+		if tg.idCol == "" {
+			continue
+		}
+		for _, c := range xr.Columns {
+			if c.Type != mapping.String {
+				continue
+			}
+			if hc, ok := hr.Column(c.Name); ok && hc.Kind == c.Kind {
+				tg.strCols = append(tg.strCols, c.Name)
+			}
+		}
+		if len(tg.strCols) > 0 {
+			targets = append(targets, tg)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	w := mutationWorkload{churn: 4}
+	if len(targets) == 0 {
+		return w
+	}
+	neg := int64(-1)
+	for i := 0; i < ops; i++ {
+		tg := targets[rng.Intn(len(targets))]
+		max := maxID[tg.table]
+		id := 1 + rng.Int63n(max)
+		word := mutationWords[rng.Intn(len(mutationWords))]
+		col := tg.strCols[rng.Intn(len(tg.strCols))]
+		switch rng.Intn(5) {
+		case 0, 1: // point update (indexable WHERE)
+			w.stmts = append(w.stmts, fmt.Sprintf(
+				"UPDATE %s SET %s = '%s' WHERE %s = %d", tg.table, col, word, tg.idCol, id))
+		case 2: // small range update
+			w.stmts = append(w.stmts, fmt.Sprintf(
+				"UPDATE %s SET %s = '%s' WHERE %s >= %d AND %s <= %d",
+				tg.table, col, word, tg.idCol, id, tg.idCol, id+4))
+		case 3: // point delete
+			w.stmts = append(w.stmts, fmt.Sprintf(
+				"DELETE FROM %s WHERE %s = %d", tg.table, tg.idCol, id))
+		default: // insert a synthetic row
+			w.stmts = append(w.stmts, fmt.Sprintf(
+				"INSERT INTO %s (%s, %s) VALUES (%d, '%s')", tg.table, tg.idCol, col, neg, word))
+			neg--
+		}
+	}
+	return w
+}
+
+// RunMutation times the update workload. WAL-backed cells log to
+// subdirectories of dir on the real filesystem, so sync costs are the
+// operating system's. Each cell rebuilds its store from scratch per
+// repeat (mutations are destructive) and keeps the fastest run.
+func RunMutation(ds Dataset, dir string, ops, repeats int) ([]MutationMeasurement, error) {
+	if ops <= 0 {
+		ops = 400
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	format := xadt.Raw
+	// Schemas (and the initial ID range) are needed up front to generate
+	// the shared statement stream; derive them from throwaway stores.
+	probeHy, err := core.NewStore(ds.DTD, core.Config{Algorithm: core.Hybrid, ForceFormat: &format})
+	if err != nil {
+		return nil, err
+	}
+	probeXo, err := core.NewStore(ds.DTD, core.Config{Algorithm: core.XORator, ForceFormat: &format})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := probeHy.AddDocuments(ds.Docs); err != nil {
+		return nil, err
+	}
+	maxID := map[string]int64{}
+	for _, rel := range probeHy.Schema.Relations {
+		if t := probeHy.Table(rel.Name); t != nil {
+			maxID[rel.Name] = int64(t.Rows()) // loader IDs are 1..N
+		}
+	}
+	work := genMutationWorkload(probeHy.Schema, probeXo.Schema, maxID, ops)
+	if len(work.stmts) == 0 {
+		return nil, fmt.Errorf("mutation: no shared DML targets in dataset %s", ds.Name)
+	}
+
+	cells := []struct {
+		config  string
+		alg     core.Algorithm
+		sync    string
+		indexed bool
+	}{
+		{"hybrid", core.Hybrid, "none", true},
+		{"xorator", core.XORator, "none", true},
+		{"xorator-scan", core.XORator, "none", false},
+		{"xorator-wal-batch", core.XORator, "batch", true},
+		{"xorator-wal-always", core.XORator, "always", true},
+	}
+	var out []MutationMeasurement
+	for ci, cell := range cells {
+		var bestDML, bestChurn time.Duration
+		affected := 0
+		for rep := 0; rep < repeats; rep++ {
+			cfg := core.Config{Algorithm: cell.alg, ForceFormat: &format}
+			walDir := filepath.Join(dir, fmt.Sprintf("wal-%d-%d", ci, rep))
+			switch cell.sync {
+			case "batch":
+				cfg.Engine = engine.Config{WALDir: walDir, WALSync: wal.SyncBatch}
+			case "always":
+				cfg.Engine = engine.Config{WALDir: walDir, WALSync: wal.SyncAlways}
+			}
+			st, err := core.NewStore(ds.DTD, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("mutation %s: %w", cell.config, err)
+			}
+			ids, err := st.AddDocuments(ds.Docs)
+			if err != nil {
+				return nil, fmt.Errorf("mutation %s: %w", cell.config, err)
+			}
+			if err := st.CreateDefaultIndexes(); err != nil {
+				return nil, err
+			}
+			if err := st.RunStats(); err != nil {
+				return nil, err
+			}
+			if !cell.indexed {
+				st.DB.SetPlannerOptions(plan.Options{DOP: 1, DisableIndexScan: true})
+			}
+			n := 0
+			start := time.Now()
+			for _, stmt := range work.stmts {
+				c, err := st.Exec(stmt)
+				if err != nil {
+					return nil, fmt.Errorf("mutation %s: %q: %w", cell.config, stmt, err)
+				}
+				n += int(c)
+			}
+			dml := time.Since(start)
+			start = time.Now()
+			for i := 0; i < work.churn && i < len(ids); i++ {
+				if err := st.RemoveDocument(ids[i]); err != nil {
+					return nil, fmt.Errorf("mutation %s: remove doc %d: %w", cell.config, ids[i], err)
+				}
+				if _, err := st.AddDocuments(ds.Docs[i : i+1]); err != nil {
+					return nil, fmt.Errorf("mutation %s: re-add doc: %w", cell.config, err)
+				}
+			}
+			churn := time.Since(start)
+			if err := st.Close(); err != nil {
+				return nil, err
+			}
+			if cell.sync != "none" {
+				if err := os.RemoveAll(walDir); err != nil {
+					return nil, err
+				}
+			}
+			if bestDML == 0 || dml < bestDML {
+				bestDML = dml
+			}
+			if bestChurn == 0 || churn < bestChurn {
+				bestChurn = churn
+			}
+			affected = n
+		}
+		out = append(out, MutationMeasurement{
+			Config:       cell.config,
+			Mapping:      map[core.Algorithm]string{core.Hybrid: "hybrid", core.XORator: "xorator"}[cell.alg],
+			WalSync:      cell.sync,
+			IndexedDML:   cell.indexed,
+			DMLOps:       len(work.stmts),
+			DMLMs:        float64(bestDML.Nanoseconds()) / 1e6,
+			DMLOpsPerSec: float64(len(work.stmts)) / bestDML.Seconds(),
+			DocChurn:     work.churn,
+			DocChurnMs:   float64(bestChurn.Nanoseconds()) / 1e6,
+			RowsAffected: affected,
+		})
+	}
+	return out, nil
+}
+
+// MutationTable renders the measurements.
+func MutationTable(ms []MutationMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Mutation: update-workload throughput by mapping, DML access path, and WAL policy\n")
+	fmt.Fprintf(&sb, "%-20s %8s %8s %10s %10s %10s %9s\n",
+		"config", "wal", "dml_ops", "dml_ms", "ops_per_s", "affected", "churn_ms")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-20s %8s %8d %10.1f %10.1f %10d %9.1f\n",
+			m.Config, m.WalSync, m.DMLOps, m.DMLMs, m.DMLOpsPerSec, m.RowsAffected, m.DocChurnMs)
+	}
+	return sb.String()
+}
+
+// WriteMutationJSON writes the measurements as a JSON array to path (the
+// BENCH_mutation.json artifact).
+func WriteMutationJSON(path string, ms []MutationMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

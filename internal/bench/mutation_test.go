@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMutationSmoke runs the update-workload benchmark at reduced
+// scale: all five cells must complete the identical DML stream, the
+// Hybrid and XORator cells must affect the same number of rows (same
+// statements over shared relations), and BENCH_mutation.json must
+// parse. CI runs this under the race detector with the other smokes.
+func TestMutationSmoke(t *testing.T) {
+	ds := ShakespeareDataset(2)
+	dir := t.TempDir()
+	ms, err := RunMutation(ds, dir, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("cells = %d, want 5", len(ms))
+	}
+	wantConfigs := []string{"hybrid", "xorator", "xorator-scan", "xorator-wal-batch", "xorator-wal-always"}
+	for i, m := range ms {
+		if m.Config != wantConfigs[i] {
+			t.Errorf("cell %d = %s, want %s", i, m.Config, wantConfigs[i])
+		}
+		if m.DMLOps == 0 || m.DMLOpsPerSec <= 0 {
+			t.Errorf("cell %s: implausible measurement %+v", m.Config, m)
+		}
+		if m.RowsAffected != ms[0].RowsAffected {
+			t.Errorf("cell %s affected %d rows, baseline affected %d — same statements must pick the same victims",
+				m.Config, m.RowsAffected, ms[0].RowsAffected)
+		}
+	}
+
+	out := filepath.Join(dir, "BENCH_mutation.json")
+	if err := WriteMutationJSON(out, ms); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []MutationMeasurement
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(parsed) != len(ms) {
+		t.Fatalf("artifact rows = %d, want %d", len(parsed), len(ms))
+	}
+	if MutationTable(ms) == "" {
+		t.Fatal("empty table rendering")
+	}
+}

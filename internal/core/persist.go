@@ -13,6 +13,7 @@ import (
 	"repro/internal/dtd"
 	"repro/internal/engine"
 	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
 	"repro/internal/engine/wal"
 	"repro/internal/mapping"
 	"repro/internal/shred"
@@ -37,7 +38,13 @@ type storeHeader struct {
 	// LastBatch is the WAL batch sequence number this snapshot absorbs;
 	// recovery replays only batches after it.
 	LastBatch uint64 `json:"last_batch"`
-	DTD       string `json:"dtd"`
+	// IDs are the loader's per-relation ID counters at snapshot time.
+	// They can exceed the highest stored ID when high rows were deleted,
+	// and counters must never move backwards — reusing an ID would alias
+	// two elements — so restore takes them as floors. Absent in snapshots
+	// predating DML, where counters always equaled the stored maximum.
+	IDs map[string]int64 `json:"ids,omitempty"`
+	DTD string           `json:"dtd"`
 }
 
 // snapshotVersion is the header version Save writes.
@@ -56,6 +63,10 @@ func checkpointPath(dir string) string { return path.Join(dir, "checkpoint.snap"
 // stamped with the last committed batch, making the snapshot a valid
 // checkpoint base.
 func (st *Store) Save(w io.Writer) error {
+	var ids map[string]int64
+	if st.loader != nil {
+		ids = st.loader.TupleCounts()
+	}
 	hdr, err := json.Marshal(storeHeader{
 		Version:   snapshotVersion,
 		Algorithm: string(st.cfg.Algorithm),
@@ -63,6 +74,7 @@ func (st *Store) Save(w io.Writer) error {
 		FormatSet: st.loader != nil,
 		Legacy:    st.cfg.DisableXADTHeaders,
 		LastBatch: st.CommittedBatches(),
+		IDs:       ids,
 		DTD:       st.DTD.String(),
 	})
 	if err != nil {
@@ -201,7 +213,7 @@ func OpenSnapshot(r io.Reader, engineCfg engine.Config) (*Store, error) {
 		return nil, err
 	}
 	if hdr.FormatSet {
-		if err := st.resumeLoader(); err != nil {
+		if err := st.resumeLoader(hdr.IDs); err != nil {
 			return nil, err
 		}
 	}
@@ -209,13 +221,20 @@ func OpenSnapshot(r io.Reader, engineCfg engine.Config) (*Store, error) {
 }
 
 // resumeLoader attaches a loader continuing ID assignment from the
-// current row counts, preserving the store's storage representation.
-func (st *Store) resumeLoader() error {
+// highest stored IDs, raised to any floors the caller carries over (the
+// snapshot's persisted counters, IDs seen in replayed inserts),
+// preserving the store's storage representation.
+func (st *Store) resumeLoader(floors ...map[string]int64) error {
 	loader, err := shred.ResumeLoader(st.DB, st.Schema, st.Format)
 	if err != nil {
 		return err
 	}
 	loader.DisableHeaders = st.cfg.DisableXADTHeaders
+	for _, fl := range floors {
+		for rel, id := range fl {
+			loader.EnsureIDFloor(rel, id)
+		}
+	}
 	st.loader = loader
 	return nil
 }
@@ -288,6 +307,12 @@ func OpenRecovered(cfg Config) (*Store, error) {
 		return nil, err
 	}
 	formatSet := hdr.FormatSet
+	// Track the highest ID each replayed insert assigns per relation:
+	// together with the checkpoint's persisted counters, these floor the
+	// resumed loader's counters so post-recovery loads assign exactly the
+	// IDs a never-crashed store would, even when the max-ID rows were
+	// deleted again later in the log.
+	maxSeen := map[string]int64{}
 	for _, b := range tail.Batches {
 		if b.Seq <= hdr.LastBatch {
 			// Already absorbed by the checkpoint; a crash between
@@ -299,18 +324,24 @@ func OpenRecovered(cfg Config) (*Store, error) {
 			st.Format = xadt.Format(*b.Format)
 			formatSet = true
 		}
-		for _, rec := range b.Records {
-			tbl := st.DB.Catalog.Table(rec.Table)
-			if tbl == nil {
-				return nil, &wal.CorruptError{Reason: fmt.Sprintf("batch %d references unknown table %s", b.Seq, rec.Table)}
+		for _, op := range b.Ops {
+			if err := st.replayOp(b.Seq, op); err != nil {
+				return nil, err
 			}
-			if err := tbl.Insert(rec.Row); err != nil {
-				return nil, fmt.Errorf("core: replaying batch %d into %s: %w", b.Seq, rec.Table, err)
+			if op.Kind != wal.OpInsert {
+				continue
+			}
+			if rel := st.Schema.Relation(op.Table); rel != nil {
+				if ic := idColumn(rel); ic >= 0 && ic < len(op.Row) {
+					if v := op.Row[ic]; v.Kind() == types.KindInt && v.Int() > maxSeen[op.Table] {
+						maxSeen[op.Table] = v.Int()
+					}
+				}
 			}
 		}
 	}
 	if formatSet {
-		if err := st.resumeLoader(); err != nil {
+		if err := st.resumeLoader(hdr.IDs, maxSeen); err != nil {
 			return nil, err
 		}
 	}

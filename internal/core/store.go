@@ -172,38 +172,8 @@ func (st *Store) openWAL() error {
 // sample documents" and compresses only if it saves at least the
 // threshold).
 func (st *Store) Load(docs []*xmltree.Document) error {
-	if st.loader == nil {
-		format := xadt.Raw
-		if st.cfg.ForceFormat != nil {
-			format = *st.cfg.ForceFormat
-		} else if st.cfg.Algorithm == XORator {
-			n := st.cfg.SampleDocs
-			if n > len(docs) {
-				n = len(docs)
-			}
-			format = shred.ChooseFormat(st.Schema, docs[:n], st.cfg.CompressionThreshold)
-		}
-		var loader *shred.Loader
-		var err error
-		if st.recovered {
-			// Recovery already created the (empty) mapped tables; attach
-			// to them instead of refusing to re-create them.
-			loader, err = shred.ResumeLoader(st.DB, st.Schema, format)
-		} else {
-			loader, err = shred.NewLoader(st.DB, st.Schema, format)
-		}
-		if err != nil {
-			return err
-		}
-		loader.DisableHeaders = st.cfg.DisableXADTHeaders
-		st.loader = loader
-		st.Format = format
-		if st.wal != nil {
-			// The format decision must survive a crash: log it with the
-			// next committed batch so a recovered store resumes loading
-			// under the same representation.
-			st.pendingFormat = true
-		}
+	if err := st.ensureLoader(docs); err != nil {
+		return err
 	}
 	for _, doc := range docs {
 		if st.wal == nil {
@@ -229,6 +199,47 @@ func (st *Store) Load(docs []*xmltree.Document) error {
 			return err
 		}
 		st.pendingFormat = false
+	}
+	return nil
+}
+
+// ensureLoader creates the loader on first use, fixing the XADT storage
+// representation by sampling docs (the paper parses "a few sample
+// documents" and compresses only if it saves at least the threshold).
+func (st *Store) ensureLoader(docs []*xmltree.Document) error {
+	if st.loader != nil {
+		return nil
+	}
+	format := xadt.Raw
+	if st.cfg.ForceFormat != nil {
+		format = *st.cfg.ForceFormat
+	} else if st.cfg.Algorithm == XORator {
+		n := st.cfg.SampleDocs
+		if n > len(docs) {
+			n = len(docs)
+		}
+		format = shred.ChooseFormat(st.Schema, docs[:n], st.cfg.CompressionThreshold)
+	}
+	var loader *shred.Loader
+	var err error
+	if st.recovered {
+		// Recovery already created the (empty) mapped tables; attach
+		// to them instead of refusing to re-create them.
+		loader, err = shred.ResumeLoader(st.DB, st.Schema, format)
+	} else {
+		loader, err = shred.NewLoader(st.DB, st.Schema, format)
+	}
+	if err != nil {
+		return err
+	}
+	loader.DisableHeaders = st.cfg.DisableXADTHeaders
+	st.loader = loader
+	st.Format = format
+	if st.wal != nil {
+		// The format decision must survive a crash: log it with the
+		// next committed batch so a recovered store resumes loading
+		// under the same representation.
+		st.pendingFormat = true
 	}
 	return nil
 }

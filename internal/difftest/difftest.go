@@ -48,6 +48,9 @@ type Options struct {
 	// run's rows on both mappings. Pick it small (a few KiB) so sorts,
 	// join builds, and aggregates actually spill.
 	MemBudget int64
+	// Ops is the number of random mutations each mutation-history
+	// iteration applies (RunMutation only; default 40).
+	Ops int
 	// FailFast stops at the first diverging iteration.
 	FailFast bool
 	// ArtifactPath receives the failure artifact (default
@@ -69,6 +72,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.DOP <= 0 {
 		o.DOP = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 40
 	}
 	if o.ArtifactPath == "" {
 		o.ArtifactPath = "difftest_failure.txt"

@@ -74,10 +74,15 @@ func generateCases(rng *rand.Rand, hy, xo *mapping.Schema, sd *dtd.SimplifiedDTD
 
 // ---- schema introspection -------------------------------------------------
 
-func (g *qgen) sharedRelations() []relPair {
+func (g *qgen) sharedRelations() []relPair { return sharedRelPairs(g.hy, g.xo) }
+
+// sharedRelPairs lists the relations both mapped schemas derive for the
+// same element; the mutation axis uses it too, to pick DML targets whose
+// rows exist identically in both stores.
+func sharedRelPairs(hy, xo *mapping.Schema) []relPair {
 	var out []relPair
-	for _, xr := range g.xo.Relations {
-		if hr := g.hy.Relation(xr.Name); hr != nil && hr.Element == xr.Element {
+	for _, xr := range xo.Relations {
+		if hr := hy.Relation(xr.Name); hr != nil && hr.Element == xr.Element {
 			out = append(out, relPair{hy: hr, xo: xr})
 		}
 	}
@@ -141,9 +146,11 @@ func colOfKind(r *mapping.Relation, k mapping.ColKind) (mapping.Column, bool) {
 }
 
 // xadtCols lists every XADT column of the XORator schema.
-func (g *qgen) xadtCols() []xadtCol {
+func (g *qgen) xadtCols() []xadtCol { return schemaXadtCols(g.xo) }
+
+func schemaXadtCols(s *mapping.Schema) []xadtCol {
 	var out []xadtCol
-	for _, r := range g.xo.Relations {
+	for _, r := range s.Relations {
 		for _, c := range r.Columns {
 			if c.Kind == mapping.KindXADT {
 				out = append(out, xadtCol{rel: r, col: c, child: c.Path[0]})

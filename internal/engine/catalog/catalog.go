@@ -111,6 +111,97 @@ func (t *Table) Insert(row []types.Value) error {
 	return nil
 }
 
+// fragRebuildBacklog is the tombstone+overlay count at which a fragment
+// index is rebuilt from the heap instead of patched at lookup time. The
+// rebuild changes only lookup cost, never results, so replaying the same
+// history on another store need not rebuild at the same points.
+const fragRebuildBacklog = 128
+
+// DeleteRID removes the row at rid, maintaining all indexes. It returns
+// the deleted row so callers (mutation operators, WAL redo) can log or
+// cross-check it.
+func (t *Table) DeleteRID(rid storage.RID) ([]types.Value, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: delete from %s at %v: %w", t.Schema.Table, rid, err)
+	}
+	if err := t.Heap.Delete(rid); err != nil {
+		return nil, err
+	}
+	for _, idx := range t.Indexes {
+		idx.Tree.Delete(row[idx.ColIdx], rid)
+	}
+	for _, fi := range t.FragIndexes {
+		fi.DeleteRow(rid)
+	}
+	t.maybeRebuildFragLocked()
+	t.Stats.Valid = false
+	return row, nil
+}
+
+// UpdateRID replaces the row at rid, maintaining all indexes, and
+// returns the row's RID afterwards (a new one if the record had to
+// move).
+func (t *Table) UpdateRID(rid storage.RID, row []types.Value) (storage.RID, error) {
+	if len(row) != len(t.Schema.Columns) {
+		return storage.RID{}, fmt.Errorf("catalog: table %s expects %d columns, got %d",
+			t.Schema.Table, len(t.Schema.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != t.Schema.Columns[i].Type {
+			return storage.RID{}, fmt.Errorf("catalog: table %s column %s expects %v, got %v",
+				t.Schema.Table, t.Schema.Columns[i].Name, t.Schema.Columns[i].Type, v.Kind())
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, err := t.Heap.Get(rid)
+	if err != nil {
+		return storage.RID{}, fmt.Errorf("catalog: update %s at %v: %w", t.Schema.Table, rid, err)
+	}
+	newRID, err := t.Heap.Update(rid, row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, idx := range t.Indexes {
+		idx.Tree.Delete(old[idx.ColIdx], rid)
+		idx.Tree.Insert(row[idx.ColIdx], newRID)
+	}
+	for _, fi := range t.FragIndexes {
+		fi.DeleteRow(rid)
+		fi.AddRow(newRID, row[fi.ColumnIndex()])
+	}
+	t.maybeRebuildFragLocked()
+	t.Stats.Valid = false
+	return newRID, nil
+}
+
+// maybeRebuildFragLocked rebuilds any fragment index whose mutation
+// backlog has grown past the threshold. Called with t.mu held; the heap
+// has its own lock, so the backfill scan is safe here.
+func (t *Table) maybeRebuildFragLocked() {
+	for i, fi := range t.FragIndexes {
+		if fi.Backlog() < fragRebuildBacklog {
+			continue
+		}
+		fresh := xindex.NewFragmentIndex(fi.Table(), fi.Column(), fi.ColumnIndex())
+		ci := fi.ColumnIndex()
+		err := t.Heap.Scan(func(rid storage.RID, row []types.Value) error {
+			fresh.AddRow(rid, row[ci])
+			return nil
+		})
+		if err != nil {
+			fresh.Invalidate()
+		}
+		t.FragIndexes[i] = fresh
+	}
+}
+
 // IndexOn returns the index over the named column, or nil.
 func (t *Table) IndexOn(column string) *Index {
 	t.mu.RLock()

@@ -12,7 +12,7 @@ import (
 )
 
 // snapshotMagic identifies a catalog snapshot stream.
-const snapshotMagic = "XORCAT01"
+const snapshotMagic = "XORCAT02"
 
 // xadtIndexPrefix marks an entry of the per-table index list as an XADT
 // fragment-index definition rather than a B+tree column index. "!" is

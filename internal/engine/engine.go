@@ -247,6 +247,38 @@ func (db *Database) Query(query string) (*Result, error) {
 	return &Result{Cols: op.Schema().Names(), Rows: rows}, nil
 }
 
+// Exec parses and runs any statement — SELECT or DML — returning the
+// result-row count for queries and the affected-row count for mutations.
+// Redo records of mutations go to log (often a *wal.Batch); a nil log
+// runs them without durability.
+func (db *Database) Exec(query string, log exec.MutationLog) (int64, error) {
+	stmt, err := sql.ParseStatement(query)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecStatement(stmt, log)
+}
+
+// ExecStatement runs an already-parsed statement; see Exec.
+func (db *Database) ExecStatement(stmt sql.Statement, log exec.MutationLog) (int64, error) {
+	op, err := db.planner.PlanStatement(stmt, log)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return 0, fmt.Errorf("engine: executing statement: %w", err)
+	}
+	if _, ok := stmt.(*sql.SelectStmt); ok {
+		return int64(len(rows)), nil
+	}
+	// Mutation operators emit exactly one row: the affected-row count.
+	if len(rows) != 1 || len(rows[0]) != 1 {
+		return 0, fmt.Errorf("engine: mutation returned malformed count")
+	}
+	return rows[0][0].Int(), nil
+}
+
 // Explain returns the physical plan of a query as text.
 func (db *Database) Explain(query string) (string, error) {
 	op, err := db.Plan(query)

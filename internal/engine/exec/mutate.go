@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/types"
+)
+
+// MutationLog receives one redo record per applied row mutation, in
+// apply order. *wal.Batch satisfies it structurally; a nil log runs the
+// mutation without durability (in-memory stores, tests).
+type MutationLog interface {
+	Insert(table string, row []types.Value) error
+	Update(table string, rid storage.RID, row []types.Value) error
+	Delete(table string, rid storage.RID) error
+}
+
+// mutationSchema is the one-row output of every mutation operator: the
+// number of rows affected.
+func mutationSchema() *expr.RowSchema {
+	return expr.NewRowSchema(expr.ColInfo{Name: "count", Type: types.KindInt})
+}
+
+// countOp is the shared skeleton of the mutation operators: Open applies
+// the whole mutation, Next emits a single affected-row count.
+type countOp struct {
+	count int64
+	done  bool
+}
+
+func (c *countOp) Schema() *expr.RowSchema { return mutationSchema() }
+
+func (c *countOp) Next() ([]types.Value, error) {
+	if c.done {
+		return nil, nil
+	}
+	c.done = true
+	return []types.Value{types.NewInt(c.count)}, nil
+}
+
+// Close implements Operator.
+func (c *countOp) Close() error { return nil }
+
+// InsertOp appends pre-evaluated rows to a table. The planner has
+// already folded the VALUES expressions to constants and null-filled
+// missing columns, so Open only validates against the schema (via
+// Table.Insert) and logs each row.
+type InsertOp struct {
+	countOp
+	Table *catalog.Table
+	Rows  [][]types.Value
+	Log   MutationLog
+}
+
+// Open implements Operator: it applies the insert.
+func (op *InsertOp) Open() error {
+	op.count, op.done = 0, false
+	for _, row := range op.Rows {
+		if err := op.Table.Insert(row); err != nil {
+			return err
+		}
+		if op.Log != nil {
+			if err := op.Log.Insert(op.Table.Schema.Table, row); err != nil {
+				return err
+			}
+		}
+		op.count++
+	}
+	return nil
+}
+
+// collectMatches gathers the RIDs (and rows) matching the operator's
+// predicate, in heap order — phase one of the two-phase mutation
+// discipline that avoids the Halloween problem: the row set is fixed
+// before any row changes. With an index access path the candidate RIDs
+// come from the B+tree (already heap-ordered) and the full predicate is
+// re-verified on every fetched row, so index use never changes results.
+func collectMatches(t *catalog.Table, idx *catalog.Index, key types.Value, pred expr.Expr) ([]storage.RID, [][]types.Value, error) {
+	var rids []storage.RID
+	var rows [][]types.Value
+	if idx != nil {
+		for _, rid := range idx.Tree.Lookup(key) {
+			row, err := t.Heap.Get(rid)
+			if err != nil {
+				return nil, nil, err
+			}
+			ok, err := matches(pred, row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				rids = append(rids, rid)
+				rows = append(rows, row)
+			}
+		}
+		return rids, rows, nil
+	}
+	err := t.Heap.Scan(func(rid storage.RID, row []types.Value) error {
+		ok, err := matches(pred, row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			rids = append(rids, rid)
+			rows = append(rows, row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rids, rows, nil
+}
+
+func matches(pred expr.Expr, row []types.Value) (bool, error) {
+	if pred == nil {
+		return true, nil
+	}
+	v, err := pred.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// DeleteOp removes the rows matching Pred from a table. Index and Key
+// optionally narrow the collect phase to a B+tree equality's candidates;
+// Pred is always the complete WHERE predicate.
+type DeleteOp struct {
+	countOp
+	Table *catalog.Table
+	Pred  expr.Expr
+	Index *catalog.Index
+	Key   types.Value
+	Log   MutationLog
+}
+
+// Open implements Operator: it applies the delete.
+func (op *DeleteOp) Open() error {
+	op.count, op.done = 0, false
+	rids, _, err := collectMatches(op.Table, op.Index, op.Key, op.Pred)
+	if err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		if _, err := op.Table.DeleteRID(rid); err != nil {
+			return err
+		}
+		if op.Log != nil {
+			if err := op.Log.Delete(op.Table.Schema.Table, rid); err != nil {
+				return err
+			}
+		}
+		op.count++
+	}
+	return nil
+}
+
+// SetCol is one pre-evaluated column assignment of an UPDATE.
+type SetCol struct {
+	Idx int
+	Val types.Value
+}
+
+// UpdateOp rewrites the matching rows with the assignments in Set. The
+// logged redo record carries the row's pre-update RID and its full new
+// image; replaying it through Table.UpdateRID reproduces any row
+// movement deterministically.
+type UpdateOp struct {
+	countOp
+	Table *catalog.Table
+	Pred  expr.Expr
+	Index *catalog.Index
+	Key   types.Value
+	Set   []SetCol
+	Log   MutationLog
+}
+
+// Open implements Operator: it applies the update.
+func (op *UpdateOp) Open() error {
+	op.count, op.done = 0, false
+	// Validate assignments up front so the apply phase cannot fail
+	// part-way on a type error.
+	for _, s := range op.Set {
+		col := op.Table.Schema.Columns[s.Idx]
+		if !s.Val.IsNull() && s.Val.Kind() != col.Type {
+			return fmt.Errorf("exec: SET %s expects %v, got %v", col.Name, col.Type, s.Val.Kind())
+		}
+	}
+	rids, rows, err := collectMatches(op.Table, op.Index, op.Key, op.Pred)
+	if err != nil {
+		return err
+	}
+	for i, rid := range rids {
+		row := append([]types.Value(nil), rows[i]...)
+		for _, s := range op.Set {
+			row[s.Idx] = s.Val
+		}
+		if _, err := op.Table.UpdateRID(rid, row); err != nil {
+			return err
+		}
+		if op.Log != nil {
+			if err := op.Log.Update(op.Table.Schema.Table, rid, row); err != nil {
+				return err
+			}
+		}
+		op.count++
+	}
+	return nil
+}

@@ -6,6 +6,8 @@
 package index
 
 import (
+	"sort"
+
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
 )
@@ -122,15 +124,53 @@ func (t *BTree) splitInternal(n *node) (*node, types.Value) {
 	return right, splitKey
 }
 
-// Lookup returns the RIDs of all entries equal to key, in insertion-scan
-// order.
+// Lookup returns the RIDs of all entries equal to key, in heap order
+// (sorted by page then slot). Under page reuse, insertion order can
+// diverge from heap order, and every access path promises heap-order
+// output — so the sort happens here rather than at insert time.
 func (t *BTree) Lookup(key types.Value) []storage.RID {
 	var out []storage.RID
 	t.AscendRange(key, key, func(_ types.Value, rid storage.RID) bool {
 		out = append(out, rid)
 		return true
 	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Page != out[j].Page {
+			return out[i].Page < out[j].Page
+		}
+		return out[i].Slot < out[j].Slot
+	})
 	return out
+}
+
+// Delete removes one entry matching key→rid; it reports whether a match
+// was found. Removal is lazy: leaves may empty out but the tree is never
+// rebalanced — range scans tolerate empty leaves, and mutation workloads
+// here are small relative to loads.
+func (t *BTree) Delete(key types.Value, rid storage.RID) bool {
+	n := t.root
+	for !n.leaf {
+		// Leftmost child that can contain key; duplicates equal to a
+		// separator live to its left.
+		n = n.children[lowerBound(n.keys, key)]
+	}
+	i := lowerBound(n.keys, key)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if types.Compare(n.keys[i], key) != 0 {
+				return false
+			}
+			if n.rids[i] == rid {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.rids = append(n.rids[:i], n.rids[i+1:]...)
+				t.size--
+				return true
+			}
+		}
+		n = n.next
+		i = 0
+	}
+	return false
 }
 
 // AscendRange visits entries with lo <= key <= hi in key order. The

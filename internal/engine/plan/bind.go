@@ -25,6 +25,8 @@ func (p *Planner) bind(e sql.Expr, schema *expr.RowSchema) (expr.Expr, error) {
 		return &expr.Col{Idx: idx, Name: n.String()}, nil
 	case *sql.IntLit:
 		return &expr.Const{Val: types.NewInt(n.Val)}, nil
+	case *sql.NullLit:
+		return &expr.Const{Val: types.Null}, nil
 	case *sql.StrLit:
 		return &expr.Const{Val: types.NewString(n.Val)}, nil
 	case *sql.BinOp:

@@ -1,0 +1,183 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sql"
+	"repro/internal/engine/types"
+)
+
+// PlanStatement compiles any statement. SELECTs go through the query
+// planner; DML statements compile to mutation operators that log their
+// redo records to log (which may be nil for non-durable stores).
+func (p *Planner) PlanStatement(stmt sql.Statement, log exec.MutationLog) (exec.Operator, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return p.Plan(s)
+	case *sql.InsertStmt:
+		return p.PlanInsert(s, log)
+	case *sql.UpdateStmt:
+		return p.PlanUpdate(s, log)
+	case *sql.DeleteStmt:
+		return p.PlanDelete(s, log)
+	default:
+		return nil, fmt.Errorf("plan: unknown statement %T", stmt)
+	}
+}
+
+// PlanInsert folds the VALUES expressions to constants, maps explicit
+// column lists onto schema order (missing columns become NULL), and
+// compiles to an InsertOp.
+func (p *Planner) PlanInsert(stmt *sql.InsertStmt, log exec.MutationLog) (exec.Operator, error) {
+	tbl := p.Cat.Table(stmt.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("plan: unknown table %s", stmt.Table)
+	}
+	cols := make([]int, 0, len(stmt.Columns))
+	if len(stmt.Columns) == 0 {
+		for i := range tbl.Schema.Columns {
+			cols = append(cols, i)
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, name := range stmt.Columns {
+			ci := tbl.Schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("plan: table %s has no column %s", stmt.Table, name)
+			}
+			if seen[ci] {
+				return nil, fmt.Errorf("plan: duplicate column %s in INSERT", name)
+			}
+			seen[ci] = true
+			cols = append(cols, ci)
+		}
+	}
+	op := &exec.InsertOp{Table: tbl, Log: log}
+	for _, tuple := range stmt.Rows {
+		if len(tuple) != len(cols) {
+			return nil, fmt.Errorf("plan: VALUES tuple has %d expressions for %d columns", len(tuple), len(cols))
+		}
+		row := make([]types.Value, len(tbl.Schema.Columns))
+		for j := range row {
+			row[j] = types.Null
+		}
+		for j, e := range tuple {
+			v, err := p.foldValue(e)
+			if err != nil {
+				return nil, err
+			}
+			row[cols[j]] = v
+		}
+		op.Rows = append(op.Rows, row)
+	}
+	return op, nil
+}
+
+// PlanUpdate binds the WHERE predicate and SET assignments against the
+// table schema and compiles to an UpdateOp.
+func (p *Planner) PlanUpdate(stmt *sql.UpdateStmt, log exec.MutationLog) (exec.Operator, error) {
+	tbl, schema, err := p.mutationTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	op := &exec.UpdateOp{Table: tbl, Log: log}
+	seen := map[int]bool{}
+	for _, sc := range stmt.Set {
+		ci := tbl.Schema.ColIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("plan: table %s has no column %s", stmt.Table, sc.Column)
+		}
+		if seen[ci] {
+			return nil, fmt.Errorf("plan: duplicate SET column %s", sc.Column)
+		}
+		seen[ci] = true
+		v, err := p.foldValue(sc.Value)
+		if err != nil {
+			return nil, err
+		}
+		op.Set = append(op.Set, exec.SetCol{Idx: ci, Val: v})
+	}
+	op.Pred, op.Index, op.Key, err = p.bindMutationWhere(stmt.Where, tbl, schema)
+	if err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// PlanDelete binds the WHERE predicate against the table schema and
+// compiles to a DeleteOp.
+func (p *Planner) PlanDelete(stmt *sql.DeleteStmt, log exec.MutationLog) (exec.Operator, error) {
+	tbl, schema, err := p.mutationTarget(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	op := &exec.DeleteOp{Table: tbl, Log: log}
+	op.Pred, op.Index, op.Key, err = p.bindMutationWhere(stmt.Where, tbl, schema)
+	if err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// mutationTarget resolves a DML target table and its row schema (the
+// table name doubles as the qualifier, matching SELECT's default alias).
+func (p *Planner) mutationTarget(name string) (*catalog.Table, *expr.RowSchema, error) {
+	tbl := p.Cat.Table(name)
+	if tbl == nil {
+		return nil, nil, fmt.Errorf("plan: unknown table %s", name)
+	}
+	cols := make([]expr.ColInfo, len(tbl.Schema.Columns))
+	for i, c := range tbl.Schema.Columns {
+		cols[i] = expr.ColInfo{Qualifier: name, Name: c.Name, Type: c.Type}
+	}
+	return tbl, expr.NewRowSchema(cols...), nil
+}
+
+// bindMutationWhere binds a DML WHERE clause, reusing the query
+// planner's access-path selection in miniature: when an indexed-equality
+// conjunct exists (and index scans are enabled), the B+tree supplies the
+// candidate RIDs while the complete predicate is still re-verified per
+// row — exactly the superset-plus-reverify contract of SELECT's index
+// paths.
+func (p *Planner) bindMutationWhere(where sql.Expr, tbl *catalog.Table, schema *expr.RowSchema) (expr.Expr, *catalog.Index, types.Value, error) {
+	if where == nil {
+		return nil, nil, types.Null, nil
+	}
+	pred, err := p.bind(where, schema)
+	if err != nil {
+		return nil, nil, types.Null, err
+	}
+	if !p.Opts.DisableIndexScan {
+		for _, conj := range splitConjuncts(where) {
+			ref, val, ok := constEquality(conj)
+			if !ok {
+				continue
+			}
+			if ref.Qualifier != "" && ref.Qualifier != tbl.Schema.Table {
+				continue
+			}
+			if idx := tbl.IndexOn(ref.Name); idx != nil {
+				return pred, idx, val, nil
+			}
+		}
+	}
+	return pred, nil, types.Null, nil
+}
+
+// foldValue evaluates a DML value expression to a constant. Column
+// references have nothing to bind against in a value position, so any
+// expression that needs a row fails here.
+func (p *Planner) foldValue(e sql.Expr) (types.Value, error) {
+	bound, err := p.bind(e, expr.NewRowSchema())
+	if err != nil {
+		return types.Null, fmt.Errorf("plan: value expression %s: %w", e, err)
+	}
+	v, err := bound.Eval(nil)
+	if err != nil {
+		return types.Null, fmt.Errorf("plan: evaluating %s: %w", e, err)
+	}
+	return v, nil
+}

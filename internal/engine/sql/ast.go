@@ -33,6 +33,14 @@ type IntLit struct {
 // String renders the literal.
 func (i *IntLit) String() string { return fmt.Sprintf("%d", i.Val) }
 
+// NullLit is a NULL literal. NULL is contextual: it is only recognized
+// in DML value positions (INSERT VALUES tuples, UPDATE SET right-hand
+// sides), so schemas remain free to use "null" as a column name.
+type NullLit struct{}
+
+// String renders the literal.
+func (*NullLit) String() string { return "NULL" }
+
 // StrLit is a string literal.
 type StrLit struct {
 	Val string
@@ -171,6 +179,45 @@ type SelectStmt struct {
 	OrderBy []OrderItem
 	// Limit bounds the result set; negative means no limit.
 	Limit int64
+}
+
+// Statement is any parsed SQL statement: SELECT, INSERT, UPDATE, DELETE.
+type Statement interface {
+	stmt()
+}
+
+func (*SelectStmt) stmt() {}
+func (*InsertStmt) stmt() {}
+func (*UpdateStmt) stmt() {}
+func (*DeleteStmt) stmt() {}
+
+// InsertStmt is a parsed INSERT ... VALUES statement. Columns may be
+// empty, meaning the full column list in schema order.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	// Rows holds one expression list per VALUES tuple; expressions must
+	// be literal-foldable (no column references).
+	Rows [][]Expr
+}
+
+// SetClause is one column assignment of an UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is a parsed UPDATE ... SET ... [WHERE ...] statement.
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// DeleteStmt is a parsed DELETE FROM ... [WHERE ...] statement.
+type DeleteStmt struct {
+	Table string
+	Where Expr
 }
 
 // HasAggregates reports whether any select item applies an aggregate.

@@ -23,6 +23,39 @@ func Parse(src string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// ParseStatement parses one statement of any kind, dispatching on the
+// leading keyword. INSERT/UPDATE/DELETE (and their clause markers INTO,
+// VALUES, SET) are contextual keywords, not reserved words: generated
+// schemas are free to use them as table or column names, and only the
+// statement head position gives them meaning.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.atKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.atKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	case p.atKeyword("UPDATE"):
+		stmt, err = p.parseUpdate()
+	case p.atKeyword("DELETE"):
+		stmt, err = p.parseDelete()
+	default:
+		return nil, p.errorf("expected SELECT, INSERT, UPDATE, or DELETE, found %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
 type parser struct {
 	toks []token
 	pos  int
@@ -192,6 +225,136 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 			return nil, p.errorf("bad LIMIT %q", t.text)
 		}
 		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// parseInsert parses INSERT INTO table [(col, ...)] VALUES (expr, ...)
+// [, (expr, ...)]*.
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseValueExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if len(stmt.Columns) > 0 && len(row) != len(stmt.Columns) {
+			return nil, p.errorf("VALUES tuple has %d expressions for %d columns", len(row), len(stmt.Columns))
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+// parseUpdate parses UPDATE table SET col = expr [, ...] [WHERE expr].
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	p.advance() // UPDATE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: name}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseValueExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: col, Value: e})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+// parseValueExpr parses a DML value expression, where NULL is a
+// contextual literal. A bare "null" in this position always means the
+// literal — column references are not evaluable in value positions
+// anyway.
+func (p *parser) parseValueExpr() (Expr, error) {
+	if p.atKeyword("NULL") {
+		p.advance()
+		return &NullLit{}, nil
+	}
+	return p.parseExpr()
+}
+
+// parseDelete parses DELETE FROM table [WHERE expr].
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	p.advance() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
 	}
 	return stmt, nil
 }

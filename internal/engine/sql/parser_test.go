@@ -288,3 +288,97 @@ func TestParseLimitErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := ParseStatement(`INSERT INTO play (playID, play_title, play_scndescr) VALUES (-1, 'Hamlet', NULL), (2, 'Lear', 'heath')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := stmt.(*InsertStmt)
+	if !ok {
+		t.Fatalf("statement = %T, want *InsertStmt", stmt)
+	}
+	if ins.Table != "play" {
+		t.Errorf("table = %q", ins.Table)
+	}
+	if len(ins.Columns) != 3 || ins.Columns[0] != "playID" {
+		t.Errorf("columns = %v", ins.Columns)
+	}
+	if len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("rows = %v", ins.Rows)
+	}
+	if lit, ok := ins.Rows[0][0].(*IntLit); !ok || lit.Val != -1 {
+		t.Errorf("first value = %v, want -1", ins.Rows[0][0])
+	}
+	if _, ok := ins.Rows[0][2].(*NullLit); !ok {
+		t.Errorf("third value = %v, want NULL", ins.Rows[0][2])
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt, err := ParseStatement(`UPDATE speech SET speech_speaker = 'ROMEO', speech_childOrder = NULL WHERE speechID >= 2 AND speechID <= 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, ok := stmt.(*UpdateStmt)
+	if !ok {
+		t.Fatalf("statement = %T, want *UpdateStmt", stmt)
+	}
+	if up.Table != "speech" || len(up.Set) != 2 {
+		t.Fatalf("stmt = %+v", up)
+	}
+	if up.Set[0].Column != "speech_speaker" {
+		t.Errorf("set[0] = %+v", up.Set[0])
+	}
+	if _, ok := up.Set[1].Value.(*NullLit); !ok {
+		t.Errorf("set[1] value = %v, want NULL", up.Set[1].Value)
+	}
+	if up.Where == nil {
+		t.Error("WHERE clause lost")
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	stmt, err := ParseStatement(`DELETE FROM line WHERE lineID = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, ok := stmt.(*DeleteStmt)
+	if !ok {
+		t.Fatalf("statement = %T, want *DeleteStmt", stmt)
+	}
+	if del.Table != "line" || del.Where == nil {
+		t.Fatalf("stmt = %+v", del)
+	}
+	stmt, err = ParseStatement(`DELETE FROM line`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del := stmt.(*DeleteStmt); del.Where != nil {
+		t.Errorf("bare DELETE grew a WHERE: %+v", del)
+	}
+}
+
+// NULL is contextual: it stays usable as an identifier in SELECT, so
+// pre-DML queries never change meaning.
+func TestParseNullContextual(t *testing.T) {
+	stmt := mustParse(t, `SELECT null FROM t`)
+	if ref, ok := stmt.Items[0].Expr.(*ColRef); !ok || ref.Name != "null" {
+		t.Errorf("SELECT null = %v, want column reference", stmt.Items[0].Expr)
+	}
+}
+
+func TestParseDMLErrors(t *testing.T) {
+	for _, src := range []string{
+		`INSERT INTO play VALUES`,
+		`INSERT INTO play (a, b) VALUES (1)`,
+		`UPDATE play WHERE playID = 1`,
+		`UPDATE play SET`,
+		`DELETE play WHERE playID = 1`,
+		`INSERT INTO (a) VALUES (1)`,
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -124,6 +124,22 @@ func (b *BufferPool) Touch(id PageID) {
 	b.misses.Add(1)
 }
 
+// Forget drops a page from the residency set without touching the
+// hit/miss counters. Heap files call it when a page empties and resets,
+// so stale residency never counts a reused page as a hit.
+func (b *BufferPool) Forget(id PageID) {
+	if b.capacity <= 0 {
+		return
+	}
+	s := b.shardFor(id)
+	s.mu.Lock()
+	if el, ok := s.index[id]; ok {
+		s.lru.Remove(el)
+		delete(s.index, id)
+	}
+	s.mu.Unlock()
+}
+
 // Stats returns a snapshot of the cumulative hit and miss counts. The
 // two counters are read independently, so a snapshot taken during
 // concurrent Touch traffic is approximate by at most the in-flight

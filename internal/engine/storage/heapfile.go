@@ -22,20 +22,23 @@ func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
 // heapFileIDs hands out unique identities for buffer-pool shard hashing.
 var heapFileIDs atomic.Uint64
 
-// HeapFile is an append-only heap of records in slotted pages. Records
-// larger than a page spill into dedicated overflow storage, referenced by
-// an in-page stub so scan order is preserved. The workload of the paper is
-// load-then-query, so deletion and in-place update are intentionally not
-// provided.
+// HeapFile is a heap of records in slotted pages. Records larger than a
+// page spill into dedicated overflow storage, referenced by an in-page
+// stub so scan order is preserved. Deletes tombstone their slot (RIDs of
+// surviving rows never move); a page whose records are all dead resets
+// and joins the open list, where inserts reuse it lowest-page-first
+// before the file grows. Updates rewrite in place when the new record
+// fits the old slot and otherwise move the row (delete + reinsert).
+// Every placement decision is a pure function of the operation sequence,
+// so WAL replay reproduces the exact same layout.
 //
 // Concurrency: any number of readers (Get, Scan, cursors) may run in
 // parallel — the parallel executor scans one heap from many goroutines.
 // The mutex guards the page directory and overflow directory so readers
 // always observe a consistent prefix; cursors snapshot the directory once
-// at creation. Inserts take the write lock; interleaving inserts with
-// readers is safe for the directory but newly inserted rows become
-// visible to an in-flight cursor only at page granularity, so the engine
-// keeps its load-then-query discipline.
+// at creation. Mutations take the write lock; the engine serializes
+// mutation statements against queries, keeping its load-then-query
+// discipline within a statement.
 type HeapFile struct {
 	mu       sync.RWMutex
 	id       uint64
@@ -43,6 +46,13 @@ type HeapFile struct {
 	overflow [][]byte
 	rows     int
 	pool     *BufferPool
+	// open lists pages that were emptied by deletes and reset, sorted
+	// ascending; inserts fill them lowest-first before appending. A page
+	// leaves the list when its free space can no longer hold a record.
+	open []int32
+	// ovFree lists freed overflow directory entries, sorted ascending;
+	// oversized inserts reuse the lowest before appending.
+	ovFree []int
 }
 
 // NewHeapFile returns an empty heap file. The buffer pool is optional; if
@@ -51,18 +61,31 @@ func NewHeapFile(pool *BufferPool) *HeapFile {
 	return &HeapFile{pool: pool, id: heapFileIDs.Add(1)}
 }
 
-// Insert appends a row and returns its RID.
+// Insert stores a row and returns its RID.
 func (h *HeapFile) Insert(row []types.Value) RID {
 	rec := EncodeRecord(row)
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.insertLocked(rec)
+}
+
+// insertLocked places an encoded record: oversized records go to overflow
+// (reusing the lowest freed entry first), the in-page record or stub goes
+// to the lowest open page that fits it, then the last page, then a fresh
+// page. Callers hold h.mu.
+func (h *HeapFile) insertLocked(rec []byte) RID {
 	if len(rec) > MaxInlineRecord {
-		idx := len(h.overflow)
-		h.overflow = append(h.overflow, rec)
+		idx := h.allocOverflow(rec)
 		stub := make([]byte, 1, 1+binary.MaxVarintLen64)
 		stub[0] = tagOverflow
 		stub = binary.AppendUvarint(stub, uint64(idx))
 		rec = stub
+	}
+	if pageNo, ok := h.openFit(len(rec)); ok {
+		slot, _ := h.pages[pageNo].insert(rec)
+		h.pruneOpen(pageNo)
+		h.rows++
+		return RID{Page: int32(pageNo), Slot: int32(slot)}
 	}
 	if len(h.pages) == 0 || !h.fitsLast(rec) {
 		h.pages = append(h.pages, newPage())
@@ -82,9 +105,177 @@ func (h *HeapFile) fitsLast(rec []byte) bool {
 	return len(rec) <= h.pages[len(h.pages)-1].freeSpace()
 }
 
-// pageSnapshot returns the current page directory. The returned slice is
-// never mutated in place (Insert only appends), so holders may read it
-// without further locking.
+// allocOverflow stores an oversized record, reusing the lowest freed
+// directory entry so overflow storage stays bounded under churn.
+func (h *HeapFile) allocOverflow(rec []byte) int {
+	if len(h.ovFree) > 0 {
+		idx := h.ovFree[0]
+		h.ovFree = h.ovFree[1:]
+		h.overflow[idx] = rec
+		return idx
+	}
+	h.overflow = append(h.overflow, rec)
+	return len(h.overflow) - 1
+}
+
+// minSlotRecord is the smallest useful record (a tag byte plus a column
+// count); an open page with less free space than this can never take
+// another insert and leaves the open list.
+const minSlotRecord = 2
+
+// openFit returns the lowest open page with room for an n-byte record.
+func (h *HeapFile) openFit(n int) (int, bool) {
+	for _, pg := range h.open {
+		if h.pages[pg].freeSpace() >= n {
+			return int(pg), true
+		}
+	}
+	return 0, false
+}
+
+// pruneOpen drops pageNo from the open list once it is effectively full.
+func (h *HeapFile) pruneOpen(pageNo int) {
+	if h.pages[pageNo].freeSpace() >= minSlotRecord {
+		return
+	}
+	for i, pg := range h.open {
+		if int(pg) == pageNo {
+			h.open = append(h.open[:i], h.open[i+1:]...)
+			return
+		}
+	}
+}
+
+// addOpen registers a reset page for reuse, keeping the list sorted.
+func (h *HeapFile) addOpen(pageNo int) {
+	for i, pg := range h.open {
+		if int(pg) == pageNo {
+			return
+		}
+		if int(pg) > pageNo {
+			h.open = append(h.open, 0)
+			copy(h.open[i+1:], h.open[i:])
+			h.open[i] = int32(pageNo)
+			return
+		}
+	}
+	h.open = append(h.open, int32(pageNo))
+}
+
+// freeOverflowLocked releases an overflow entry, keeping ovFree sorted.
+func (h *HeapFile) freeOverflowLocked(idx int) {
+	h.overflow[idx] = nil
+	for i, v := range h.ovFree {
+		if v == idx {
+			return
+		}
+		if v > idx {
+			h.ovFree = append(h.ovFree, 0)
+			copy(h.ovFree[i+1:], h.ovFree[i:])
+			h.ovFree[i] = idx
+			return
+		}
+	}
+	h.ovFree = append(h.ovFree, idx)
+}
+
+// Delete tombstones the row at rid. A page whose last live record is
+// deleted resets to factory state and becomes reusable by inserts; its
+// buffer-pool residency is dropped.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.deleteLocked(rid)
+}
+
+func (h *HeapFile) deleteLocked(rid RID) error {
+	if int(rid.Page) >= len(h.pages) {
+		return errors.New("storage: page out of range")
+	}
+	p := h.pages[rid.Page]
+	rec, err := p.read(int(rid.Slot))
+	if err != nil {
+		return err
+	}
+	if len(rec) > 0 && rec[0] == tagOverflow {
+		idx, n := binary.Uvarint(rec[1:])
+		if n <= 0 || idx >= uint64(len(h.overflow)) {
+			return errors.New("storage: corrupt overflow stub")
+		}
+		h.freeOverflowLocked(int(idx))
+	}
+	p.kill(int(rid.Slot))
+	h.rows--
+	if p.liveSlots() == 0 {
+		p.reset()
+		h.addOpen(int(rid.Page))
+		if h.pool != nil {
+			h.pool.Forget(PageID{File: h, Page: int(rid.Page)})
+		}
+	}
+	return nil
+}
+
+// Update replaces the row at rid and returns the row's RID afterwards:
+// the same RID when the new record fits in place (including an oversized
+// record reusing its overflow entry), or a fresh one when the row had to
+// move. Movement follows the exact insert placement rules, so replaying
+// the same update sequence reproduces the same layout.
+func (h *HeapFile) Update(rid RID, row []types.Value) (RID, error) {
+	rec := EncodeRecord(row)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(rid.Page) >= len(h.pages) {
+		return RID{}, errors.New("storage: page out of range")
+	}
+	p := h.pages[rid.Page]
+	cur, err := p.read(int(rid.Slot))
+	if err != nil {
+		return RID{}, err
+	}
+	if len(cur) > 0 && cur[0] == tagOverflow {
+		idx, n := binary.Uvarint(cur[1:])
+		if n <= 0 || idx >= uint64(len(h.overflow)) {
+			return RID{}, errors.New("storage: corrupt overflow stub")
+		}
+		if len(rec) > MaxInlineRecord {
+			// Oversized before and after: swap the blob, keep the stub.
+			h.overflow[idx] = rec
+			return rid, nil
+		}
+		h.freeOverflowLocked(int(idx))
+		if len(rec) <= len(cur) {
+			p.shrinkSlot(int(rid.Slot), rec)
+			return rid, nil
+		}
+	} else if len(rec) <= MaxInlineRecord && len(rec) <= len(cur) {
+		p.shrinkSlot(int(rid.Slot), rec)
+		return rid, nil
+	}
+	// The new record does not fit the old slot: move the row.
+	p.kill(int(rid.Slot))
+	h.rows--
+	if p.liveSlots() == 0 {
+		p.reset()
+		h.addOpen(int(rid.Page))
+		if h.pool != nil {
+			h.pool.Forget(PageID{File: h, Page: int(rid.Page)})
+		}
+	}
+	return h.insertLocked(rec), nil
+}
+
+// FreePages returns the number of reset pages currently awaiting reuse.
+func (h *HeapFile) FreePages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.open)
+}
+
+// pageSnapshot returns the current page directory. The slice itself is
+// never mutated in place (Insert only appends); page contents can change
+// under mutation statements, but the engine serializes those against
+// queries, so snapshot holders read stable pages.
 func (h *HeapFile) pageSnapshot() []*page {
 	h.mu.RLock()
 	ps := h.pages
@@ -138,6 +329,9 @@ func (h *HeapFile) Scan(fn func(RID, []types.Value) error) error {
 			h.pool.Touch(PageID{File: h, Page: pi})
 		}
 		for si := 0; si < p.nslots(); si++ {
+			if !p.slotLive(si) {
+				continue
+			}
 			rec, err := p.read(si)
 			if err != nil {
 				return err
@@ -213,6 +407,10 @@ func (c *Cursor) Next() (RID, []types.Value, bool, error) {
 		if c.slot == 0 && c.h.pool != nil {
 			c.h.pool.Touch(PageID{File: c.h, Page: c.base + c.i})
 		}
+		if !p.slotLive(c.slot) {
+			c.slot++
+			continue
+		}
 		rec, err := p.read(c.slot)
 		if err != nil {
 			return RID{}, nil, false, err
@@ -267,6 +465,10 @@ func (c *Cursor) NextBatch(cols [][]types.Value, max int) (int, error) {
 		}
 		if c.slot == 0 && c.h.pool != nil {
 			c.h.pool.Touch(PageID{File: c.h, Page: c.base + c.i})
+		}
+		if !p.slotLive(c.slot) {
+			c.slot++
+			continue
 		}
 		rec, err := p.read(c.slot)
 		if err != nil {

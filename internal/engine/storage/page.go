@@ -73,7 +73,53 @@ func (p *page) read(slot int) ([]byte, error) {
 		return nil, errors.New("storage: slot out of range")
 	}
 	off, ln := p.slot(slot)
+	if ln == 0 {
+		return nil, errors.New("storage: slot is deleted")
+	}
 	return p.data[off : off+ln], nil
+}
+
+// slotLive reports whether slot i holds a live record. Deleted slots keep
+// their directory entry (so later slot numbers — and thus RIDs — stay
+// stable) but have their length zeroed; live records are never empty (a
+// record is at least a tag byte plus a column count).
+func (p *page) slotLive(i int) bool {
+	_, ln := p.slot(i)
+	return ln > 0
+}
+
+// kill tombstones slot i. The record bytes stay in place and are
+// reclaimed only when the whole page empties and resets.
+func (p *page) kill(i int) {
+	off, _ := p.slot(i)
+	p.setSlot(i, off, 0)
+}
+
+// liveSlots counts the live records on the page.
+func (p *page) liveSlots() int {
+	n := 0
+	for i := 0; i < p.nslots(); i++ {
+		if p.slotLive(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// shrinkSlot rewrites slot i in place with a shorter record. The caller
+// guarantees len(rec) fits the slot's current extent.
+func (p *page) shrinkSlot(i int, rec []byte) {
+	off, _ := p.slot(i)
+	copy(p.data[off:], rec)
+	p.setSlot(i, off, len(rec))
+}
+
+// reset returns a fully-dead page to factory-fresh state so inserts can
+// reuse it. Zeroing the whole image keeps reset pages byte-identical no
+// matter what history emptied them, which snapshot comparisons rely on.
+func (p *page) reset() {
+	p.data = [PageSize]byte{}
+	p.setFreeStart(pageHeaderSize)
 }
 
 // MaxInlineRecord is the largest record that fits in a fresh page; larger

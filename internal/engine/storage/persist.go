@@ -31,6 +31,17 @@ func (h *HeapFile) Serialize(w io.Writer) error {
 			return err
 		}
 	}
+	// Free-page list: mutation replay positions rows by the same placement
+	// rules that produced them, so the open list must survive a snapshot
+	// round-trip exactly.
+	if err := writeUvarint(bw, uint64(len(h.open))); err != nil {
+		return err
+	}
+	for _, pg := range h.open {
+		if err := writeUvarint(bw, uint64(pg)); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
@@ -49,7 +60,7 @@ func DeserializeHeapFile(r io.Reader, pool *BufferPool) (*HeapFile, error) {
 			return nil, fmt.Errorf("storage: reading page %d: %w", i, err)
 		}
 		h.pages = append(h.pages, p)
-		h.rows += p.nslots()
+		h.rows += p.liveSlots()
 	}
 	nover, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -68,6 +79,28 @@ func DeserializeHeapFile(r io.Reader, pool *BufferPool) (*HeapFile, error) {
 			return nil, err
 		}
 		h.overflow = append(h.overflow, blob)
+		// Freed overflow entries serialize as zero-length blobs; live
+		// oversized records are always longer than a page, so emptiness
+		// is unambiguous. Appending in directory order keeps ovFree
+		// sorted ascending, matching the in-memory free discipline.
+		if n == 0 {
+			h.overflow[len(h.overflow)-1] = nil
+			h.ovFree = append(h.ovFree, int(len(h.overflow)-1))
+		}
+	}
+	nopen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading open-page list: %w", err)
+	}
+	for i := uint64(0); i < nopen; i++ {
+		pg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if pg >= npages {
+			return nil, errors.New("storage: open page out of range")
+		}
+		h.open = append(h.open, int32(pg))
 	}
 	return h, nil
 }

@@ -277,3 +277,195 @@ func TestRecoveredStoreAnswersQueries(t *testing.T) {
 		t.Fatalf("plays = %d, want one per committed document (%d)", len(res.Rows), committed)
 	}
 }
+
+// mutationOps builds the mutation-timeline operation list: document
+// adds, SQL DML of every kind, a fragment splice (XORator only — the
+// Hybrid mapping has no XADT columns), and a whole-document removal.
+// Every operation commits exactly one WAL batch, so the number of
+// committed batches a crash leaves behind identifies the exact prefix
+// an uninterrupted twin must replay to match the recovered store.
+func mutationOps(t *testing.T, alg core.Algorithm, docs []*xmltree.Document) []func(*core.Store) error {
+	t.Helper()
+	add := func(i int) func(*core.Store) error {
+		return func(st *core.Store) error {
+			_, err := st.AddDocuments(docs[i : i+1])
+			return err
+		}
+	}
+	exec := func(stmt string) func(*core.Store) error {
+		return func(st *core.Store) error {
+			_, err := st.Exec(stmt)
+			return err
+		}
+	}
+	ops := []func(*core.Store) error{
+		add(0),
+		add(1),
+		// Play IDs and speech IDs are the loader's 1..N sequence, so the
+		// same statements pick the same victims on every run and twin.
+		exec(`UPDATE play SET play_title = 'renamed' WHERE playID = 2`),
+		exec(`DELETE FROM speech WHERE speechID = 1`),
+		exec(`INSERT INTO play (playID, play_title) VALUES (-1, 'synthetic')`),
+	}
+	if alg == core.XORator {
+		ops = append(ops, func(st *core.Store) error {
+			return st.SpliceFragment("speech", "speech_line", 2,
+				[]string{"<LINE>spliced before the crash</LINE>", "<LINE>and another</LINE>"})
+		})
+	}
+	ops = append(ops,
+		func(st *core.Store) error { return st.RemoveDocument(1) },
+		add(2),
+		exec(`UPDATE act SET act_title = 'Act Redux' WHERE actID >= 1 AND actID <= 2`),
+	)
+	return ops
+}
+
+// runMutationTimeline applies the op list to a WAL-backed store on vfs,
+// checkpointing after the fourth operation so crash points land on both
+// sides of a snapshot boundary.
+func runMutationTimeline(vfs storage.VFS, cfg crashConfig, ops []func(*core.Store) error) error {
+	format := cfg.format
+	st, err := core.NewStore(corpus.ShakespeareDTD, core.Config{
+		Algorithm:          cfg.alg,
+		DisableXADTHeaders: cfg.legacy,
+		ForceFormat:        &format,
+		Engine:             engine.Config{WALDir: "wal", WALSync: cfg.sync, VFS: vfs},
+	})
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if err := op(st); err != nil {
+			return err
+		}
+		if i == 3 {
+			if err := st.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	return st.Close()
+}
+
+// TestCrashMatrixMutation is the crash matrix over a mutation history:
+// the timeline mixes document adds, UPDATE/DELETE/INSERT, a fragment
+// splice, and a document removal, and is killed at every mutating
+// filesystem operation (plus torn-write variants). Recovery must
+// reproduce the committed-prefix twin byte-for-byte — including the
+// delete/update/docremove redo frames — and resuming the remaining
+// operations must land in the never-crashed state.
+func TestCrashMatrixMutation(t *testing.T) {
+	docs := crashDocs(t)
+	for _, cfg := range crashConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			t.Parallel()
+			ops := mutationOps(t, cfg.alg, docs)
+
+			counter := &storage.FaultVFS{Inner: storage.NewMemVFS()}
+			if err := runMutationTimeline(counter, cfg, ops); err != nil {
+				t.Fatalf("fault-free timeline: %v", err)
+			}
+			kinds := counter.OpKinds()
+			firstCheckpoint := 0
+			for i, k := range kinds {
+				if k == "rename" {
+					firstCheckpoint = i + 1
+					break
+				}
+			}
+			if firstCheckpoint == 0 {
+				t.Fatal("timeline performed no checkpoint rename")
+			}
+
+			// twin(n) is an unlogged store that applied the first n
+			// operations — what recovery must reproduce when n batches
+			// had committed at the crash.
+			twins := map[int]*core.Store{}
+			twin := func(n int) *core.Store {
+				if tw, ok := twins[n]; ok {
+					return tw
+				}
+				format := cfg.format
+				tw, err := core.NewStore(corpus.ShakespeareDTD, core.Config{
+					Algorithm:          cfg.alg,
+					DisableXADTHeaders: cfg.legacy,
+					ForceFormat:        &format,
+				})
+				if err != nil {
+					t.Fatalf("twin store: %v", err)
+				}
+				if n == 0 {
+					if err := shred.EnsureTables(tw.DB, tw.Schema); err != nil {
+						t.Fatalf("twin tables: %v", err)
+					}
+				}
+				for i := 0; i < n; i++ {
+					if err := ops[i](tw); err != nil {
+						t.Fatalf("twin op %d: %v", i, err)
+					}
+				}
+				twins[n] = tw
+				return tw
+			}
+
+			points := 0
+			for op := 1; op <= len(kinds); op++ {
+				variants := []bool{false}
+				if kinds[op-1] == "write" {
+					variants = append(variants, true)
+				}
+				for _, torn := range variants {
+					name := fmt.Sprintf("op%03d-%s", op, kinds[op-1])
+					if torn {
+						name += "-torn"
+					}
+					points++
+
+					mem := storage.NewMemVFS()
+					fv := &storage.FaultVFS{Inner: mem, FailAtOp: op, Torn: torn}
+					err := runMutationTimeline(fv, cfg, ops)
+					if err == nil {
+						t.Fatalf("%s: timeline survived its injected fault", name)
+					}
+					if !errors.Is(err, storage.ErrCrashed) {
+						t.Fatalf("%s: timeline failed outside the fault: %v", name, err)
+					}
+
+					format := cfg.format
+					rec, err := core.OpenRecovered(core.Config{
+						ForceFormat: &format,
+						Engine:      engine.Config{WALDir: "wal", WALSync: cfg.sync, VFS: mem},
+					})
+					if err != nil {
+						if errors.Is(err, core.ErrNoCheckpoint) && op <= firstCheckpoint {
+							continue
+						}
+						t.Fatalf("%s: recovery failed: %v", name, err)
+					}
+					committed := int(rec.CommittedBatches())
+					if committed > len(ops) {
+						t.Fatalf("%s: recovered %d batches from %d operations", name, committed, len(ops))
+					}
+					if err := difftest.CompareStores(rec, twin(committed)); err != nil {
+						t.Fatalf("%s: recovered store differs from %d-op twin: %v", name, committed, err)
+					}
+
+					for i := committed; i < len(ops); i++ {
+						if err := ops[i](rec); err != nil {
+							t.Fatalf("%s: resuming op %d after recovery: %v", name, i, err)
+						}
+					}
+					if err := difftest.CompareStores(rec, twin(len(ops))); err != nil {
+						t.Fatalf("%s: resumed store differs from full twin: %v", name, err)
+					}
+					if err := rec.Close(); err != nil {
+						t.Fatalf("%s: closing recovered store: %v", name, err)
+					}
+				}
+			}
+			t.Logf("%s: %d crash points over %d operations recovered cleanly", cfg.name, points, len(kinds))
+		})
+	}
+}

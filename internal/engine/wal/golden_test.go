@@ -46,6 +46,21 @@ func TestWALFormatGolden(t *testing.T) {
 	if err := b.Commit(); err != nil {
 		t.Fatal(err)
 	}
+	// Mutation frames (delete/update/docremove), added with DML support;
+	// their byte layout is pinned here too.
+	b = w.Begin()
+	if err := b.Update("play", storage.RID{Page: 0, Slot: 1}, row(3, "Macbeth", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("act", storage.RID{Page: 2, Slot: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveDoc(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	f, err := vfs.Open(path.Join("wal", FileName))
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +71,7 @@ func TestWALFormatGolden(t *testing.T) {
 	}
 
 	var sb strings.Builder
-	sb.WriteString("WAL log image: format frame + 2 inserts + commit, insert + commit\n\n")
+	sb.WriteString("WAL log image: format frame + 2 inserts + commit, insert + commit, update + delete + docremove + commit\n\n")
 	sb.WriteString(hex.Dump(data))
 	sb.WriteString("\nframes:\n")
 	tail, err := ScanBytes(data)
@@ -64,9 +79,18 @@ func TestWALFormatGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, batch := range tail.Batches {
-		fmt.Fprintf(&sb, "batch seq=%d format=%v records=%d\n", batch.Seq, fmtPtr(batch.Format), len(batch.Records))
-		for _, rec := range batch.Records {
-			fmt.Fprintf(&sb, "  insert table=%s cols=%d overflow=%v\n", rec.Table, len(rec.Row), rec.Overflow)
+		fmt.Fprintf(&sb, "batch seq=%d format=%v ops=%d\n", batch.Seq, fmtPtr(batch.Format), len(batch.Ops))
+		for _, op := range batch.Ops {
+			switch op.Kind {
+			case OpInsert:
+				fmt.Fprintf(&sb, "  insert table=%s cols=%d overflow=%v\n", op.Table, len(op.Row), op.Overflow)
+			case OpDelete:
+				fmt.Fprintf(&sb, "  delete table=%s rid=%d/%d\n", op.Table, op.RID.Page, op.RID.Slot)
+			case OpUpdate:
+				fmt.Fprintf(&sb, "  update table=%s rid=%d/%d cols=%d\n", op.Table, op.RID.Page, op.RID.Slot, len(op.Row))
+			case OpDocRemove:
+				fmt.Fprintf(&sb, "  docremove id=%d\n", op.DocID)
+			}
 		}
 	}
 	got := sb.String()

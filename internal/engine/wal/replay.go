@@ -12,13 +12,31 @@ import (
 	"repro/internal/engine/types"
 )
 
-// ScannedRecord is one logged row insert.
-type ScannedRecord struct {
+// OpKind classifies one logged mutation.
+type OpKind byte
+
+// Mutation kinds, in frame-tag order.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpUpdate
+	OpDocRemove
+)
+
+// ScannedOp is one logged mutation. Which fields are meaningful depends
+// on Kind: inserts carry Table/Row/Overflow, deletes Table/RID, updates
+// Table/RID/Row, doc removals DocID only.
+type ScannedOp struct {
+	Kind  OpKind
 	Table string
 	Row   []types.Value
-	// Overflow reports that the row was framed as an overflow blob
-	// (its encoded record exceeds the inline page capacity).
+	// Overflow reports that an inserted row was framed as an overflow
+	// blob (its encoded record exceeds the inline page capacity).
 	Overflow bool
+	// RID addresses the target row of a delete or update.
+	RID storage.RID
+	// DocID identifies the document of a doc-removal op.
+	DocID int64
 }
 
 // ScannedBatch is one committed batch of the log.
@@ -27,8 +45,9 @@ type ScannedBatch struct {
 	Seq uint64
 	// Format, when non-nil, is the XADT storage format the batch logged.
 	Format *byte
-	// Records are the batch's inserts in log order.
-	Records []ScannedRecord
+	// Ops are the batch's mutations in log order; replay must apply them
+	// in exactly this order to reproduce the logged heap layout.
+	Ops []ScannedOp
 }
 
 // Tail is the result of scanning a log: the committed batches and the
@@ -101,7 +120,7 @@ func ScanBytes(data []byte) (*Tail, error) {
 	}
 	pos := int64(len(Magic))
 	t.ValidEnd = pos
-	var pending []ScannedRecord
+	var pending []ScannedOp
 	var pendingFormat *byte
 	for int(pos) < len(data) {
 		frameStart := pos
@@ -117,6 +136,24 @@ func ScanBytes(data []byte) (*Tail, error) {
 				return nil, &CorruptError{Offset: frameStart, Reason: err.Error()}
 			}
 			pending = append(pending, rec)
+		case frameDelete:
+			op, err := parseDelete(payload)
+			if err != nil {
+				return nil, &CorruptError{Offset: frameStart, Reason: err.Error()}
+			}
+			pending = append(pending, op)
+		case frameUpdate:
+			op, err := parseUpdate(payload)
+			if err != nil {
+				return nil, &CorruptError{Offset: frameStart, Reason: err.Error()}
+			}
+			pending = append(pending, op)
+		case frameDocRemove:
+			docID, n := binary.Uvarint(payload)
+			if n <= 0 || n != len(payload) || docID > 1<<62 {
+				return nil, &CorruptError{Offset: frameStart, Reason: "malformed document id"}
+			}
+			pending = append(pending, ScannedOp{Kind: OpDocRemove, DocID: int64(docID)})
 		case frameFormat:
 			if len(payload) != 1 {
 				return nil, &CorruptError{Offset: frameStart, Reason: "format frame payload must be 1 byte"}
@@ -132,7 +169,7 @@ func ScanBytes(data []byte) (*Tail, error) {
 				return nil, &CorruptError{Offset: frameStart,
 					Reason: fmt.Sprintf("commit sequence %d not after %d", seq, t.LastSeq)}
 			}
-			t.Batches = append(t.Batches, ScannedBatch{Seq: seq, Format: pendingFormat, Records: pending})
+			t.Batches = append(t.Batches, ScannedBatch{Seq: seq, Format: pendingFormat, Ops: pending})
 			t.LastSeq = seq
 			pending, pendingFormat = nil, nil
 			t.ValidEnd = next
@@ -169,21 +206,78 @@ func readFrame(data []byte, pos int64) (typ byte, payload []byte, next int64, ok
 	return typ, data[payloadStart : payloadStart+int(plen)], int64(end), true
 }
 
-// parseInsert decodes an insert/blob payload and cross-checks the framing
-// against the record's inline/overflow size class.
-func parseInsert(payload []byte, blob bool) (ScannedRecord, error) {
+// parseTable decodes the leading uvarint-length table name shared by the
+// row-addressed payloads, returning the name and the remaining bytes.
+func parseTable(payload []byte) (string, []byte, error) {
 	tlen, n := binary.Uvarint(payload)
 	if n <= 0 || tlen > 1<<16 || int(tlen) > len(payload)-n {
-		return ScannedRecord{}, fmt.Errorf("malformed table name length")
+		return "", nil, fmt.Errorf("malformed table name length")
 	}
-	table := string(payload[n : n+int(tlen)])
-	rec := payload[n+int(tlen):]
+	return string(payload[n : n+int(tlen)]), payload[n+int(tlen):], nil
+}
+
+// parseRID decodes a page/slot pair, returning the RID and the remaining
+// bytes.
+func parseRID(rest []byte) (storage.RID, []byte, error) {
+	page, n := binary.Uvarint(rest)
+	if n <= 0 || page > 1<<31-1 {
+		return storage.RID{}, nil, fmt.Errorf("malformed page number")
+	}
+	rest = rest[n:]
+	slot, n := binary.Uvarint(rest)
+	if n <= 0 || slot > 1<<31-1 {
+		return storage.RID{}, nil, fmt.Errorf("malformed slot number")
+	}
+	return storage.RID{Page: int32(page), Slot: int32(slot)}, rest[n:], nil
+}
+
+// parseInsert decodes an insert/blob payload and cross-checks the framing
+// against the record's inline/overflow size class.
+func parseInsert(payload []byte, blob bool) (ScannedOp, error) {
+	table, rec, err := parseTable(payload)
+	if err != nil {
+		return ScannedOp{}, err
+	}
 	if blob != (len(rec) > storage.MaxInlineRecord) {
-		return ScannedRecord{}, fmt.Errorf("frame size class does not match record size %d", len(rec))
+		return ScannedOp{}, fmt.Errorf("frame size class does not match record size %d", len(rec))
 	}
 	row, err := storage.DecodeRecord(rec)
 	if err != nil {
-		return ScannedRecord{}, fmt.Errorf("record does not decode: %v", err)
+		return ScannedOp{}, fmt.Errorf("record does not decode: %v", err)
 	}
-	return ScannedRecord{Table: table, Row: row, Overflow: blob}, nil
+	return ScannedOp{Kind: OpInsert, Table: table, Row: row, Overflow: blob}, nil
+}
+
+// parseDelete decodes a delete payload: table name plus target RID.
+func parseDelete(payload []byte) (ScannedOp, error) {
+	table, rest, err := parseTable(payload)
+	if err != nil {
+		return ScannedOp{}, err
+	}
+	rid, rest, err := parseRID(rest)
+	if err != nil {
+		return ScannedOp{}, err
+	}
+	if len(rest) != 0 {
+		return ScannedOp{}, fmt.Errorf("trailing bytes after delete payload")
+	}
+	return ScannedOp{Kind: OpDelete, Table: table, RID: rid}, nil
+}
+
+// parseUpdate decodes an update payload: table name, target RID, and the
+// row's full new image.
+func parseUpdate(payload []byte) (ScannedOp, error) {
+	table, rest, err := parseTable(payload)
+	if err != nil {
+		return ScannedOp{}, err
+	}
+	rid, rec, err := parseRID(rest)
+	if err != nil {
+		return ScannedOp{}, err
+	}
+	row, err := storage.DecodeRecord(rec)
+	if err != nil {
+		return ScannedOp{}, fmt.Errorf("update record does not decode: %v", err)
+	}
+	return ScannedOp{Kind: OpUpdate, Table: table, RID: rid, Row: row}, nil
 }

@@ -121,3 +121,139 @@ func FuzzWALReplay(f *testing.F) {
 		}
 	})
 }
+
+// buildMutationLog writes a log exercising the full mutation frame
+// vocabulary through the real Writer: committed batches carrying
+// deletes, in-place and moving updates (including an overflow payload),
+// a whole-document removal, and an abandoned mutation batch at the
+// tail.
+func buildMutationLog(tb testing.TB) []byte {
+	tb.Helper()
+	vfs := storage.NewMemVFS()
+	w, err := Create(vfs, "wal", SyncOff)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := w.Begin()
+	b.SetFormat(1)
+	if err := b.Insert("play", row(1, "Hamlet", nil)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.Insert("speech", row(1, "to be or not to be")); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		tb.Fatal(err)
+	}
+	b = w.Begin()
+	if err := b.Update("play", storage.RID{Page: 0, Slot: 0}, row(1, "The Tragedy of Hamlet", nil)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.Update("speech", storage.RID{Page: 0, Slot: 0},
+		row(1, strings.Repeat("words ", storage.MaxInlineRecord/5))); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.Delete("speech", storage.RID{Page: 3, Slot: 9}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		tb.Fatal(err)
+	}
+	b = w.Begin()
+	if err := b.RemoveDoc(1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		tb.Fatal(err)
+	}
+	b = w.Begin()
+	if err := b.Delete("play", storage.RID{Page: 0, Slot: 0}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.RemoveDoc(7); err != nil {
+		tb.Fatal(err)
+	}
+	_ = b // abandoned: never committed
+	f, err := vfs.Open(path.Join("wal", FileName))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzMutationReplay pins the same recovery-scanner contract as
+// FuzzWALReplay on logs built from the mutation frame vocabulary
+// (delete, update, docremove): arbitrary corruption of such a log must
+// never panic and never surface an uncommitted mutation suffix — the
+// scanner returns a clean committed prefix or a typed *CorruptError,
+// and the accepted prefix is rescan-stable.
+func FuzzMutationReplay(f *testing.F) {
+	valid := buildMutationLog(f)
+	f.Add(valid)
+	for _, n := range []int{0, len(Magic), len(Magic) + 5, len(valid) / 3, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(valid[:n])
+		}
+	}
+	for _, off := range []int{len(Magic) + 1, len(valid) / 2, len(valid) - 2} {
+		flipped := append([]byte(nil), valid...)
+		flipped[off] ^= 0x10
+		f.Add(flipped)
+	}
+	// A lone delete frame with no commit, and a docremove with a huge
+	// declared length.
+	f.Add(append([]byte(Magic), 0x05, 0x03, 'x', 'y', 'z'))
+	f.Add(append([]byte(Magic), 0x07, 0xff, 0xff, 0xff, 0x7f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tail, err := ScanBytes(data)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is not a *CorruptError: %v", err)
+			}
+			if ce.Offset < 0 || ce.Offset > int64(len(data)) {
+				t.Fatalf("corrupt offset %d outside data of %d bytes", ce.Offset, len(data))
+			}
+			return
+		}
+		if tail.ValidEnd < 0 || tail.ValidEnd > int64(len(data)) {
+			t.Fatalf("ValidEnd %d outside data of %d bytes", tail.ValidEnd, len(data))
+		}
+		var last uint64
+		for _, b := range tail.Batches {
+			if b.Seq <= last {
+				t.Fatalf("batch sequences not increasing: %d after %d", b.Seq, last)
+			}
+			last = b.Seq
+			for _, op := range b.Ops {
+				switch op.Kind {
+				case OpInsert, OpDelete, OpUpdate, OpDocRemove:
+				default:
+					t.Fatalf("committed batch %d carries unknown op kind %v", b.Seq, op.Kind)
+				}
+			}
+		}
+		if last != tail.LastSeq {
+			t.Fatalf("LastSeq %d does not match final batch %d", tail.LastSeq, last)
+		}
+		again, err := ScanBytes(data[:tail.ValidEnd])
+		if err != nil {
+			t.Fatalf("accepted prefix fails rescan: %v", err)
+		}
+		if again.Torn {
+			t.Fatal("accepted prefix rescans as torn")
+		}
+		if len(again.Batches) != len(tail.Batches) || again.LastSeq != tail.LastSeq {
+			t.Fatalf("prefix rescan: %d batches last %d, want %d batches last %d",
+				len(again.Batches), again.LastSeq, len(tail.Batches), tail.LastSeq)
+		}
+		if again.ValidEnd != tail.ValidEnd {
+			t.Fatalf("prefix rescan ValidEnd %d, want %d", again.ValidEnd, tail.ValidEnd)
+		}
+	})
+}

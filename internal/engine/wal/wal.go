@@ -18,6 +18,15 @@
 //	0x02 blob   : same payload, record > storage.MaxInlineRecord (heap overflow blob)
 //	0x03 format : 1 byte XADT storage format (logged when the loader fixes it)
 //	0x04 commit : uvarint(batch sequence number, strictly increasing)
+//	0x05 delete : uvarint(len(table)) | table | uvarint(page) | uvarint(slot)
+//	0x06 update : uvarint(len(table)) | table | uvarint(page) | uvarint(slot) | record (any size)
+//	0x07 docrm  : uvarint(document id) — logical doc removal, re-executed on replay
+//
+// Delete and update frames address rows by RID, which is sound because
+// snapshots persist raw page images and free lists verbatim and every
+// heap placement decision is a pure function of the op sequence: replay
+// onto the checkpoint state lands each op on exactly the row it was
+// logged against.
 //
 // A batch is durable iff its commit frame is intact; replay applies only
 // complete batches and treats a torn or CRC-corrupt tail as the crash
@@ -40,10 +49,13 @@ const Magic = "XORWAL01"
 
 // Frame types.
 const (
-	frameInsert byte = 0x01
-	frameBlob   byte = 0x02
-	frameFormat byte = 0x03
-	frameCommit byte = 0x04
+	frameInsert    byte = 0x01
+	frameBlob      byte = 0x02
+	frameFormat    byte = 0x03
+	frameCommit    byte = 0x04
+	frameDelete    byte = 0x05
+	frameUpdate    byte = 0x06
+	frameDocRemove byte = 0x07
 )
 
 // FileName is the log file inside the WAL directory.
@@ -261,6 +273,39 @@ func (b *Batch) Insert(table string, row []types.Value) error {
 		typ = frameBlob
 	}
 	b.frames = append(b.frames, appendFrame(nil, typ, payload))
+	return nil
+}
+
+// Delete logs one row deletion, addressed by the row's RID at apply
+// time.
+func (b *Batch) Delete(table string, rid storage.RID) error {
+	payload := make([]byte, 0, binary.MaxVarintLen64+len(table)+2*binary.MaxVarintLen32)
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	payload = append(payload, table...)
+	payload = binary.AppendUvarint(payload, uint64(uint32(rid.Page)))
+	payload = binary.AppendUvarint(payload, uint64(uint32(rid.Slot)))
+	b.frames = append(b.frames, appendFrame(nil, frameDelete, payload))
+	return nil
+}
+
+// Update logs one row rewrite: the row's pre-update RID and its full new
+// image. Replay re-executes the rewrite, reproducing any row movement.
+func (b *Batch) Update(table string, rid storage.RID, row []types.Value) error {
+	rec := storage.EncodeRecord(row)
+	payload := make([]byte, 0, binary.MaxVarintLen64+len(table)+2*binary.MaxVarintLen32+len(rec))
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	payload = append(payload, table...)
+	payload = binary.AppendUvarint(payload, uint64(uint32(rid.Page)))
+	payload = binary.AppendUvarint(payload, uint64(uint32(rid.Slot)))
+	payload = append(payload, rec...)
+	b.frames = append(b.frames, appendFrame(nil, frameUpdate, payload))
+	return nil
+}
+
+// RemoveDoc logs a whole-document removal as a single logical redo
+// record; replay re-executes the deterministic removal procedure.
+func (b *Batch) RemoveDoc(docID int64) error {
+	b.frames = append(b.frames, appendFrame(nil, frameDocRemove, binary.AppendUvarint(nil, uint64(docID))))
 	return nil
 }
 

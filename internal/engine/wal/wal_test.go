@@ -66,11 +66,11 @@ func TestCommitRoundTrip(t *testing.T) {
 		t.Fatalf("batches=%d torn=%v, want 2 clean", len(tail.Batches), tail.Torn)
 	}
 	b0 := tail.Batches[0]
-	if b0.Seq != 1 || b0.Format == nil || *b0.Format != 1 || len(b0.Records) != 2 {
+	if b0.Seq != 1 || b0.Format == nil || *b0.Format != 1 || len(b0.Ops) != 2 {
 		t.Fatalf("batch 0 = %+v", b0)
 	}
-	if b0.Records[0].Table != "t1" || b0.Records[0].Row[1].Str() != "hello" {
-		t.Fatalf("record 0 = %+v", b0.Records[0])
+	if b0.Ops[0].Table != "t1" || b0.Ops[0].Row[1].Str() != "hello" {
+		t.Fatalf("record 0 = %+v", b0.Ops[0])
 	}
 	if tail.Batches[1].Format != nil {
 		t.Fatal("batch 1 should carry no format frame")
@@ -101,7 +101,7 @@ func TestOverflowBlobFraming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := tail.Batches[0].Records
+	recs := tail.Batches[0].Ops
 	if !recs[0].Overflow || recs[1].Overflow {
 		t.Fatalf("overflow flags = %v %v, want true false", recs[0].Overflow, recs[1].Overflow)
 	}

@@ -1,6 +1,7 @@
 package xindex
 
 import (
+	"sort"
 	"strings"
 	"sync"
 
@@ -29,6 +30,17 @@ type FragmentIndex struct {
 
 	rows    int
 	invalid bool
+
+	// Mutation bookkeeping. The delta-coded posting lists are append-only,
+	// so deletes tombstone (dead) and out-of-order inserts — page reuse
+	// hands out RIDs below maxKey — side-track into an overlay of rows the
+	// postings do not cover. Lookups subtract dead keys and union overlay
+	// keys: still a candidate superset, so results never change, only
+	// lookup cost. The catalog rebuilds the index once the backlog grows.
+	maxKey  uint64
+	anyKey  bool
+	dead    map[uint64]bool
+	overlay map[uint64]bool
 }
 
 // NewFragmentIndex returns an empty index over table.column at colIdx.
@@ -81,15 +93,32 @@ func (fi *FragmentIndex) SizeBytes() int64 {
 
 // AddRow absorbs one inserted heap row. Every row counts toward
 // coverage, including NULL fragments (which simply contribute no
-// postings). Rows must arrive in heap (RID) order; a decode failure or
-// an out-of-order RID invalidates the index instead of erroring the
-// insert — correctness comes from the planner's fallback, not from
-// aborting loads.
+// postings). Rows at RIDs past every posting extend the main indexes; a
+// row at a reused (lower) RID lands in the overlay instead, since the
+// delta-coded postings are append-only. A decode failure on the main
+// path invalidates the index instead of erroring the insert —
+// correctness comes from the planner's fallback, not from aborting
+// loads.
 func (fi *FragmentIndex) AddRow(rid storage.RID, v types.Value) {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	fi.rows++
-	if fi.invalid || v.IsNull() {
+	if fi.invalid {
+		return
+	}
+	key := ridKey(rid)
+	if fi.anyKey && key <= fi.maxKey {
+		// Reused RID: postings cannot take it. Track it in the overlay;
+		// a tombstone for the RID's previous occupant no longer applies.
+		delete(fi.dead, key)
+		if fi.overlay == nil {
+			fi.overlay = map[uint64]bool{}
+		}
+		fi.overlay[key] = true
+		return
+	}
+	fi.maxKey, fi.anyKey = key, true
+	if v.IsNull() {
 		return
 	}
 	if v.Kind() != types.KindXADT {
@@ -104,6 +133,36 @@ func (fi *FragmentIndex) AddRow(rid storage.RID, v types.Value) {
 	if !fi.addNodes(rid, nodes) {
 		fi.invalid = true
 	}
+}
+
+// DeleteRow records the removal of the heap row at rid: the key leaves
+// the overlay and is tombstoned. The tombstone is unconditional — a key
+// can cycle postings → dead → overlay (RID reuse) → deleted again, and
+// dropping only the overlay entry would resurrect the original postings
+// occupant. Tombstoning a key the postings never held is harmless: dead
+// keys only subtract from posting results.
+func (fi *FragmentIndex) DeleteRow(rid storage.RID) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.rows--
+	if fi.invalid {
+		return
+	}
+	key := ridKey(rid)
+	delete(fi.overlay, key)
+	if fi.dead == nil {
+		fi.dead = map[uint64]bool{}
+	}
+	fi.dead[key] = true
+}
+
+// Backlog reports how many keys lookups must patch over (tombstones plus
+// overlay rows); the catalog rebuilds the index when this grows past its
+// threshold.
+func (fi *FragmentIndex) Backlog() int {
+	fi.mu.RLock()
+	defer fi.mu.RUnlock()
+	return len(fi.dead) + len(fi.overlay)
 }
 
 // addNodes indexes one decoded fragment under fi.mu.
@@ -180,6 +239,31 @@ func (fi *FragmentIndex) LookupFindKey(elm, key string) (rids []storage.RID, ok 
 	}
 	if !have {
 		return nil, false
+	}
+	// Patch mutations over the append-only postings: drop tombstoned
+	// keys, then union in every overlay row. Overlay rows join
+	// unconditionally — their fragments were never decoded, so they are
+	// candidates by definition and the scan's re-verification decides.
+	if len(fi.dead) > 0 {
+		kept := acc[:0]
+		for _, k := range acc {
+			if !fi.dead[k] {
+				kept = append(kept, k)
+			}
+		}
+		acc = kept
+	}
+	if len(fi.overlay) > 0 {
+		inAcc := make(map[uint64]bool, len(acc))
+		for _, k := range acc {
+			inAcc[k] = true
+		}
+		for k := range fi.overlay {
+			if !inAcc[k] {
+				acc = append(acc, k)
+			}
+		}
+		sort.Slice(acc, func(i, j int) bool { return acc[i] < acc[j] })
 	}
 	out := make([]storage.RID, len(acc))
 	for i, k := range acc {

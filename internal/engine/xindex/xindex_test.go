@@ -313,3 +313,30 @@ func TestRIDKeyOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestDeleteAfterRIDReuseStaysDead covers the postings → dead → overlay
+// → dead cycle: a row indexed in the postings is deleted, its RID is
+// reused by a new row (overlay), and that row is deleted too. The
+// second delete must tombstone the key — merely dropping the overlay
+// entry would resurrect the original postings occupant as a candidate
+// pointing at a freed heap slot.
+func TestDeleteAfterRIDReuseStaysDead(t *testing.T) {
+	fi := NewFragmentIndex("speech", "speech_line", 0)
+	fi.AddRow(rid(0, 0), fragValue(t, `<LINE>Romeo</LINE>`))
+	fi.AddRow(rid(0, 1), fragValue(t, `<LINE>Juliet</LINE>`))
+	fi.DeleteRow(rid(0, 0))
+	fi.AddRow(rid(0, 0), fragValue(t, `<LINE>Tybalt</LINE>`)) // reused RID: overlay
+	fi.DeleteRow(rid(0, 0))                                   // must stay dead
+	cands, ok := fi.LookupFindKey("LINE", "Romeo")
+	if !ok {
+		t.Fatal("lookup could not answer")
+	}
+	for _, r := range cands {
+		if r == rid(0, 0) {
+			t.Fatalf("deleted RID %v resurrected as a candidate: %v", r, cands)
+		}
+	}
+	if got := fi.Rows(); got != 1 {
+		t.Fatalf("Rows() = %d, want 1", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/engine/catalog"
+	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
 	"repro/internal/mapping"
 	"repro/internal/xadt"
@@ -96,8 +97,9 @@ func EnsureXADTIndexes(db *engine.Database, schema *mapping.Schema) error {
 
 // ResumeLoader attaches a loader to a database whose tables already hold
 // shredded data (e.g. one restored from a snapshot). ID counters resume
-// from the current row counts — valid because IDs are dense and rows are
-// never deleted.
+// past the highest stored ID in each relation — deletes leave gaps, so
+// the row count may undercount and reusing an ID would alias two
+// elements.
 func ResumeLoader(db *engine.Database, schema *mapping.Schema, format xadt.Format) (*Loader, error) {
 	ids := map[string]int64{}
 	for _, rel := range schema.Relations {
@@ -105,7 +107,26 @@ func ResumeLoader(db *engine.Database, schema *mapping.Schema, format xadt.Forma
 		if tbl == nil {
 			return nil, fmt.Errorf("shred: database lacks table %s", rel.Name)
 		}
-		ids[rel.Name] = int64(tbl.Rows())
+		idCol := -1
+		for i, c := range rel.Columns {
+			if c.Kind == mapping.KindID {
+				idCol = i
+				break
+			}
+		}
+		var max int64
+		if idCol >= 0 {
+			err := tbl.Heap.Scan(func(_ storage.RID, row []types.Value) error {
+				if v := row[idCol]; !v.IsNull() && v.Kind() == types.KindInt && v.Int() > max {
+					max = v.Int()
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		ids[rel.Name] = max
 	}
 	return &Loader{DB: db, Schema: schema, Format: format, ids: ids}, nil
 }
@@ -284,6 +305,17 @@ func ChooseFormat(schema *mapping.Schema, samples []*xmltree.Document, minSaving
 		}
 	}
 	return xadt.ChooseFormat(fragments, minSaving)
+}
+
+// EnsureIDFloor raises rel's ID counter to at least id. Recovery uses it
+// to restore counters exactly: the stored max ID can undershoot the
+// pre-crash counter when the highest-ID rows were deleted, so the
+// checkpoint's persisted counters and the IDs seen in replayed insert
+// records are applied as floors.
+func (l *Loader) EnsureIDFloor(rel string, id int64) {
+	if l.ids[rel] < id {
+		l.ids[rel] = id
+	}
 }
 
 // TupleCounts reports the number of tuples loaded per relation.
