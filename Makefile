@@ -31,6 +31,7 @@ benchsmoke:
 	$(GO) test -race -run TestSpillSmoke ./internal/bench/
 	$(GO) test -race -run TestVectorSmoke ./internal/bench/
 	$(GO) test -race -run TestMutationSmoke ./internal/bench/
+	$(GO) test -race -run TestMVCCSmoke ./internal/bench/
 
 # Exhaustive fault-injection sweep: crash the store at every mutating
 # filesystem operation (plus torn-write variants) and require recovery to
@@ -63,4 +64,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json BENCH_mutation.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json BENCH_mutation.json BENCH_concurrent.json *.pprof

@@ -18,16 +18,19 @@
 //	-exp crash     crash a WAL-backed load at a seeded point and recover it
 //	-exp durability  load throughput with the WAL off/batch/always synced
 //	-exp mutation  update-workload throughput: DML access paths + WAL cost
+//	-exp concurrent  MVCC sessions: reader throughput vs writers + commit latency
 //	-exp all       everything above
 //
 // The difftest experiment takes -seed and -iters and writes a minimized
 // failure artifact (difftest_failure.txt) on divergence; -crash adds a
 // kill-and-recover store to its comparison matrix, -mutate switches it
 // to randomized mutation histories (SQL DML + document ops applied to
-// both mappings with periodic kill-and-recover), -membudget N adds the
-// memory-budget axis (every query rerun under an N-byte budget, forcing
-// spills), and -sabotage deliberately corrupts the Gather reorder to
-// prove the harness detects a broken configuration.
+// both mappings with periodic kill-and-recover), -concurrent switches it
+// to concurrent snapshot-transaction schedules checked against a serial
+// oracle, -membudget N adds the memory-budget axis (every query rerun
+// under an N-byte budget, forcing spills), and -sabotage deliberately
+// corrupts the Gather reorder to prove the harness detects a broken
+// configuration.
 //
 // Use -quick for a reduced-scale smoke run, -scales to override the
 // DSxN sweep, and -dop to set the parallel degree (default GOMAXPROCS).
@@ -36,7 +39,8 @@
 // BENCH_index.json; the spill experiment writes
 // BENCH_spill.json; the vector experiment writes BENCH_vector.json; the
 // durability experiment writes BENCH_durability.json; the mutation
-// experiment writes BENCH_mutation.json. -cpuprofile and
+// experiment writes BENCH_mutation.json; the concurrent experiment
+// writes BENCH_concurrent.json. -cpuprofile and
 // -memprofile write pprof profiles covering the selected experiments.
 package main
 
@@ -79,6 +83,7 @@ func realMain() int {
 		iters     = flag.Int("iters", 0, "iterations for -exp difftest (0 = 200, or 50 with -quick)")
 		crash     = flag.Bool("crash", false, "add the crash-recovery axis to -exp difftest")
 		mutate    = flag.Bool("mutate", false, "run -exp difftest as randomized mutation histories (DML + document ops)")
+		conc      = flag.Bool("concurrent", false, "run -exp difftest as concurrent snapshot-transaction schedules")
 		membudget = flag.Int64("membudget", 0, "per-query memory budget in bytes for the -exp difftest budget axis (0 = off)")
 		sabotage  = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -116,7 +121,8 @@ func realMain() int {
 		}()
 	}
 	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop,
-		seed: *seed, iters: *iters, crash: *crash, mutate: *mutate, membudget: *membudget, sabotage: *sabotage}
+		seed: *seed, iters: *iters, crash: *crash, mutate: *mutate, concurrent: *conc,
+		membudget: *membudget, sabotage: *sabotage}
 
 	experiments := map[string]func() error{
 		"schemas":    r.schemas,
@@ -136,8 +142,9 @@ func realMain() int {
 		"crash":      r.crashDemo,
 		"durability": r.durability,
 		"mutation":   r.mutation,
+		"concurrent": r.concurrentBench,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "difftest", "crash", "durability", "mutation"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "difftest", "crash", "durability", "mutation", "concurrent"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -174,16 +181,17 @@ func run(name string, fn func() error) error {
 }
 
 type runner struct {
-	quick     bool
-	scales    []int
-	repeats   int
-	dop       int
-	seed      int64
-	iters     int
-	crash     bool
-	mutate    bool
-	membudget int64
-	sabotage  bool
+	quick      bool
+	scales     []int
+	repeats    int
+	dop        int
+	seed       int64
+	iters      int
+	crash      bool
+	mutate     bool
+	concurrent bool
+	membudget  int64
+	sabotage   bool
 
 	shakespeare *bench.Dataset
 	sigmod      *bench.Dataset
@@ -448,7 +456,19 @@ func (r *runner) difftest() error {
 	var sum *difftest.Summary
 	var err error
 	replay := ""
-	if r.mutate {
+	if r.concurrent {
+		// Concurrent schedules check many predicted outcomes per
+		// iteration, so the default iteration budget is smaller.
+		if r.iters == 0 {
+			iters = 100
+			if r.quick {
+				iters = 20
+			}
+		}
+		fmt.Println("concurrent axis: seeded schedules interleave snapshot transactions against a serial oracle")
+		sum, err = difftest.RunConcurrent(difftest.Options{Seed: r.seed, Iters: iters, Log: os.Stdout})
+		replay = " -concurrent"
+	} else if r.mutate {
 		// Mutation histories check many cells per iteration, so the
 		// default iteration budget is smaller.
 		if r.iters == 0 {
@@ -598,6 +618,32 @@ func (r *runner) mutation() error {
 		return err
 	}
 	fmt.Println("wrote BENCH_mutation.json")
+	return nil
+}
+
+// concurrentBench measures MVCC session throughput: snapshot-reader
+// queries per second with 0/1/4 concurrent writer transactions, and
+// write-transaction commit latency under each WAL sync policy. Writes
+// BENCH_concurrent.json.
+func (r *runner) concurrentBench() error {
+	dir, err := os.MkdirTemp("", "repro-concurrent-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reads, commits := 2000, 200
+	if r.quick {
+		reads, commits = 400, 50
+	}
+	ms, err := bench.RunConcurrent(r.shakespeareDS(), dir, reads, commits)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.ConcurrentTable(ms))
+	if err := bench.WriteConcurrentJSON("BENCH_concurrent.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_concurrent.json")
 	return nil
 }
 

@@ -1,0 +1,272 @@
+// Concurrency benchmark: snapshot-session throughput on an MVCC store.
+// Reader cells time a fixed budget of snapshot queries while 0, 1, or 4
+// writer transactions commit continuously — snapshot isolation promises
+// readers never block on writers, so throughput should hold as writers
+// are added. Commit cells time the latency of a minimal write
+// transaction under each WAL sync policy. Emitted as a report table and
+// machine-readable BENCH_concurrent.json.
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/engine/wal"
+	"repro/internal/xadt"
+)
+
+// ConcurrentMeasurement is one cell: either a reader-throughput run
+// (Readers > 0) with Writers concurrent committers, or a commit-latency
+// run (Commits > 0) under one WAL sync policy.
+type ConcurrentMeasurement struct {
+	Config  string `json:"config"`
+	Readers int    `json:"readers"`
+	Writers int    `json:"writers"`
+	// WalSync is "none" for unlogged stores, else the sync policy.
+	WalSync       string  `json:"wal_sync"`
+	Reads         int     `json:"reads"`
+	ReadsPerSec   float64 `json:"reads_per_sec"`
+	Commits       int     `json:"commits"`
+	Conflicts     int     `json:"conflicts"`
+	CommitMsAvg   float64 `json:"commit_ms_avg"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// concurrentStore builds a loaded MVCC store with per-writer counter
+// rows (negative playIDs, so they can never alias document rows).
+func concurrentStore(ds Dataset, walDir, sync string, writers int) (*core.Store, error) {
+	format := xadt.Raw
+	cfg := core.Config{Algorithm: core.XORator, ForceFormat: &format,
+		Engine: engine.Config{MVCC: true}}
+	switch sync {
+	case "batch":
+		cfg.Engine.WALDir, cfg.Engine.WALSync = walDir, wal.SyncBatch
+	case "always":
+		cfg.Engine.WALDir, cfg.Engine.WALSync = walDir, wal.SyncAlways
+	}
+	st, err := core.NewStore(ds.DTD, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.AddDocuments(ds.Docs); err != nil {
+		return nil, err
+	}
+	if err := st.CreateDefaultIndexes(); err != nil {
+		return nil, err
+	}
+	if err := st.RunStats(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < writers; i++ {
+		stmt := fmt.Sprintf("INSERT INTO play (playID, play_title) VALUES (%d, 'w')", -(i + 1))
+		if _, err := st.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// runReaderCell times `reads` snapshot queries split across `readers`
+// goroutines while `writers` goroutines commit disjoint single-row
+// update transactions in a loop (retrying on the rare conflict) until
+// the readers finish.
+func runReaderCell(ds Dataset, readers, writers, reads int) (ConcurrentMeasurement, error) {
+	st, err := concurrentStore(ds, "", "none", writers)
+	if err != nil {
+		return ConcurrentMeasurement{}, err
+	}
+	var (
+		stop      atomic.Bool
+		commits   atomic.Int64
+		conflicts atomic.Int64
+		firstErr  atomic.Value
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err)
+		stop.Store(true)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for !stop.Load() {
+				s, err := st.NewSession()
+				if err != nil {
+					fail(err)
+					return
+				}
+				stmt := fmt.Sprintf("UPDATE play SET play_title = 'w%d' WHERE playID = %d", n, -(w + 1))
+				if _, err := s.Exec(stmt); err != nil {
+					s.Rollback()
+					fail(err)
+					return
+				}
+				switch err := s.Commit(); {
+				case err == nil:
+					commits.Add(1)
+					n++
+				case errors.Is(err, core.ErrConflict):
+					conflicts.Add(1)
+				default:
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	const query = `SELECT COUNT(*) FROM speech`
+	perReader := reads / readers
+	start := time.Now()
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < perReader && !stop.Load(); i++ {
+				s, err := st.NewSession()
+				if err != nil {
+					fail(err)
+					return
+				}
+				res, err := s.Query(query)
+				s.Rollback()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					fail(fmt.Errorf("reader got %d rows", len(res.Rows)))
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return ConcurrentMeasurement{}, err
+	}
+	if err := st.Close(); err != nil {
+		return ConcurrentMeasurement{}, err
+	}
+	done := perReader * readers
+	return ConcurrentMeasurement{
+		Config:      fmt.Sprintf("read-%dw", writers),
+		Readers:     readers,
+		Writers:     writers,
+		WalSync:     "none",
+		Reads:       done,
+		ReadsPerSec: float64(done) / elapsed.Seconds(),
+		Commits:     int(commits.Load()),
+		Conflicts:   int(conflicts.Load()),
+	}, nil
+}
+
+// runCommitCell times `commits` sequential single-row update
+// transactions — begin, one UPDATE, commit — under one WAL sync policy
+// and reports the mean commit-inclusive transaction latency.
+func runCommitCell(ds Dataset, walDir, sync string, commits int) (ConcurrentMeasurement, error) {
+	st, err := concurrentStore(ds, walDir, sync, 1)
+	if err != nil {
+		return ConcurrentMeasurement{}, err
+	}
+	start := time.Now()
+	for i := 0; i < commits; i++ {
+		s, err := st.NewSession()
+		if err != nil {
+			return ConcurrentMeasurement{}, err
+		}
+		stmt := fmt.Sprintf("UPDATE play SET play_title = 'c%d' WHERE playID = -1", i)
+		if _, err := s.Exec(stmt); err != nil {
+			s.Rollback()
+			return ConcurrentMeasurement{}, err
+		}
+		if err := s.Commit(); err != nil {
+			return ConcurrentMeasurement{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := st.Close(); err != nil {
+		return ConcurrentMeasurement{}, err
+	}
+	return ConcurrentMeasurement{
+		Config:        "commit-" + sync,
+		WalSync:       sync,
+		Commits:       commits,
+		CommitMsAvg:   float64(elapsed.Nanoseconds()) / float64(commits) / 1e6,
+		CommitsPerSec: float64(commits) / elapsed.Seconds(),
+	}, nil
+}
+
+// RunConcurrent runs the concurrency benchmark: reader throughput with
+// 0, 1, and 4 concurrent writers, then commit latency per WAL sync
+// policy. WAL-backed cells log to subdirectories of dir on the real
+// filesystem, so sync costs are the operating system's.
+func RunConcurrent(ds Dataset, dir string, reads, commits int) ([]ConcurrentMeasurement, error) {
+	if reads <= 0 {
+		reads = 2000
+	}
+	if commits <= 0 {
+		commits = 200
+	}
+	var out []ConcurrentMeasurement
+	const readers = 4
+	for _, writers := range []int{0, 1, 4} {
+		m, err := runReaderCell(ds, readers, writers, reads)
+		if err != nil {
+			return nil, fmt.Errorf("concurrent %dw: %w", writers, err)
+		}
+		out = append(out, m)
+	}
+	for _, sync := range []string{"none", "batch", "always"} {
+		walDir := filepath.Join(dir, "wal-"+sync)
+		m, err := runCommitCell(ds, walDir, sync, commits)
+		if err != nil {
+			return nil, fmt.Errorf("concurrent commit-%s: %w", sync, err)
+		}
+		if sync != "none" {
+			if err := os.RemoveAll(walDir); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ConcurrentTable renders the measurements.
+func ConcurrentTable(ms []ConcurrentMeasurement) string {
+	var sb strings.Builder
+	sb.WriteString("Concurrent: snapshot readers vs writers, and commit latency by WAL policy\n")
+	fmt.Fprintf(&sb, "%-18s %8s %8s %8s %10s %10s %10s %10s\n",
+		"config", "readers", "writers", "wal", "reads/s", "commits", "conflicts", "commit_ms")
+	for _, m := range ms {
+		fmt.Fprintf(&sb, "%-18s %8d %8d %8s %10.1f %10d %10d %10.3f\n",
+			m.Config, m.Readers, m.Writers, m.WalSync, m.ReadsPerSec, m.Commits, m.Conflicts, m.CommitMsAvg)
+	}
+	return sb.String()
+}
+
+// WriteConcurrentJSON writes the measurements as a JSON array to path
+// (the BENCH_concurrent.json artifact).
+func WriteConcurrentJSON(path string, ms []ConcurrentMeasurement) error {
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

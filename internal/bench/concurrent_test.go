@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMVCCSmoke runs the concurrency benchmark at reduced scale: the
+// three reader cells (0/1/4 writers) and three commit-latency cells
+// (no-WAL/batch/always) must complete with plausible numbers, every
+// writer commit must be conflict-free or retried, and
+// BENCH_concurrent.json must parse. CI runs this under the race
+// detector, so the reader/writer cells double as a concurrency stress
+// on the session machinery.
+func TestMVCCSmoke(t *testing.T) {
+	ds := ShakespeareDataset(2)
+	dir := t.TempDir()
+	ms, err := RunConcurrent(ds, dir, 120, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 6 {
+		t.Fatalf("cells = %d, want 6", len(ms))
+	}
+	wantConfigs := []string{"read-0w", "read-1w", "read-4w", "commit-none", "commit-batch", "commit-always"}
+	for i, m := range ms {
+		if m.Config != wantConfigs[i] {
+			t.Errorf("cell %d = %s, want %s", i, m.Config, wantConfigs[i])
+		}
+	}
+	for _, m := range ms[:3] {
+		if m.Reads == 0 || m.ReadsPerSec <= 0 {
+			t.Errorf("cell %s: implausible reader measurement %+v", m.Config, m)
+		}
+		if m.Writers > 0 && m.Commits == 0 {
+			t.Errorf("cell %s: writers committed nothing", m.Config)
+		}
+	}
+	for _, m := range ms[3:] {
+		if m.Commits == 0 || m.CommitMsAvg <= 0 || m.CommitsPerSec <= 0 {
+			t.Errorf("cell %s: implausible commit measurement %+v", m.Config, m)
+		}
+	}
+
+	out := filepath.Join(dir, "BENCH_concurrent.json")
+	if err := WriteConcurrentJSON(out, ms); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []ConcurrentMeasurement
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if len(parsed) != len(ms) {
+		t.Fatalf("artifact rows = %d, want %d", len(parsed), len(ms))
+	}
+	if ConcurrentTable(ms) == "" {
+		t.Fatal("empty table rendering")
+	}
+}

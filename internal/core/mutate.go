@@ -59,6 +59,16 @@ func (st *Store) nextDocID() (int64, error) {
 // with ReplaceDocument. Each document is one WAL batch covering both its
 // shredded tuples and its registry rows.
 func (st *Store) AddDocuments(docs []*xmltree.Document) ([]int64, error) {
+	var ids []int64
+	err := st.mvccDirect(func() error {
+		var err error
+		ids, err = st.addDocumentsDirect(docs)
+		return err
+	})
+	return ids, err
+}
+
+func (st *Store) addDocumentsDirect(docs []*xmltree.Document) ([]int64, error) {
 	if err := st.ensureLoader(docs); err != nil {
 		return nil, err
 	}
@@ -99,10 +109,31 @@ func (st *Store) AddXML(texts []string) ([]int64, error) {
 // counters before and after the load delimit exactly this document's
 // rows: IDs are dense per relation and never reused.
 func (st *Store) addDocumentWithID(reg *catalog.Table, docID int64, doc *xmltree.Document) error {
-	before := st.loader.TupleCounts()
 	var b *wal.Batch
 	if st.wal != nil {
 		b = st.wal.Begin()
+	}
+	if err := st.loadDocumentSpans(reg, docID, doc, b); err != nil {
+		return err
+	}
+	if b != nil {
+		if err := b.Commit(); err != nil {
+			return err
+		}
+		st.pendingFormat = false
+	}
+	return nil
+}
+
+// loadDocumentSpans shreds one document and registers its tuple spans
+// under docID, logging redo records into b when set (the caller owns the
+// batch lifecycle: the legacy path commits one batch per document, a
+// session commit shares one batch across the whole transaction). The
+// pending XADT format decision is logged into the batch but stays
+// pending until the caller's commit succeeds.
+func (st *Store) loadDocumentSpans(reg *catalog.Table, docID int64, doc *xmltree.Document, b *wal.Batch) error {
+	before := st.loader.TupleCounts()
+	if b != nil {
 		if st.pendingFormat {
 			b.SetFormat(byte(st.Format))
 		}
@@ -132,12 +163,6 @@ func (st *Store) addDocumentWithID(reg *catalog.Table, docID int64, doc *xmltree
 			}
 		}
 	}
-	if b != nil {
-		if err := b.Commit(); err != nil {
-			return err
-		}
-		st.pendingFormat = false
-	}
 	return nil
 }
 
@@ -146,6 +171,10 @@ func (st *Store) addDocumentWithID(reg *catalog.Table, docID int64, doc *xmltree
 // committed batch holding a single logical doc-removal record; recovery
 // re-executes the same deterministic procedure.
 func (st *Store) RemoveDocument(docID int64) error {
+	return st.mvccDirect(func() error { return st.removeDocumentDirect(docID) })
+}
+
+func (st *Store) removeDocumentDirect(docID int64) error {
 	if st.wal == nil {
 		return st.applyRemoveDocument(docID)
 	}
@@ -232,14 +261,20 @@ func (st *Store) ReplaceDocument(docID int64, doc *xmltree.Document) error {
 	if st.loader == nil {
 		return fmt.Errorf("core: store holds no documents yet")
 	}
+	// The two halves are separate MVCC transactions too, mirroring the
+	// two committed batches: a reader's snapshot can observe the
+	// removed-but-not-readded state, exactly what a crash between the
+	// batches recovers to.
 	if err := st.RemoveDocument(docID); err != nil {
 		return err
 	}
-	reg, err := st.ensureDocRegistry()
-	if err != nil {
-		return err
-	}
-	return st.addDocumentWithID(reg, docID, doc)
+	return st.mvccDirect(func() error {
+		reg, err := st.ensureDocRegistry()
+		if err != nil {
+			return err
+		}
+		return st.addDocumentWithID(reg, docID, doc)
+	})
 }
 
 // ReplaceXML parses and replaces one document text; see ReplaceDocument.
@@ -269,6 +304,10 @@ func idColumn(rel *mapping.Relation) int {
 // the column keeps its structural assumptions. On a WAL store the splice
 // is one committed batch holding the row's update record.
 func (st *Store) SpliceFragment(table, column string, id int64, fragTexts []string) error {
+	return st.mvccDirect(func() error { return st.spliceFragmentDirect(table, column, id, fragTexts) })
+}
+
+func (st *Store) spliceFragmentDirect(table, column string, id int64, fragTexts []string) error {
 	rel := st.Schema.Relation(table)
 	if rel == nil {
 		return fmt.Errorf("core: unknown relation %s", table)
@@ -355,15 +394,35 @@ func (st *Store) Exec(query string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, isSelect := stmt.(*sql.SelectStmt); isSelect || st.wal == nil {
+	if _, isSelect := stmt.(*sql.SelectStmt); isSelect {
+		if st.DB.TxnMgr != nil {
+			// Snapshot-consistent read on a concurrent store: run the
+			// SELECT under an implicit read-only session.
+			s, err := st.NewSession()
+			if err != nil {
+				return 0, err
+			}
+			defer s.Rollback()
+			return s.Exec(query)
+		}
 		return st.DB.ExecStatement(stmt, nil)
 	}
-	b := st.wal.Begin()
-	n, err := st.DB.ExecStatement(stmt, b)
-	if err != nil {
-		return n, err
-	}
-	return n, b.Commit()
+	var n int64
+	err = st.mvccDirect(func() error {
+		if st.wal == nil {
+			var e error
+			n, e = st.DB.ExecStatement(stmt, nil)
+			return e
+		}
+		b := st.wal.Begin()
+		var e error
+		n, e = st.DB.ExecStatement(stmt, b)
+		if e != nil {
+			return e
+		}
+		return b.Commit()
+	})
+	return n, err
 }
 
 // replayOp re-executes one logged mutation during recovery. The registry

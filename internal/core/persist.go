@@ -115,6 +115,16 @@ func (st *Store) Checkpoint() error {
 	if st.wal == nil {
 		return errors.New("core: Checkpoint requires a WAL store (set Engine.WALDir)")
 	}
+	if st.DB.TxnMgr != nil {
+		// Quiesce commits while the snapshot scan runs: all mutation
+		// happens inside the commit path, so holding the commit mutex
+		// gives Save a stable heap without blocking snapshot readers.
+		return st.DB.TxnMgr.Quiesce(st.checkpointLocked)
+	}
+	return st.checkpointLocked()
+}
+
+func (st *Store) checkpointLocked() error {
 	dir := st.cfg.Engine.WALDir
 	tmp := checkpointPath(dir) + ".tmp"
 	f, err := st.vfs.Create(tmp)

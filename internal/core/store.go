@@ -167,11 +167,27 @@ func (st *Store) openWAL() error {
 	return st.Checkpoint()
 }
 
+// mvccDirect runs a legacy direct mutation. On a single-user store it
+// runs fn as-is; on an MVCC store it wraps fn in its own committed
+// transaction — the exclusive-latch direct path, where the catalog
+// hooks stamp versions and journal conflict keys so concurrent snapshot
+// sessions stay isolated from (and conflict-checked against) it.
+func (st *Store) mvccDirect(fn func() error) error {
+	if st.DB.TxnMgr == nil {
+		return fn()
+	}
+	return st.DB.TxnMgr.RunDirect(func(uint64) error { return fn() })
+}
+
 // Load shreds documents into the store. The first call fixes the XADT
 // storage representation by sampling the batch (the paper parses "a few
 // sample documents" and compresses only if it saves at least the
 // threshold).
 func (st *Store) Load(docs []*xmltree.Document) error {
+	return st.mvccDirect(func() error { return st.loadDirect(docs) })
+}
+
+func (st *Store) loadDirect(docs []*xmltree.Document) error {
 	if err := st.ensureLoader(docs); err != nil {
 		return err
 	}
@@ -263,6 +279,15 @@ func (st *Store) LoadXML(texts []string) error {
 // column (value, inlined and attribute columns), which the selection
 // queries filter on.
 func (st *Store) CreateDefaultIndexes() error {
+	if st.DB.TxnMgr != nil {
+		// Index builds scan heaps and splice shared structures; take the
+		// store exclusively so no session commits mid-build.
+		return st.DB.TxnMgr.Exclusive(st.createDefaultIndexesLocked)
+	}
+	return st.createDefaultIndexesLocked()
+}
+
+func (st *Store) createDefaultIndexesLocked() error {
 	for _, rel := range st.Schema.Relations {
 		for _, col := range rel.Columns {
 			switch col.Kind {
@@ -293,10 +318,25 @@ func (st *Store) CreateDefaultIndexes() error {
 
 // RunStats refreshes optimizer statistics (the paper always runs
 // runstats before measuring).
-func (st *Store) RunStats() error { return st.DB.RunStats() }
+func (st *Store) RunStats() error {
+	if st.DB.TxnMgr != nil {
+		return st.DB.TxnMgr.Exclusive(st.DB.RunStats)
+	}
+	return st.DB.RunStats()
+}
 
-// Query runs a SQL query against the store.
+// Query runs a SQL query against the store. On an MVCC store it runs
+// under an implicit read-only session, so it sees a consistent snapshot
+// even while writers commit concurrently.
 func (st *Store) Query(query string) (*engine.Result, error) {
+	if st.DB.TxnMgr != nil {
+		s, err := st.NewSession()
+		if err != nil {
+			return nil, err
+		}
+		defer s.Rollback()
+		return s.Query(query)
+	}
 	return st.DB.Query(query)
 }
 
@@ -342,6 +382,11 @@ func (st *Store) CommittedBatches() uint64 {
 func (st *Store) Close() error {
 	if st.wal == nil {
 		return nil
+	}
+	if st.DB.TxnMgr != nil {
+		// The WAL writer is not concurrent-safe; serialize the final sync
+		// against in-flight commits.
+		return st.DB.TxnMgr.Quiesce(st.wal.Close)
 	}
 	return st.wal.Close()
 }

@@ -1,0 +1,869 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dtd"
+	"repro/internal/engine"
+	"repro/internal/engine/storage"
+	"repro/internal/engine/wal"
+	"repro/internal/mapping"
+	"repro/internal/xadt"
+	"repro/internal/xmltree"
+)
+
+// RunConcurrent executes the concurrency differential axis: each
+// iteration derives a random DTD and document set, builds an MVCC
+// WAL-backed store and a plain single-user oracle twin, then runs a
+// seeded deterministic schedule that interleaves up to Options.Sessions
+// open snapshot transactions — SQL DML on harness-owned slot rows,
+// fragment splices, document add/remove — alongside direct autocommit
+// operations. A world model predicts, per transaction, the affected-row
+// count of every statement under its snapshot and whether Commit must
+// succeed or abort with ErrConflict (first-committer-wins); every
+// committed transaction's op list replays onto the oracle in commit
+// order, which must stay byte-identical to the concurrent store —
+// checked by table sweeps mid-schedule, a full store comparison at the
+// end, and once more after crash-recovering the MVCC store from its WAL.
+func RunConcurrent(opts Options) (*Summary, error) {
+	opts.setDefaults()
+	sum := &Summary{}
+	for iter := 0; iter < opts.Iters; iter++ {
+		seed := opts.Seed + int64(iter)
+		cs, err := newConState(opts, seed, nil, nil)
+		if err != nil {
+			return sum, fmt.Errorf("concurrent iteration %d (seed %d): %w", iter, seed, err)
+		}
+		divs, cells, err := cs.run(opts)
+		if err != nil {
+			return sum, fmt.Errorf("concurrent iteration %d (seed %d): %w", iter, seed, err)
+		}
+		sum.Iters++
+		sum.Cells += cells
+		if len(divs) > 0 {
+			for i := range divs {
+				divs[i].Iter, divs[i].Seed = iter, seed
+			}
+			sum.Divergences = append(sum.Divergences, divs...)
+			fmt.Fprintf(opts.Log, "difftest: concurrent iteration %d (seed %d) diverged: %s\n",
+				iter, seed, divs[0].Detail)
+			if sum.Artifact == "" {
+				min := minimizeConcurrent(opts, seed, cs, divs[0])
+				if err := writeConcurrentArtifact(opts, min, divs[0]); err != nil {
+					fmt.Fprintf(opts.Log, "difftest: writing artifact: %v\n", err)
+				} else {
+					sum.Artifact = opts.ArtifactPath
+				}
+			}
+			if opts.FailFast {
+				break
+			}
+		}
+		if (iter+1)%25 == 0 {
+			fmt.Fprintf(opts.Log, "difftest: concurrent %d/%d iterations, %d cells, %d divergences\n",
+				iter+1, opts.Iters, sum.Cells, len(sum.Divergences))
+		}
+	}
+	return sum, nil
+}
+
+// conEffect is one committed transaction's model-level effect, replayed
+// into the world model in op order when its transaction commits.
+type conEffect struct {
+	kind string // "slot+", "slot-", "doc+", "doc-"
+	slot int64
+	doc  int64
+}
+
+// conSession is one open transaction: the live session, its snapshot of
+// the model (visible slots and documents), its recorded model effects,
+// and the logical objects it wrote (for conflict prediction).
+type conSession struct {
+	id       int
+	s        *core.Session
+	beginIdx int
+	slots    map[int64]bool
+	live     map[int64]bool
+	effects  []conEffect
+	writes   map[string]bool
+}
+
+// conState is one concurrent iteration: generated inputs, the MVCC
+// store under test plus its serial oracle, and the world model.
+type conState struct {
+	seed   int64
+	alg    core.Algorithm
+	dtdSrc string
+	root   string
+	d      *dtd.DTD
+	format *xadt.Format
+	docs   []*xmltree.Document
+	texts  []string
+	rng    *rand.Rand
+
+	mv     *core.Store
+	mvVFS  storage.VFS
+	oracle *core.Store
+
+	// The slot relation hosts harness-owned rows under unique negative
+	// IDs, so DML victims are exact and never collide with shredded
+	// document rows (whose IDs count up from 1).
+	slotRel     string
+	idCol       string
+	strCol      string // empty: no settable string column, UPDATE retired
+	spliceCol   string
+	spliceChild string
+
+	// World model: committed state and a logical commit clock. lastWrite
+	// maps a logical object ("s:<slot>" or "d:<doc>") to the commit
+	// index of its last committed write; a transaction conflicts iff one
+	// of its written objects committed after the transaction began.
+	commitIdx int
+	lastWrite map[string]int
+	slots     map[int64]bool
+	live      map[int64]bool
+	nextSlot  int64
+	nextSess  int
+
+	sessions []*conSession
+	opLog    []string
+}
+
+func newConState(opts Options, seed int64, docs []*xmltree.Document, texts []string) (*conState, error) {
+	genRng := rand.New(rand.NewSource(seed))
+	cs := &conState{seed: seed, root: "E0", nextSlot: 1,
+		lastWrite: map[string]int{}, slots: map[int64]bool{}, live: map[int64]bool{}}
+	cs.alg = core.XORator
+	if seed%2 != 0 {
+		cs.alg = core.Hybrid
+	}
+	cs.dtdSrc = genDTD(genRng)
+	var err error
+	cs.d, err = dtd.Parse(cs.dtdSrc)
+	if err != nil {
+		return nil, fmt.Errorf("generated DTD does not parse: %w\n%s", err, cs.dtdSrc)
+	}
+	switch genRng.Intn(3) {
+	case 0:
+	case 1:
+		f := xadt.Raw
+		cs.format = &f
+	default:
+		f := xadt.Compressed
+		cs.format = &f
+	}
+	if docs == nil {
+		docs, texts, err = genDocs(genRng, cs.d, cs.root, opts.Docs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cs.docs, cs.texts = docs, texts
+	// The op stream is seeded independently of document generation, so a
+	// minimized run (fewer initial documents) replays the same schedule.
+	cs.rng = rand.New(rand.NewSource(seed ^ 0x5e551075))
+	if err := cs.build(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+func (cs *conState) build() error {
+	cs.mvVFS = storage.NewMemVFS()
+	var err error
+	cs.mv, err = core.NewStore(cs.dtdSrc, core.Config{Algorithm: cs.alg, ForceFormat: cs.format,
+		Engine: engine.Config{MVCC: true, WALDir: "wal", WALSync: wal.SyncAlways, VFS: cs.mvVFS}})
+	if err != nil {
+		return fmt.Errorf("mvcc store: %w", err)
+	}
+	cs.oracle, err = core.NewStore(cs.dtdSrc, core.Config{Algorithm: cs.alg, ForceFormat: cs.format})
+	if err != nil {
+		return fmt.Errorf("oracle store: %w", err)
+	}
+	ids, err := cs.mv.AddDocuments(cs.docs)
+	if err != nil {
+		return fmt.Errorf("mvcc add: %w", err)
+	}
+	oids, err := cs.oracle.AddDocuments(cs.docs)
+	if err != nil {
+		return fmt.Errorf("oracle add: %w", err)
+	}
+	if len(ids) != len(oids) {
+		return fmt.Errorf("document ID allocation diverged: %v vs %v", ids, oids)
+	}
+	for i := range ids {
+		if ids[i] != oids[i] {
+			return fmt.Errorf("document ID allocation diverged: %v vs %v", ids, oids)
+		}
+		cs.live[ids[i]] = true
+	}
+	// Indexes build before any session opens (index builds take the
+	// exclusive path); sessions then see per-snapshot filtered views.
+	for _, s := range []*core.Store{cs.mv, cs.oracle} {
+		if err := s.CreateDefaultIndexes(); err != nil {
+			return err
+		}
+		if err := s.RunStats(); err != nil {
+			return err
+		}
+	}
+	cs.pickSlotRel()
+	return nil
+}
+
+// pickSlotRel chooses the relation harness-owned slot rows live in: the
+// first relation with an ID column, preferring one that also offers a
+// settable string column, and — under XORator — an XADT column for
+// splices.
+func (cs *conState) pickSlotRel() {
+	schema := cs.mv.Schema
+	best := -1
+	for _, rel := range schema.Relations {
+		idc := relIDIdx(rel)
+		if idc < 0 {
+			continue
+		}
+		score := 1
+		strCol := ""
+		for _, c := range rel.Columns {
+			if c.Type == mapping.String {
+				switch c.Kind {
+				case mapping.KindValue, mapping.KindAttr, mapping.KindInlined, mapping.KindInlinedAttr:
+					strCol = c.Name
+				}
+			}
+		}
+		if strCol != "" {
+			score++
+		}
+		spliceCol, spliceChild := "", ""
+		for _, x := range schemaXadtCols(schema) {
+			if x.rel.Name == rel.Name {
+				spliceCol, spliceChild = x.col.Name, x.child
+				break
+			}
+		}
+		if spliceCol != "" {
+			score++
+		}
+		if score > best {
+			best = score
+			cs.slotRel = rel.Name
+			cs.idCol = rel.Columns[idc].Name
+			cs.strCol = strCol
+			cs.spliceCol, cs.spliceChild = spliceCol, spliceChild
+		}
+	}
+}
+
+func (cs *conState) logf(format string, args ...any) {
+	cs.opLog = append(cs.opLog, fmt.Sprintf(format, args...))
+}
+
+// div builds a divergence for the concurrent axis.
+func conDiv(axis, detail string) Divergence {
+	return Divergence{Case: Case{Name: "(concurrent)"}, Axis: axis, Detail: detail}
+}
+
+// run plays the schedule. It returns at the first divergence: the model
+// and the stores disagree from that point on, so later steps would only
+// produce noise.
+func (cs *conState) run(opts Options) ([]Divergence, int, error) {
+	cells := 0
+	for step := 0; step < opts.Ops; step++ {
+		divs, n, err := cs.step(opts)
+		cells += n
+		if err != nil {
+			return nil, cells, fmt.Errorf("step %d: %w", step, err)
+		}
+		if len(divs) > 0 {
+			return divs, cells, nil
+		}
+		if step%8 == 7 {
+			divs, n, err := cs.compareState()
+			cells += n
+			if err != nil {
+				return nil, cells, fmt.Errorf("step %d sweep: %w", step, err)
+			}
+			if len(divs) > 0 {
+				return divs, cells, nil
+			}
+		}
+	}
+	// Settle every open transaction, then the final full comparison and
+	// the crash-recovery twin.
+	for len(cs.sessions) > 0 {
+		var divs []Divergence
+		var err error
+		if cs.rng.Intn(3) == 0 {
+			cs.rollbackSession(cs.rng.Intn(len(cs.sessions)))
+		} else {
+			divs, err = cs.commitSession(cs.rng.Intn(len(cs.sessions)))
+			cells++
+		}
+		if err != nil {
+			return nil, cells, err
+		}
+		if len(divs) > 0 {
+			return divs, cells, nil
+		}
+	}
+	divs, n, err := cs.compareState()
+	cells += n
+	if err != nil || len(divs) > 0 {
+		return divs, cells, err
+	}
+	cells++
+	if err := CompareStores(cs.mv, cs.oracle); err != nil {
+		return []Divergence{conDiv("concurrent:final-state", err.Error())}, cells, nil
+	}
+	// Crash the MVCC store (abandon the handle) and recover from its
+	// checkpoint + WAL: every committed transaction must be there, and
+	// nothing else.
+	rec, err := core.OpenRecovered(core.Config{ForceFormat: cs.format,
+		Engine: engine.Config{MVCC: true, WALDir: "wal", WALSync: wal.SyncAlways, VFS: cs.mvVFS}})
+	if err != nil {
+		return nil, cells, fmt.Errorf("recovering mvcc store: %w", err)
+	}
+	cells++
+	if err := CompareStores(rec, cs.oracle); err != nil {
+		return []Divergence{conDiv("concurrent:recovered-state", err.Error())}, cells, nil
+	}
+	return nil, cells, nil
+}
+
+// step performs one schedule action.
+func (cs *conState) step(opts Options) ([]Divergence, int, error) {
+	switch r := cs.rng.Intn(10); {
+	case r < 2 && len(cs.sessions) < opts.Sessions:
+		cs.openSession()
+		return nil, 0, nil
+	case r < 4 && len(cs.sessions) > 0:
+		if cs.rng.Intn(4) == 0 {
+			cs.rollbackSession(cs.rng.Intn(len(cs.sessions)))
+			return nil, 0, nil
+		}
+		divs, err := cs.commitSession(cs.rng.Intn(len(cs.sessions)))
+		return divs, 1, err
+	case r < 8 && len(cs.sessions) > 0:
+		divs, err := cs.sessionOp(cs.sessions[cs.rng.Intn(len(cs.sessions))])
+		return divs, 1, err
+	default:
+		divs, err := cs.directOp()
+		return divs, 1, err
+	}
+}
+
+func (cs *conState) openSession() {
+	s, err := cs.mv.NewSession()
+	if err != nil {
+		// Surfaced by the next op on the nil session; should not happen.
+		panic(err)
+	}
+	c := &conSession{id: cs.nextSess, s: s, beginIdx: cs.commitIdx,
+		slots: map[int64]bool{}, live: map[int64]bool{}, writes: map[string]bool{}}
+	cs.nextSess++
+	for k := range cs.slots {
+		c.slots[k] = true
+	}
+	for d := range cs.live {
+		c.live[d] = true
+	}
+	cs.sessions = append(cs.sessions, c)
+	cs.logf("T%d begin (clock %d)", c.id, c.beginIdx)
+}
+
+func (cs *conState) rollbackSession(i int) {
+	c := cs.sessions[i]
+	c.s.Rollback()
+	cs.sessions = append(cs.sessions[:i], cs.sessions[i+1:]...)
+	cs.logf("T%d rollback", c.id)
+}
+
+// commitSession commits session i, checks the predicted outcome, and on
+// success replays the transaction onto the oracle and the model.
+func (cs *conState) commitSession(i int) ([]Divergence, error) {
+	c := cs.sessions[i]
+	cs.sessions = append(cs.sessions[:i], cs.sessions[i+1:]...)
+	expectConflict := false
+	for obj := range c.writes {
+		if cs.lastWrite[obj] > c.beginIdx {
+			expectConflict = true
+			break
+		}
+	}
+	ops := c.s.Ops()
+	err := c.s.Commit()
+	switch {
+	case err == nil && expectConflict:
+		cs.logf("T%d commit: succeeded, model expected conflict", c.id)
+		return []Divergence{conDiv("concurrent:conflict",
+			fmt.Sprintf("T%d committed but a write-write conflict was expected (writes %v, begin %d)",
+				c.id, keys(c.writes), c.beginIdx))}, nil
+	case err != nil && !expectConflict:
+		if errors.Is(err, core.ErrConflict) {
+			cs.logf("T%d commit: unexpected conflict: %v", c.id, err)
+			return []Divergence{conDiv("concurrent:conflict",
+				fmt.Sprintf("T%d aborted (%v) but the model saw no conflicting commit", c.id, err))}, nil
+		}
+		return nil, fmt.Errorf("T%d commit: %w", c.id, err)
+	case err != nil:
+		if !errors.Is(err, core.ErrConflict) {
+			return nil, fmt.Errorf("T%d commit (conflict expected): %w", c.id, err)
+		}
+		cs.logf("T%d commit: conflict as expected", c.id)
+		return nil, nil
+	}
+	// Committed: the oracle applies the same ops, the model advances.
+	if err := core.ApplyTxnOps(cs.oracle, ops); err != nil {
+		return nil, fmt.Errorf("oracle replay of T%d: %w", c.id, err)
+	}
+	cs.commitIdx++
+	for obj := range c.writes {
+		cs.lastWrite[obj] = cs.commitIdx
+	}
+	for _, e := range c.effects {
+		cs.applyEffect(e)
+	}
+	cs.logf("T%d commit ok (clock %d, %d ops)", c.id, cs.commitIdx, len(ops))
+	return nil, nil
+}
+
+// applyEffect replays one committed effect into the model, in op order —
+// document IDs assign exactly like the store's commit-time loader (one
+// past the highest live ID at that point).
+func (cs *conState) applyEffect(e conEffect) {
+	switch e.kind {
+	case "slot+":
+		cs.slots[e.slot] = true
+		cs.lastWrite[fmt.Sprintf("s:%d", e.slot)] = cs.commitIdx
+	case "slot-":
+		delete(cs.slots, e.slot)
+	case "doc+":
+		id := int64(0)
+		for d := range cs.live {
+			if d > id {
+				id = d
+			}
+		}
+		id++
+		cs.live[id] = true
+		cs.lastWrite[fmt.Sprintf("d:%d", id)] = cs.commitIdx
+	case "doc-":
+		delete(cs.live, e.doc)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sessionOp records one operation on an open transaction and checks its
+// result against the session's snapshot model.
+func (cs *conState) sessionOp(c *conSession) ([]Divergence, error) {
+	kind := cs.rng.Intn(7)
+	if cs.slotRel == "" && kind <= 3 {
+		kind = 4 + cs.rng.Intn(3)
+	}
+	switch kind {
+	case 0: // insert a fresh slot row
+		k := cs.nextSlot
+		cs.nextSlot++
+		stmt := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%d)", cs.slotRel, cs.idCol, -k)
+		n, err := c.s.Exec(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("T%d %q: %w", c.id, stmt, err)
+		}
+		cs.logf("T%d insert slot %d", c.id, k)
+		if n != 1 {
+			return []Divergence{conDiv("concurrent:session-count",
+				fmt.Sprintf("T%d %q affected %d rows, want 1", c.id, stmt, n))}, nil
+		}
+		c.slots[k] = true
+		c.effects = append(c.effects, conEffect{kind: "slot+", slot: k})
+		return nil, nil
+	case 1, 2: // update or delete a slot row, sometimes an invisible one
+		k := cs.pickSlot(c)
+		if k == 0 {
+			return nil, nil
+		}
+		var stmt, verb string
+		if kind == 1 && cs.strCol != "" {
+			verb = "update"
+			stmt = fmt.Sprintf("UPDATE %s SET %s = %s WHERE %s = %d", cs.slotRel, cs.strCol,
+				sqlString(plainWords[cs.rng.Intn(len(plainWords))]), cs.idCol, -k)
+		} else {
+			verb = "delete"
+			stmt = fmt.Sprintf("DELETE FROM %s WHERE %s = %d", cs.slotRel, cs.idCol, -k)
+		}
+		want := int64(0)
+		if c.slots[k] {
+			want = 1
+		}
+		n, err := c.s.Exec(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("T%d %q: %w", c.id, stmt, err)
+		}
+		cs.logf("T%d %s slot %d (visible %v)", c.id, verb, k, want == 1)
+		if n != want {
+			return []Divergence{conDiv("concurrent:session-count",
+				fmt.Sprintf("T%d %q affected %d rows, want %d", c.id, stmt, n, want))}, nil
+		}
+		if want == 1 {
+			c.writes[fmt.Sprintf("s:%d", k)] = true
+			if verb == "delete" {
+				delete(c.slots, k)
+				c.effects = append(c.effects, conEffect{kind: "slot-", slot: k})
+			}
+		}
+		return nil, nil
+	case 3: // splice a slot row's fragment (XORator slot relations only)
+		if cs.spliceCol == "" {
+			return nil, nil
+		}
+		k := cs.pickVisibleSlot(c)
+		if k == 0 {
+			return nil, nil
+		}
+		frags := []string{fmt.Sprintf("<%s>%s</%s>", cs.spliceChild,
+			plainWords[cs.rng.Intn(len(plainWords))], cs.spliceChild)}
+		if err := c.s.SpliceFragment(cs.slotRel, cs.spliceCol, -k, frags); err != nil {
+			return nil, fmt.Errorf("T%d splice slot %d: %w", c.id, k, err)
+		}
+		cs.logf("T%d splice slot %d", c.id, k)
+		c.writes[fmt.Sprintf("s:%d", k)] = true
+		return nil, nil
+	case 4: // add a document (shredded at commit)
+		docs, _, err := genDocs(cs.rng, cs.d, cs.root, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.s.AddDocuments(docs); err != nil {
+			return nil, fmt.Errorf("T%d add doc: %w", c.id, err)
+		}
+		cs.logf("T%d add doc (pending)", c.id)
+		c.effects = append(c.effects, conEffect{kind: "doc+"})
+		return nil, nil
+	case 5: // remove a document visible in this snapshot
+		d := cs.pickDoc(c)
+		if d == 0 {
+			return nil, nil
+		}
+		if err := c.s.RemoveDocument(d); err != nil {
+			return nil, fmt.Errorf("T%d remove doc %d: %w", c.id, d, err)
+		}
+		cs.logf("T%d remove doc %d", c.id, d)
+		c.writes[fmt.Sprintf("d:%d", d)] = true
+		delete(c.live, d)
+		c.effects = append(c.effects, conEffect{kind: "doc-", doc: d})
+		return nil, nil
+	default: // repeated-read stability inside the snapshot
+		q := cs.sweepQuery(cs.slotRel)
+		if q == "" {
+			return nil, nil
+		}
+		a, err := c.s.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("T%d %q: %w", c.id, q, err)
+		}
+		b, err := c.s.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("T%d %q: %w", c.id, q, err)
+		}
+		cs.logf("T%d stability check", c.id)
+		if !equalStrings(canonRows(a.Rows), canonRows(b.Rows)) {
+			return []Divergence{conDiv("concurrent:snapshot-stability",
+				fmt.Sprintf("T%d repeated %q changed: %s", c.id, q, diffRows(a.Rows, b.Rows)))}, nil
+		}
+		return nil, nil
+	}
+}
+
+// pickSlot picks a slot ID for DML: usually one the session sees, but
+// sometimes one it does not (committed after its snapshot, deleted, or
+// never created) so zero-match statements get coverage too.
+func (cs *conState) pickSlot(c *conSession) int64 {
+	if cs.rng.Intn(4) == 0 && cs.nextSlot > 1 {
+		return 1 + cs.rng.Int63n(cs.nextSlot-1)
+	}
+	return cs.pickVisibleSlot(c)
+}
+
+func (cs *conState) pickVisibleSlot(c *conSession) int64 {
+	if len(c.slots) == 0 {
+		return 0
+	}
+	ks := make([]int64, 0, len(c.slots))
+	for k := range c.slots {
+		ks = append(ks, k)
+	}
+	sortInt64s(ks)
+	return ks[cs.rng.Intn(len(ks))]
+}
+
+func (cs *conState) pickDoc(c *conSession) int64 {
+	if len(c.live) == 0 {
+		return 0
+	}
+	ds := make([]int64, 0, len(c.live))
+	for d := range c.live {
+		ds = append(ds, d)
+	}
+	sortInt64s(ds)
+	return ds[cs.rng.Intn(len(ds))]
+}
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// directOp runs one autocommit operation on both stores — on the MVCC
+// store it is its own committed transaction threaded through the
+// transaction manager, interleaved with whatever sessions are open.
+func (cs *conState) directOp() ([]Divergence, error) {
+	kind := cs.rng.Intn(5)
+	if cs.slotRel == "" && kind <= 1 {
+		kind = 2 + cs.rng.Intn(3)
+	}
+	switch kind {
+	case 0: // direct insert
+		k := cs.nextSlot
+		cs.nextSlot++
+		stmt := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%d)", cs.slotRel, cs.idCol, -k)
+		return cs.directExec(stmt, 1, conEffect{kind: "slot+", slot: k})
+	case 1: // direct update or delete
+		k := int64(0)
+		if cs.nextSlot > 1 {
+			k = 1 + cs.rng.Int63n(cs.nextSlot-1)
+		}
+		if k == 0 {
+			return nil, nil
+		}
+		want := int64(0)
+		if cs.slots[k] {
+			want = 1
+		}
+		if cs.strCol != "" && cs.rng.Intn(2) == 0 {
+			stmt := fmt.Sprintf("UPDATE %s SET %s = %s WHERE %s = %d", cs.slotRel, cs.strCol,
+				sqlString(plainWords[cs.rng.Intn(len(plainWords))]), cs.idCol, -k)
+			eff := conEffect{}
+			if want == 1 {
+				eff = conEffect{kind: "slot~", slot: k}
+			}
+			return cs.directExec(stmt, want, eff)
+		}
+		eff := conEffect{}
+		if want == 1 {
+			eff = conEffect{kind: "slot-", slot: k}
+		}
+		return cs.directExec(fmt.Sprintf("DELETE FROM %s WHERE %s = %d", cs.slotRel, cs.idCol, -k), want, eff)
+	case 2: // direct document add
+		docs, _, err := genDocs(cs.rng, cs.d, cs.root, 1)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := cs.mv.AddDocuments(docs)
+		if err != nil {
+			return nil, fmt.Errorf("direct add (mvcc): %w", err)
+		}
+		oids, err := cs.oracle.AddDocuments(docs)
+		if err != nil {
+			return nil, fmt.Errorf("direct add (oracle): %w", err)
+		}
+		cs.logf("direct add doc %v", ids)
+		if len(ids) != 1 || len(oids) != 1 || ids[0] != oids[0] {
+			return []Divergence{conDiv("concurrent:docid",
+				fmt.Sprintf("direct add assigned %v vs oracle %v", ids, oids))}, nil
+		}
+		cs.commitIdx++
+		cs.live[ids[0]] = true
+		cs.lastWrite[fmt.Sprintf("d:%d", ids[0])] = cs.commitIdx
+		return nil, nil
+	case 3: // direct document remove
+		d := int64(0)
+		if len(cs.live) > 0 {
+			ds := make([]int64, 0, len(cs.live))
+			for k := range cs.live {
+				ds = append(ds, k)
+			}
+			sortInt64s(ds)
+			d = ds[cs.rng.Intn(len(ds))]
+		}
+		if d == 0 {
+			return nil, nil
+		}
+		if err := cs.mv.RemoveDocument(d); err != nil {
+			return nil, fmt.Errorf("direct remove %d (mvcc): %w", d, err)
+		}
+		if err := cs.oracle.RemoveDocument(d); err != nil {
+			return nil, fmt.Errorf("direct remove %d (oracle): %w", d, err)
+		}
+		cs.logf("direct remove doc %d", d)
+		cs.commitIdx++
+		cs.lastWrite[fmt.Sprintf("d:%d", d)] = cs.commitIdx
+		delete(cs.live, d)
+		return nil, nil
+	default: // autocommit read on the latest state, against the oracle
+		q := cs.sweepQuery(cs.slotRel)
+		if q == "" {
+			return nil, nil
+		}
+		a, err := cs.mv.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("mvcc %q: %w", q, err)
+		}
+		b, err := cs.oracle.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("oracle %q: %w", q, err)
+		}
+		cs.logf("direct query check")
+		if !equalStrings(sortedCanon(a.Rows), sortedCanon(b.Rows)) {
+			return []Divergence{conDiv("concurrent:state",
+				fmt.Sprintf("%q: %s", q, diffCanon(sortedCanon(a.Rows), sortedCanon(b.Rows))))}, nil
+		}
+		return nil, nil
+	}
+}
+
+// directExec runs one autocommit statement on both stores, requiring
+// the same affected-row count as the model, then advances the model.
+func (cs *conState) directExec(stmt string, want int64, eff conEffect) ([]Divergence, error) {
+	n, err := cs.mv.Exec(stmt)
+	if err != nil {
+		return nil, fmt.Errorf("mvcc %q: %w", stmt, err)
+	}
+	on, err := cs.oracle.Exec(stmt)
+	if err != nil {
+		return nil, fmt.Errorf("oracle %q: %w", stmt, err)
+	}
+	cs.logf("direct %s (affected %d)", stmt, n)
+	if n != want || on != want {
+		return []Divergence{conDiv("concurrent:dml-count",
+			fmt.Sprintf("%q affected mvcc=%d oracle=%d, model wants %d", stmt, n, on, want))}, nil
+	}
+	cs.commitIdx++
+	switch eff.kind {
+	case "slot+":
+		cs.slots[eff.slot] = true
+		cs.lastWrite[fmt.Sprintf("s:%d", eff.slot)] = cs.commitIdx
+	case "slot-":
+		delete(cs.slots, eff.slot)
+		cs.lastWrite[fmt.Sprintf("s:%d", eff.slot)] = cs.commitIdx
+	case "slot~":
+		cs.lastWrite[fmt.Sprintf("s:%d", eff.slot)] = cs.commitIdx
+	}
+	return nil, nil
+}
+
+// sweepQuery selects every column of a relation, for canonical
+// comparison between the MVCC store and the oracle.
+func (cs *conState) sweepQuery(rel string) string {
+	r := cs.mv.Schema.Relation(rel)
+	if r == nil {
+		return ""
+	}
+	cols := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		cols[i] = c.Name
+	}
+	return fmt.Sprintf("SELECT %s FROM %s", strings.Join(cols, ", "), rel)
+}
+
+// compareState sweeps every relation: a fresh session on the MVCC store
+// must match the oracle row-for-row (both heaps are written by the same
+// op lists in the same order, so even physical order agrees; the
+// comparison still sorts, leaving layout to the byte-level
+// CompareStores at the end).
+func (cs *conState) compareState() ([]Divergence, int, error) {
+	cells := 0
+	s, err := cs.mv.NewSession()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer s.Rollback()
+	for _, rel := range cs.mv.Schema.Relations {
+		q := cs.sweepQuery(rel.Name)
+		if q == "" {
+			continue
+		}
+		a, err := s.Query(q)
+		if err != nil {
+			return nil, cells, fmt.Errorf("mvcc session %q: %w", q, err)
+		}
+		b, err := cs.oracle.Query(q)
+		if err != nil {
+			return nil, cells, fmt.Errorf("oracle %q: %w", q, err)
+		}
+		cells++
+		if !equalStrings(sortedCanon(a.Rows), sortedCanon(b.Rows)) {
+			return []Divergence{conDiv("concurrent:state",
+				fmt.Sprintf("%q: %s", q, diffCanon(sortedCanon(a.Rows), sortedCanon(b.Rows))))}, cells, nil
+		}
+	}
+	return nil, cells, nil
+}
+
+// minimizeConcurrent re-runs the iteration on progressively smaller
+// initial document sets; the schedule is seeded independently, so a
+// reduced run replays the same step stream.
+func minimizeConcurrent(opts Options, seed int64, cs *conState, d Divergence) *conState {
+	best := cs
+	docs, texts := cs.docs, cs.texts
+	for i := len(docs) - 1; i >= 0 && len(docs) > 1; i-- {
+		tryDocs := make([]*xmltree.Document, 0, len(docs)-1)
+		tryDocs = append(append(tryDocs, docs[:i]...), docs[i+1:]...)
+		tryTexts := make([]string, 0, len(texts)-1)
+		tryTexts = append(append(tryTexts, texts[:i]...), texts[i+1:]...)
+		sub, err := newConState(opts, seed, tryDocs, tryTexts)
+		if err != nil {
+			continue
+		}
+		divs, _, err := sub.run(opts)
+		if err != nil {
+			continue
+		}
+		for _, sd := range divs {
+			if sd.Axis == d.Axis {
+				docs, texts, best = tryDocs, tryTexts, sub
+				break
+			}
+		}
+	}
+	return best
+}
+
+func writeConcurrentArtifact(opts Options, cs *conState, d Divergence) error {
+	var sb strings.Builder
+	sb.WriteString("# difftest concurrent divergence artifact\n")
+	fmt.Fprintf(&sb, "# replay: go run ./cmd/repro -exp difftest -concurrent -seed %d -iters 1\n", d.Seed)
+	fmt.Fprintf(&sb, "seed: %d\niteration: %d\naxis: %s\ndetail: %s\n",
+		d.Seed, d.Iter, d.Axis, d.Detail)
+	fmt.Fprintf(&sb, "algorithm: %s\n", cs.alg)
+	if cs.format != nil {
+		fmt.Fprintf(&sb, "xadt format: %v\n", *cs.format)
+	}
+	fmt.Fprintf(&sb, "steps: %d, sessions: %d\nslot relation: %s (id %s, str %q, splice %q)\n",
+		opts.Ops, opts.Sessions, cs.slotRel, cs.idCol, cs.strCol, cs.spliceCol)
+	sb.WriteString("\n--- schedule ---\n")
+	for i, op := range cs.opLog {
+		fmt.Fprintf(&sb, "%3d: %s\n", i, op)
+	}
+	fmt.Fprintf(&sb, "\n--- DTD ---\n%s", cs.dtdSrc)
+	for i, t := range cs.texts {
+		fmt.Fprintf(&sb, "\n--- document %d of %d (minimized) ---\n%s\n", i+1, len(cs.texts), t)
+	}
+	return os.WriteFile(opts.ArtifactPath, []byte(sb.String()), 0o644)
+}

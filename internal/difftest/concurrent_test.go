@@ -1,0 +1,59 @@
+package difftest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestConcurrentDifferentialSmoke runs short seeded concurrent
+// schedules — interleaved snapshot transactions plus direct autocommit
+// ops against the serial oracle — and requires every predicted outcome
+// (affected counts, conflict decisions, state sweeps, the final byte
+// comparison, and crash recovery) to hold.
+func TestConcurrentDifferentialSmoke(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	sum, err := RunConcurrent(Options{
+		Seed:         seed,
+		Iters:        6,
+		Ops:          30,
+		ArtifactPath: filepath.Join(t.TempDir(), "artifact.txt"),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) > 0 {
+		t.Fatalf("%d divergences, first: %s (%s)",
+			len(sum.Divergences), sum.Divergences[0], testutil.ReproLine(t, seed))
+	}
+	if sum.Cells == 0 {
+		t.Fatal("no concurrent cells executed")
+	}
+	t.Logf("%d iterations, %d cells, all agreed", sum.Iters, sum.Cells)
+}
+
+// TestConcurrentSchedules500 is the acceptance run: 500 seeded
+// schedules with interleaved transactions, each checked end to end
+// against the oracle, including conflict outcomes and recovery.
+func TestConcurrentSchedules500(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500 schedules skipped in -short mode")
+	}
+	seed := testutil.Seed(t, 1)
+	sum, err := RunConcurrent(Options{
+		Seed:         seed,
+		Iters:        500,
+		Ops:          25,
+		Docs:         2,
+		ArtifactPath: filepath.Join(t.TempDir(), "artifact.txt"),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) > 0 {
+		t.Fatalf("%d divergences, first: %s (%s)",
+			len(sum.Divergences), sum.Divergences[0], testutil.ReproLine(t, seed))
+	}
+	t.Logf("%d schedules, %d cells, all agreed", sum.Iters, sum.Cells)
+}

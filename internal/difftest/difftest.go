@@ -49,8 +49,12 @@ type Options struct {
 	// join builds, and aggregates actually spill.
 	MemBudget int64
 	// Ops is the number of random mutations each mutation-history
-	// iteration applies (RunMutation only; default 40).
+	// iteration applies (RunMutation only; default 40), and the number
+	// of schedule steps per concurrent iteration (RunConcurrent).
 	Ops int
+	// Sessions bounds how many snapshot sessions a concurrent schedule
+	// keeps open at once (RunConcurrent only; default 3).
+	Sessions int
 	// FailFast stops at the first diverging iteration.
 	FailFast bool
 	// ArtifactPath receives the failure artifact (default
@@ -75,6 +79,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.Ops <= 0 {
 		o.Ops = 40
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 3
 	}
 	if o.ArtifactPath == "" {
 		o.ArtifactPath = "difftest_failure.txt"

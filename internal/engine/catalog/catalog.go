@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/engine/index"
+	"repro/internal/engine/mvcc"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
 	"repro/internal/engine/xindex"
@@ -79,12 +80,19 @@ type Table struct {
 	// current so they are never stale while they remain valid.
 	FragIndexes []*xindex.FragmentIndex
 	Stats       Stats
+	// V is the MVCC version sidecar, attached when the database enables
+	// snapshot isolation; nil tables are unversioned and behave exactly
+	// as before.
+	V *mvcc.TableVersions
 
 	mu sync.RWMutex
 }
 
-// Insert validates and stores a row, maintaining all indexes.
-func (t *Table) Insert(row []types.Value) error {
+// ValidateRow checks a row's arity and column types against the schema —
+// the same check Insert and UpdateRID apply — so deferred-write paths
+// (MVCC sessions) can surface type errors at statement time instead of
+// at commit.
+func (t *Table) ValidateRow(row []types.Value) error {
 	if len(row) != len(t.Schema.Columns) {
 		return fmt.Errorf("catalog: table %s expects %d columns, got %d",
 			t.Schema.Table, len(t.Schema.Columns), len(row))
@@ -98,6 +106,21 @@ func (t *Table) Insert(row []types.Value) error {
 				t.Schema.Table, t.Schema.Columns[i].Name, t.Schema.Columns[i].Type, v.Kind())
 		}
 	}
+	return nil
+}
+
+// Insert validates and stores a row, maintaining all indexes.
+func (t *Table) Insert(row []types.Value) error {
+	_, err := t.InsertRID(row)
+	return err
+}
+
+// InsertRID is Insert returning the RID the heap assigned, which the
+// MVCC commit path needs to resolve a transaction's pseudo-RIDs.
+func (t *Table) InsertRID(row []types.Value) (storage.RID, error) {
+	if err := t.ValidateRow(row); err != nil {
+		return storage.RID{}, err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	rid := t.Heap.Insert(row)
@@ -107,8 +130,11 @@ func (t *Table) Insert(row []types.Value) error {
 	for _, fi := range t.FragIndexes {
 		fi.AddRow(rid, row[fi.ColumnIndex()])
 	}
+	if t.V != nil {
+		t.V.NoteInsert(rid)
+	}
 	t.Stats.Valid = false
-	return nil
+	return rid, nil
 }
 
 // fragRebuildBacklog is the tombstone+overlay count at which a fragment
@@ -136,6 +162,9 @@ func (t *Table) DeleteRID(rid storage.RID) ([]types.Value, error) {
 	for _, fi := range t.FragIndexes {
 		fi.DeleteRow(rid)
 	}
+	if t.V != nil {
+		t.V.NoteDelete(rid, row)
+	}
 	t.maybeRebuildFragLocked()
 	t.Stats.Valid = false
 	return row, nil
@@ -145,18 +174,8 @@ func (t *Table) DeleteRID(rid storage.RID) ([]types.Value, error) {
 // returns the row's RID afterwards (a new one if the record had to
 // move).
 func (t *Table) UpdateRID(rid storage.RID, row []types.Value) (storage.RID, error) {
-	if len(row) != len(t.Schema.Columns) {
-		return storage.RID{}, fmt.Errorf("catalog: table %s expects %d columns, got %d",
-			t.Schema.Table, len(t.Schema.Columns), len(row))
-	}
-	for i, v := range row {
-		if v.IsNull() {
-			continue
-		}
-		if v.Kind() != t.Schema.Columns[i].Type {
-			return storage.RID{}, fmt.Errorf("catalog: table %s column %s expects %v, got %v",
-				t.Schema.Table, t.Schema.Columns[i].Name, t.Schema.Columns[i].Type, v.Kind())
-		}
+	if err := t.ValidateRow(row); err != nil {
+		return storage.RID{}, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -175,6 +194,9 @@ func (t *Table) UpdateRID(rid storage.RID, row []types.Value) (storage.RID, erro
 	for _, fi := range t.FragIndexes {
 		fi.DeleteRow(rid)
 		fi.AddRow(newRID, row[fi.ColumnIndex()])
+	}
+	if t.V != nil {
+		t.V.NoteUpdate(rid, old, newRID)
 	}
 	t.maybeRebuildFragLocked()
 	t.Stats.Valid = false
@@ -265,6 +287,22 @@ type Catalog struct {
 	tables map[string]*Table
 	order  []string
 	pool   *storage.BufferPool
+	mgr    *mvcc.TxnManager
+}
+
+// SetMVCC attaches a transaction manager: every existing table gets a
+// version sidecar (all current rows count as born at time 0) and tables
+// created from now on are versioned at birth.
+func (c *Catalog) SetMVCC(mgr *mvcc.TxnManager) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mgr = mgr
+	for _, name := range c.order {
+		t := c.tables[name]
+		if t.V == nil {
+			t.V = mgr.Register(name)
+		}
+	}
 }
 
 // New returns an empty catalog. The buffer pool may be nil.
@@ -289,6 +327,9 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	t := &Table{
 		Schema: &Schema{Table: name, Columns: append([]Column(nil), cols...)},
 		Heap:   storage.NewHeapFile(c.pool),
+	}
+	if c.mgr != nil {
+		t.V = c.mgr.Register(name)
 	}
 	c.tables[name] = t
 	c.order = append(c.order, name)

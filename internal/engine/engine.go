@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
+	"repro/internal/engine/mvcc"
 	"repro/internal/engine/plan"
 	"repro/internal/engine/sql"
 	"repro/internal/engine/storage"
@@ -78,6 +79,11 @@ type Config struct {
 	// (path + keyword) even when they exist — the scan baseline for the
 	// index benchmark and the index-off differential cells.
 	DisableXADTIndexes bool
+	// MVCC attaches a transaction manager and per-table version sidecars
+	// at open, enabling Begin/Commit/Rollback sessions with snapshot
+	// isolation. Off, the database behaves exactly as the single-user
+	// engine of PRs 1–8.
+	MVCC bool
 }
 
 // xadtRuntime is the per-database XADT evaluation state: the decode
@@ -114,9 +120,25 @@ type Database struct {
 	Catalog  *catalog.Catalog
 	Registry *expr.Registry
 	Pool     *storage.BufferPool
-	planner  *plan.Planner
-	xadtRT   *xadtRuntime
-	spill    *exec.SpillSink
+	// TxnMgr is the MVCC transaction manager, nil unless Config.MVCC was
+	// set (or EnableMVCC called). When present, Begin opens snapshot
+	// sessions and every direct mutation must run inside a transaction
+	// envelope (see core's direct-op wrappers).
+	TxnMgr  *mvcc.TxnManager
+	planner *plan.Planner
+	xadtRT  *xadtRuntime
+	spill   *exec.SpillSink
+}
+
+// EnableMVCC attaches a transaction manager and registers a version
+// sidecar on every existing (and future) table. Idempotent; must be
+// called before concurrent use begins.
+func (db *Database) EnableMVCC() {
+	if db.TxnMgr != nil {
+		return
+	}
+	db.TxnMgr = mvcc.NewTxnManager()
+	db.Catalog.SetMVCC(db.TxnMgr)
 }
 
 // SpillStats returns the spill counters accumulated across all queries
@@ -163,6 +185,9 @@ func Open(cfg Config) *Database {
 		spill:    spill,
 	}
 	registerStandardFunctions(reg, db.xadtRT)
+	if cfg.MVCC {
+		db.EnableMVCC()
+	}
 	return db
 }
 
@@ -325,6 +350,9 @@ func OpenSnapshot(r io.Reader, cfg Config) (*Database, error) {
 		spill:    spill,
 	}
 	registerStandardFunctions(reg, db.xadtRT)
+	if cfg.MVCC {
+		db.EnableMVCC()
+	}
 	return db, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/expr"
+	"repro/internal/engine/mvcc"
 	"repro/internal/engine/storage"
 	"repro/internal/engine/types"
 	"repro/internal/engine/vec"
@@ -27,12 +28,16 @@ func tableSchema(t *catalog.Table, alias string) *expr.RowSchema {
 // page runs column-major into a pooled batch and runs the predicate as
 // a columnar kernel; Next still works through the batch→row shim.
 type SeqScan struct {
-	Table  *catalog.Table
-	Alias  string
-	Pred   expr.Expr // optional, resolved against the scan schema
-	Vec    bool
+	Table *catalog.Table
+	Alias string
+	Pred  expr.Expr // optional, resolved against the scan schema
+	Vec   bool
+	// View, when set, is a materialized MVCC snapshot: the scan iterates
+	// its rows instead of the live heap. View takes precedence over Vec.
+	View   *mvcc.View
 	schema *expr.RowSchema
 	cursor *storage.Cursor
+	vpos   int
 
 	batch   *vec.Batch
 	scratch expr.VecScratch
@@ -49,6 +54,10 @@ func (s *SeqScan) Schema() *expr.RowSchema { return s.schema }
 
 // Open implements Operator.
 func (s *SeqScan) Open() error {
+	if s.View != nil {
+		s.vpos = 0
+		return nil
+	}
 	s.cursor = s.Table.Heap.NewCursor()
 	s.shim.reset()
 	if s.Vec && s.batch == nil {
@@ -80,6 +89,23 @@ func (s *SeqScan) NextBatch() (*vec.Batch, error) {
 
 // Next implements Operator.
 func (s *SeqScan) Next() ([]types.Value, error) {
+	if s.View != nil {
+		for s.vpos < len(s.View.Rows) {
+			row := s.View.Rows[s.vpos].Row
+			s.vpos++
+			if s.Pred != nil {
+				v, err := s.Pred.Eval(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			return row, nil
+		}
+		return nil, nil
+	}
 	if s.Vec {
 		return s.shim.next(s.NextBatch)
 	}
@@ -124,12 +150,17 @@ func (s *SeqScan) String() string {
 
 // IndexScan fetches the rows whose indexed column equals a key.
 type IndexScan struct {
-	Table  *catalog.Table
-	Alias  string
-	Index  *catalog.Index
-	Key    types.Value
+	Table *catalog.Table
+	Alias string
+	Index *catalog.Index
+	Key   types.Value
+	// View, when set, is a materialized MVCC snapshot: the equality
+	// access filters the view on the indexed column instead of probing
+	// the shared B+tree, so only snapshot-visible rows surface.
+	View   *mvcc.View
 	schema *expr.RowSchema
 	rids   []storage.RID
+	rows   [][]types.Value
 	pos    int
 }
 
@@ -143,13 +174,31 @@ func (s *IndexScan) Schema() *expr.RowSchema { return s.schema }
 
 // Open implements Operator.
 func (s *IndexScan) Open() error {
-	s.rids = s.Index.Tree.Lookup(s.Key)
 	s.pos = 0
+	if s.View != nil {
+		s.rows = s.rows[:0]
+		ci := s.Index.ColIdx
+		for _, vr := range s.View.Rows {
+			if types.Equal(vr.Row[ci], s.Key) {
+				s.rows = append(s.rows, vr.Row)
+			}
+		}
+		return nil
+	}
+	s.rids = s.Index.Tree.Lookup(s.Key)
 	return nil
 }
 
 // Next implements Operator.
 func (s *IndexScan) Next() ([]types.Value, error) {
+	if s.View != nil {
+		if s.pos >= len(s.rows) {
+			return nil, nil
+		}
+		row := s.rows[s.pos]
+		s.pos++
+		return row, nil
+	}
 	if s.pos >= len(s.rids) {
 		return nil, nil
 	}
@@ -164,6 +213,7 @@ func (s *IndexScan) Next() ([]types.Value, error) {
 // Close implements Operator.
 func (s *IndexScan) Close() error {
 	s.rids = nil
+	s.rows = nil
 	return nil
 }
 

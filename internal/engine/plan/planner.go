@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
+	"repro/internal/engine/mvcc"
 	"repro/internal/engine/sql"
 	"repro/internal/engine/storage"
 )
@@ -78,6 +79,19 @@ type Options struct {
 	// planner keeps the sequential scan. Used by the differential harness
 	// (index-on vs index-off cells) and the index benchmark baselines.
 	DisableXADTIndexes bool
+	// Views, when set, plans every table access against the provider's
+	// materialized snapshot view instead of the raw heap — the MVCC
+	// session path. Access paths that walk shared physical structures at
+	// execution time (fragment-index probes, index nested loops, morsel
+	// parallelism, vectorized page decoding) are disabled; scans iterate
+	// the view, and B+tree equality accesses filter it per snapshot.
+	Views ViewProvider
+}
+
+// ViewProvider supplies per-snapshot table views; implemented by the
+// engine's Session.
+type ViewProvider interface {
+	TableView(table string) (*mvcc.View, error)
 }
 
 // Planner compiles SELECT statements against a catalog and function
@@ -292,14 +306,14 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	// consume its order-preserving stream, so no plan shape needs a
 	// serial fallback for correctness; DOP <= 1 skips the rewrite and
 	// yields the exact serial tree.
-	if p.Opts.DOP > 1 {
+	if p.Opts.DOP > 1 && p.Opts.Views == nil {
 		root = p.parallelize(root)
 	}
 
 	// Batch-at-a-time execution: flip the Vec flag on every subtree that
 	// can produce batches. Runs after parallelize so worker pipelines and
 	// the exchange vectorize too.
-	if !p.Opts.DisableVectorized {
+	if !p.Opts.DisableVectorized && p.Opts.Views == nil {
 		vectorizeOp(root)
 	}
 	return root, nil
@@ -392,12 +406,24 @@ func (p *Planner) estimate(bases []*baseItem) {
 func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 	var op exec.Operator
 	remaining := b.push
+	// Under a session snapshot, materialize the table's view once; both
+	// scan shapes below iterate it instead of the heap. Fragment-index
+	// probes are skipped entirely — their RID sets are computed against
+	// the live index at plan time, which a snapshot cannot trust.
+	var view *mvcc.View
+	if p.Opts.Views != nil {
+		v, err := p.Opts.Views.TableView(b.table.Schema.Table)
+		if err != nil {
+			return nil, err
+		}
+		view = v
+	}
 	// A covering fragment index on a findKeyInElm conjunct wins over a
 	// B+tree equality: the workload's equality columns (parentCODE and the
 	// like) select large fractions of the table, while a keyword/path probe
 	// is sharp — and the fragment scan re-verifies every pushed conjunct,
 	// equalities included, so precedence never affects results.
-	if !p.Opts.DisableXADTIndexes {
+	if !p.Opts.DisableXADTIndexes && p.Opts.Views == nil {
 		frag, err := p.xadtIndexAccess(b)
 		if err != nil {
 			return nil, err
@@ -416,13 +442,16 @@ func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 			if idx == nil {
 				continue
 			}
-			op = exec.NewIndexScan(b.table, b.alias, idx, val)
+			iscan := exec.NewIndexScan(b.table, b.alias, idx, val)
+			iscan.View = view
+			op = iscan
 			remaining = append(append([]sql.Expr(nil), b.push[:i]...), b.push[i+1:]...)
 			break
 		}
 	}
 	if op == nil {
 		scan := exec.NewSeqScan(b.table, b.alias)
+		scan.View = view
 		if len(remaining) > 0 {
 			// Fuse pushed predicates into the scan itself: rows are
 			// rejected at the cursor, and the parallel rewrite carries the
@@ -549,7 +578,7 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *e
 		// Index nested loops: profitable when enabled, the inner table
 		// has an index on the join column, and no pushed predicate wants
 		// its own access path.
-		if keyL != nil && p.Opts.IndexJoin && len(b.push) == 0 {
+		if keyL != nil && p.Opts.IndexJoin && len(b.push) == 0 && p.Opts.Views == nil {
 			if idx := b.table.IndexOn(innerCol); idx != nil {
 				cur = exec.NewIndexLoopJoin(cur, b.table, b.alias, idx, keyL)
 				for _, e := range extra {

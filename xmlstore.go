@@ -65,6 +65,18 @@ type SpillStats = exec.SpillStats
 // Store is a loaded XML store under one mapping.
 type Store = core.Store
 
+// Session is one transaction against a concurrent store. Open the store
+// with EngineConfig.MVCC set, then Store.NewSession gives a snapshot-
+// isolated context whose queries, DML, and document ops see a frozen
+// state plus the session's own writes; Commit applies them atomically
+// (one WAL batch) or fails with an error wrapping ErrConflict when a
+// concurrent transaction committed a write-write conflict first.
+type Session = core.Session
+
+// ErrConflict is the sentinel error a conflicting Session.Commit wraps;
+// test with errors.Is and retry the transaction.
+var ErrConflict = core.ErrConflict
+
 // Stats summarizes a store's storage footprint.
 type Stats = core.Stats
 
