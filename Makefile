@@ -32,6 +32,8 @@ benchsmoke:
 	$(GO) test -race -run TestVectorSmoke ./internal/bench/
 	$(GO) test -race -run TestMutationSmoke ./internal/bench/
 	$(GO) test -race -run TestMVCCSmoke ./internal/bench/
+	$(GO) test -race -run TestOptimizerSmoke ./internal/bench/
+	$(GO) test -race -run TestDifferentialCostModelAxis ./internal/difftest/
 
 # Exhaustive fault-injection sweep: crash the store at every mutating
 # filesystem operation (plus torn-write variants) and require recovery to
@@ -54,6 +56,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzMutationReplay -fuzztime=$(FUZZTIME) ./internal/engine/wal/
 	$(GO) test -run=NONE -fuzz=FuzzPostingCodec -fuzztime=$(FUZZTIME) ./internal/engine/xindex/
 	$(GO) test -run=NONE -fuzz=FuzzTokenizeSuperset -fuzztime=$(FUZZTIME) ./internal/engine/xindex/
+	$(GO) test -run=NONE -fuzz=FuzzStatsCodec -fuzztime=$(FUZZTIME) ./internal/engine/catalog/
 
 bench:
 	$(GO) test -run=NONE -bench=. ./...
@@ -64,4 +67,4 @@ repro:
 	$(GO) run ./cmd/repro -quick -scales 1,2 -repeats 3
 
 clean:
-	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json BENCH_mutation.json BENCH_concurrent.json *.pprof
+	rm -f BENCH_parallel.json BENCH_xadt.json BENCH_index.json BENCH_spill.json BENCH_durability.json BENCH_vector.json BENCH_mutation.json BENCH_concurrent.json BENCH_optimizer.json *.pprof

@@ -14,6 +14,7 @@
 //	-exp index     XADT fragment indexes: path + keyword postings vs scans
 //	-exp spill     memory-bounded execution: spilling operators + Top-N pushdown
 //	-exp vector    vectorized batch execution vs the row-at-a-time engine
+//	-exp optimizer cost-based planning: greedy vs DP join order, adaptive DOP gate
 //	-exp difftest  differential correctness fuzzing across the full matrix
 //	-exp crash     crash a WAL-backed load at a seeded point and recover it
 //	-exp durability  load throughput with the WAL off/batch/always synced
@@ -28,7 +29,9 @@
 // both mappings with periodic kill-and-recover), -concurrent switches it
 // to concurrent snapshot-transaction schedules checked against a serial
 // oracle, -membudget N adds the memory-budget axis (every query rerun
-// under an N-byte budget, forcing spills), and -sabotage deliberately
+// under an N-byte budget, forcing spills), -costmodel adds the
+// cost-model axis (every query rerun under the greedy planner, with no
+// statistics, and with stale statistics), and -sabotage deliberately
 // corrupts the Gather reorder to prove the harness detects a broken
 // configuration.
 //
@@ -40,7 +43,8 @@
 // BENCH_spill.json; the vector experiment writes BENCH_vector.json; the
 // durability experiment writes BENCH_durability.json; the mutation
 // experiment writes BENCH_mutation.json; the concurrent experiment
-// writes BENCH_concurrent.json. -cpuprofile and
+// writes BENCH_concurrent.json; the optimizer experiment writes
+// BENCH_optimizer.json. -cpuprofile and
 // -memprofile write pprof profiles covering the selected experiments.
 package main
 
@@ -85,6 +89,7 @@ func realMain() int {
 		mutate    = flag.Bool("mutate", false, "run -exp difftest as randomized mutation histories (DML + document ops)")
 		conc      = flag.Bool("concurrent", false, "run -exp difftest as concurrent snapshot-transaction schedules")
 		membudget = flag.Int64("membudget", 0, "per-query memory budget in bytes for the -exp difftest budget axis (0 = off)")
+		costmodel = flag.Bool("costmodel", false, "add the cost-model axis to -exp difftest (greedy / no-stats / stale-stats cells)")
 		sabotage  = flag.Bool("sabotage", false, "corrupt the Gather reorder so -exp difftest must fail")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -122,7 +127,7 @@ func realMain() int {
 	}
 	r := &runner{quick: *quick, scales: scales, repeats: *repeats, dop: *dop,
 		seed: *seed, iters: *iters, crash: *crash, mutate: *mutate, concurrent: *conc,
-		membudget: *membudget, sabotage: *sabotage}
+		membudget: *membudget, costmodel: *costmodel, sabotage: *sabotage}
 
 	experiments := map[string]func() error{
 		"schemas":    r.schemas,
@@ -143,8 +148,9 @@ func realMain() int {
 		"durability": r.durability,
 		"mutation":   r.mutation,
 		"concurrent": r.concurrentBench,
+		"optimizer":  r.optimizer,
 	}
-	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "difftest", "crash", "durability", "mutation", "concurrent"}
+	order := []string{"schemas", "monet", "table1", "table2", "fig11", "fig13", "fig14", "compress", "parallel", "xadt", "index", "spill", "vector", "optimizer", "difftest", "crash", "durability", "mutation", "concurrent"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -191,6 +197,7 @@ type runner struct {
 	mutate     bool
 	concurrent bool
 	membudget  int64
+	costmodel  bool
 	sabotage   bool
 
 	shakespeare *bench.Dataset
@@ -430,6 +437,26 @@ func (r *runner) vector() error {
 	return nil
 }
 
+// optimizer measures the cost-based planner against the greedy
+// join-order baseline and the serial baseline for the adaptive DOP
+// gate, prints the table, and writes BENCH_optimizer.json.
+func (r *runner) optimizer() error {
+	n := 4000
+	if r.quick {
+		n = 1500
+	}
+	ms, err := bench.RunOptimizer(n, r.dop, r.repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.OptimizerTable(ms))
+	if err := bench.WriteOptimizerJSON("BENCH_optimizer.json", ms); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_optimizer.json")
+	return nil
+}
+
 // difftest runs the differential correctness harness: random DTDs,
 // documents, and queries checked across the Hybrid/XORator × DOP1/DOPN ×
 // fast-path/legacy matrix. Any divergence is minimized into
@@ -452,6 +479,9 @@ func (r *runner) difftest() error {
 	}
 	if r.membudget > 0 {
 		fmt.Printf("memory-budget axis enabled: every query also reruns under a %d-byte budget\n", r.membudget)
+	}
+	if r.costmodel {
+		fmt.Println("cost-model axis enabled: every query also reruns under the greedy planner, with no statistics, and with stale statistics")
 	}
 	var sum *difftest.Summary
 	var err error
@@ -482,7 +512,7 @@ func (r *runner) difftest() error {
 		replay = " -mutate"
 	} else {
 		sum, err = difftest.Run(difftest.Options{Seed: r.seed, Iters: iters, Crash: r.crash,
-			MemBudget: r.membudget, Log: os.Stdout})
+			MemBudget: r.membudget, CostModel: r.costmodel, Log: os.Stdout})
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestOptimizerSmoke runs the optimizer benchmark at a reduced scale,
+// checking that every cell returned identical rows under both planners,
+// that the DP join order actually produced a different physical plan
+// than the greedy baseline on the chain join (the speedup itself is
+// timing-dependent and only asserted by the full benchmark run), and
+// that the adaptive gate splits the gate queries the intended way under
+// an assumed DOP-processor machine: expensive per-row scans cross,
+// small scans stay serial. Wired into the CI benchsmoke target under
+// -race.
+func TestOptimizerSmoke(t *testing.T) {
+	ms, err := RunOptimizer(1000, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	plansDiffer := false
+	crossed, refused := false, false
+	for _, m := range ms {
+		if !m.Identical {
+			t.Errorf("%s %q: cost-based rows differ from baseline", m.Kind, m.Query)
+		}
+		if m.Kind == "joinorder" && m.PlansDiffer {
+			plansDiffer = true
+		}
+		if m.Kind == "gate" {
+			if m.WouldParallel {
+				crossed = true
+			} else {
+				refused = true
+			}
+			if m.Parallel && !m.WouldParallel {
+				t.Errorf("gate %q: parallel on this host but not under the assumed DOP CPUs", m.Query)
+			}
+		}
+	}
+	if !plansDiffer {
+		t.Error("DP join order never diverged from the greedy baseline")
+	}
+	if !crossed {
+		t.Error("no gate query would cross the gate given DOP processors")
+	}
+	if !refused {
+		t.Error("no gate query stayed serial: the gate is not gating")
+	}
+}

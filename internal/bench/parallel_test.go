@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestParallelDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s/%s serial: %v", w.name, alg, q.ID, err)
 				}
-				st.DB.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1})
+				st.DB.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1, CPUs: 4})
 				got, err := st.Query(text)
 				if err != nil {
 					t.Fatalf("%s/%s/%s dop=4: %v", w.name, alg, q.ID, err)
@@ -73,6 +74,12 @@ func TestRunParallelReportsSpeedupAndJSON(t *testing.T) {
 		}
 		if m.Dop1Ms <= 0 || m.DopNMs <= 0 {
 			t.Errorf("%s: non-positive timings %v/%v", m.Query, m.Dop1Ms, m.DopNMs)
+		}
+		// The CPU-aware gate refuses to fragment when the host cannot
+		// run two workers at once, so a single-CPU machine must plan
+		// every DOP-N cell exactly like DOP 1.
+		if runtime.GOMAXPROCS(0) == 1 && !m.SamePlan {
+			t.Errorf("%s: DOP-%d plan differs from serial on a single-CPU host", m.Query, m.DOP)
 		}
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")

@@ -367,8 +367,9 @@ func OpenRecovered(cfg Config) (*Store, error) {
 	st.wal = w
 	st.vfs = vfs
 	st.recovered = true
-	if err := st.DB.RunStats(); err != nil {
-		return nil, err
-	}
+	// Statistics come from the checkpoint snapshot; replayOp advanced the
+	// modification counters through the WAL tail, so the staleness clock
+	// matches a store that never crashed. Callers that want fresh
+	// statistics run RunStats explicitly, exactly as on a live store.
 	return st, nil
 }

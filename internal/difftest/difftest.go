@@ -48,6 +48,14 @@ type Options struct {
 	// run's rows on both mappings. Pick it small (a few KiB) so sorts,
 	// join builds, and aggregates actually spill.
 	MemBudget int64
+	// CostModel adds the cost-model axis: every query reruns with the
+	// cost-based optimizer disabled (the greedy pre-statistics planner),
+	// with statistics invalidated, and with statistics forced stale under
+	// DisableAutoStats. Plans may legitimately differ across these cells
+	// — that is the point — so rows compare as multisets, except for
+	// cases whose ORDER BY covers every projected column (Case.Ordered),
+	// which must match the reference byte for byte.
+	CostModel bool
 	// Ops is the number of random mutations each mutation-history
 	// iteration applies (RunMutation only; default 40), and the number
 	// of schedule steps per concurrent iteration (RunConcurrent).
@@ -429,6 +437,13 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 			}
 		}
 	}
+	if opts.CostModel {
+		n, err := checkCostModelCells(opts, st, c, hyRef, xoRef, run, record)
+		cells += n
+		if err != nil {
+			return divs, cells, err
+		}
+	}
 	if c.Cross && hyRef != nil && xoRef != nil {
 		cells++
 		a, b := sortedCanon(hyRef.Rows), sortedCanon(xoRef.Rows)
@@ -437,6 +452,87 @@ func checkCase(opts Options, st *iterState, c Case) ([]Divergence, int, error) {
 		}
 	}
 	return divs, cells, nil
+}
+
+// checkCostModelCells runs the cost-model axis of one case: the greedy
+// pre-statistics planner, the estimator with no statistics at all, and
+// the estimator with statistics forced stale under DisableAutoStats.
+// These cells may legitimately plan different join orders, so rows
+// compare as multisets — except Ordered cases, whose ORDER BY covers
+// every projected column and therefore must match exactly. Statistics
+// are restored with a fresh RunStats after each perturbation, which is
+// deterministic over the unchanged heap.
+func checkCostModelCells(opts Options, st *iterState, c Case, hyRef, xoRef *engine.Result,
+	run func(*core.Store, plan.Options, bool, string) (*engine.Result, error),
+	record func(axis, detail string)) (int, error) {
+	cells := 0
+	compare := func(axis string, ref, got *engine.Result) {
+		if c.Ordered {
+			if !sameRows(ref.Rows, got.Rows) {
+				record(axis, diffRows(ref.Rows, got.Rows))
+			}
+			return
+		}
+		a, b := sortedCanon(ref.Rows), sortedCanon(got.Rows)
+		if !equalStrings(a, b) {
+			record(axis, diffCanon(a, b))
+		}
+	}
+	type target struct {
+		label string
+		s     *core.Store
+		sql   string
+		ref   *engine.Result
+	}
+	var targets []target
+	if hyRef != nil {
+		targets = append(targets, target{"hybrid", st.hy, c.Hybrid, hyRef})
+	}
+	if xoRef != nil {
+		targets = append(targets, target{"xorator", st.xo, c.XORator, xoRef})
+	}
+	serial := plan.Options{DOP: 1}
+	greedy := plan.Options{DOP: 1, DisableCostModel: true}
+	stale := plan.Options{DOP: 1, DisableAutoStats: true}
+	for _, tg := range targets {
+		got, err := run(tg.s, greedy, true, tg.sql)
+		if err != nil {
+			return cells, fmt.Errorf("%s greedy %w", tg.label, err)
+		}
+		cells++
+		compare(tg.label+":greedy", tg.ref, got)
+
+		// No statistics: the planner must fall back to defaults (it never
+		// auto-analyzes a table without stats) and still return the same
+		// rows.
+		tg.s.DB.Catalog.InvalidateStats()
+		got, err = run(tg.s, serial, true, tg.sql)
+		if rerr := tg.s.RunStats(); rerr != nil {
+			return cells, fmt.Errorf("%s restoring stats: %w", tg.label, rerr)
+		}
+		if err != nil {
+			return cells, fmt.Errorf("%s nostats %w", tg.label, err)
+		}
+		cells++
+		compare(tg.label+":nostats", tg.ref, got)
+
+		// Stale statistics with auto-refresh disabled: the estimator must
+		// distrust the drifted histograms, not crash on them.
+		for _, name := range tg.s.DB.Catalog.TableNames() {
+			t := tg.s.DB.Catalog.Table(name)
+			t.AdvanceMods(int64(t.Rows()) + 1)
+		}
+		got, err = run(tg.s, stale, true, tg.sql)
+		if rerr := tg.s.RunStats(); rerr != nil {
+			return cells, fmt.Errorf("%s restoring stats: %w", tg.label, rerr)
+		}
+		if err != nil {
+			return cells, fmt.Errorf("%s stale %w", tg.label, err)
+		}
+		cells++
+		compare(tg.label+":stale", tg.ref, got)
+	}
+	return cells, nil
 }
 
 // ---- row comparison -------------------------------------------------------

@@ -57,6 +57,30 @@ func TestDifferentialCrashAxis(t *testing.T) {
 	t.Logf("%d iterations, %d cells with recovered stores, all identical", sum.Iters, sum.Cells)
 }
 
+// TestDifferentialCostModelAxis reruns the matrix with the cost-model
+// axis on: every query also executes under the greedy pre-statistics
+// planner, with statistics invalidated, and with statistics forced
+// stale under DisableAutoStats. Join orders may differ across those
+// cells, but the rows must not: multiset-identical in general, byte-
+// identical for the fully-ordered three-way-join cases.
+func TestDifferentialCostModelAxis(t *testing.T) {
+	seed := testutil.Seed(t, 1)
+	sum, err := Run(Options{
+		Seed:         seed,
+		Iters:        8,
+		CostModel:    true,
+		ArtifactPath: filepath.Join(t.TempDir(), "artifact.txt"),
+	})
+	if err != nil {
+		t.Fatalf("harness error: %v (%s)", err, testutil.ReproLine(t, seed))
+	}
+	if len(sum.Divergences) > 0 {
+		t.Fatalf("%d divergences, first: %s (%s)",
+			len(sum.Divergences), sum.Divergences[0], testutil.ReproLine(t, seed))
+	}
+	t.Logf("%d iterations, %d cells including cost-model axis, all identical", sum.Iters, sum.Cells)
+}
+
 // TestDifferentialMemBudgetAxis reruns the matrix with a tiny per-query
 // memory budget: every query additionally executes with its blocking
 // operators forced through the spill paths (serially and at DOP), and

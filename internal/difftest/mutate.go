@@ -747,7 +747,16 @@ func (ms *mutState) recoverDurable() ([]Divergence, int, error) {
 	if err := rec.CreateDefaultIndexes(); err != nil {
 		return nil, 0, err
 	}
+	// Re-analyze both twins: the recovered store carries the checkpoint's
+	// statistics (possibly from before any document was loaded) while the
+	// uninterrupted twin carries statistics that drifted through the
+	// history. The recovered-query cells compare row order exactly, so the
+	// planners must see identical statistics — refresh both over the
+	// byte-identical heaps.
 	if err := rec.RunStats(); err != nil {
+		return nil, 0, err
+	}
+	if err := ms.xo.RunStats(); err != nil {
 		return nil, 0, err
 	}
 	cells++

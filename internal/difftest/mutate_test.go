@@ -73,7 +73,7 @@ func TestMutationDetectsDivergence(t *testing.T) {
 	art := filepath.Join(t.TempDir(), "artifact.txt")
 	sum, err := RunMutation(Options{
 		Seed:         seed,
-		Iters:        20,
+		Iters:        40,
 		Ops:          12,
 		Docs:         4,
 		LoadRepeat:   12,

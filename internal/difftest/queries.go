@@ -18,6 +18,11 @@ type Case struct {
 	Hybrid  string
 	XORator string
 	Cross   bool
+	// Ordered marks a query whose ORDER BY covers every projected
+	// column: its output order is fully determined by the data, so
+	// cells that legitimately plan different join orders (the
+	// cost-model axis) still compare exactly, not as multisets.
+	Ordered bool
 }
 
 // qgen holds everything the query templates draw from.
@@ -53,6 +58,7 @@ func generateCases(rng *rand.Rand, hy, xo *mapping.Schema, sd *dtd.SimplifiedDTD
 		g.tCount, g.tCount,
 		g.tScan, g.tScan, g.tScan,
 		g.tJoin, g.tJoin,
+		g.tJoin3,
 		g.tOrderLimit,
 		g.tGroupCount,
 		g.tAggMinMax,
@@ -318,6 +324,68 @@ func (g *qgen) tJoin() (Case, bool) {
 	sql := fmt.Sprintf("SELECT %s FROM %s, %s WHERE %s",
 		strings.Join(proj, ", "), phy.Name, c.hy.Name, strings.Join(conds, " AND "))
 	return Case{Name: "join:" + phy.Name + "/" + c.hy.Name, Hybrid: sql, XORator: sql, Cross: true}, true
+}
+
+// tJoin3 builds a three-relation chain join — grandparent, parent,
+// child linked by their parentID foreign keys — ordered by every
+// projected column so the output order is data-determined. It is the
+// join-order workload of the cost-model axis: with three relations of
+// different sizes the greedy and DP planners can legitimately pick
+// different orders, and the full ORDER BY makes those plans exactly
+// comparable.
+func (g *qgen) tJoin3() (Case, bool) {
+	shared := g.sharedRelations()
+	byElem := map[string]relPair{}
+	for _, p := range shared {
+		byElem[p.hy.Element] = p
+	}
+	type chain struct{ gp, par, ch relPair }
+	var cands []chain
+	for _, ch := range shared {
+		for _, pe := range ch.hy.ParentElements {
+			par, ok := byElem[pe]
+			if !ok || pe == ch.hy.Element {
+				continue
+			}
+			for _, gpe := range par.hy.ParentElements {
+				gp, ok := byElem[gpe]
+				if !ok || gpe == pe || gpe == ch.hy.Element {
+					continue
+				}
+				cands = append(cands, chain{gp: gp, par: par, ch: ch})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return Case{}, false
+	}
+	c := cands[g.rng.Intn(len(cands))]
+	chPid, ok := colOfKind(c.ch.hy, mapping.KindParentID)
+	if !ok {
+		return Case{}, false
+	}
+	parPid, ok := colOfKind(c.par.hy, mapping.KindParentID)
+	if !ok {
+		return Case{}, false
+	}
+	conds := []string{
+		fmt.Sprintf("%s = %s", chPid.Name, c.par.hy.IDColumn()),
+		fmt.Sprintf("%s = %s", parPid.Name, c.gp.hy.IDColumn()),
+	}
+	if code, ok := colOfKind(c.ch.hy, mapping.KindParentCode); ok {
+		conds = append(conds, fmt.Sprintf("%s = %s", code.Name, sqlString(c.par.hy.Element)))
+	}
+	if code, ok := colOfKind(c.par.hy, mapping.KindParentCode); ok {
+		conds = append(conds, fmt.Sprintf("%s = %s", code.Name, sqlString(c.gp.hy.Element)))
+	}
+	proj := []string{c.gp.hy.IDColumn(), c.par.hy.IDColumn(), c.ch.hy.IDColumn()}
+	sql := fmt.Sprintf("SELECT %s FROM %s, %s, %s WHERE %s ORDER BY %s",
+		strings.Join(proj, ", "), c.gp.hy.Name, c.par.hy.Name, c.ch.hy.Name,
+		strings.Join(conds, " AND "), strings.Join(proj, ", "))
+	return Case{
+		Name:    "join3:" + c.gp.hy.Name + "/" + c.par.hy.Name + "/" + c.ch.hy.Name,
+		Hybrid:  sql, XORator: sql, Cross: true, Ordered: true,
+	}, true
 }
 
 func (g *qgen) tOrderLimit() (Case, bool) {

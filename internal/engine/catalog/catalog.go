@@ -49,10 +49,23 @@ type Index struct {
 type Stats struct {
 	// Rows is the table cardinality at the last RunStats.
 	Rows int
-	// Distinct maps column names to their number of distinct values.
+	// Pages is the heap data-page count at the last RunStats.
+	Pages int
+	// Distinct maps column names to their number of distinct values
+	// (kept alongside Cols for callers that only need cardinalities).
 	Distinct map[string]int
+	// Cols holds the full per-column statistics: distinct counts, null
+	// fractions, histograms, and XADT element-path frequencies.
+	Cols map[string]ColStats
 	// Valid reports whether RunStats has run since the last load.
 	Valid bool
+	// ModsSince counts DML operations applied to the table after this
+	// Stats was computed. StatsSnapshot fills it from the table's
+	// modification counter; StaleRatio interprets it.
+	ModsSince int64
+	// modsAt is the table's modification counter value when RunStats
+	// ran; the delta to the live counter yields ModsSince.
+	modsAt int64
 }
 
 // DistinctOr returns the distinct count for a column, or def when stats
@@ -86,6 +99,11 @@ type Table struct {
 	V *mvcc.TableVersions
 
 	mu sync.RWMutex
+	// mods counts DML operations (insert/delete/update) since the table
+	// was created or loaded. Statistics record the counter at RunStats
+	// time; the delta measures staleness instead of a blunt
+	// invalidate-on-any-write bit. Guarded by mu.
+	mods int64
 }
 
 // ValidateRow checks a row's arity and column types against the schema —
@@ -133,7 +151,7 @@ func (t *Table) InsertRID(row []types.Value) (storage.RID, error) {
 	if t.V != nil {
 		t.V.NoteInsert(rid)
 	}
-	t.Stats.Valid = false
+	t.mods++
 	return rid, nil
 }
 
@@ -166,7 +184,7 @@ func (t *Table) DeleteRID(rid storage.RID) ([]types.Value, error) {
 		t.V.NoteDelete(rid, row)
 	}
 	t.maybeRebuildFragLocked()
-	t.Stats.Valid = false
+	t.mods++
 	return row, nil
 }
 
@@ -199,7 +217,7 @@ func (t *Table) UpdateRID(rid storage.RID, row []types.Value) (storage.RID, erro
 		t.V.NoteUpdate(rid, old, newRID)
 	}
 	t.maybeRebuildFragLocked()
-	t.Stats.Valid = false
+	t.mods++
 	return newRID, nil
 }
 
@@ -251,12 +269,25 @@ func (t *Table) FragIndexOn(column string) *xindex.FragmentIndex {
 
 // StatsSnapshot returns a copy of the table's optimizer statistics that
 // is safe to read while other goroutines insert rows or run RunStats.
-// The Distinct map is shared with the live Stats but both treat it as
-// immutable once published (RunStats installs a fresh map).
+// The Distinct/Cols maps are shared with the live Stats but both treat
+// them as immutable once published (RunStats installs fresh maps). The
+// copy's ModsSince is filled from the live modification counter, so
+// StaleRatio on the snapshot reflects DML since the last RunStats.
 func (t *Table) StatsSnapshot() Stats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.Stats
+	s := t.Stats
+	s.ModsSince = t.mods - s.modsAt
+	return s
+}
+
+// AdvanceMods bumps the table's modification counter without changing
+// any data — a staleness hook for tests and the differential harness,
+// which need "stats aged by n DML operations" without churning rows.
+func (t *Table) AdvanceMods(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mods += n
 }
 
 // Rows returns the current cardinality.
@@ -417,35 +448,118 @@ func (c *Catalog) CreateXADTIndex(table, column string) (*xindex.FragmentIndex, 
 }
 
 // RunStats recomputes optimizer statistics for one table — the analogue
-// of DB2's runstats command.
+// of DB2's runstats command. One heap scan collects, per column: a
+// distinct count (exact below statsExactDistinct, HLL sketch above), the
+// null fraction, an equi-depth histogram over a stride-sampled subset of
+// int/string values, and — for XADT columns — element-name frequencies
+// from the sampled fragments. The stride is fixed from the pre-scan row
+// count, so identical heaps always produce identical statistics.
 func (c *Catalog) RunStats(table string) error {
 	t := c.Table(table)
 	if t == nil {
 		return fmt.Errorf("catalog: no table %s", table)
 	}
-	distinct := make([]map[uint64]struct{}, len(t.Schema.Columns))
-	for i := range distinct {
-		distinct[i] = map[uint64]struct{}{}
+	ncols := len(t.Schema.Columns)
+	counters := make([]*distinctCounter, ncols)
+	nulls := make([]int, ncols)
+	samples := make([][]types.Value, ncols)
+	pathFreqs := make([]map[string]int, ncols)
+	for i := range counters {
+		counters[i] = newDistinctCounter()
+		if t.Schema.Columns[i].Type == types.KindXADT {
+			pathFreqs[i] = map[string]int{}
+		}
+	}
+	stride := t.Heap.Rows() / statsMaxSample
+	if stride < 1 {
+		stride = 1
 	}
 	rows := 0
 	err := t.Heap.Scan(func(_ storage.RID, row []types.Value) error {
+		sampled := rows%stride == 0
 		rows++
 		for i, v := range row {
-			distinct[i][types.Hash(v)] = struct{}{}
+			if v.IsNull() {
+				nulls[i]++
+				continue
+			}
+			counters[i].add(types.Hash(v))
+			if !sampled {
+				continue
+			}
+			switch v.Kind() {
+			case types.KindInt, types.KindString:
+				samples[i] = append(samples[i], v)
+			case types.KindXADT:
+				countElementNames(v, pathFreqs[i])
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	stats := Stats{Rows: rows, Distinct: map[string]int{}, Valid: true}
+	stats := Stats{
+		Rows: rows, Pages: t.Heap.DataPages(),
+		Distinct: map[string]int{}, Cols: map[string]ColStats{}, Valid: true,
+	}
 	for i, col := range t.Schema.Columns {
-		stats.Distinct[col.Name] = len(distinct[i])
+		cs := ColStats{Distinct: counters[i].estimate(), Sketch: counters[i].regs}
+		if rows > 0 {
+			cs.NullFrac = float64(nulls[i]) / float64(rows)
+		}
+		cs.Hist = buildHistogram(col.Type, samples[i], rows-nulls[i])
+		if len(pathFreqs[i]) > 0 {
+			// Scale sampled occurrence counts back to the full table.
+			scaled := make(map[string]int, len(pathFreqs[i]))
+			for name, n := range pathFreqs[i] {
+				scaled[name] = n * stride
+			}
+			cs.PathFreq = capPathFreq(scaled)
+		}
+		stats.Distinct[col.Name] = cs.Distinct
+		stats.Cols[col.Name] = cs
 	}
 	t.mu.Lock()
+	stats.modsAt = t.mods
 	t.Stats = stats
 	t.mu.Unlock()
 	return nil
+}
+
+// InvalidateStats marks every table's statistics invalid, as if the
+// store had been freshly loaded without a RunStats. The differential
+// harness uses it for its stats-off cells; RunStats restores them.
+func (c *Catalog) InvalidateStats() {
+	for _, name := range c.TableNames() {
+		t := c.Table(name)
+		t.mu.Lock()
+		t.Stats.Valid = false
+		t.mu.Unlock()
+	}
+}
+
+// MaybeRefreshStats reruns RunStats when the table's statistics are
+// valid but stale past DefaultStaleRatio. It is a no-op on MVCC
+// catalogs (a rescan there must be wrapped in an exclusive transaction
+// by the caller) and on tables never analyzed (opting into statistics
+// stays explicit via RunStats).
+func (c *Catalog) MaybeRefreshStats(table string) error {
+	c.mu.RLock()
+	mgr := c.mgr
+	c.mu.RUnlock()
+	if mgr != nil {
+		return nil
+	}
+	t := c.Table(table)
+	if t == nil {
+		return fmt.Errorf("catalog: no table %s", table)
+	}
+	s := t.StatsSnapshot()
+	if !s.Valid || s.StaleRatio() <= DefaultStaleRatio {
+		return nil
+	}
+	return c.RunStats(table)
 }
 
 // RunStatsAll runs statistics over every table.

@@ -123,13 +123,26 @@ func TestRunStats(t *testing.T) {
 	if got := tbl.Stats.Distinct["speechID"]; got != 50 {
 		t.Errorf("distinct ids = %d, want 50", got)
 	}
-	// Inserting invalidates.
+	// Inserting no longer invalidates outright: the modification counter
+	// advances and StaleRatio reflects the drift.
 	tbl.Insert([]types.Value{types.NewInt(51), types.Null, types.Null})
-	if tbl.Stats.Valid {
-		t.Error("insert should invalidate stats")
+	snap := tbl.StatsSnapshot()
+	if !snap.Valid {
+		t.Error("one insert should not invalidate stats")
 	}
-	if got := tbl.Stats.DistinctOr("speaker", 7); got != 7 {
-		t.Errorf("DistinctOr on invalid stats = %d, want default", got)
+	if snap.ModsSince != 1 {
+		t.Errorf("ModsSince = %d, want 1", snap.ModsSince)
+	}
+	if r := snap.StaleRatio(); r <= 0 || r > DefaultStaleRatio {
+		t.Errorf("StaleRatio = %v, want small but positive", r)
+	}
+	// Enough DML pushes the ratio past the planner's trust threshold.
+	tbl.AdvanceMods(int64(float64(snap.Rows)*DefaultStaleRatio) + 1)
+	if snap = tbl.StatsSnapshot(); snap.StaleRatio() <= DefaultStaleRatio {
+		t.Errorf("StaleRatio = %v, want past %v", snap.StaleRatio(), DefaultStaleRatio)
+	}
+	if snap.Fresh() {
+		t.Error("stale stats should not report Fresh")
 	}
 }
 

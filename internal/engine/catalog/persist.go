@@ -11,8 +11,13 @@ import (
 	"repro/internal/engine/types"
 )
 
-// snapshotMagic identifies a catalog snapshot stream.
-const snapshotMagic = "XORCAT02"
+// snapshotMagic identifies a catalog snapshot stream. Format v3 appends
+// a per-table statistics block after each heap; Load still accepts v2
+// snapshots (statistics are recomputed, the pre-v3 behaviour).
+const (
+	snapshotMagic   = "XORCAT03"
+	snapshotMagicV2 = "XORCAT02"
+)
 
 // xadtIndexPrefix marks an entry of the per-table index list as an XADT
 // fragment-index definition rather than a B+tree column index. "!" is
@@ -71,6 +76,20 @@ func (c *Catalog) Save(w io.Writer) error {
 			return err
 		}
 		bw.Reset(w)
+		// Statistics block: a length-prefixed EncodeStats blob, or length
+		// 0 when the table was never analyzed. The snapshot carries the
+		// live modification delta so staleness survives a save/load cycle.
+		snap := t.StatsSnapshot()
+		var enc []byte
+		if snap.Valid {
+			enc = EncodeStats(&snap)
+		}
+		if err := writeUvarint(bw, uint64(len(enc))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(enc); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -83,9 +102,10 @@ func Load(r io.Reader, pool *storage.BufferPool) (*Catalog, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("catalog: reading magic: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	if string(magic) != snapshotMagic && string(magic) != snapshotMagicV2 {
 		return nil, fmt.Errorf("catalog: bad snapshot magic %q", magic)
 	}
+	hasStats := string(magic) == snapshotMagic
 	c := New(pool)
 	ntables, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -142,8 +162,40 @@ func Load(r io.Reader, pool *storage.BufferPool) (*Catalog, error) {
 				return nil, err
 			}
 		}
-		if err := c.RunStats(name); err != nil {
-			return nil, err
+		restored := false
+		if hasStats {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: table %s stats length: %w", name, err)
+			}
+			if n > 1<<26 {
+				return nil, fmt.Errorf("catalog: implausible stats length %d", n)
+			}
+			if n > 0 {
+				blob := make([]byte, n)
+				if _, err := io.ReadFull(br, blob); err != nil {
+					return nil, fmt.Errorf("catalog: table %s stats: %w", name, err)
+				}
+				stats, err := DecodeStats(blob)
+				if err != nil {
+					return nil, fmt.Errorf("catalog: table %s stats: %w", name, err)
+				}
+				// Restore the staleness clock: the table resumes with the
+				// persisted modification delta, so stats that were stale
+				// before the save stay stale after the load.
+				tbl.mu.Lock()
+				tbl.mods = stats.ModsSince
+				stats.ModsSince = 0
+				stats.modsAt = 0
+				tbl.Stats = *stats
+				tbl.mu.Unlock()
+				restored = true
+			}
+		}
+		if !restored {
+			if err := c.RunStats(name); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return c, nil

@@ -28,8 +28,10 @@ type IndexedFragScan struct {
 	Pred expr.Expr
 	// IndexDesc names the conjuncts the index answered, for EXPLAIN.
 	IndexDesc string
-	schema    *expr.RowSchema
-	pos       int
+	// Est is the planner's estimated output cardinality; advisory only.
+	Est    float64
+	schema *expr.RowSchema
+	pos    int
 }
 
 // NewIndexedFragScan returns an indexed fragment scan.

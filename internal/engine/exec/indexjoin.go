@@ -24,6 +24,8 @@ type IndexLoopJoin struct {
 	// schema (equivalently, the joined schema: left columns keep their
 	// positions).
 	LeftKey expr.Expr
+	// Est is the planner's estimated output cardinality; advisory only.
+	Est float64
 
 	schema  *expr.RowSchema
 	leftRow []types.Value

@@ -14,7 +14,9 @@ import (
 type NestedLoopJoin struct {
 	Left, Right Operator
 	Pred        expr.Expr // may be nil (cross product)
-	schema      *expr.RowSchema
+	// Est is the planner's estimated output cardinality; advisory only.
+	Est    float64
+	schema *expr.RowSchema
 	rightRows   [][]types.Value
 	leftRow     []types.Value
 	rpos        int
@@ -93,6 +95,8 @@ type HashJoin struct {
 	// Ctx enables Grace spilling under its memory budget; nil keeps the
 	// unbounded in-memory build.
 	Ctx *QueryCtx
+	// Est is the planner's estimated output cardinality; advisory only.
+	Est float64
 
 	schema    *expr.RowSchema
 	table     map[uint64][][]types.Value
@@ -252,9 +256,11 @@ func (j *HashJoin) Close() error {
 type MergeJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey expr.Expr
-	schema            *expr.RowSchema
-	out               [][]types.Value
-	pos               int
+	// Est is the planner's estimated output cardinality; advisory only.
+	Est    float64
+	schema *expr.RowSchema
+	out    [][]types.Value
+	pos    int
 }
 
 // NewMergeJoin joins left and right where leftKey = rightKey.

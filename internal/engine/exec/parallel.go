@@ -32,8 +32,11 @@ import (
 type MorselScan struct {
 	Table  *catalog.Table
 	Alias  string
-	Pred   expr.Expr // optional, resolved against the scan schema
-	Vec    bool
+	Pred expr.Expr // optional, resolved against the scan schema
+	Vec  bool
+	// Est is the planner's estimated output cardinality for the whole
+	// scan (copied from the SeqScan it replaces); advisory only.
+	Est    float64
 	schema *expr.RowSchema
 	lo, hi int
 	cursor *storage.Cursor

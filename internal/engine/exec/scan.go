@@ -34,7 +34,11 @@ type SeqScan struct {
 	Vec   bool
 	// View, when set, is a materialized MVCC snapshot: the scan iterates
 	// its rows instead of the live heap. View takes precedence over Vec.
-	View   *mvcc.View
+	View *mvcc.View
+	// Est is the planner's estimated output cardinality (rows surviving
+	// the fused predicate); zero when no estimate was made. Advisory
+	// only — execution never reads it.
+	Est    float64
 	schema *expr.RowSchema
 	cursor *storage.Cursor
 	vpos   int
@@ -157,7 +161,9 @@ type IndexScan struct {
 	// View, when set, is a materialized MVCC snapshot: the equality
 	// access filters the view on the indexed column instead of probing
 	// the shared B+tree, so only snapshot-visible rows surface.
-	View   *mvcc.View
+	View *mvcc.View
+	// Est is the planner's estimated output cardinality; advisory only.
+	Est    float64
 	schema *expr.RowSchema
 	rids   []storage.RID
 	rows   [][]types.Value

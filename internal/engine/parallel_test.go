@@ -98,7 +98,7 @@ func TestParallelQueryDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("serial %q: %v", q, err)
 		}
-		db.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1})
+		db.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1, CPUs: 4})
 		got, err := db.Query(q)
 		if err != nil {
 			t.Fatalf("dop=4 %q: %v", q, err)
@@ -115,7 +115,7 @@ func TestParallelQueryDeterminism(t *testing.T) {
 // the pool, catalog, heap, and exchange machinery.
 func TestParallelQueryStress(t *testing.T) {
 	db := parallelFixture(t, 20)
-	db.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1})
+	db.SetPlannerOptions(plan.Options{DOP: 4, MorselPages: 1, CPUs: 4})
 	queries := []string{
 		`SELECT speechID, xadtText(speech_speaker) FROM speech`,
 		`SELECT act_title, speechID FROM act, speech WHERE actID = speech_parentID`,

@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/expr"
+	"repro/internal/engine/sql"
+	"repro/internal/engine/types"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chainFixture builds the a–b–c chain the greedy order loses on: a is
+// the smallest table but joins b over a 4-value key (a⋈b explodes),
+// while b⋈c is 1:1 over a unique key. Greedy starts at a and pays the
+// explosion; the DP enumeration joins b⋈c first.
+func chainFixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(nil)
+	mk := func(name string, cols []string, rows int, gen func(i int) []types.Value) {
+		t.Helper()
+		specs := make([]catalog.Column, len(cols))
+		for i, c := range cols {
+			specs[i] = catalog.Column{Name: c, Type: types.KindInt}
+		}
+		tbl, err := cat.CreateTable(name, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if err := tbl.Insert(gen(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mk("a", []string{"a_id", "a_ab"}, 20, func(i int) []types.Value {
+		return []types.Value{types.NewInt(int64(i)), types.NewInt(int64(i % 4))}
+	})
+	mk("b", []string{"b_id", "b_ab", "b_bc"}, 400, func(i int) []types.Value {
+		return []types.Value{types.NewInt(int64(i)), types.NewInt(int64(i % 4)), types.NewInt(int64(i))}
+	})
+	mk("c", []string{"c_id", "c_bc"}, 400, func(i int) []types.Value {
+		return []types.Value{types.NewInt(int64(i)), types.NewInt(int64(i))}
+	})
+	if err := cat.RunStatsAll(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+const chainQuery = `SELECT COUNT(*) FROM a, b, c WHERE a_ab = b_ab AND b_bc = c_bc`
+
+// TestDPJoinOrderAvoidsExplodingIntermediate is the join-ordering
+// regression test: the greedy order starts at the smallest table (a)
+// and materializes the a⋈b explosion; the DP enumeration must instead
+// join the selective b⋈c edge first, and both orders must return the
+// same rows.
+func TestDPJoinOrderAvoidsExplodingIntermediate(t *testing.T) {
+	cat := chainFixture(t)
+	stmt, err := sql.Parse(chainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	greedyP := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DisableCostModel: true}}
+	gOp, gSum, err := greedyP.PlanSummary(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSum.Strategy != "greedy" {
+		t.Errorf("DisableCostModel strategy = %q, want greedy", gSum.Strategy)
+	}
+	if len(gSum.JoinOrder) != 3 || gSum.JoinOrder[0] != "a" {
+		t.Errorf("greedy order = %v, want to start at the smallest table a", gSum.JoinOrder)
+	}
+
+	costP := &Planner{Cat: cat, Reg: expr.NewRegistry()}
+	cOp, cSum, err := costP.PlanSummary(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cSum.Strategy != "dp" {
+		t.Errorf("cost-model strategy = %q, want dp", cSum.Strategy)
+	}
+	if len(cSum.JoinOrder) != 3 || cSum.JoinOrder[0] == "a" {
+		t.Errorf("dp order = %v, want the selective b/c edge first", cSum.JoinOrder)
+	}
+
+	want, err := exec.Drain(gOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Drain(cOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dp rows differ from greedy rows: %v vs %v", got, want)
+	}
+}
+
+// TestStaleStatsFallbackAfterDML pins the staleness contract: once DML
+// drifts a table past catalog.DefaultStaleRatio, a planner with
+// DisableAutoStats must distrust its statistics (reporting the table in
+// StaleStats and estimating from defaults), while the default planner
+// auto-refreshes before estimating and trusts them again.
+func TestStaleStatsFallbackAfterDML(t *testing.T) {
+	cat := chainFixture(t)
+	stmt, err := sql.Parse(chainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DisableAutoStats: true}}
+	if _, sum, err := fresh.PlanSummary(stmt); err != nil {
+		t.Fatal(err)
+	} else if len(sum.StaleStats) != 0 {
+		t.Fatalf("freshly analyzed tables reported stale: %v", sum.StaleStats)
+	}
+
+	// Push b past the staleness ratio without touching its contents.
+	b := cat.Table("b")
+	b.AdvanceMods(int64(float64(b.Rows())*catalog.DefaultStaleRatio) + 1)
+
+	noAuto := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DisableAutoStats: true}}
+	if _, sum, err := noAuto.PlanSummary(stmt); err != nil {
+		t.Fatal(err)
+	} else {
+		found := false
+		for _, alias := range sum.StaleStats {
+			if alias == "b" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("drifted table b not in StaleStats: %v", sum.StaleStats)
+		}
+	}
+	if snap := b.StatsSnapshot(); snap.Fresh() {
+		t.Fatal("snapshot still fresh after drift")
+	}
+
+	// The default planner refreshes the drifted table before estimating.
+	auto := &Planner{Cat: cat, Reg: expr.NewRegistry()}
+	if _, sum, err := auto.PlanSummary(stmt); err != nil {
+		t.Fatal(err)
+	} else if len(sum.StaleStats) != 0 {
+		t.Fatalf("auto-refresh left stale tables: %v", sum.StaleStats)
+	}
+	if snap := b.StatsSnapshot(); !snap.Fresh() {
+		t.Fatal("auto-refresh did not restore fresh statistics")
+	}
+}
+
+// TestExplainEstGolden pins the EXPLAIN text — operator shapes and the
+// est= cardinality annotations — for a fixed fixture and query set. Any
+// estimator or join-order change shows up as a golden diff. Refresh
+// with go test ./internal/engine/plan/ -run ExplainEstGolden -update.
+func TestExplainEstGolden(t *testing.T) {
+	cat := chainFixture(t)
+	queries := []string{
+		`SELECT a_id FROM a WHERE a_ab = 2`,
+		`SELECT b_id FROM b WHERE b_bc < 100`,
+		`SELECT a_id, b_id FROM a, b WHERE a_ab = b_ab`,
+		chainQuery,
+	}
+	var sb strings.Builder
+	p := &Planner{Cat: cat, Reg: expr.NewRegistry()}
+	for _, q := range queries {
+		op := planFor(t, p, q)
+		sb.WriteString("-- " + q + "\n")
+		sb.WriteString(Explain(op))
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "explain_est.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("EXPLAIN drifted from %s (rerun with -update if intended)\ngot:\n%s", path, got)
+	}
+	if !strings.Contains(got, "est=") {
+		t.Error("no est= annotations in cost-model EXPLAIN output")
+	}
+}

@@ -1,7 +1,8 @@
 package plan
 
 import (
-	"repro/internal/engine/catalog"
+	"runtime"
+
 	"repro/internal/engine/exec"
 	"repro/internal/engine/expr"
 	"repro/internal/engine/storage"
@@ -30,13 +31,14 @@ const (
 	DefaultMinParallelRows = 2048
 )
 
-func (p *Planner) parallelize(op exec.Operator) exec.Operator {
+func (p *Planner) parallelize(op exec.Operator, sum *CostSummary) exec.Operator {
 	b := &parallelBuilder{
 		planner:     p,
 		dop:         p.Opts.DOP,
 		morselPages: p.Opts.MorselPages,
 		minPages:    p.Opts.MinParallelPages,
 		memBudget:   p.Opts.MemBudgetBytes > 0,
+		sum:         sum,
 	}
 	return b.rewrite(op)
 }
@@ -54,21 +56,31 @@ type parallelBuilder struct {
 	// spilling serial HashJoin stays above the exchange and only its
 	// inputs parallelize.
 	memBudget bool
+	// sum, when non-nil, records whether the rewrite installed a Gather.
+	sum *CostSummary
 }
 
-// tooSmall reports whether the table falls under the small-input gate:
-// fewer pages than the floor and fewer rows than the cardinality floor.
-// Cardinality comes from optimizer statistics when valid (a planner
-// must not touch the live heap concurrently with loads) and the live
-// row count otherwise.
-func (b *parallelBuilder) tooSmall(t *catalog.Table) bool {
+// tooSmall reports whether a scan falls under the small-input gate.
+// Three regimes, selected by Options.MinParallelPages: negative
+// disables the gate entirely; positive is an explicit fixed page floor
+// (with the historical row-count escape hatch); zero — the default —
+// runs the cost gate, which weighs the scan's estimated work (pages,
+// rows, row width, per-row predicate cost) against worker startup and
+// exchange overhead. With DisableCostModel the zero value falls back to
+// the historical fixed thresholds. Because Gather preserves morsel
+// order, the gate affects only speed, never results.
+func (b *parallelBuilder) tooSmall(n *exec.SeqScan) bool {
 	minPages := b.minPages
 	if minPages < 0 {
 		return false
 	}
+	if minPages == 0 && !b.planner.Opts.DisableCostModel {
+		return !b.worthParallel(n)
+	}
 	if minPages == 0 {
 		minPages = DefaultMinParallelPages
 	}
+	t := n.Table
 	if t.Heap.DataPages() >= minPages {
 		return false
 	}
@@ -79,9 +91,52 @@ func (b *parallelBuilder) tooSmall(t *catalog.Table) bool {
 	return rows < DefaultMinParallelRows
 }
 
+// worthParallel is the cost gate: parallelize when the projected
+// parallel cost (the scan split across the workers that can actually
+// run at once, plus per-worker startup and per-output-row exchange
+// overhead) undercuts the serial scan cost. Scans whose fused
+// predicates call XADT UDFs cross over much earlier than plain scans —
+// per-row UDF work parallelizes perfectly while the exchange overhead
+// stays fixed. The divisor is capped at Options.CPUs (default
+// GOMAXPROCS): DOP workers beyond the processor count still pay
+// startup and exchange but time-slice one core, so on a starved host
+// the gate refuses and the plan stays serial.
+func (b *parallelBuilder) worthParallel(n *exec.SeqScan) bool {
+	cpus := b.planner.Opts.CPUs
+	if cpus <= 0 {
+		cpus = runtime.GOMAXPROCS(0)
+	}
+	eff := float64(b.dop)
+	if c := float64(cpus); c < eff {
+		eff = c
+	}
+	if eff < 2 {
+		return false
+	}
+	t := n.Table
+	rows := float64(t.Rows())
+	if stats := t.StatsSnapshot(); stats.Fresh() {
+		rows = float64(stats.Rows)
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	pages := float64(t.Heap.DataPages())
+	serial := pages*cPageTouch + rows*(cRowTouch*rowWidthScale(t, rows)+predCostExpr(n.Pred))
+	outRows := n.Est
+	if outRows <= 0 {
+		outRows = rows
+	}
+	parallel := serial/eff + float64(b.dop)*cWorkerStartup + outRows*cExchangeRow
+	return parallel < serial
+}
+
 // rewrite returns an equivalent plan with parallel fragments installed.
 func (b *parallelBuilder) rewrite(op exec.Operator) exec.Operator {
 	if pipes, shared, ok := b.fragment(op); ok {
+		if b.sum != nil {
+			b.sum.Parallel = true
+		}
 		return exec.NewGather(pipes, b.morselPages, shared)
 	}
 	switch n := op.(type) {
@@ -144,7 +199,7 @@ func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Re
 		if pages <= morselPages {
 			return nil, nil, false // a single morsel gains nothing
 		}
-		if b.tooSmall(n.Table) {
+		if b.tooSmall(n) {
 			return nil, nil, false // exchange overhead would dominate
 		}
 		workers := b.dop
@@ -154,6 +209,7 @@ func (b *parallelBuilder) fragment(op exec.Operator) ([]exec.Pipeline, []exec.Re
 		pipes := make([]exec.Pipeline, workers)
 		for i := range pipes {
 			leaf := exec.NewMorselScan(n.Table, n.Alias)
+			leaf.Est = n.Est
 			if n.Pred != nil {
 				// The fused scan predicate runs inside each worker.
 				leaf.Pred = expr.Clone(n.Pred)

@@ -67,7 +67,7 @@ func planFor(t *testing.T, p *Planner, q string) exec.Operator {
 func TestParallelPlanShape(t *testing.T) {
 	cat := bigFixture(t)
 	serial := &Planner{Cat: cat, Reg: expr.NewRegistry()}
-	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 
 	q := `SELECT id, val FROM fact WHERE val > 500`
 	sText := Explain(planFor(t, serial, q))
@@ -88,7 +88,7 @@ func TestParallelPlanShape(t *testing.T) {
 
 func TestParallelPlanSmallTableStaysSerial(t *testing.T) {
 	cat := bigFixture(t)
-	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4}}
+	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, CPUs: 4}}
 	// dim fits in one page: a Gather would only add overhead.
 	text := Explain(planFor(t, par, `SELECT label FROM dim`))
 	if strings.Contains(text, "Gather") {
@@ -99,7 +99,7 @@ func TestParallelPlanSmallTableStaysSerial(t *testing.T) {
 func TestParallelJoinCountMatchesSerial(t *testing.T) {
 	cat := bigFixture(t)
 	serial := &Planner{Cat: cat, Reg: expr.NewRegistry()}
-	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 	q := `SELECT label FROM dim, fact WHERE grpID = grp`
 	want := CountJoins(planFor(t, serial, q))
 	got := CountJoins(planFor(t, par, q))
@@ -131,7 +131,7 @@ func TestParallelResultsIdentical(t *testing.T) {
 			t.Fatalf("serial %q: %v", q, err)
 		}
 		for _, dop := range []int{2, 4} {
-			par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: dop, MorselPages: 1}}
+			par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: dop, MorselPages: 1, CPUs: dop}}
 			got, err := exec.Drain(mustPlan(t, par, stmt))
 			if err != nil {
 				t.Fatalf("dop=%d %q: %v", dop, q, err)

@@ -45,6 +45,16 @@ type Options struct {
 	// storage.DefaultMorselPages. Tables at most one morsel long stay
 	// serial.
 	MorselPages int
+	// CPUs is the processor count the adaptive parallelism gate assumes
+	// can run worker pipelines simultaneously; 0 reads
+	// runtime.GOMAXPROCS(0). Only the gate's speedup model consults it —
+	// when a scan does fragment, DOP still fixes the worker count, and
+	// because Gather preserves morsel order the setting affects speed,
+	// never results. On a machine with fewer processors than DOP the
+	// gate caps the modeled speedup accordingly, so requesting DOP N on
+	// a single-CPU host plans serially instead of paying exchange
+	// overhead for no gain. Tests pin this to stay machine-independent.
+	CPUs int
 	// MemBudgetBytes caps the tracked memory of one query's blocking
 	// operators (sort buffers, hash-join builds, aggregate group state).
 	// Each compiled plan gets its own exec.QueryCtx sharing one
@@ -79,6 +89,16 @@ type Options struct {
 	// planner keeps the sequential scan. Used by the differential harness
 	// (index-on vs index-off cells) and the index benchmark baselines.
 	DisableXADTIndexes bool
+	// DisableCostModel turns the statistics-driven cost model off: the
+	// greedy join order, rule-based access paths, hash joins, and the
+	// fixed page/row parallelism thresholds — exactly the
+	// pre-statistics planner, kept for ablations and as the optimizer
+	// benchmark baseline. The zero value plans with the cost model.
+	DisableCostModel bool
+	// DisableAutoStats stops the planner from refreshing statistics
+	// that drifted past catalog.DefaultStaleRatio before planning; the
+	// estimator then falls back to defaults until an explicit RunStats.
+	DisableAutoStats bool
 	// Views, when set, plans every table access against the provider's
 	// materialized snapshot view instead of the raw heap — the MVCC
 	// session path. Access paths that walk shared physical structures at
@@ -129,12 +149,35 @@ type funcItem struct {
 
 // Plan compiles a statement into an executable operator tree.
 func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
+	op, _, err := p.PlanSummary(stmt)
+	return op, err
+}
+
+// PlanSummary compiles a statement and additionally reports the
+// optimizer's cost decisions. The summary is a fresh value per call —
+// the planner holds no mutable state, so engine sessions can share
+// planner copies without races.
+func (p *Planner) PlanSummary(stmt *sql.SelectStmt) (exec.Operator, *CostSummary, error) {
 	if len(stmt.From) == 0 {
-		return nil, fmt.Errorf("plan: FROM list is empty")
+		return nil, nil, fmt.Errorf("plan: FROM list is empty")
 	}
 	bases, funcs, schemas, err := p.analyzeFrom(stmt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	sum := &CostSummary{}
+
+	// Auto-refresh: statistics that drifted past the staleness ratio are
+	// recomputed before estimation, so sustained DML cannot starve the
+	// cost model indefinitely. Skipped under MVCC views (RunStats needs
+	// the exclusive path there) and when stats were never collected —
+	// analyzing is an explicit choice.
+	if !p.Opts.DisableCostModel && !p.Opts.DisableAutoStats && p.Opts.Views == nil {
+		for _, b := range bases {
+			if err := p.Cat.MaybeRefreshStats(b.table.Schema.Table); err != nil {
+				return nil, nil, err
+			}
+		}
 	}
 
 	// One QueryCtx per compiled plan: all blocking operators of this
@@ -152,7 +195,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 		for _, conj := range splitConjuncts(stmt.Where) {
 			aliases, err := refAliases(conj, schemas)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			switch {
 			case len(aliases) == 1 && !p.Opts.DisablePushdown && isBaseAlias(bases, aliases):
@@ -163,11 +206,11 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 				l, r, _ := equiJoinSides(conj)
 				la, err := resolveOwner(l, schemas)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				ra, err := resolveOwner(r, schemas)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				joinPreds = append(joinPreds, joinPred{l: l, r: r, la: la, ra: ra})
 			default:
@@ -175,11 +218,20 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 			}
 		}
 	}
-	p.estimate(bases)
+	ests := p.estimate(bases)
+	order, strategy := p.chooseJoinOrder(bases, joinPreds, ests)
+	sum.Strategy = strategy
+	if !p.Opts.DisableCostModel {
+		for _, b := range bases {
+			if te := ests[b.alias]; te != nil && !te.fresh {
+				sum.StaleStats = append(sum.StaleStats, b.alias)
+			}
+		}
+	}
 
-	root, err := p.buildJoinTree(bases, joinPreds, qctx)
+	root, err := p.buildJoinTree(bases, joinPreds, order, ests, qctx, sum)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Residual pushdown: attach each residual conjunct at the earliest
@@ -197,12 +249,12 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	if !p.Opts.DisablePushdown {
 		ready, rest, err := partitionReady(residual, boundAliases, schemas)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(ready) > 0 {
 			pred, err := p.bindConjuncts(ready, root.Schema())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			root = exec.NewFilter(root, pred)
 		}
@@ -215,7 +267,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 		for i, a := range f.call.Args {
 			bound, err := p.bind(a, root.Schema())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			args[i] = bound
 		}
@@ -224,12 +276,12 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 			boundAliases[f.alias] = true
 			ready, rest, err := partitionReady(residual, boundAliases, schemas)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if len(ready) > 0 {
 				pred, err := p.bindConjuncts(ready, apply.Schema())
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				apply.Filter = pred
 			}
@@ -243,7 +295,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	if len(residual) > 0 {
 		pred, err := p.bindConjuncts(residual, root.Schema())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		root = exec.NewFilter(root, pred)
 	}
@@ -251,18 +303,18 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	// Aggregation and projection.
 	root, err = p.buildOutput(stmt, root, qctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// HAVING filters the projected (post-aggregate) rows, so aliases and
 	// grouped expressions resolve by output column name.
 	if stmt.Having != nil {
 		if !stmt.HasAggregates() && len(stmt.GroupBy) == 0 {
-			return nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+			return nil, nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
 		}
 		pred, err := p.bind(stmt.Having, root.Schema())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		root = exec.NewFilter(root, pred)
 	}
@@ -278,12 +330,12 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 		for i, o := range stmt.OrderBy {
 			bound, err := p.bind(o.Expr, root.Schema())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			keys[i] = bound
 			desc[i] = o.Desc
 		}
-		if stmt.Limit >= 0 && !p.Opts.DisableTopN {
+		if stmt.Limit >= 0 && !p.Opts.DisableTopN && !p.topNOverBudget(stmt.Limit, root) {
 			// ORDER BY + LIMIT k fuses into a bounded heap: O(k) memory
 			// instead of materializing and sorting the whole input. The
 			// parallel rewrite additionally pushes a partial TopN below
@@ -291,6 +343,11 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 			root = exec.NewTopN(root, keys, desc, stmt.Limit)
 			limitDone = true
 		} else {
+			// Full sort: either no LIMIT, TopN disabled, or the cost
+			// model judged the bounded heap itself too large for the
+			// memory budget — the Sort can spill, the heap cannot. TopN
+			// is a stable sort plus a cutoff, so the switch is
+			// row-identical.
 			s := exec.NewSort(root, keys, desc)
 			s.Ctx = qctx
 			root = s
@@ -307,7 +364,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	// serial fallback for correctness; DOP <= 1 skips the rewrite and
 	// yields the exact serial tree.
 	if p.Opts.DOP > 1 && p.Opts.Views == nil {
-		root = p.parallelize(root)
+		root = p.parallelize(root, sum)
 	}
 
 	// Batch-at-a-time execution: flip the Vec flag on every subtree that
@@ -316,7 +373,19 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (exec.Operator, error) {
 	if !p.Opts.DisableVectorized && p.Opts.Views == nil {
 		vectorizeOp(root)
 	}
-	return root, nil
+	return root, sum, nil
+}
+
+// topNOverBudget reports whether a bounded TopN heap of k rows would
+// itself blow the memory budget: the heap cannot spill, while the Sort
+// it replaces can. Estimated from the plan's output schema width; with
+// no budget (or the cost model off) TopN always wins.
+func (p *Planner) topNOverBudget(k int64, root exec.Operator) bool {
+	if p.Opts.MemBudgetBytes <= 0 || p.Opts.DisableCostModel {
+		return false
+	}
+	rowBytes := 64 + 32*len(root.Schema().Cols)
+	return k*int64(rowBytes) > p.Opts.MemBudgetBytes/2
 }
 
 // analyzeFrom resolves FROM items against the catalog and registry.
@@ -368,38 +437,6 @@ func (p *Planner) analyzeFrom(stmt *sql.SelectStmt) ([]*baseItem, []*funcItem, m
 	return bases, funcs, schemas, nil
 }
 
-// estimate fills per-table cardinality estimates using catalog statistics
-// and simple selectivity rules (1/distinct for indexed equality, 10% for
-// other predicates).
-func (p *Planner) estimate(bases []*baseItem) {
-	for _, b := range bases {
-		// Snapshot once so concurrent planners never race a RunStats.
-		stats := b.table.StatsSnapshot()
-		rows := float64(b.table.Rows())
-		if stats.Valid {
-			rows = float64(stats.Rows)
-		}
-		if rows < 1 {
-			rows = 1
-		}
-		for _, conj := range b.push {
-			if ref, _, ok := constEquality(conj); ok {
-				d := stats.DistinctOr(ref.Name, 10)
-				if d < 1 {
-					d = 1
-				}
-				rows /= float64(d)
-			} else {
-				rows *= 0.1
-			}
-		}
-		if rows < 1 {
-			rows = 1
-		}
-		b.est = rows
-	}
-}
-
 // access builds the access path for one base table: an index scan when an
 // indexed equality predicate exists, a sequential scan otherwise, with
 // remaining pushed predicates applied as a filter.
@@ -429,6 +466,9 @@ func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 			return nil, err
 		}
 		if frag != nil {
+			if fs, ok := frag.(*exec.IndexedFragScan); ok {
+				fs.Est = b.est
+			}
 			return frag, nil
 		}
 	}
@@ -444,6 +484,7 @@ func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 			}
 			iscan := exec.NewIndexScan(b.table, b.alias, idx, val)
 			iscan.View = view
+			iscan.Est = b.est
 			op = iscan
 			remaining = append(append([]sql.Expr(nil), b.push[:i]...), b.push[i+1:]...)
 			break
@@ -452,6 +493,7 @@ func (p *Planner) access(b *baseItem) (exec.Operator, error) {
 	if op == nil {
 		scan := exec.NewSeqScan(b.table, b.alias)
 		scan.View = view
+		scan.Est = b.est
 		if len(remaining) > 0 {
 			// Fuse pushed predicates into the scan itself: rows are
 			// rejected at the cursor, and the parallel rewrite carries the
@@ -510,34 +552,35 @@ func (jp joinPred) expr() sql.Expr {
 	return &sql.BinOp{Op: "=", L: jp.l, R: jp.r}
 }
 
-// buildJoinTree greedily assembles a left-deep join tree: smallest
-// estimated table first, then repeatedly the smallest table connected to
-// the current set by an equi-join predicate (falling back to a cross
-// product only when the FROM list is genuinely disconnected).
-func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *exec.QueryCtx) (exec.Operator, error) {
-	remaining := append([]*baseItem(nil), bases...)
+// buildJoinTree assembles a left-deep join tree following the chosen
+// join order, consuming every equi predicate at the first step where
+// both its sides are bound. Per join it picks the physical algorithm:
+// explicit Join/IndexJoin options force one (the historical
+// precedence), otherwise the cost model compares hash, merge, and
+// index nested loops — a comparison that reads only statistics, the
+// query, and durable store state, so every differential-harness cell
+// picks the same algorithm and row order stays cell-invariant.
+func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, order []int, ests map[string]*tableEst, qctx *exec.QueryCtx, sum *CostSummary) (exec.Operator, error) {
+	costOn := !p.Opts.DisableCostModel
 	used := make([]bool, len(joinPreds))
 	joined := map[string]bool{}
 
-	// Start with the smallest table.
-	start := smallest(remaining, func(*baseItem) bool { return true })
-	cur, err := p.access(remaining[start])
+	first := bases[order[0]]
+	cur, err := p.access(first)
 	if err != nil {
 		return nil, err
 	}
-	joined[remaining[start].alias] = true
-	remaining = append(remaining[:start], remaining[start+1:]...)
+	joined[first.alias] = true
+	curEst := first.est
+	curCost := 0.0
+	if te := ests[first.alias]; te != nil {
+		curCost = p.accessCost(first, te)
+	}
+	sum.JoinOrder = append(sum.JoinOrder, first.alias)
 
-	for len(remaining) > 0 {
-		// Prefer tables connected to the joined set.
-		next := smallest(remaining, func(b *baseItem) bool {
-			return connected(b.alias, joined, joinPreds, used)
-		})
-		if next < 0 {
-			next = smallest(remaining, func(*baseItem) bool { return true })
-		}
-		b := remaining[next]
-		remaining = append(remaining[:next], remaining[next+1:]...)
+	for _, oi := range order[1:] {
+		b := bases[oi]
+		sum.JoinOrder = append(sum.JoinOrder, b.alias)
 
 		// Collect the applicable predicates: one side owned by b, the
 		// other already joined.
@@ -545,6 +588,7 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *e
 		var keyL, keyR expr.Expr
 		var innerCol string // b-side column of the first key
 		var extra []expr.Expr
+		predSel := 1.0
 		for i, jp := range joinPreds {
 			if used[i] {
 				continue
@@ -559,6 +603,7 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *e
 				continue
 			}
 			used[i] = true
+			predSel *= joinSel(jp, ests)
 			boundOld, err := p.bind(oldRef, combined)
 			if err != nil {
 				return nil, err
@@ -575,18 +620,48 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *e
 			}
 		}
 
-		// Index nested loops: profitable when enabled, the inner table
-		// has an index on the join column, and no pushed predicate wants
-		// its own access path.
-		if keyL != nil && p.Opts.IndexJoin && len(b.push) == 0 && p.Opts.Views == nil {
-			if idx := b.table.IndexOn(innerCol); idx != nil {
-				cur = exec.NewIndexLoopJoin(cur, b.table, b.alias, idx, keyL)
-				for _, e := range extra {
-					cur = exec.NewFilter(cur, e)
-				}
-				joined[b.alias] = true
-				continue
+		outCard := curEst * b.est
+		if keyL != nil {
+			outCard *= predSel
+		}
+		if outCard < 1 {
+			outCard = 1
+		}
+		te := ests[b.alias]
+
+		// Index nested loops: structurally eligible when the inner table
+		// has an index on the join column and no pushed predicate wants
+		// its own access path. Opts.IndexJoin forces it (the historical
+		// behaviour); otherwise the cost model may still pick it.
+		inlOK := keyL != nil && len(b.push) == 0 && p.Opts.Views == nil &&
+			b.table.IndexOn(innerCol) != nil
+		useINL := inlOK && p.Opts.IndexJoin
+		alg := p.Opts.Join
+		if !useINL && costOn && alg == "" && keyL != nil && te != nil {
+			step, phys := p.joinStepCost(b, te, curEst, b.est, outCard, inlOK)
+			curCost += step
+			switch phys {
+			case physINL:
+				useINL = true
+			case physMerge:
+				alg = JoinMerge
 			}
+		} else if te != nil {
+			step, _ := p.joinStepCost(b, te, curEst, b.est, outCard, false)
+			curCost += step
+		}
+
+		if useINL {
+			idx := b.table.IndexOn(innerCol)
+			ilj := exec.NewIndexLoopJoin(cur, b.table, b.alias, idx, keyL)
+			ilj.Est = outCard
+			cur = ilj
+			for _, e := range extra {
+				cur = exec.NewFilter(cur, e)
+			}
+			joined[b.alias] = true
+			curEst = outCard
+			continue
 		}
 
 		right, err := p.access(b)
@@ -595,20 +670,28 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *e
 		}
 		switch {
 		case keyL == nil:
-			cur = exec.NewNestedLoopJoin(cur, right, nil)
-		case p.Opts.Join == JoinMerge:
-			cur = exec.NewMergeJoin(cur, right, keyL, keyR)
-		case p.Opts.Join == JoinNested:
-			cur = exec.NewNestedLoopJoin(cur, right, &expr.Cmp{Op: expr.EQ, L: keyL, R: keyR})
+			nlj := exec.NewNestedLoopJoin(cur, right, nil)
+			nlj.Est = outCard
+			cur = nlj
+		case alg == JoinMerge:
+			mj := exec.NewMergeJoin(cur, right, keyL, keyR)
+			mj.Est = outCard
+			cur = mj
+		case alg == JoinNested:
+			nlj := exec.NewNestedLoopJoin(cur, right, &expr.Cmp{Op: expr.EQ, L: keyL, R: keyR})
+			nlj.Est = outCard
+			cur = nlj
 		default:
 			hj := exec.NewHashJoin(cur, right, keyL, keyR)
 			hj.Ctx = qctx
+			hj.Est = outCard
 			cur = hj
 		}
 		for _, e := range extra {
 			cur = exec.NewFilter(cur, e)
 		}
 		joined[b.alias] = true
+		curEst = outCard
 	}
 
 	// Any join predicates never consumed (e.g. self predicates within one
@@ -623,6 +706,8 @@ func (p *Planner) buildJoinTree(bases []*baseItem, joinPreds []joinPred, qctx *e
 		}
 		cur = exec.NewFilter(cur, bound)
 	}
+	sum.EstRows = curEst
+	sum.Cost = curCost
 	return cur, nil
 }
 
@@ -811,21 +896,6 @@ func firstKey(m map[string]bool) string {
 	return ""
 }
 
-// smallest returns the index of the eligible base item with the lowest
-// estimate, or -1.
-func smallest(items []*baseItem, eligible func(*baseItem) bool) int {
-	best := -1
-	for i, b := range items {
-		if !eligible(b) {
-			continue
-		}
-		if best < 0 || b.est < items[best].est {
-			best = i
-		}
-	}
-	return best
-}
-
 // connected reports whether alias has an unused equi edge into the joined
 // set.
 func connected(alias string, joined map[string]bool, preds []joinPred, used []bool) bool {
@@ -848,6 +918,17 @@ func vecSuffix(vec bool) string {
 	return ""
 }
 
+// estSuffix renders an operator's estimated cardinality. Appended after
+// the operator's own rendering so substring assertions on the operator
+// text keep matching; zero (no estimate — e.g. DisableCostModel never
+// annotates joins) renders nothing.
+func estSuffix(est float64) string {
+	if est <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" est=%.0f", est)
+}
+
 // Explain renders a physical plan tree for diagnostics and tests.
 func Explain(op exec.Operator) string {
 	var sb strings.Builder
@@ -859,11 +940,11 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 	indent := strings.Repeat("  ", depth)
 	switch n := op.(type) {
 	case *exec.SeqScan:
-		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		fmt.Fprintf(sb, "%s%s%s\n", indent, n, estSuffix(n.Est))
 	case *exec.IndexScan:
-		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		fmt.Fprintf(sb, "%s%s%s\n", indent, n, estSuffix(n.Est))
 	case *exec.IndexedFragScan:
-		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		fmt.Fprintf(sb, "%s%s%s\n", indent, n, estSuffix(n.Est))
 	case *exec.ValuesScan:
 		fmt.Fprintf(sb, "%sValuesScan(%d rows)\n", indent, len(n.Rows))
 	case *exec.Filter:
@@ -873,23 +954,23 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 		fmt.Fprintf(sb, "%sProject(%s)%s\n", indent, strings.Join(n.Schema().Names(), ", "), vecSuffix(n.Vec))
 		explain(sb, n.Child, depth+1)
 	case *exec.HashJoin:
-		fmt.Fprintf(sb, "%sHashJoin(%s = %s)\n", indent, n.LeftKey, n.RightKey)
+		fmt.Fprintf(sb, "%sHashJoin(%s = %s)%s\n", indent, n.LeftKey, n.RightKey, estSuffix(n.Est))
 		explain(sb, n.Left, depth+1)
 		explain(sb, n.Right, depth+1)
 	case *exec.MergeJoin:
-		fmt.Fprintf(sb, "%sMergeJoin(%s = %s)\n", indent, n.LeftKey, n.RightKey)
+		fmt.Fprintf(sb, "%sMergeJoin(%s = %s)%s\n", indent, n.LeftKey, n.RightKey, estSuffix(n.Est))
 		explain(sb, n.Left, depth+1)
 		explain(sb, n.Right, depth+1)
 	case *exec.NestedLoopJoin:
 		if n.Pred == nil {
-			fmt.Fprintf(sb, "%sCrossProduct\n", indent)
+			fmt.Fprintf(sb, "%sCrossProduct%s\n", indent, estSuffix(n.Est))
 		} else {
-			fmt.Fprintf(sb, "%sNestedLoopJoin(%s)\n", indent, n.Pred)
+			fmt.Fprintf(sb, "%sNestedLoopJoin(%s)%s\n", indent, n.Pred, estSuffix(n.Est))
 		}
 		explain(sb, n.Left, depth+1)
 		explain(sb, n.Right, depth+1)
 	case *exec.IndexLoopJoin:
-		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		fmt.Fprintf(sb, "%s%s%s\n", indent, n, estSuffix(n.Est))
 		explain(sb, n.Left, depth+1)
 	case *exec.TableFuncApply:
 		if n.Filter != nil {
@@ -918,7 +999,7 @@ func explain(sb *strings.Builder, op exec.Operator, depth int) {
 		fmt.Fprintf(sb, "%s%s\n", indent, n)
 		explain(sb, n.Pipes[0].Root, depth+1)
 	case *exec.MorselScan:
-		fmt.Fprintf(sb, "%s%s\n", indent, n)
+		fmt.Fprintf(sb, "%s%s%s\n", indent, n, estSuffix(n.Est))
 	case *exec.HashProbe:
 		fmt.Fprintf(sb, "%s%s\n", indent, n)
 		fmt.Fprintf(sb, "%s  HashBuild\n", indent)

@@ -43,7 +43,7 @@ func TestTopNPlanShape(t *testing.T) {
 
 func TestTopNPartialPushedBelowGather(t *testing.T) {
 	cat := bigFixture(t)
-	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 	op := planFor(t, par, `SELECT id, val FROM fact ORDER BY val, id LIMIT 7`)
 
 	top, ok := op.(*exec.TopN)
@@ -73,7 +73,7 @@ func TestBudgetKeepsSpillableHashJoinAboveGather(t *testing.T) {
 	cat := bigFixture(t)
 	q := `SELECT label, val FROM dim, fact WHERE grpID = grp`
 
-	free := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	free := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 	freeText := Explain(planFor(t, free, q))
 	if !strings.Contains(freeText, "HashProbe") {
 		t.Fatalf("without a budget the join should use the HashBuild/HashProbe fragments:\n%s", freeText)
@@ -82,7 +82,7 @@ func TestBudgetKeepsSpillableHashJoinAboveGather(t *testing.T) {
 	// HashProbe has no spill path, so a memory budget must keep the
 	// serial spilling HashJoin above the exchange.
 	budget := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{
-		DOP: 4, MorselPages: 1, MemBudgetBytes: 1 << 20, SpillVFS: storage.NewMemVFS()}}
+		DOP: 4, MorselPages: 1, CPUs: 4, MemBudgetBytes: 1 << 20, SpillVFS: storage.NewMemVFS()}}
 	text := Explain(planFor(t, budget, q))
 	if strings.Contains(text, "HashProbe") {
 		t.Fatalf("budgeted plan still uses the unspillable HashProbe:\n%s", text)
@@ -114,7 +114,7 @@ func TestBudgetedQueriesMatchUnbounded(t *testing.T) {
 			sink := &exec.SpillSink{}
 			p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Spill: sink, Opts: Options{
 				// 256 bytes: even the 7-group aggregate state overflows.
-				DOP: dop, MorselPages: 1, MemBudgetBytes: 256, SpillVFS: storage.NewMemVFS()}}
+				DOP: dop, MorselPages: 1, CPUs: dop, MemBudgetBytes: 256, SpillVFS: storage.NewMemVFS()}}
 			got, err := exec.Drain(mustPlan(t, p, stmt))
 			if err != nil {
 				t.Fatalf("budgeted dop=%d %q: %v", dop, q, err)

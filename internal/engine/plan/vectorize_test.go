@@ -43,7 +43,7 @@ func midFixture(t *testing.T) *catalog.Catalog {
 
 func TestSmallInputGateSkipsParallelism(t *testing.T) {
 	cat := midFixture(t)
-	p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 	text := Explain(planFor(t, p, `SELECT id FROM mid WHERE id > 10`))
 	if strings.Contains(text, "Gather") {
 		t.Fatalf("small input should stay serial at DOP 4:\n%s", text)
@@ -64,7 +64,7 @@ func TestSmallInputGatePassesRowFloor(t *testing.T) {
 	// bigFixture's fact table has few pages but 4000 rows: the row floor
 	// alone should admit it.
 	cat := bigFixture(t)
-	p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	p := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 	text := Explain(planFor(t, p, `SELECT id FROM fact WHERE val > 500`))
 	if !strings.Contains(text, "Gather(dop=4)") {
 		t.Fatalf("4000-row table should pass the row floor:\n%s", text)
@@ -88,7 +88,7 @@ func TestVectorizePassMarksPlan(t *testing.T) {
 
 	// Parallel plans vectorize inside the worker pipelines and forward
 	// batches through the exchange.
-	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1}}
+	par := &Planner{Cat: cat, Reg: expr.NewRegistry(), Opts: Options{DOP: 4, MorselPages: 1, CPUs: 4}}
 	parText := Explain(planFor(t, par, q))
 	if !strings.Contains(parText, "Gather(dop=4) [vec]") || !strings.Contains(parText, "MorselScan") {
 		t.Fatalf("parallel plan not batch-forwarding:\n%s", parText)

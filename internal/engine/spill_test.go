@@ -67,9 +67,9 @@ func TestSortEqualKeyOrderAcrossConfigs(t *testing.T) {
 		name string
 		o    plan.Options
 	}{
-		{"dop4", plan.Options{DOP: 4, MorselPages: 1}},
+		{"dop4", plan.Options{DOP: 4, MorselPages: 1, CPUs: 4}},
 		{"budget", plan.Options{DOP: 1, MemBudgetBytes: 2048, SpillVFS: storage.NewMemVFS()}},
-		{"budget+dop4", plan.Options{DOP: 4, MorselPages: 1, MemBudgetBytes: 2048, SpillVFS: storage.NewMemVFS()}},
+		{"budget+dop4", plan.Options{DOP: 4, MorselPages: 1, CPUs: 4, MemBudgetBytes: 2048, SpillVFS: storage.NewMemVFS()}},
 	}
 	for _, c := range cells {
 		db.SetPlannerOptions(c.o)
